@@ -1,0 +1,102 @@
+#ifndef MARITIME_BENCH_FIG11_COMMON_H_
+#define MARITIME_BENCH_FIG11_COMMON_H_
+
+#include "bench_common.h"
+#include "maritime/recognizer.h"
+#include "stream/sliding_window.h"
+#include "tracker/compressor.h"
+#include "tracker/mobility_tracker.h"
+
+namespace maritime::bench {
+
+/// Workload for the Figure 11 experiments: the critical-point (ME) stream
+/// produced by the trajectory detection component over the full run, in
+/// stream order, plus the world it was generated against.
+struct Fig11Workload {
+  BenchStream data;
+  std::vector<tracker::CriticalPoint> criticals;
+  Timestamp horizon = 0;
+};
+
+inline Fig11Workload MakeFig11Workload(int base_vessels, Duration duration) {
+  Fig11Workload w{MakeBenchStream(base_vessels, duration), {}, duration};
+  tracker::MobilityTracker tracker;
+  tracker::Compressor compressor;
+  std::vector<tracker::CriticalPoint> raw;
+  for (const auto& t : w.data.tuples) tracker.Process(t, &raw);
+  tracker.Finish(&raw);
+  w.criticals = compressor.Compress(std::move(raw), w.data.tuples.size());
+  return w;
+}
+
+struct Fig11Row {
+  Duration range;
+  int processors;
+  double avg_recognition_seconds;
+  double avg_input_facts;   ///< MEs (+ spatial facts in 11(b)) per window.
+  double avg_ces;           ///< Recognized CE items per query.
+  size_t queries;
+};
+
+/// Runs CE recognition over the ME stream at slide β=1h for the given
+/// window range and partition count, measuring only the Recognize() calls
+/// (feeding — which in the paper happens upstream — is excluded, as are the
+/// precomputation of spatial facts in the 11(b) setting).
+inline Fig11Row RunFig11Config(const Fig11Workload& w, Duration range,
+                               int processors, bool spatial_facts) {
+  surveillance::RecognizerConfig cfg;
+  cfg.window = stream::WindowSpec{range, kHour};
+  cfg.ce.use_spatial_facts = spatial_facts;
+  // Reproduce the paper's exact CE set (the adrift extension is vessel-keyed
+  // and would skew counts between the 1- and 2-processor settings).
+  cfg.ce.enable_adrift = false;
+  surveillance::PartitionedRecognizer rec(w.data.world.knowledge, cfg,
+                                          processors);
+  Fig11Row row{range, processors, 0.0, 0.0, 0.0, 0};
+  size_t cursor = 0;
+  for (Timestamp q = kHour; q <= w.horizon; q += kHour) {
+    while (cursor < w.criticals.size() && w.criticals[cursor].tau <= q) {
+      rec.Feed(w.criticals[cursor]);
+      ++cursor;
+    }
+    const double t0 = NowSeconds();
+    const auto results = rec.Recognize(q);
+    row.avg_recognition_seconds += NowSeconds() - t0;
+    for (const auto& r : results) {
+      row.avg_input_facts += static_cast<double>(r.input_events_in_window);
+      row.avg_ces += static_cast<double>(r.RecognizedCount());
+    }
+    ++row.queries;
+  }
+  if (row.queries > 0) {
+    const double n = static_cast<double>(row.queries);
+    row.avg_recognition_seconds /= n;
+    row.avg_input_facts /= n;
+    row.avg_ces /= n;
+  }
+  return row;
+}
+
+inline void RunFig11(bool spatial_facts) {
+  const Fig11Workload w =
+      MakeFig11Workload(/*base_vessels=*/250, /*duration=*/24 * kHour);
+  std::printf("workload: %zu raw positions -> %zu critical MEs, 24h, "
+              "%zu areas\n\n",
+              w.data.tuples.size(), w.criticals.size(),
+              w.data.world.knowledge.areas().size());
+  std::printf("  %-10s %-12s %-16s %-18s %-10s\n", "omega", "processors",
+              "avg time/query", "avg input facts", "avg CEs");
+  for (const Duration range : {kHour, 2 * kHour, 6 * kHour, 9 * kHour}) {
+    for (const int processors : {1, 2}) {
+      const Fig11Row r = RunFig11Config(w, range, processors, spatial_facts);
+      std::printf("  %-10lld %-12d %13.2f ms %-18.0f %-10.1f\n",
+                  static_cast<long long>(r.range / kHour), r.processors,
+                  r.avg_recognition_seconds * 1e3, r.avg_input_facts,
+                  r.avg_ces);
+    }
+  }
+}
+
+}  // namespace maritime::bench
+
+#endif  // MARITIME_BENCH_FIG11_COMMON_H_

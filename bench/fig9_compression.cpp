@@ -1,0 +1,52 @@
+// Figure 9: number of critical points retained (bar plot in the paper) and
+// compression ratio (line plot) as a function of the turn threshold
+// Δθ ∈ {5°,10°,15°,20°}.
+//
+// Expected shape (paper): every +5° of Δθ drops the amount of critical
+// points by roughly 5%, and the ratio stays close to ~94% — i.e. only ~6%
+// of the original positions survive as critical.
+
+#include "bench_common.h"
+#include "tracker/mobility_tracker.h"
+
+namespace maritime::bench {
+namespace {
+
+void Main() {
+  PrintHeader(
+      "fig9_compression — critical points & compression ratio vs delta_theta",
+      "Figure 9, EDBT 2015 paper Section 5.1");
+  const BenchStream data = MakeBenchStream(/*base_vessels=*/120,
+                                           /*duration=*/24 * kHour);
+  std::printf("workload: %zu positions, 24h\n\n", data.tuples.size());
+  std::printf("  %-14s %-18s %-18s %-10s\n", "delta_theta", "critical points",
+              "compression ratio", "drop vs 5°");
+  uint64_t at5 = 0;
+  for (const double dtheta : {5.0, 10.0, 15.0, 20.0}) {
+    tracker::TrackerParams params;
+    params.turn_threshold_deg = dtheta;
+    tracker::MobilityTracker tracker(params);
+    std::vector<tracker::CriticalPoint> cps;
+    for (const auto& t : data.tuples) tracker.Process(t, &cps);
+    tracker.Finish(&cps);
+    const auto& stats = tracker.stats();
+    if (dtheta == 5.0) at5 = stats.critical_points;
+    const double drop =
+        at5 > 0 ? 100.0 * (1.0 - static_cast<double>(stats.critical_points) /
+                                     static_cast<double>(at5))
+                : 0.0;
+    std::printf("  %-14.0f %-18llu %-18.4f %-+9.1f%%\n", dtheta,
+                static_cast<unsigned long long>(stats.critical_points),
+                stats.CompressionRatio(), drop);
+  }
+  std::printf("\nexpected shape (paper): ratio stays close to ~0.94 and each "
+              "+5 degrees sheds roughly 5%% of the critical points.\n");
+}
+
+}  // namespace
+}  // namespace maritime::bench
+
+int main() {
+  maritime::bench::Main();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Microbenchmarks (ablation): the RTEC substrate — interval algebra and the
+// maximal-interval sweep — whose cost underlies every recognition query.
+// Supports the design choice of flat sorted interval lists (DESIGN.md).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "rtec/interval.h"
+#include "rtec/timeline.h"
+
+namespace maritime::rtec {
+namespace {
+
+IntervalList MakeList(Rng& rng, int n) {
+  // Spread the domain with n so the normalized list really contains O(n)
+  // disjoint intervals (a fixed domain would coalesce everything).
+  const Timestamp domain = static_cast<Timestamp>(n) * 400;
+  IntervalList out;
+  for (int i = 0; i < n; ++i) {
+    const Timestamp a = rng.NextInt(0, domain - 2);
+    const Timestamp b = a + rng.NextInt(1, 100);
+    out.push_back(Interval{a, b});
+  }
+  NormalizeIntervals(&out);
+  return out;
+}
+
+void BM_Normalize(benchmark::State& state) {
+  Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  IntervalList raw;
+  for (int i = 0; i < n; ++i) {
+    const Timestamp a = rng.NextInt(0, 100000);
+    raw.push_back(Interval{a, a + rng.NextInt(1, 500)});
+  }
+  for (auto _ : state) {
+    IntervalList copy = raw;
+    NormalizeIntervals(&copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Normalize)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_UnionAll(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<IntervalList> lists;
+  for (int i = 0; i < 8; ++i) {
+    lists.push_back(MakeList(rng, static_cast<int>(state.range(0))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UnionAll(lists));
+  }
+}
+BENCHMARK(BM_UnionAll)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_IntersectAll(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<IntervalList> lists = {
+      MakeList(rng, static_cast<int>(state.range(0))),
+      MakeList(rng, static_cast<int>(state.range(0)))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectAll(lists));
+  }
+}
+BENCHMARK(BM_IntersectAll)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_RelativeComplement(benchmark::State& state) {
+  Rng rng(4);
+  const IntervalList base = MakeList(rng, static_cast<int>(state.range(0)));
+  const std::vector<IntervalList> cut = {
+      MakeList(rng, static_cast<int>(state.range(0)))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RelativeComplementAll(base, cut));
+  }
+}
+BENCHMARK(BM_RelativeComplement)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_HoldsAt(benchmark::State& state) {
+  Rng rng(5);
+  const IntervalList list =
+      MakeList(rng, static_cast<int>(state.range(0)));
+  Timestamp t = 0;
+  for (auto _ : state) {
+    t = (t + 7919) % 1000000;
+    benchmark::DoNotOptimize(HoldsAt(list, t));
+  }
+}
+BENCHMARK(BM_HoldsAt)->Arg(16)->Arg(4096);
+
+void BM_ComputeSimpleFluent(benchmark::State& state) {
+  Rng rng(6);
+  FluentEvidence ev;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    ev.initiations.push_back({kTrue, rng.NextInt(1, 100000)});
+    ev.terminations.push_back({kTrue, rng.NextInt(1, 100000)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSimpleFluent(ev, 0, 100000));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_ComputeSimpleFluent)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace maritime::rtec

@@ -1,0 +1,86 @@
+// Microbenchmark (ablation): the grid spatial index behind the `close`
+// predicate. DESIGN.md calls the grid our equivalent of RTEC's
+// "declarations" facility — it restricts spatial reasoning to candidate
+// areas near a point. This bench quantifies the win against the naive
+// all-areas scan, across area counts.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "maritime/knowledge.h"
+#include "sim/world.h"
+
+namespace maritime::surveillance {
+namespace {
+
+KnowledgeBase MakeKbWithAreas(int areas, uint64_t seed) {
+  KnowledgeBase kb(1000.0);
+  Rng rng(seed);
+  for (int i = 0; i < areas; ++i) {
+    AreaInfo a;
+    a.id = i + 1;
+    a.kind = static_cast<AreaKind>(i % 3);
+    a.polygon = geo::Polygon::RegularPolygon(
+        geo::GeoPoint{rng.NextDouble(22.5, 27.5), rng.NextDouble(35.0, 41.0)},
+        rng.NextDouble(2000.0, 8000.0), 8);
+    if (a.kind == AreaKind::kShallow) a.depth_m = 4.0;
+    kb.AddArea(a);
+  }
+  return kb;
+}
+
+std::vector<geo::GeoPoint> QueryPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::GeoPoint> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(geo::GeoPoint{rng.NextDouble(22.5, 27.5),
+                                rng.NextDouble(35.0, 41.0)});
+  }
+  return out;
+}
+
+void BM_AreasCloseTo_Grid(benchmark::State& state) {
+  const KnowledgeBase kb = MakeKbWithAreas(static_cast<int>(state.range(0)),
+                                           11);
+  const auto points = QueryPoints(1024, 12);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.AreasCloseTo(points[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AreasCloseTo_Grid)->Arg(35)->Arg(140)->Arg(560);
+
+void BM_AreasCloseTo_LinearScan(benchmark::State& state) {
+  // The ablation: distance check against every area, no index.
+  const KnowledgeBase kb = MakeKbWithAreas(static_cast<int>(state.range(0)),
+                                           11);
+  const auto points = QueryPoints(1024, 12);
+  size_t i = 0;
+  for (auto _ : state) {
+    const geo::GeoPoint& p = points[i++ & 1023];
+    std::vector<int32_t> close;
+    for (const AreaInfo& a : kb.areas()) {
+      if (a.polygon.DistanceMeters(p) < kb.close_threshold_m()) {
+        close.push_back(a.id);
+      }
+    }
+    benchmark::DoNotOptimize(close);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AreasCloseTo_LinearScan)->Arg(35)->Arg(140)->Arg(560);
+
+void BM_PortContaining(benchmark::State& state) {
+  sim::World world = sim::BuildWorld(13);
+  const auto points = QueryPoints(1024, 14);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.knowledge.PortContaining(points[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_PortContaining);
+
+}  // namespace
+}  // namespace maritime::surveillance

@@ -1,0 +1,81 @@
+// Microbenchmarks (ablation): per-tuple cost of the mobility tracker,
+// validating the complexity claims of paper Section 3.1 — O(1) per incoming
+// tuple for instantaneous events and gaps, O(m) for long-lasting events —
+// by sweeping the history size m.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/scenarios.h"
+#include "tracker/mobility_tracker.h"
+
+namespace maritime::tracker {
+namespace {
+
+std::vector<stream::PositionTuple> CruiseTuples(int n) {
+  return sim::TraceBuilder(1, geo::GeoPoint{24.0, 37.0}, 0)
+      .Cruise(45.0, 12.0, static_cast<Duration>(n) * 30, 30)
+      .Build();
+}
+
+std::vector<stream::PositionTuple> AnchoredTuples(int n) {
+  return sim::TraceBuilder(1, geo::GeoPoint{24.0, 37.0}, 0)
+      .Drift(static_cast<Duration>(n) * 30, 30, 10.0)
+      .Build();
+}
+
+void BM_ProcessCruise(benchmark::State& state) {
+  const auto tuples = CruiseTuples(4096);
+  TrackerParams params;
+  params.history_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MobilityTracker tracker(params);
+    std::vector<CriticalPoint> out;
+    for (const auto& t : tuples) tracker.Process(t, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_ProcessCruise)->Arg(2)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_ProcessAnchored(benchmark::State& state) {
+  // Anchored vessels exercise the stop-detection (O(m)) path on every tuple.
+  const auto tuples = AnchoredTuples(4096);
+  TrackerParams params;
+  params.history_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MobilityTracker tracker(params);
+    std::vector<CriticalPoint> out;
+    for (const auto& t : tuples) tracker.Process(t, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_ProcessAnchored)->Arg(2)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_ManyVessels(benchmark::State& state) {
+  // Fleet-size scaling: hash-map dispatch must keep per-tuple cost flat.
+  const int vessels = static_cast<int>(state.range(0));
+  std::vector<std::vector<stream::PositionTuple>> traces;
+  for (int v = 0; v < vessels; ++v) {
+    traces.push_back(sim::TraceBuilder(static_cast<stream::Mmsi>(v + 1),
+                                       geo::GeoPoint{24.0 + 0.01 * v, 37.0},
+                                       0)
+                         .Cruise(45.0, 12.0, 64 * 30, 30)
+                         .Build());
+  }
+  const auto tuples = sim::MergeTraces(std::move(traces));
+  for (auto _ : state) {
+    MobilityTracker tracker;
+    std::vector<CriticalPoint> out;
+    for (const auto& t : tuples) tracker.Process(t, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_ManyVessels)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace maritime::tracker

@@ -1,0 +1,143 @@
+// Fishing watch: paper Scenarios 1, 2 and 4 on one stretch of sea.
+//
+//  - Two registered trawlers steam to a forbidden-fishing area and trawl
+//    inside it at ~3 kn: the tracker reports slowMotion / stopped MEs and
+//    RTEC rule-set (4) recognizes illegalFishing with its maximal intervals.
+//  - Five more vessels rendezvous and stop together near the same area:
+//    rule-set (3) flags the area as suspicious once at least four vessels
+//    have stopped close to it.
+//  - One of the trawlers later drifts slowly over a charted shoal:
+//    rule (6) raises dangerousShipping.
+
+#include <cstdio>
+
+#include "maritime/pipeline.h"
+#include "sim/scenarios.h"
+#include "sim/world.h"
+#include "stream/replayer.h"
+
+namespace {
+
+using namespace maritime;
+
+surveillance::VesselInfo MakeVessel(stream::Mmsi mmsi, const char* name,
+                                    surveillance::VesselType type,
+                                    double draft, bool gear) {
+  surveillance::VesselInfo v;
+  v.mmsi = mmsi;
+  v.name = name;
+  v.type = type;
+  v.draft_m = draft;
+  v.fishing_gear = gear;
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  sim::World world = sim::BuildWorld(/*seed=*/29);
+  const surveillance::AreaInfo* nofish = nullptr;
+  const surveillance::AreaInfo* shoal = nullptr;
+  for (const auto& a : world.knowledge.areas()) {
+    if (a.kind == surveillance::AreaKind::kForbiddenFishing &&
+        nofish == nullptr) {
+      nofish = &a;
+    }
+    if (a.kind == surveillance::AreaKind::kShallow && shoal == nullptr) {
+      shoal = &a;
+    }
+  }
+  if (nofish == nullptr || shoal == nullptr) {
+    std::fprintf(stderr, "world lacks required areas\n");
+    return 1;
+  }
+  const geo::GeoPoint ground = nofish->polygon.VertexCentroid();
+  std::printf("forbidden fishing area: %s; shoal: %s (depth %.1f m)\n",
+              nofish->name.c_str(), shoal->name.c_str(), shoal->depth_m);
+
+  std::vector<std::vector<stream::PositionTuple>> traces;
+
+  // Two trawlers: approach, trawl inside the forbidden area for ~2 h, leave.
+  for (int i = 0; i < 2; ++i) {
+    const stream::Mmsi mmsi = 240000100 + static_cast<stream::Mmsi>(i);
+    world.knowledge.AddVessel(MakeVessel(
+        mmsi, i == 0 ? "FV ARGO" : "FV CALYPSO",
+        surveillance::VesselType::kFishing, 4.0, /*gear=*/true));
+    sim::TraceBuilder t(mmsi,
+                        geo::DestinationPoint(ground, 200.0 + 30.0 * i,
+                                              20000.0),
+                        i * 300);
+    t.Cruise(geo::InitialBearingDeg(t.position(), ground), 8.0,
+             static_cast<Duration>(20000.0 / (8.0 * geo::kKnotsToMps)), 30);
+    t.Cruise(45.0, 2.8, 2 * kHour, 60);  // trawling inside the area
+    t.Cruise(200.0, 8.0, kHour, 30);     // leaving
+    traces.push_back(std::move(t).Build());
+  }
+
+  // Five loiterers stopping close to the same area -> suspicious(Area).
+  for (int i = 0; i < 5; ++i) {
+    const stream::Mmsi mmsi = 240000200 + static_cast<stream::Mmsi>(i);
+    world.knowledge.AddVessel(MakeVessel(mmsi, "SY DRIFTER",
+                                         surveillance::VesselType::kPleasure,
+                                         2.0, false));
+    sim::TraceBuilder t(
+        mmsi,
+        geo::DestinationPoint(ground, 72.0 * i, 8000.0), 600 + 120 * i);
+    t.Cruise(geo::InitialBearingDeg(t.position(), ground), 7.0,
+             static_cast<Duration>(7600.0 / (7.0 * geo::kKnotsToMps)), 30);
+    t.Drift(90 * kMinute, 120, 12.0);  // the rendezvous
+    t.Cruise(72.0 * i, 7.0, 40 * kMinute, 30);
+    traces.push_back(std::move(t).Build());
+  }
+
+  // Trawler ARGO later drifts slowly over the shoal.
+  {
+    sim::TraceBuilder t(240000100,
+                        geo::DestinationPoint(
+                            shoal->polygon.VertexCentroid(), 270.0, 6000.0),
+                        6 * kHour);
+    t.Cruise(90.0, 3.0, 90 * kMinute, 60);
+    traces.push_back(std::move(t).Build());
+  }
+
+  stream::StreamReplayer replayer(sim::MergeTraces(std::move(traces)));
+
+  surveillance::PipelineConfig config;
+  config.window = stream::WindowSpec{2 * kHour, 10 * kMinute};
+  surveillance::SurveillancePipeline pipeline(&world.knowledge, config);
+  auto& recognizer = pipeline.recognizer().partition(0);
+  const auto& schema = recognizer.schema();
+
+  size_t fishing_alerts = 0, suspicious_alerts = 0, dangerous_alerts = 0;
+  Timestamp last_printed_fishing = -1;
+  pipeline.Run(replayer, [&](const surveillance::SlideReport& report) {
+    for (const auto& r : report.recognition) {
+      for (const auto& f : r.fluents) {
+        if (f.fluent == schema.illegal_fishing) {
+          ++fishing_alerts;
+          if (f.intervals.back().till != last_printed_fishing) {
+            last_printed_fishing = f.intervals.back().till;
+            std::printf("  [Q=%s] %s\n",
+                        FormatTimestamp(report.query_time).c_str(),
+                        recognizer.Describe(f).c_str());
+          }
+        }
+        if (f.fluent == schema.suspicious) ++suspicious_alerts;
+      }
+      for (const auto& e : r.events) {
+        if (e.event == schema.dangerous_shipping) {
+          ++dangerous_alerts;
+          std::printf("  [Q=%s] %s\n",
+                      FormatTimestamp(report.query_time).c_str(),
+                      recognizer.Describe(e).c_str());
+        }
+      }
+    }
+  });
+
+  std::printf(
+      "\nrecognized: illegalFishing in %zu windows, suspicious in %zu, "
+      "dangerousShipping events %zu\n",
+      fishing_alerts, suspicious_alerts, dangerous_alerts);
+  return (fishing_alerts > 0 && suspicious_alerts > 0) ? 0 : 2;
+}

@@ -1,0 +1,147 @@
+// Port traffic analytics: the offline side of the system (paper Sections
+// 3.2–3.3 and Table 4).
+//
+// Runs a day of simulated traffic through the pipeline, lets the archival
+// path reconstruct trips between ports, then computes Table-4-style
+// statistics, an Origin–Destination matrix, per-port arrival counts, and the
+// trajectory approximation error of the compression (Figure 8 style).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "maritime/pipeline.h"
+#include "mod/analytics.h"
+#include "mod/clustering.h"
+#include "sim/generator.h"
+#include "sim/world.h"
+#include "stream/replayer.h"
+#include "tracker/reconstruct.h"
+
+int main() {
+  using namespace maritime;
+
+  sim::World world = sim::BuildWorld(/*seed=*/31);
+  sim::FleetConfig fleet_config;
+  fleet_config.vessels = 60;
+  fleet_config.duration = 24 * kHour;
+  fleet_config.seed = 17;
+  sim::FleetSimulator fleet(&world, fleet_config);
+  const auto tuples = fleet.Generate();
+  std::printf("simulated %zu reports from %d vessels over 24h\n",
+              tuples.size(), fleet_config.vessels);
+
+  surveillance::PipelineConfig config;
+  config.window = stream::WindowSpec{kHour, 15 * kMinute};
+  surveillance::SurveillancePipeline pipeline(&world.knowledge, config);
+  stream::StreamReplayer replayer(tuples);
+  pipeline.Run(replayer);
+
+  // --- compression & accuracy ------------------------------------------------
+  const auto& cstats = pipeline.compressor().stats();
+  std::printf("\ncompression ratio: %.1f%% (%llu raw -> %llu critical)\n",
+              100.0 * cstats.ratio(),
+              static_cast<unsigned long long>(cstats.raw_positions),
+              static_cast<unsigned long long>(cstats.critical_points));
+  const tracker::ApproximationError err = tracker::EvaluateApproximation(
+      sim::WithoutOutliers(tuples, fleet.ground_truth()),
+      pipeline.critical_points());
+  std::printf("approximation RMSE: avg %.1f m, max %.1f m over %zu vessels\n",
+              err.avg_rmse_m, err.max_rmse_m, err.vessel_count);
+
+  // --- Table 4 ----------------------------------------------------------------
+  std::printf("\n--- trip archive (paper Table 4) ---\n%s",
+              pipeline.archiver()->Statistics().ToString().c_str());
+
+  // --- Origin–Destination matrix (Section 3.3) --------------------------------
+  const auto od = pipeline.archiver()->store().OriginDestinationMatrix();
+  std::printf("\n--- busiest itineraries ---\n");
+  std::vector<std::pair<uint64_t, std::pair<int32_t, int32_t>>> ranked;
+  for (const auto& [key, cell] : od) ranked.push_back({cell.trips, key});
+  std::sort(ranked.rbegin(), ranked.rend());
+  int shown = 0;
+  for (const auto& [count, key] : ranked) {
+    if (shown++ >= 5) break;
+    const auto* origin = world.knowledge.FindArea(key.first);
+    const auto* dest = world.knowledge.FindArea(key.second);
+    const mod::OdCell& cell = od.at(key);
+    std::printf("  %-10s -> %-10s  trips=%llu  avg time %s  avg dist %.1f km\n",
+                origin != nullptr ? origin->name.c_str() : "(open sea)",
+                dest != nullptr ? dest->name.c_str() : "?",
+                static_cast<unsigned long long>(count),
+                FormatDuration(cell.AvgTravelTime()).c_str(),
+                cell.AvgDistanceM() / 1000.0);
+  }
+
+  // --- per-port arrivals --------------------------------------------------------
+  std::printf("\n--- arrivals per port ---\n");
+  std::vector<std::pair<size_t, std::string>> arrivals;
+  for (const auto& area : world.knowledge.areas()) {
+    if (area.kind != surveillance::AreaKind::kPort) continue;
+    const size_t n = pipeline.archiver()->store().TripsTo(area.id).size();
+    if (n > 0) arrivals.push_back({n, area.name});
+  }
+  std::sort(arrivals.rbegin(), arrivals.rend());
+  for (const auto& [n, name] : arrivals) {
+    std::printf("  %-10s %zu arrivals\n", name.c_str(), n);
+  }
+
+  // --- further offline analytics (Section 3.3) --------------------------------
+  const auto& store = pipeline.archiver()->store();
+
+  std::printf("\n--- busiest vessels (travel history) ---\n");
+  auto vessel_stats = mod::ComputeVesselStats(store);
+  std::sort(vessel_stats.begin(), vessel_stats.end(),
+            [](const auto& a, const auto& b) {
+              return a.total_distance_m > b.total_distance_m;
+            });
+  for (size_t i = 0; i < std::min<size_t>(5, vessel_stats.size()); ++i) {
+    const auto& v = vessel_stats[i];
+    std::printf("  mmsi=%u  %llu trips, %.0f km sailed, %s underway, "
+                "%s idle, %zu ports\n",
+                v.mmsi, static_cast<unsigned long long>(v.trips),
+                v.total_distance_m / 1000.0,
+                FormatDuration(v.total_travel_time).c_str(),
+                FormatDuration(v.total_idle_time).c_str(),
+                v.visited_ports.size());
+  }
+
+  std::printf("\n--- departures per 6h period ---\n");
+  for (const auto& [bucket, count] :
+       mod::DeparturesPerPeriod(store, 6 * kHour)) {
+    std::printf("  from %-12s %llu departures\n",
+                FormatTimestamp(bucket).c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  std::printf("\n--- frequent corridors (top cells) ---\n");
+  for (const auto& cell : mod::FrequentCorridors(store, 0.05, 5)) {
+    std::printf("  cell (%.2f,%.2f) crossed by %llu trips\n", cell.lon,
+                cell.lat, static_cast<unsigned long long>(cell.trips));
+  }
+
+  std::printf("\n--- spatiotemporal trip clusters ---\n");
+  const auto clusters = mod::ClusterTrips(store);
+  std::printf("  %zu trips form %zu clusters; largest:\n",
+              store.trip_count(), clusters.size());
+  for (size_t i = 0; i < std::min<size_t>(3, clusters.size()); ++i) {
+    const mod::Trip& seed = store.trips()[clusters[i].seed];
+    std::printf("    cluster of %zu trips, e.g. mmsi=%u departing %s\n",
+                clusters[i].trip_indices.size(), seed.mmsi,
+                FormatTimestamp(seed.start_tau % kDay).c_str());
+  }
+
+  std::printf("\n--- periodic services (regular itineraries) ---\n");
+  int shown_services = 0;
+  for (const auto& s : mod::DetectPeriodicServices(store, 3)) {
+    if (shown_services++ >= 5) break;
+    const auto* o = world.knowledge.FindArea(s.origin_port);
+    const auto* d = world.knowledge.FindArea(s.destination_port);
+    std::printf("  %-10s -> %-10s  %llu departures, headway %s (cv %.2f)\n",
+                o != nullptr ? o->name.c_str() : "?",
+                d != nullptr ? d->name.c_str() : "?",
+                static_cast<unsigned long long>(s.trips),
+                FormatDuration(s.mean_headway).c_str(), s.headway_cv);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "ais/bit_buffer.h"
+
+#include <cassert>
+
+namespace maritime::ais {
+namespace {
+
+// AIS 6-bit character set (ITU-R M.1371 Table 44): index = 6-bit value.
+constexpr char kSixbitAlphabet[] =
+    "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_ !\"#$%&'()*+,-./0123456789:;<=>?";
+
+int SixbitFromChar(char c) {
+  for (int i = 0; i < 64; ++i) {
+    if (kSixbitAlphabet[i] == c) return i;
+  }
+  // Lowercase letters map onto their uppercase counterparts.
+  if (c >= 'a' && c <= 'z') return c - 'a' + 1;
+  return 0;  // '@' (null) for anything unrepresentable
+}
+
+}  // namespace
+
+void BitWriter::WriteUnsigned(uint64_t value, int width) {
+  assert(width > 0 && width <= 64);
+  for (int i = width - 1; i >= 0; --i) {
+    bits_.push_back(static_cast<uint8_t>((value >> i) & 1u));
+  }
+  bit_size_ += static_cast<size_t>(width);
+}
+
+void BitWriter::WriteSigned(int64_t value, int width) {
+  WriteUnsigned(static_cast<uint64_t>(value), width);
+}
+
+void BitWriter::WriteSixbitString(const std::string& s, int chars) {
+  for (int i = 0; i < chars; ++i) {
+    const char c = i < static_cast<int>(s.size()) ? s[static_cast<size_t>(i)]
+                                                  : '@';
+    WriteUnsigned(static_cast<uint64_t>(SixbitFromChar(c)), 6);
+  }
+}
+
+uint64_t BitReader::ReadUnsigned(int width) {
+  assert(width > 0 && width <= 64);
+  uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    uint8_t bit = 0;
+    if (pos_ < bits_.size()) {
+      bit = bits_[pos_];
+    } else {
+      overflow_ = true;
+    }
+    v = (v << 1) | bit;
+    ++pos_;
+  }
+  return v;
+}
+
+int64_t BitReader::ReadSigned(int width) {
+  uint64_t v = ReadUnsigned(width);
+  // Sign-extend from `width` bits.
+  if (width < 64 && (v & (1ULL << (width - 1)))) {
+    v |= ~((1ULL << width) - 1);
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string BitReader::ReadSixbitString(int chars) {
+  constexpr char kAlphabet[] =
+      "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_ !\"#$%&'()*+,-./0123456789:;<=>?";
+  std::string out;
+  out.reserve(static_cast<size_t>(chars));
+  for (int i = 0; i < chars; ++i) {
+    const uint64_t v = ReadUnsigned(6);
+    out.push_back(kAlphabet[v & 63u]);
+  }
+  // Strip trailing padding ('@' and spaces).
+  while (!out.empty() && (out.back() == '@' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+void BitReader::Skip(int width) {
+  pos_ += static_cast<size_t>(width);
+  if (pos_ > bits_.size()) overflow_ = true;
+}
+
+}  // namespace maritime::ais

@@ -1,0 +1,70 @@
+#ifndef MARITIME_AIS_BIT_BUFFER_H_
+#define MARITIME_AIS_BIT_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maritime::ais {
+
+/// Append-only big-endian bit writer used to build AIS binary payloads.
+/// Bits are written most-significant first, matching ITU-R M.1371 field
+/// layout.
+class BitWriter {
+ public:
+  /// Appends the `width` low bits of `value` (unsigned), MSB first.
+  /// Precondition: 0 < width <= 64.
+  void WriteUnsigned(uint64_t value, int width);
+
+  /// Appends a two's-complement signed value of `width` bits.
+  void WriteSigned(int64_t value, int width);
+
+  /// Appends a string in the AIS 6-bit character set, padded/truncated to
+  /// exactly `chars` characters ('@' = 0 terminates/pads).
+  void WriteSixbitString(const std::string& s, int chars);
+
+  /// Number of bits written so far.
+  size_t bit_size() const { return bit_size_; }
+
+  /// The raw bits, one per element (0/1). Cheap enough at AIS sizes and
+  /// keeps the codec trivially correct.
+  const std::vector<uint8_t>& bits() const { return bits_; }
+
+ private:
+  std::vector<uint8_t> bits_;
+  size_t bit_size_ = 0;
+};
+
+/// Big-endian bit reader over a bit vector produced by payload de-armoring.
+/// Reads past the end return zeros and set `overflow()` — AIS receivers must
+/// tolerate truncated payloads, and the scanner checks `overflow()` to flag
+/// corrupt messages.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bits) : bits_(bits) {}
+
+  /// Reads `width` bits as an unsigned value. Precondition: 0 < width <= 64.
+  uint64_t ReadUnsigned(int width);
+
+  /// Reads `width` bits as a two's-complement signed value.
+  int64_t ReadSigned(int width);
+
+  /// Reads `chars` 6-bit characters, stripping trailing '@' and spaces.
+  std::string ReadSixbitString(int chars);
+
+  /// Skips `width` bits.
+  void Skip(int width);
+
+  size_t position() const { return pos_; }
+  size_t size() const { return bits_.size(); }
+  bool overflow() const { return overflow_; }
+
+ private:
+  const std::vector<uint8_t>& bits_;
+  size_t pos_ = 0;
+  bool overflow_ = false;
+};
+
+}  // namespace maritime::ais
+
+#endif  // MARITIME_AIS_BIT_BUFFER_H_

@@ -1,0 +1,122 @@
+#include "ais/nmea.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace maritime::ais {
+
+std::string NmeaChecksum(std::string_view body) {
+  unsigned char sum = 0;
+  for (char c : body) sum ^= static_cast<unsigned char>(c);
+  char buf[3];
+  std::snprintf(buf, sizeof(buf), "%02X", sum);
+  return buf;
+}
+
+std::string FormatSentence(const NmeaSentence& s) {
+  std::string body = s.talker;
+  body += ',';
+  body += std::to_string(s.fragment_count);
+  body += ',';
+  body += std::to_string(s.fragment_index);
+  body += ',';
+  if (s.sequence_id >= 0) body += std::to_string(s.sequence_id);
+  body += ',';
+  if (s.channel != '\0') body += s.channel;
+  body += ',';
+  body += s.payload;
+  body += ',';
+  body += std::to_string(s.fill_bits);
+  return "!" + body + "*" + NmeaChecksum(body);
+}
+
+Result<NmeaSentence> ParseSentence(std::string_view line) {
+  line = StripWhitespace(line);
+  if (line.empty() || line[0] != '!') {
+    return Status::Corruption("sentence does not start with '!'");
+  }
+  const size_t star = line.rfind('*');
+  if (star == std::string_view::npos || star + 3 != line.size()) {
+    return Status::Corruption("missing or malformed checksum");
+  }
+  const std::string_view body = line.substr(1, star - 1);
+  const std::string_view checksum = line.substr(star + 1, 2);
+  if (NmeaChecksum(body) != checksum) {
+    return Status::Corruption("checksum mismatch");
+  }
+  const auto fields = SplitString(body, ',');
+  if (fields.size() != 7) {
+    return Status::Corruption(
+        StrPrintf("expected 7 fields, got %zu", fields.size()));
+  }
+  NmeaSentence s;
+  s.talker = std::string(fields[0]);
+  if (s.talker != "AIVDM" && s.talker != "AIVDO") {
+    return Status::Corruption("unknown talker '" + s.talker + "'");
+  }
+  auto parse_int = [](std::string_view f, int fallback) {
+    if (f.empty()) return fallback;
+    int v = 0;
+    for (char c : f) {
+      if (c < '0' || c > '9') return fallback;
+      v = v * 10 + (c - '0');
+    }
+    return v;
+  };
+  s.fragment_count = parse_int(fields[1], 0);
+  s.fragment_index = parse_int(fields[2], 0);
+  s.sequence_id = parse_int(fields[3], -1);
+  s.channel = fields[4].empty() ? '\0' : fields[4][0];
+  s.payload = std::string(fields[5]);
+  s.fill_bits = parse_int(fields[6], -1);
+  if (s.fragment_count < 1 || s.fragment_index < 1 ||
+      s.fragment_index > s.fragment_count) {
+    return Status::Corruption("inconsistent fragment numbering");
+  }
+  if (s.fill_bits < 0 || s.fill_bits > 5) {
+    return Status::Corruption("fill bits outside [0,5]");
+  }
+  if (s.fragment_count > 1 && s.sequence_id < 0) {
+    return Status::Corruption("multi-fragment sentence without sequence id");
+  }
+  return s;
+}
+
+Result<FragmentAssembler::Assembled> FragmentAssembler::Add(
+    const NmeaSentence& s) {
+  if (s.fragment_count == 1) {
+    return Assembled{s.payload, s.fill_bits};
+  }
+  const auto key = std::make_pair(s.sequence_id, s.channel);
+  auto& group = pending_[key];
+  if (s.fragment_index == 1 && group.received > 0) {
+    // Stale partial group with a reused sequence id: restart.
+    group = Pending{};
+  }
+  if (group.fragments.empty()) {
+    group.fragments.resize(static_cast<size_t>(s.fragment_count));
+  }
+  if (static_cast<int>(group.fragments.size()) != s.fragment_count) {
+    pending_.erase(key);
+    return Status::Corruption("fragment count changed within group");
+  }
+  auto& slot = group.fragments[static_cast<size_t>(s.fragment_index - 1)];
+  if (!slot.empty()) {
+    pending_.erase(key);
+    return Status::Corruption("duplicate fragment index within group");
+  }
+  slot = s.payload;
+  ++group.received;
+  if (s.fragment_index == s.fragment_count) group.fill_bits = s.fill_bits;
+  if (group.received < s.fragment_count) {
+    return Status::NotFound("awaiting more fragments");
+  }
+  Assembled out;
+  for (const auto& f : group.fragments) out.payload += f;
+  out.fill_bits = group.fill_bits;
+  pending_.erase(key);
+  return out;
+}
+
+}  // namespace maritime::ais

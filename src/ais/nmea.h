@@ -1,0 +1,69 @@
+#ifndef MARITIME_AIS_NMEA_H_
+#define MARITIME_AIS_NMEA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace maritime::ais {
+
+/// One parsed NMEA 0183 AIVDM/AIVDO sentence:
+/// `!AIVDM,<total>,<num>,<seq>,<chan>,<payload>,<fill>*<checksum>`
+struct NmeaSentence {
+  std::string talker = "AIVDM";  ///< "AIVDM" (received) or "AIVDO" (own ship).
+  int fragment_count = 1;        ///< Total fragments of the message.
+  int fragment_index = 1;        ///< 1-based index of this fragment.
+  int sequence_id = -1;          ///< Multi-fragment group id; -1 when absent.
+  char channel = 'A';            ///< Radio channel ('A'/'B'); '\0' when absent.
+  std::string payload;           ///< Armored 6-bit payload.
+  int fill_bits = 0;             ///< Pad bits in the final payload character.
+};
+
+/// XOR checksum over the characters between '!' and '*', as two uppercase
+/// hex digits.
+std::string NmeaChecksum(std::string_view body);
+
+/// Renders the sentence with a correct checksum.
+std::string FormatSentence(const NmeaSentence& s);
+
+/// Parses and validates one sentence line. Fails with kCorruption on framing
+/// or checksum errors (the paper's Data Scanner discards such messages).
+Result<NmeaSentence> ParseSentence(std::string_view line);
+
+/// Reassembles multi-fragment AIVDM messages. Feed sentences in arrival
+/// order; when a message is complete, returns the concatenated armored
+/// payload plus the final fragment's fill bits.
+class FragmentAssembler {
+ public:
+  struct Assembled {
+    std::string payload;
+    int fill_bits = 0;
+  };
+
+  /// Returns a value when `s` completes a message (single-fragment sentences
+  /// complete immediately); kNotFound-status when more fragments are pending;
+  /// kCorruption when the fragment is inconsistent with its group.
+  Result<Assembled> Add(const NmeaSentence& s);
+
+  /// Number of partially assembled groups currently buffered.
+  size_t pending_groups() const { return pending_.size(); }
+
+  /// Drops partial groups (e.g. between replayed streams).
+  void Clear() { pending_.clear(); }
+
+ private:
+  struct Pending {
+    std::vector<std::string> fragments;
+    int received = 0;
+    int fill_bits = 0;
+  };
+  // Key: sequence id + channel (sequence ids are reused over time; a stale
+  // group is overwritten when a new first fragment arrives).
+  std::map<std::pair<int, char>, Pending> pending_;
+};
+
+}  // namespace maritime::ais
+
+#endif  // MARITIME_AIS_NMEA_H_

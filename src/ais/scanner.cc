@@ -1,0 +1,116 @@
+#include "ais/scanner.h"
+
+#include "ais/sixbit.h"
+#include "common/strings.h"
+
+namespace maritime::ais {
+
+Result<stream::PositionTuple> DataScanner::FeedLine(std::string_view line,
+                                                    Timestamp arrival) {
+  ++stats_.lines;
+  Result<NmeaSentence> sentence = ParseSentence(line);
+  if (!sentence.ok()) {
+    ++stats_.framing_errors;
+    return sentence.status();
+  }
+  Result<FragmentAssembler::Assembled> assembled =
+      assembler_.Add(sentence.value());
+  if (!assembled.ok()) {
+    if (assembled.status().code() == StatusCode::kNotFound) {
+      ++stats_.fragment_pending;
+    } else {
+      ++stats_.fragment_errors;
+    }
+    return assembled.status();
+  }
+  Result<std::vector<uint8_t>> bits = DearmorPayload(
+      assembled.value().payload, assembled.value().fill_bits);
+  if (!bits.ok()) {
+    ++stats_.payload_errors;
+    return bits.status();
+  }
+  if (PeekMessageType(bits.value()) == 5) {
+    Result<StaticVoyageData> data = DecodeStaticVoyageData(bits.value());
+    if (!data.ok()) {
+      ++stats_.payload_errors;
+      return data.status();
+    }
+    ++stats_.static_reports;
+    static_reports_.push_back(std::move(data).value());
+    return Status::NotFound("static/voyage data, no position");
+  }
+  Result<PositionReport> report = DecodePositionReport(bits.value());
+  if (!report.ok()) {
+    if (report.status().code() == StatusCode::kUnimplemented) {
+      ++stats_.unsupported_type;
+    } else {
+      ++stats_.payload_errors;
+    }
+    return report.status();
+  }
+  if (!report.value().HasPosition()) {
+    ++stats_.invalid_position;
+    return Status::Corruption("position not available or out of range");
+  }
+  last_report_ = report.value();
+  ++stats_.accepted;
+  stream::PositionTuple tuple;
+  tuple.mmsi = last_report_.mmsi;
+  tuple.pos = geo::GeoPoint{last_report_.lon_deg, last_report_.lat_deg};
+  tuple.tau = arrival;
+  return tuple;
+}
+
+Result<stream::PositionTuple> DataScanner::FeedTagged(
+    std::string_view tagged_line) {
+  const size_t tab = tagged_line.find('\t');
+  if (tab == std::string_view::npos) {
+    ++stats_.lines;
+    ++stats_.framing_errors;
+    return Status::Corruption("tagged line missing '\\t' separator");
+  }
+  const std::string_view tau_field = tagged_line.substr(0, tab);
+  Timestamp tau = 0;
+  bool negative = false;
+  size_t i = 0;
+  if (!tau_field.empty() && tau_field[0] == '-') {
+    negative = true;
+    i = 1;
+  }
+  if (i >= tau_field.size()) {
+    ++stats_.lines;
+    ++stats_.framing_errors;
+    return Status::Corruption("empty timestamp tag");
+  }
+  for (; i < tau_field.size(); ++i) {
+    const char c = tau_field[i];
+    if (c < '0' || c > '9') {
+      ++stats_.lines;
+      ++stats_.framing_errors;
+      return Status::Corruption("non-numeric timestamp tag");
+    }
+    tau = tau * 10 + (c - '0');
+  }
+  if (negative) tau = -tau;
+  return FeedLine(tagged_line.substr(tab + 1), tau);
+}
+
+std::vector<stream::PositionTuple> DataScanner::ScanTaggedLog(
+    std::string_view log) {
+  std::vector<stream::PositionTuple> out;
+  size_t start = 0;
+  while (start < log.size()) {
+    size_t end = log.find('\n', start);
+    if (end == std::string_view::npos) end = log.size();
+    const std::string_view line =
+        StripWhitespace(log.substr(start, end - start));
+    if (!line.empty()) {
+      Result<stream::PositionTuple> r = FeedTagged(line);
+      if (r.ok()) out.push_back(r.value());
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace maritime::ais

@@ -1,0 +1,66 @@
+#include "ais/sixbit.h"
+
+#include "common/strings.h"
+
+namespace maritime::ais {
+
+char ArmorChar(uint8_t value) {
+  value &= 63u;
+  return static_cast<char>(value < 40 ? value + 48 : value + 56);
+}
+
+int DearmorChar(char c) {
+  const int x = static_cast<unsigned char>(c);
+  if (x >= 48 && x <= 87) return x - 48;    // '0'..'W' -> 0..39
+  if (x >= 96 && x <= 119) return x - 56;   // '`'..'w' -> 40..63
+  return -1;
+}
+
+std::string ArmorPayload(const std::vector<uint8_t>& bits, int* fill_bits) {
+  std::string out;
+  const size_t n = bits.size();
+  out.reserve((n + 5) / 6);
+  size_t i = 0;
+  while (i < n) {
+    uint8_t v = 0;
+    int taken = 0;
+    for (; taken < 6 && i < n; ++taken, ++i) {
+      v = static_cast<uint8_t>((v << 1) | bits[i]);
+    }
+    // Pad the final character with zero fill bits.
+    v = static_cast<uint8_t>(v << (6 - taken));
+    out.push_back(ArmorChar(v));
+    if (i >= n && fill_bits != nullptr) *fill_bits = 6 - taken;
+  }
+  if (n % 6 == 0 && fill_bits != nullptr) *fill_bits = 0;
+  if (n == 0 && fill_bits != nullptr) *fill_bits = 0;
+  return out;
+}
+
+Result<std::vector<uint8_t>> DearmorPayload(const std::string& payload,
+                                            int fill_bits) {
+  if (fill_bits < 0 || fill_bits > 5) {
+    return Status::InvalidArgument(
+        StrPrintf("fill_bits %d outside [0,5]", fill_bits));
+  }
+  std::vector<uint8_t> bits;
+  bits.reserve(payload.size() * 6);
+  for (char c : payload) {
+    const int v = DearmorChar(c);
+    if (v < 0) {
+      return Status::Corruption(
+          StrPrintf("invalid armored payload character 0x%02x",
+                    static_cast<unsigned char>(c)));
+    }
+    for (int i = 5; i >= 0; --i) {
+      bits.push_back(static_cast<uint8_t>((v >> i) & 1));
+    }
+  }
+  if (static_cast<size_t>(fill_bits) > bits.size()) {
+    return Status::Corruption("fill_bits exceed payload size");
+  }
+  bits.resize(bits.size() - static_cast<size_t>(fill_bits));
+  return bits;
+}
+
+}  // namespace maritime::ais

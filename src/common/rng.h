@@ -1,0 +1,56 @@
+#ifndef MARITIME_COMMON_RNG_H_
+#define MARITIME_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace maritime {
+
+/// Small, fast, deterministic pseudo-random generator (xoshiro256** seeded
+/// via SplitMix64). Used by the fleet simulator and property tests so that
+/// every run of a bench or test is exactly reproducible from its seed.
+///
+/// Not cryptographically secure; not for security use.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal (Box–Muller; one value per call, spare cached).
+  double NextGaussian();
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Derives an independent child generator; useful to give each simulated
+  /// vessel its own stream so per-vessel traces do not depend on fleet order.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace maritime
+
+#endif  // MARITIME_COMMON_RNG_H_

@@ -1,0 +1,34 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace maritime {
+
+std::string FormatDuration(Duration d) {
+  const char* sign = "";
+  if (d < 0) {
+    sign = "-";
+    d = -d;
+  }
+  const int64_t days = d / kDay;
+  const int64_t hours = (d % kDay) / kHour;
+  const int64_t minutes = (d % kHour) / kMinute;
+  const int64_t seconds = d % kMinute;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld", sign,
+                  static_cast<long long>(days), static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", sign,
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds));
+  }
+  return buf;
+}
+
+std::string FormatTimestamp(Timestamp t) { return FormatDuration(t); }
+
+}  // namespace maritime

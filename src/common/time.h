@@ -1,0 +1,36 @@
+#ifndef MARITIME_COMMON_TIME_H_
+#define MARITIME_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace maritime {
+
+/// Discrete, totally ordered timestamp in seconds (paper Section 2: positions
+/// are sampled "at discrete, totally ordered timestamps τ ... at the
+/// granularity of seconds"). Interpreted as seconds since an arbitrary
+/// stream epoch (the simulator uses 0 = stream start).
+using Timestamp = int64_t;
+
+/// A length of time in seconds.
+using Duration = int64_t;
+
+/// Sentinel for "no timestamp".
+inline constexpr Timestamp kInvalidTimestamp = INT64_MIN;
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 3600;
+inline constexpr Duration kDay = 86400;
+
+/// Formats a duration as "Nd HH:MM:SS" (days omitted when zero), matching the
+/// style of Table 4 in the paper ("1 day 07:20:58").
+std::string FormatDuration(Duration d);
+
+/// Formats a timestamp as "HH:MM:SS" offset from the stream epoch, with a day
+/// prefix when >= 24h.
+std::string FormatTimestamp(Timestamp t);
+
+}  // namespace maritime
+
+#endif  // MARITIME_COMMON_TIME_H_

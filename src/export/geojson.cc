@@ -1,0 +1,98 @@
+#include "export/geojson.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace maritime::exporter {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string CoordArray(const std::vector<geo::GeoPoint>& points) {
+  std::string out = "[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) out += ',';
+    out += StrPrintf("[%.6f,%.6f]", points[i].lon, points[i].lat);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+void GeoJsonWriter::AddTrajectory(const std::string& name,
+                                  const std::vector<geo::GeoPoint>& points) {
+  features_.push_back(StrPrintf(
+      "{\"type\":\"Feature\",\"properties\":{\"name\":\"%s\"},"
+      "\"geometry\":{\"type\":\"LineString\",\"coordinates\":%s}}",
+      EscapeJson(name).c_str(), CoordArray(points).c_str()));
+}
+
+void GeoJsonWriter::AddCriticalPoints(
+    const std::vector<tracker::CriticalPoint>& points) {
+  for (const auto& cp : points) {
+    features_.push_back(StrPrintf(
+        "{\"type\":\"Feature\",\"properties\":{\"mmsi\":%u,\"tau\":%lld,"
+        "\"flags\":\"%s\",\"speed_knots\":%.2f},"
+        "\"geometry\":{\"type\":\"Point\",\"coordinates\":[%.6f,%.6f]}}",
+        cp.mmsi, static_cast<long long>(cp.tau),
+        tracker::CriticalFlagsToString(cp.flags).c_str(), cp.speed_knots,
+        cp.pos.lon, cp.pos.lat));
+  }
+}
+
+void GeoJsonWriter::AddPolygon(const std::string& name,
+                               const std::string& kind,
+                               const std::vector<geo::GeoPoint>& ring) {
+  std::vector<geo::GeoPoint> closed = ring;
+  if (!closed.empty()) closed.push_back(closed.front());
+  features_.push_back(StrPrintf(
+      "{\"type\":\"Feature\",\"properties\":{\"name\":\"%s\",\"kind\":\"%s\"},"
+      "\"geometry\":{\"type\":\"Polygon\",\"coordinates\":[%s]}}",
+      EscapeJson(name).c_str(), EscapeJson(kind).c_str(),
+      CoordArray(closed).c_str()));
+}
+
+std::string GeoJsonWriter::Finish() const {
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += features_[i];
+  }
+  out += "]}";
+  return out;
+}
+
+Status GeoJsonWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << Finish();
+  if (!f) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace maritime::exporter

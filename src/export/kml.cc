@@ -1,0 +1,130 @@
+#include "export/kml.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace maritime::exporter {
+namespace {
+
+std::string EscapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string CoordinateString(const std::vector<geo::GeoPoint>& points) {
+  std::string out;
+  for (const auto& p : points) {
+    out += StrPrintf("%.6f,%.6f,0 ", p.lon, p.lat);
+  }
+  return out;
+}
+
+}  // namespace
+
+KmlWriter::KmlWriter() = default;
+
+void KmlWriter::AddTrajectory(const std::string& name,
+                              const std::vector<geo::GeoPoint>& points,
+                              const std::string& color_aabbggrr) {
+  body_ += "  <Placemark>\n";
+  body_ += "    <name>" + EscapeXml(name) + "</name>\n";
+  body_ += "    <Style><LineStyle><color>" + color_aabbggrr +
+           "</color><width>2</width></LineStyle></Style>\n";
+  body_ += "    <LineString><tessellate>1</tessellate><coordinates>" +
+           CoordinateString(points) + "</coordinates></LineString>\n";
+  body_ += "  </Placemark>\n";
+}
+
+void KmlWriter::AddCriticalPoints(
+    const std::string& folder_name,
+    const std::vector<tracker::CriticalPoint>& points) {
+  body_ += "  <Folder>\n    <name>" + EscapeXml(folder_name) + "</name>\n";
+  for (const auto& cp : points) {
+    body_ += "    <Placemark>\n";
+    body_ += "      <name>" +
+             EscapeXml(tracker::CriticalFlagsToString(cp.flags)) + "</name>\n";
+    body_ += StrPrintf(
+        "      <description>mmsi=%u tau=%lld speed=%.1fkn</description>\n",
+        cp.mmsi, static_cast<long long>(cp.tau), cp.speed_knots);
+    body_ += StrPrintf(
+        "      <Point><coordinates>%.6f,%.6f,0</coordinates></Point>\n",
+        cp.pos.lon, cp.pos.lat);
+    body_ += "    </Placemark>\n";
+  }
+  body_ += "  </Folder>\n";
+}
+
+void KmlWriter::AddPolygon(const std::string& name,
+                           const std::vector<geo::GeoPoint>& ring,
+                           const std::string& color_aabbggrr) {
+  std::vector<geo::GeoPoint> closed = ring;
+  if (!closed.empty()) closed.push_back(closed.front());
+  body_ += "  <Placemark>\n";
+  body_ += "    <name>" + EscapeXml(name) + "</name>\n";
+  body_ += "    <Style><PolyStyle><color>" + color_aabbggrr +
+           "</color></PolyStyle></Style>\n";
+  body_ +=
+      "    <Polygon><outerBoundaryIs><LinearRing><coordinates>" +
+      CoordinateString(closed) +
+      "</coordinates></LinearRing></outerBoundaryIs></Polygon>\n";
+  body_ += "  </Placemark>\n";
+}
+
+std::string KmlWriter::Finish() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<kml xmlns=\"http://www.opengis.net/kml/2.2\">\n<Document>\n";
+  out += body_;
+  out += "</Document>\n</kml>\n";
+  return out;
+}
+
+Status KmlWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << Finish();
+  if (!f) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+std::string CriticalPointsToCsv(
+    const std::vector<tracker::CriticalPoint>& points) {
+  std::string out = "mmsi,tau,lon,lat,flags,speed_knots,duration_s\n";
+  for (const auto& cp : points) {
+    out += StrPrintf("%u,%lld,%.6f,%.6f,%s,%.2f,%lld\n", cp.mmsi,
+                     static_cast<long long>(cp.tau), cp.pos.lon, cp.pos.lat,
+                     tracker::CriticalFlagsToString(cp.flags).c_str(),
+                     cp.speed_knots, static_cast<long long>(cp.duration));
+  }
+  return out;
+}
+
+std::string PositionsToCsv(const std::vector<stream::PositionTuple>& points) {
+  std::string out = "mmsi,tau,lon,lat\n";
+  for (const auto& p : points) {
+    out += StrPrintf("%u,%lld,%.6f,%.6f\n", p.mmsi,
+                     static_cast<long long>(p.tau), p.pos.lon, p.pos.lat);
+  }
+  return out;
+}
+
+}  // namespace maritime::exporter

@@ -1,0 +1,53 @@
+#ifndef MARITIME_EXPORT_KML_H_
+#define MARITIME_EXPORT_KML_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/position.h"
+#include "tracker/critical_point.h"
+
+namespace maritime::exporter {
+
+/// The Trajectory Exporter of Figure 1: renders trajectories as KML
+/// polylines and vessel locations / critical points as placemarks for map
+/// display.
+class KmlWriter {
+ public:
+  KmlWriter();
+
+  /// Adds a trajectory polyline (points in time order).
+  void AddTrajectory(const std::string& name,
+                     const std::vector<geo::GeoPoint>& points,
+                     const std::string& color_aabbggrr = "ff0000ff");
+
+  /// Adds one placemark per critical point, labeled with its annotations.
+  void AddCriticalPoints(const std::string& folder_name,
+                         const std::vector<tracker::CriticalPoint>& points);
+
+  /// Adds a polygon (e.g. an area of interest).
+  void AddPolygon(const std::string& name,
+                  const std::vector<geo::GeoPoint>& ring,
+                  const std::string& color_aabbggrr = "4d00ff00");
+
+  /// The complete KML document.
+  std::string Finish() const;
+
+  /// Writes Finish() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string body_;
+};
+
+/// Renders critical points as CSV (mmsi,tau,lon,lat,flags,speed,duration).
+std::string CriticalPointsToCsv(
+    const std::vector<tracker::CriticalPoint>& points);
+
+/// Renders raw positions as CSV (mmsi,tau,lon,lat).
+std::string PositionsToCsv(const std::vector<stream::PositionTuple>& points);
+
+}  // namespace maritime::exporter
+
+#endif  // MARITIME_EXPORT_KML_H_

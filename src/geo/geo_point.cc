@@ -1,0 +1,101 @@
+#include "geo/geo_point.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maritime::geo {
+
+bool IsValidPosition(const GeoPoint& p) {
+  return std::isfinite(p.lon) && std::isfinite(p.lat) && p.lon >= -180.0 &&
+         p.lon <= 180.0 && p.lat >= -90.0 && p.lat <= 90.0;
+}
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = DegToRad(a.lat);
+  const double phi2 = DegToRad(b.lat);
+  const double dphi = DegToRad(b.lat - a.lat);
+  const double dlambda = DegToRad(b.lon - a.lon);
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlambda = std::sin(dlambda / 2.0);
+  const double h = sin_dphi * sin_dphi +
+                   std::cos(phi1) * std::cos(phi2) * sin_dlambda * sin_dlambda;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double InitialBearingDeg(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = DegToRad(a.lat);
+  const double phi2 = DegToRad(b.lat);
+  const double dlambda = DegToRad(b.lon - a.lon);
+  const double y = std::sin(dlambda) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlambda);
+  return NormalizeBearingDeg(RadToDeg(std::atan2(y, x)));
+}
+
+GeoPoint DestinationPoint(const GeoPoint& origin, double bearing_deg,
+                          double distance_m) {
+  const double delta = distance_m / kEarthRadiusMeters;
+  const double theta = DegToRad(bearing_deg);
+  const double phi1 = DegToRad(origin.lat);
+  const double lambda1 = DegToRad(origin.lon);
+  const double sin_phi2 = std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(theta);
+  const double phi2 = std::asin(std::clamp(sin_phi2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  const double lambda2 = lambda1 + std::atan2(y, x);
+  GeoPoint out;
+  out.lat = RadToDeg(phi2);
+  out.lon = RadToDeg(lambda2);
+  // Normalize longitude to [-180, 180].
+  while (out.lon > 180.0) out.lon -= 360.0;
+  while (out.lon < -180.0) out.lon += 360.0;
+  return out;
+}
+
+GeoPoint Interpolate(const GeoPoint& a, const GeoPoint& b, double fraction) {
+  return GeoPoint{a.lon + (b.lon - a.lon) * fraction,
+                  a.lat + (b.lat - a.lat) * fraction};
+}
+
+GeoPoint Centroid(const std::vector<GeoPoint>& pts) {
+  assert(!pts.empty());
+  double lon = 0.0, lat = 0.0;
+  for (const auto& p : pts) {
+    lon += p.lon;
+    lat += p.lat;
+  }
+  const double n = static_cast<double>(pts.size());
+  return GeoPoint{lon / n, lat / n};
+}
+
+GeoPoint MedianPoint(std::vector<GeoPoint> pts) {
+  assert(!pts.empty());
+  const size_t mid = pts.size() / 2;
+  std::nth_element(pts.begin(), pts.begin() + mid, pts.end(),
+                   [](const GeoPoint& a, const GeoPoint& b) {
+                     return a.lon < b.lon;
+                   });
+  const double lon = pts[mid].lon;
+  std::nth_element(pts.begin(), pts.begin() + mid, pts.end(),
+                   [](const GeoPoint& a, const GeoPoint& b) {
+                     return a.lat < b.lat;
+                   });
+  const double lat = pts[mid].lat;
+  return GeoPoint{lon, lat};
+}
+
+double NormalizeBearingDeg(double deg) {
+  double d = std::fmod(deg, 360.0);
+  if (d < 0.0) d += 360.0;
+  return d;
+}
+
+double BearingDifferenceDeg(double a, double b) {
+  double d = std::fmod(b - a, 360.0);
+  if (d > 180.0) d -= 360.0;
+  if (d <= -180.0) d += 360.0;
+  return d;
+}
+
+}  // namespace maritime::geo

@@ -1,0 +1,76 @@
+#ifndef MARITIME_GEO_GEO_POINT_H_
+#define MARITIME_GEO_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+#include <vector>
+
+namespace maritime::geo {
+
+/// Mean Earth radius in meters (IUGG value used by the Haversine formula).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Conversion between knots and meters/second (1 knot = 1852 m / 3600 s).
+inline constexpr double kKnotsToMps = 1852.0 / 3600.0;
+inline constexpr double kMpsToKnots = 3600.0 / 1852.0;
+
+inline constexpr double DegToRad(double deg) { return deg * kPi / 180.0; }
+inline constexpr double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+/// A geographic position in degrees: longitude in [-180, 180], latitude in
+/// [-90, 90]. Vessels are abstracted as 2-D point entities (paper Section 2).
+struct GeoPoint {
+  double lon = 0.0;
+  double lat = 0.0;
+
+  friend bool operator==(const GeoPoint& a, const GeoPoint& b) {
+    return a.lon == b.lon && a.lat == b.lat;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GeoPoint& p) {
+  return os << "(" << p.lon << "," << p.lat << ")";
+}
+
+/// True iff lon/lat are inside their legal ranges.
+bool IsValidPosition(const GeoPoint& p);
+
+/// Great-circle distance between `a` and `b` in meters (Haversine formula,
+/// the distance the paper uses both in the tracker and in RTEC's `close`
+/// predicate).
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Initial bearing from `a` to `b` in degrees clockwise from true north,
+/// normalized to [0, 360).
+double InitialBearingDeg(const GeoPoint& a, const GeoPoint& b);
+
+/// Point reached by travelling `distance_m` meters from `origin` on the
+/// great circle with initial bearing `bearing_deg`.
+GeoPoint DestinationPoint(const GeoPoint& origin, double bearing_deg,
+                          double distance_m);
+
+/// Linear interpolation between `a` (at fraction 0) and `b` (at fraction 1).
+/// The paper applies linear interpolation between successive samples; over
+/// the short distances involved a planar interpolation of coordinates is an
+/// adequate local approximation (paper footnote 2).
+GeoPoint Interpolate(const GeoPoint& a, const GeoPoint& b, double fraction);
+
+/// Arithmetic centroid of a non-empty set of points (used to represent a
+/// long-term stop by a single point, paper Section 3.1).
+GeoPoint Centroid(const std::vector<GeoPoint>& pts);
+
+/// Coordinate-wise median of a non-empty set of points (used to represent a
+/// slow-motion episode, paper Section 3.1).
+GeoPoint MedianPoint(std::vector<GeoPoint> pts);
+
+/// Normalizes an angle in degrees to [0, 360).
+double NormalizeBearingDeg(double deg);
+
+/// Smallest signed difference `b - a` between two bearings, in (-180, 180].
+double BearingDifferenceDeg(double a, double b);
+
+}  // namespace maritime::geo
+
+#endif  // MARITIME_GEO_GEO_POINT_H_

@@ -1,0 +1,29 @@
+#include "geo/grid_index.h"
+
+#include <cmath>
+
+namespace maritime::geo {
+
+GridIndex::CellKey GridIndex::KeyFor(double lon, double lat) const {
+  const int32_t cx = static_cast<int32_t>(std::floor((lon + 180.0) / cell_deg_));
+  const int32_t cy = static_cast<int32_t>(std::floor((lat + 90.0) / cell_deg_));
+  return (static_cast<int64_t>(cx) << 32) | static_cast<uint32_t>(cy);
+}
+
+void GridIndex::Insert(int32_t id, const Polygon& poly, double margin_deg) {
+  const BoundingBox box = poly.bbox().Expanded(margin_deg);
+  for (double lon = box.min_lon; lon <= box.max_lon + cell_deg_;
+       lon += cell_deg_) {
+    for (double lat = box.min_lat; lat <= box.max_lat + cell_deg_;
+         lat += cell_deg_) {
+      cells_[KeyFor(lon, lat)].push_back(id);
+    }
+  }
+}
+
+const std::vector<int32_t>& GridIndex::Candidates(const GeoPoint& p) const {
+  const auto it = cells_.find(KeyFor(p.lon, p.lat));
+  return it == cells_.end() ? empty_ : it->second;
+}
+
+}  // namespace maritime::geo

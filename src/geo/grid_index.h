@@ -1,0 +1,45 @@
+#ifndef MARITIME_GEO_GRID_INDEX_H_
+#define MARITIME_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/polygon.h"
+
+namespace maritime::geo {
+
+/// Uniform grid over lon/lat space mapping cells to the ids of polygons whose
+/// (expanded) bounding boxes overlap the cell. Used to restrict the RTEC
+/// `close(Lon, Lat, Area)` predicate to candidate areas near a point instead
+/// of scanning all areas — the paper restricts CE computation to relevant
+/// areas through RTEC "declarations"; the grid is our equivalent pruning.
+class GridIndex {
+ public:
+  /// `cell_deg` is the cell edge length in degrees (default ~0.25° ≈ 25 km).
+  explicit GridIndex(double cell_deg = 0.25) : cell_deg_(cell_deg) {}
+
+  /// Registers polygon `id` covering `poly`'s bbox expanded by `margin_deg`
+  /// (use the `close` threshold converted to degrees so proximity queries
+  /// still find the polygon).
+  void Insert(int32_t id, const Polygon& poly, double margin_deg);
+
+  /// Ids whose expanded bbox covers the cell containing `p`. May contain
+  /// false positives (caller re-checks exact distance); never false
+  /// negatives for queries within the registered margin.
+  const std::vector<int32_t>& Candidates(const GeoPoint& p) const;
+
+  size_t cell_count() const { return cells_.size(); }
+
+ private:
+  using CellKey = int64_t;
+  CellKey KeyFor(double lon, double lat) const;
+
+  double cell_deg_;
+  std::unordered_map<CellKey, std::vector<int32_t>> cells_;
+  std::vector<int32_t> empty_;
+};
+
+}  // namespace maritime::geo
+
+#endif  // MARITIME_GEO_GRID_INDEX_H_

@@ -1,0 +1,93 @@
+#include "geo/polygon.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace maritime::geo {
+namespace {
+
+// Distance from point p to the segment (a,b), computed in a local planar
+// approximation (degrees scaled by cos(lat) in longitude), then converted to
+// meters via Haversine on the closest point.
+double DistanceToSegmentMeters(const GeoPoint& p, const GeoPoint& a,
+                               const GeoPoint& b) {
+  const double coslat = std::cos(DegToRad(p.lat));
+  const double ax = (a.lon - p.lon) * coslat;
+  const double ay = a.lat - p.lat;
+  const double bx = (b.lon - p.lon) * coslat;
+  const double by = b.lat - p.lat;
+  const double dx = bx - ax;
+  const double dy = by - ay;
+  const double len2 = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = std::clamp(-(ax * dx + ay * dy) / len2, 0.0, 1.0);
+  }
+  const GeoPoint closest = Interpolate(a, b, t);
+  return HaversineMeters(p, closest);
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<GeoPoint> vertices)
+    : vertices_(std::move(vertices)) {
+  if (vertices_.empty()) return;
+  bbox_.min_lon = bbox_.max_lon = vertices_[0].lon;
+  bbox_.min_lat = bbox_.max_lat = vertices_[0].lat;
+  for (const auto& v : vertices_) {
+    bbox_.min_lon = std::min(bbox_.min_lon, v.lon);
+    bbox_.max_lon = std::max(bbox_.max_lon, v.lon);
+    bbox_.min_lat = std::min(bbox_.min_lat, v.lat);
+    bbox_.max_lat = std::max(bbox_.max_lat, v.lat);
+  }
+}
+
+bool Polygon::Contains(const GeoPoint& p) const {
+  if (vertices_.size() < 3 || !bbox_.Contains(p)) return false;
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const GeoPoint& vi = vertices_[i];
+    const GeoPoint& vj = vertices_[j];
+    const bool crosses = (vi.lat > p.lat) != (vj.lat > p.lat);
+    if (crosses) {
+      const double x_at_lat =
+          vi.lon + (p.lat - vi.lat) * (vj.lon - vi.lon) / (vj.lat - vi.lat);
+      if (p.lon < x_at_lat) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::DistanceMeters(const GeoPoint& p) const {
+  if (vertices_.empty()) return std::numeric_limits<double>::infinity();
+  if (Contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  const size_t n = vertices_.size();
+  if (n == 1) return HaversineMeters(p, vertices_[0]);
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    best = std::min(best, DistanceToSegmentMeters(p, vertices_[j],
+                                                  vertices_[i]));
+  }
+  return best;
+}
+
+GeoPoint Polygon::VertexCentroid() const {
+  assert(!vertices_.empty());
+  return Centroid(vertices_);
+}
+
+Polygon Polygon::RegularPolygon(const GeoPoint& center, double radius_m,
+                                int sides) {
+  assert(sides >= 3);
+  std::vector<GeoPoint> verts;
+  verts.reserve(static_cast<size_t>(sides));
+  for (int i = 0; i < sides; ++i) {
+    const double bearing = 360.0 * static_cast<double>(i) / sides;
+    verts.push_back(DestinationPoint(center, bearing, radius_m));
+  }
+  return Polygon(std::move(verts));
+}
+
+}  // namespace maritime::geo

@@ -1,0 +1,68 @@
+#ifndef MARITIME_GEO_POLYGON_H_
+#define MARITIME_GEO_POLYGON_H_
+
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace maritime::geo {
+
+/// Axis-aligned bounding box in lon/lat degrees.
+struct BoundingBox {
+  double min_lon = 0.0;
+  double min_lat = 0.0;
+  double max_lon = 0.0;
+  double max_lat = 0.0;
+
+  bool Contains(const GeoPoint& p) const {
+    return p.lon >= min_lon && p.lon <= max_lon && p.lat >= min_lat &&
+           p.lat <= max_lat;
+  }
+
+  /// Expands every side by `margin_deg` degrees.
+  BoundingBox Expanded(double margin_deg) const {
+    return BoundingBox{min_lon - margin_deg, min_lat - margin_deg,
+                       max_lon + margin_deg, max_lat + margin_deg};
+  }
+};
+
+/// A simple (non-self-intersecting) polygon in geographic coordinates.
+/// Vertices are stored without a closing duplicate of the first point.
+///
+/// Areas of interest in the paper (protected areas, forbidden-fishing areas,
+/// shallow waters, ports) span at most a few tens of kilometers, so planar
+/// geometry on lon/lat with Haversine edge distances is an adequate local
+/// approximation.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<GeoPoint> vertices);
+
+  const std::vector<GeoPoint>& vertices() const { return vertices_; }
+  const BoundingBox& bbox() const { return bbox_; }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Even–odd (ray casting) point-in-polygon test. Points exactly on an edge
+  /// may be classified either way.
+  bool Contains(const GeoPoint& p) const;
+
+  /// Haversine distance from `p` to the polygon boundary or interior:
+  /// 0 when `p` is inside, otherwise the minimum distance to any edge.
+  double DistanceMeters(const GeoPoint& p) const;
+
+  /// Arithmetic centroid of the vertices.
+  GeoPoint VertexCentroid() const;
+
+  /// Axis-aligned regular polygon factory: a `sides`-gon approximating a
+  /// circle of radius `radius_m` meters around `center`.
+  static Polygon RegularPolygon(const GeoPoint& center, double radius_m,
+                                int sides);
+
+ private:
+  std::vector<GeoPoint> vertices_;
+  BoundingBox bbox_;
+};
+
+}  // namespace maritime::geo
+
+#endif  // MARITIME_GEO_POLYGON_H_

@@ -1,0 +1,45 @@
+#ifndef MARITIME_GEO_VELOCITY_H_
+#define MARITIME_GEO_VELOCITY_H_
+
+#include "common/time.h"
+#include "geo/geo_point.h"
+
+namespace maritime::geo {
+
+/// An instantaneous velocity vector: speed over ground plus heading. The
+/// mobility tracker maintains one such vector per vessel, computed from its
+/// two most recent positions (paper Section 3.1).
+struct Velocity {
+  double speed_knots = 0.0;   ///< Magnitude, in knots (>= 0).
+  double heading_deg = 0.0;   ///< Direction, degrees clockwise from north.
+
+  /// Eastward component in m/s.
+  double east_mps() const {
+    return speed_knots * kKnotsToMps * std::sin(DegToRad(heading_deg));
+  }
+  /// Northward component in m/s.
+  double north_mps() const {
+    return speed_knots * kKnotsToMps * std::cos(DegToRad(heading_deg));
+  }
+
+  /// Builds a velocity from east/north components in m/s.
+  static Velocity FromComponents(double east_mps, double north_mps);
+};
+
+/// Velocity derived from two timestamped positions via linear interpolation
+/// (paper footnote 2). Precondition: t_b > t_a.
+Velocity VelocityBetween(const GeoPoint& a, Timestamp t_a, const GeoPoint& b,
+                         Timestamp t_b);
+
+/// Mean velocity vector over a sequence of component velocities (vector
+/// average, so opposing headings cancel — this is the v_m the paper uses to
+/// spot off-course outliers).
+Velocity MeanVelocity(const Velocity* v, size_t n);
+
+/// Euclidean norm of the vector difference between two velocities, in knots.
+/// Captures "abrupt change in velocity (both in speed and heading)".
+double VelocityDeviationKnots(const Velocity& a, const Velocity& b);
+
+}  // namespace maritime::geo
+
+#endif  // MARITIME_GEO_VELOCITY_H_

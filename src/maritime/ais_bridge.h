@@ -1,0 +1,35 @@
+#ifndef MARITIME_MARITIME_AIS_BRIDGE_H_
+#define MARITIME_MARITIME_AIS_BRIDGE_H_
+
+#include "ais/messages.h"
+#include "ais/scanner.h"
+#include "maritime/knowledge.h"
+
+namespace maritime::surveillance {
+
+/// Merges one decoded AIS type 5 message into the knowledge base: the
+/// system learns ship types and draughts from the stream itself. The
+/// crew-entered voyage fields are ignored (see
+/// KnowledgeBase::UpsertVesselStatic).
+inline void ApplyStaticVoyageData(KnowledgeBase& kb,
+                                  const ais::StaticVoyageData& data) {
+  kb.UpsertVesselStatic(data.mmsi, data.ship_name,
+                        VesselTypeFromAisCode(data.ship_type),
+                        data.draught_m);
+}
+
+/// Drains the scanner's decoded type 5 buffer into the knowledge base.
+/// Returns the number of messages applied.
+inline size_t ApplyStaticReports(KnowledgeBase& kb,
+                                 ais::DataScanner& scanner) {
+  size_t n = 0;
+  for (const ais::StaticVoyageData& d : scanner.TakeStaticReports()) {
+    ApplyStaticVoyageData(kb, d);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace maritime::surveillance
+
+#endif  // MARITIME_MARITIME_AIS_BRIDGE_H_

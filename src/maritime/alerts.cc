@@ -1,0 +1,160 @@
+#include "maritime/alerts.h"
+
+#include "common/strings.h"
+#include "maritime/me_stream.h"
+
+namespace maritime::surveillance {
+
+std::string_view AlertKindName(Alert::Kind kind) {
+  switch (kind) {
+    case Alert::Kind::kEvent:
+      return "EVENT";
+    case Alert::Kind::kStarted:
+      return "STARTED";
+    case Alert::Kind::kEnded:
+      return "ENDED";
+    case Alert::Kind::kCompleted:
+      return "COMPLETED";
+  }
+  return "?";
+}
+
+std::string AlertManager::Render(const Alert& a) const {
+  const std::string& name = a.is_fluent
+                                ? engine_->FluentName(a.fluent)
+                                : engine_->EventName(a.event);
+  switch (a.kind) {
+    case Alert::Kind::kEvent:
+      return StrPrintf("[%s] %s(%s, %s) @ %lld",
+                       std::string(AlertKindName(a.kind)).c_str(),
+                       name.c_str(), TermLabel(a.key).c_str(),
+                       TermLabel(a.subject).c_str(),
+                       static_cast<long long>(a.at));
+    case Alert::Kind::kStarted:
+      return StrPrintf("[%s] %s(%s) since %lld",
+                       std::string(AlertKindName(a.kind)).c_str(),
+                       name.c_str(), TermLabel(a.key).c_str(),
+                       static_cast<long long>(a.at));
+    case Alert::Kind::kEnded:
+      return StrPrintf("[%s] %s(%s) at %lld (lasted %lld s)",
+                       std::string(AlertKindName(a.kind)).c_str(),
+                       name.c_str(), TermLabel(a.key).c_str(),
+                       static_cast<long long>(a.at),
+                       static_cast<long long>(a.interval.Length()));
+    case Alert::Kind::kCompleted:
+      return StrPrintf("[%s] %s(%s) (%lld,%lld]",
+                       std::string(AlertKindName(a.kind)).c_str(),
+                       name.c_str(), TermLabel(a.key).c_str(),
+                       static_cast<long long>(a.interval.since),
+                       static_cast<long long>(a.interval.till));
+  }
+  return name;
+}
+
+std::vector<Alert> AlertManager::Process(const rtec::RecognitionResult& r) {
+  std::vector<Alert> out;
+  const Timestamp prev_q =
+      last_query_ == kInvalidTimestamp ? r.window_start : last_query_;
+
+  // --- instantaneous CEs: dedup exact occurrences --------------------------
+  for (const auto& re : r.events) {
+    const EventKey key{re.event, re.instance.subject, re.instance.object,
+                       re.instance.t};
+    if (!seen_events_.insert(key).second) continue;
+    Alert a;
+    a.kind = Alert::Kind::kEvent;
+    a.is_fluent = false;
+    a.event = re.event;
+    a.subject = re.instance.subject;
+    a.key = re.instance.object;
+    a.at = re.instance.t;
+    a.text = Render(a);
+    out.push_back(std::move(a));
+  }
+  // Forget occurrences that can no longer be re-reported.
+  for (auto it = seen_events_.begin(); it != seen_events_.end();) {
+    if (it->t <= r.window_start) {
+      it = seen_events_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // --- durative CEs: episode state machine per (fluent, key, value) --------
+  for (auto& [key, state] : fluents_) state.seen_this_round = false;
+
+  for (const auto& rf : r.fluents) {
+    FluentState& state = fluents_[FluentKey{rf.fluent, rf.key, rf.value}];
+    state.seen_this_round = true;
+    for (const rtec::Interval& i : rf.intervals) {
+      const bool ongoing = i.till >= r.query_time;
+      if (!ongoing && i.till <= prev_q && !state.active) {
+        // Entirely in the past and already handled in a previous round.
+        continue;
+      }
+      if (ongoing) {
+        if (!state.active) {
+          state.active = true;
+          state.started_at = i.since;
+          Alert a;
+          a.kind = Alert::Kind::kStarted;
+          a.is_fluent = true;
+          a.fluent = rf.fluent;
+          a.key = rf.key;
+          a.value = rf.value;
+          a.at = i.since;
+          a.interval = i;
+          a.text = Render(a);
+          out.push_back(std::move(a));
+        }
+        state.last_till = i.till;
+      } else {
+        // A closed interval that is new (or closes the active episode).
+        Alert a;
+        a.is_fluent = true;
+        a.fluent = rf.fluent;
+        a.key = rf.key;
+        a.value = rf.value;
+        a.interval = i;
+        if (state.active) {
+          a.kind = Alert::Kind::kEnded;
+          a.at = i.till;
+          a.interval = rtec::Interval{state.started_at, i.till};
+          state.active = false;
+        } else {
+          a.kind = Alert::Kind::kCompleted;
+          a.at = i.till;
+        }
+        state.last_till = i.till;
+        a.text = Render(a);
+        out.push_back(std::move(a));
+      }
+    }
+  }
+
+  // Active episodes that vanished from the result (their evidence slid out
+  // of the working memory without an explicit termination): close them at
+  // the last time-point they were known to hold... unless they are simply
+  // carried and still reported next round. A fluent evaluated with inertia
+  // keeps appearing while it holds, so disappearance means it ended.
+  for (auto& [key, state] : fluents_) {
+    if (!state.active || state.seen_this_round) continue;
+    state.active = false;
+    Alert a;
+    a.kind = Alert::Kind::kEnded;
+    a.is_fluent = true;
+    a.fluent = key.fluent;
+    a.key = key.key;
+    a.value = key.value;
+    a.at = state.last_till;
+    a.interval = rtec::Interval{state.started_at, state.last_till};
+    a.text = Render(a);
+    out.push_back(std::move(a));
+  }
+
+  last_query_ = r.query_time;
+  emitted_ += out.size();
+  return out;
+}
+
+}  // namespace maritime::surveillance

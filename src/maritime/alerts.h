@@ -1,0 +1,101 @@
+#ifndef MARITIME_MARITIME_ALERTS_H_
+#define MARITIME_MARITIME_ALERTS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rtec/engine.h"
+
+namespace maritime::surveillance {
+
+/// One operator-facing notification derived from CE recognition.
+struct Alert {
+  enum class Kind {
+    kEvent,      ///< An instantaneous CE occurred (e.g. illegalShipping).
+    kStarted,    ///< A durative CE began and is still in progress.
+    kEnded,      ///< A previously reported durative CE ended.
+    kCompleted,  ///< A durative CE began and ended within one window (its
+                 ///< whole interval is reported at once).
+  };
+
+  Kind kind = Kind::kEvent;
+  bool is_fluent = false;
+  rtec::FluentId fluent = -1;     ///< Valid when is_fluent.
+  rtec::EventId event = -1;       ///< Valid when !is_fluent.
+  rtec::Term subject;             ///< Vessel for events; unused for fluents.
+  rtec::Term key;                 ///< Area for both.
+  rtec::Value value = rtec::kTrue;
+  Timestamp at = 0;               ///< Occurrence / start / end time-point.
+  rtec::Interval interval;        ///< For kCompleted (and kEnded: the final
+                                  ///< known interval).
+  std::string text;               ///< Rendered, log-ready description.
+};
+
+std::string_view AlertKindName(Alert::Kind kind);
+
+/// Turns the per-query RecognitionResults — which re-report every interval
+/// and event occurrence still inside the working memory, window after
+/// window — into a deduplicated alert stream: each CE occurrence is
+/// reported once, each durative CE once when it starts and once when it
+/// ends. This is the "pushed in real-time to the end user for
+/// decision-making" surface of Figure 1.
+///
+/// Feed every partition's result of every query time (in query-time order).
+/// Not thread-safe.
+class AlertManager {
+ public:
+  /// `engine` is used only to render names into Alert::text; it must
+  /// outlive the manager. Pass the engine of the recognizer whose results
+  /// are fed (for partitioned recognition, use one manager per partition).
+  explicit AlertManager(const rtec::Engine* engine) : engine_(engine) {}
+
+  /// Processes one recognition result, returning the novel alerts.
+  std::vector<Alert> Process(const rtec::RecognitionResult& result);
+
+  /// Number of alerts emitted so far.
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct FluentKey {
+    rtec::FluentId fluent;
+    rtec::Term key;
+    rtec::Value value;
+    bool operator<(const FluentKey& o) const {
+      if (fluent != o.fluent) return fluent < o.fluent;
+      if (!(key == o.key)) return key < o.key;
+      return value < o.value;
+    }
+  };
+  struct FluentState {
+    bool active = false;
+    Timestamp started_at = 0;
+    Timestamp last_till = 0;
+    bool seen_this_round = false;
+  };
+  struct EventKey {
+    rtec::EventId event;
+    rtec::Term subject;
+    rtec::Term object;
+    Timestamp t;
+    bool operator<(const EventKey& o) const {
+      if (event != o.event) return event < o.event;
+      if (!(subject == o.subject)) return subject < o.subject;
+      if (!(object == o.object)) return object < o.object;
+      return t < o.t;
+    }
+  };
+
+  std::string Render(const Alert& a) const;
+
+  const rtec::Engine* engine_;
+  std::map<FluentKey, FluentState> fluents_;
+  std::set<EventKey> seen_events_;
+  Timestamp last_query_ = kInvalidTimestamp;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace maritime::surveillance
+
+#endif  // MARITIME_MARITIME_ALERTS_H_

@@ -1,0 +1,331 @@
+#include "maritime/ce_definitions.h"
+
+#include <cassert>
+
+namespace maritime::surveillance {
+namespace {
+
+stream::Mmsi MmsiOf(rtec::Term vessel) {
+  return static_cast<stream::Mmsi>(vessel.id);
+}
+
+/// Shared environment captured by every rule closure.
+struct CeEnv {
+  MaritimeSchema schema;
+  const KnowledgeBase* kb;
+  const SpatialFactTable* facts;
+  CeOptions options;
+
+  /// The close(Lon, Lat, Area) predicate at time `t`: on-demand Haversine
+  /// reasoning against the knowledge base, or a precomputed-fact lookup in
+  /// the Figure 11(b) setting.
+  bool IsClose(const rtec::EvalContext& ctx, rtec::Term vessel,
+               int32_t area_id, Timestamp t) const {
+    if (options.use_spatial_facts) {
+      return facts->IsCloseAt(MmsiOf(vessel), area_id, t);
+    }
+    const auto coord = ctx.CoordAt(vessel, t);
+    if (!coord.has_value()) return false;
+    return kb->Close(*coord, area_id);
+  }
+
+  /// True iff the vessel is close to no port at `t` ("in open water").
+  /// In the spatial-facts setting this is derivable from the fact group
+  /// (absence of any port fact), so both modes agree.
+  bool AwayFromPorts(const rtec::EvalContext& ctx, rtec::Term vessel,
+                     Timestamp t) const {
+    if (options.use_spatial_facts) {
+      for (const int32_t id : facts->AreasCloseAt(MmsiOf(vessel), t)) {
+        const AreaInfo* area = kb->FindArea(id);
+        if (area != nullptr && area->kind == AreaKind::kPort) return false;
+      }
+      return true;
+    }
+    const auto coord = ctx.CoordAt(vessel, t);
+    if (!coord.has_value()) return false;  // unknown position: stay silent
+    return kb->AreasCloseTo(*coord, AreaKind::kPort).empty();
+  }
+
+  /// Areas of `kind` close to the vessel at `t`.
+  std::vector<int32_t> AreasClose(const rtec::EvalContext& ctx,
+                                  rtec::Term vessel, Timestamp t,
+                                  AreaKind kind) const {
+    std::vector<int32_t> out;
+    if (options.use_spatial_facts) {
+      for (const int32_t id :
+           facts->AreasCloseAt(MmsiOf(vessel), t)) {
+        const AreaInfo* area = kb->FindArea(id);
+        if (area != nullptr && area->kind == kind) out.push_back(id);
+      }
+      return out;
+    }
+    const auto coord = ctx.CoordAt(vessel, t);
+    if (!coord.has_value()) return out;
+    return kb->AreasCloseTo(*coord, kind);
+  }
+
+  /// vesselsStoppedIn(Area) at the right limit of `t`: vessels whose
+  /// stopped=true interval covers t+1 (so an episode starting exactly at t
+  /// counts, one ending exactly at t does not) and which are close to the
+  /// area.
+  int CountStoppedClose(const rtec::EvalContext& ctx, int32_t area_id,
+                        Timestamp t) const {
+    int count = 0;
+    for (const rtec::Term& v : ctx.FluentKeys(schema.stopped)) {
+      if (ctx.HoldsRightOf(schema.stopped, v, rtec::kTrue, t) &&
+          IsClose(ctx, v, area_id, t)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  /// Number of fishing vessels still engaged (stopped or in slow motion)
+  /// close to the area right after `t`.
+  int CountFishingEngaged(const rtec::EvalContext& ctx, int32_t area_id,
+                          Timestamp t) const {
+    int count = 0;
+    for (const rtec::Term& v : ctx.FluentKeys(schema.stopped)) {
+      if (!kb->IsFishing(MmsiOf(v))) continue;
+      if (ctx.HoldsRightOf(schema.stopped, v, rtec::kTrue, t) &&
+          IsClose(ctx, v, area_id, t)) {
+        ++count;
+      }
+    }
+    for (const rtec::Term& v : ctx.FluentKeys(schema.low_speed)) {
+      if (!kb->IsFishing(MmsiOf(v))) continue;
+      if (ctx.HoldsRightOf(schema.stopped, v, rtec::kTrue, t)) {
+        continue;  // already counted above
+      }
+      if (ctx.HoldsRightOf(schema.low_speed, v, rtec::kTrue, t) &&
+          IsClose(ctx, v, area_id, t)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+};
+
+/// Domain helper: subjects of the given marker events in the window.
+std::vector<rtec::Term> SubjectsOf(const rtec::EvalContext& ctx,
+                                   std::initializer_list<rtec::EventId> ids) {
+  std::vector<rtec::Term> out;
+  for (const rtec::EventId id : ids) {
+    for (const rtec::EventInstance& e : ctx.Events(id)) {
+      out.push_back(e.subject);
+    }
+  }
+  return out;
+}
+
+/// Domain helper: every area of the given kind as a term list.
+std::vector<rtec::Term> AreasOfKind(const KnowledgeBase* kb, AreaKind kind) {
+  std::vector<rtec::Term> out;
+  for (const AreaInfo& a : kb->areas()) {
+    if (a.kind == kind) out.push_back(AreaTerm(a.id));
+  }
+  return out;
+}
+
+/// Registers a durative input ME as a simple fluent driven by its start/end
+/// marker events: initiatedAt(F(V)=true, T) iff happensAt(startMarker(V), T),
+/// terminatedAt(F(V)=true, T) iff happensAt(endMarker(V), T).
+void RegisterInputDurativeMe(rtec::Engine& engine, rtec::FluentId fluent,
+                             rtec::EventId start_marker,
+                             rtec::EventId end_marker) {
+  rtec::SimpleFluentSpec spec;
+  spec.fluent = fluent;
+  spec.domain = [start_marker, end_marker](const rtec::EvalContext& ctx) {
+    return SubjectsOf(ctx, {start_marker, end_marker});
+  };
+  spec.rules = [start_marker, end_marker](
+                   const rtec::EvalContext& ctx, rtec::Term key,
+                   std::vector<rtec::ValuedPoint>* initiated,
+                   std::vector<rtec::ValuedPoint>* terminated) {
+    for (const rtec::EventInstance& e : ctx.Events(start_marker)) {
+      if (e.subject == key) initiated->push_back({rtec::kTrue, e.t});
+    }
+    for (const rtec::EventInstance& e : ctx.Events(end_marker)) {
+      if (e.subject == key) terminated->push_back({rtec::kTrue, e.t});
+    }
+  };
+  spec.output = false;
+  engine.AddSimpleFluent(std::move(spec));
+}
+
+}  // namespace
+
+void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
+                         const KnowledgeBase* kb,
+                         const SpatialFactTable* facts, CeOptions options) {
+  assert(kb != nullptr);
+  assert(!options.use_spatial_facts || facts != nullptr);
+  const CeEnv env{schema, kb, facts, options};
+
+  // --- durative input MEs ---------------------------------------------------
+  RegisterInputDurativeMe(engine, schema.stopped, schema.stop_start,
+                          schema.stop_end);
+  RegisterInputDurativeMe(engine, schema.low_speed, schema.slow_start,
+                          schema.slow_end);
+
+  // --- suspicious(Area) — rule-set (3) ---------------------------------------
+  {
+    rtec::SimpleFluentSpec spec;
+    spec.fluent = schema.suspicious;
+    spec.domain = [kb](const rtec::EvalContext&) {
+      // Officials monitor every non-port area for loitering.
+      std::vector<rtec::Term> out;
+      for (const AreaInfo& a : kb->areas()) {
+        if (a.kind != AreaKind::kPort) out.push_back(AreaTerm(a.id));
+      }
+      return out;
+    };
+    spec.rules = [env](const rtec::EvalContext& ctx, rtec::Term key,
+                       std::vector<rtec::ValuedPoint>* initiated,
+                       std::vector<rtec::ValuedPoint>* terminated) {
+      const int32_t area = key.id;
+      for (const rtec::Term& v : ctx.FluentKeys(env.schema.stopped)) {
+        const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, v);
+        for (const Timestamp t : tl.StartsFor(rtec::kTrue)) {
+          if (env.IsClose(ctx, v, area, t) &&
+              env.CountStoppedClose(ctx, area, t) >=
+                  env.options.suspicious_min_vessels) {
+            initiated->push_back({rtec::kTrue, t});
+          }
+        }
+        for (const Timestamp t : tl.EndsFor(rtec::kTrue)) {
+          if (env.IsClose(ctx, v, area, t) &&
+              env.CountStoppedClose(ctx, area, t) <
+                  env.options.suspicious_min_vessels) {
+            terminated->push_back({rtec::kTrue, t});
+          }
+        }
+      }
+    };
+    spec.output = true;
+    engine.AddSimpleFluent(std::move(spec));
+  }
+
+  // --- illegalFishing(Area) — rule-set (4) ------------------------------------
+  {
+    rtec::SimpleFluentSpec spec;
+    spec.fluent = schema.illegal_fishing;
+    spec.domain = [kb](const rtec::EvalContext&) {
+      return AreasOfKind(kb, AreaKind::kForbiddenFishing);
+    };
+    spec.rules = [env](const rtec::EvalContext& ctx, rtec::Term key,
+                       std::vector<rtec::ValuedPoint>* initiated,
+                       std::vector<rtec::ValuedPoint>* terminated) {
+      const int32_t area = key.id;
+      // Initiation (a): a fishing vessel stops close to the area.
+      for (const rtec::Term& v : ctx.FluentKeys(env.schema.stopped)) {
+        if (!env.kb->IsFishing(MmsiOf(v))) continue;
+        const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, v);
+        for (const Timestamp t : tl.StartsFor(rtec::kTrue)) {
+          if (env.IsClose(ctx, v, area, t)) {
+            initiated->push_back({rtec::kTrue, t});
+          }
+        }
+      }
+      // Initiation (b): a fishing vessel moves "too" slowly close to it.
+      for (const rtec::EventInstance& e : ctx.Events(env.schema.slow_motion)) {
+        if (!env.kb->IsFishing(MmsiOf(e.subject))) continue;
+        if (env.IsClose(ctx, e.subject, area, e.t)) {
+          initiated->push_back({rtec::kTrue, e.t});
+        }
+      }
+      // Termination: fishing activity in the area ceases — a fishing
+      // vessel's stop or slow-motion episode ends and no fishing vessel
+      // remains engaged close to the area (the paper describes these
+      // conditions but omits the rules to save space).
+      const auto try_terminate = [&](rtec::Term v, Timestamp t) {
+        if (!env.kb->IsFishing(MmsiOf(v))) return;
+        if (env.IsClose(ctx, v, area, t) &&
+            env.CountFishingEngaged(ctx, area, t) == 0) {
+          terminated->push_back({rtec::kTrue, t});
+        }
+      };
+      for (const rtec::Term& v : ctx.FluentKeys(env.schema.stopped)) {
+        for (const Timestamp t :
+             ctx.Timeline(env.schema.stopped, v).EndsFor(rtec::kTrue)) {
+          try_terminate(v, t);
+        }
+      }
+      for (const rtec::Term& v : ctx.FluentKeys(env.schema.low_speed)) {
+        for (const Timestamp t :
+             ctx.Timeline(env.schema.low_speed, v).EndsFor(rtec::kTrue)) {
+          try_terminate(v, t);
+        }
+      }
+    };
+    spec.output = true;
+    engine.AddSimpleFluent(std::move(spec));
+  }
+
+  // --- illegalShipping(Area) — rule (5) ----------------------------------------
+  {
+    rtec::DerivedEventSpec spec;
+    spec.event = schema.illegal_shipping;
+    spec.compute = [env](const rtec::EvalContext& ctx,
+                         std::vector<rtec::EventInstance>* out) {
+      for (const rtec::EventInstance& e : ctx.Events(env.schema.gap)) {
+        for (const int32_t area :
+             env.AreasClose(ctx, e.subject, e.t, AreaKind::kProtected)) {
+          out->push_back(
+              rtec::EventInstance{e.subject, AreaTerm(area), e.t});
+        }
+      }
+    };
+    spec.output = true;
+    engine.AddDerivedEvent(std::move(spec));
+  }
+
+  // --- adrift(Vessel) — extension CE (see MaritimeSchema::adrift) -------------
+  if (options.enable_adrift) {
+    rtec::SimpleFluentSpec spec;
+    spec.fluent = schema.adrift;
+    const auto stop_start = schema.stop_start;
+    const auto stop_end = schema.stop_end;
+    spec.domain = [stop_start, stop_end](const rtec::EvalContext& ctx) {
+      return SubjectsOf(ctx, {stop_start, stop_end});
+    };
+    spec.rules = [env](const rtec::EvalContext& ctx, rtec::Term key,
+                       std::vector<rtec::ValuedPoint>* initiated,
+                       std::vector<rtec::ValuedPoint>* terminated) {
+      const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, key);
+      for (const Timestamp t : tl.StartsFor(rtec::kTrue)) {
+        if (env.AwayFromPorts(ctx, key, t)) {
+          initiated->push_back({rtec::kTrue, t});
+        }
+      }
+      for (const Timestamp t : tl.EndsFor(rtec::kTrue)) {
+        terminated->push_back({rtec::kTrue, t});
+      }
+    };
+    spec.output = true;
+    engine.AddSimpleFluent(std::move(spec));
+  }
+
+  // --- dangerousShipping(Area) — rule (6) ---------------------------------------
+  {
+    rtec::DerivedEventSpec spec;
+    spec.event = schema.dangerous_shipping;
+    spec.compute = [env](const rtec::EvalContext& ctx,
+                         std::vector<rtec::EventInstance>* out) {
+      for (const rtec::EventInstance& e :
+           ctx.Events(env.schema.slow_motion)) {
+        for (const int32_t area :
+             env.AreasClose(ctx, e.subject, e.t, AreaKind::kShallow)) {
+          if (env.kb->IsShallowFor(area, MmsiOf(e.subject))) {
+            out->push_back(
+                rtec::EventInstance{e.subject, AreaTerm(area), e.t});
+          }
+        }
+      }
+    };
+    spec.output = true;
+    engine.AddDerivedEvent(std::move(spec));
+  }
+}
+
+}  // namespace maritime::surveillance

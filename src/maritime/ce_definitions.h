@@ -1,0 +1,49 @@
+#ifndef MARITIME_MARITIME_CE_DEFINITIONS_H_
+#define MARITIME_MARITIME_CE_DEFINITIONS_H_
+
+#include "maritime/knowledge.h"
+#include "maritime/me_stream.h"
+#include "rtec/engine.h"
+
+namespace maritime::surveillance {
+
+/// Tunables of the CE definitions.
+struct CeOptions {
+  /// Figure 11(b) mode: spatial relations come precomputed as `close` facts
+  /// in the input stream (via a SpatialFactTable) instead of being computed
+  /// on demand by Haversine reasoning during recognition.
+  bool use_spatial_facts = false;
+
+  /// suspicious(Area) needs at least this many vessels stopped close to the
+  /// area (paper rule-set (3): "at least four vessels", set by domain
+  /// experts).
+  int suspicious_min_vessels = 4;
+
+  /// Registers the extension CE adrift(Vessel) (see MaritimeSchema::adrift).
+  /// Vessel-keyed CEs are exact on a single engine; under partitioned
+  /// recognition a vessel whose episode spans the partition boundary can be
+  /// seen by two engines, so counts may differ slightly from the
+  /// single-processor run (area-keyed CEs are unaffected — MEs are routed
+  /// by location). The Figure 11 benches disable this to reproduce the
+  /// paper's exact CE set.
+  bool enable_adrift = true;
+};
+
+/// Registers on `engine`, in dependency order:
+///  - the durative input MEs stopped(Vessel) and lowSpeed(Vessel), driven by
+///    the tracker's episode marker events;
+///  - the CE fluents suspicious(Area) (rule-set (3)) and
+///    illegalFishing(Area) (rule-set (4), with the termination conditions
+///    the paper describes but omits for space);
+///  - the CE events illegalShipping(Area) (rule (5)) and
+///    dangerousShipping(Area) (rule (6)).
+///
+/// `kb` must outlive the engine. `facts` is required (and must outlive the
+/// engine) when options.use_spatial_facts is true; ignored otherwise.
+void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
+                         const KnowledgeBase* kb,
+                         const SpatialFactTable* facts, CeOptions options);
+
+}  // namespace maritime::surveillance
+
+#endif  // MARITIME_MARITIME_CE_DEFINITIONS_H_

@@ -1,0 +1,148 @@
+#include "maritime/knowledge.h"
+
+#include <cmath>
+
+namespace maritime::surveillance {
+
+std::string_view AreaKindName(AreaKind kind) {
+  switch (kind) {
+    case AreaKind::kProtected:
+      return "protected";
+    case AreaKind::kForbiddenFishing:
+      return "forbidden_fishing";
+    case AreaKind::kShallow:
+      return "shallow";
+    case AreaKind::kPort:
+      return "port";
+  }
+  return "unknown";
+}
+
+std::string_view VesselTypeName(VesselType type) {
+  switch (type) {
+    case VesselType::kCargo:
+      return "cargo";
+    case VesselType::kTanker:
+      return "tanker";
+    case VesselType::kPassenger:
+      return "passenger";
+    case VesselType::kFishing:
+      return "fishing";
+    case VesselType::kPleasure:
+      return "pleasure";
+    case VesselType::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+KnowledgeBase::KnowledgeBase(double close_threshold_m)
+    : close_threshold_m_(close_threshold_m) {}
+
+void KnowledgeBase::AddArea(AreaInfo area) {
+  // Margin in degrees generous enough to cover the close threshold at
+  // mid-latitudes (1 degree of latitude ~ 111 km).
+  const double margin_deg = close_threshold_m_ / 111000.0 * 2.0 + 0.01;
+  area_index_[area.id] = areas_.size();
+  grid_.Insert(area.id, area.polygon, margin_deg);
+  areas_.push_back(std::move(area));
+}
+
+void KnowledgeBase::AddVessel(VesselInfo vessel) {
+  vessels_[vessel.mmsi] = std::move(vessel);
+}
+
+VesselType VesselTypeFromAisCode(int code) {
+  if (code == 30) return VesselType::kFishing;
+  if (code == 36 || code == 37) return VesselType::kPleasure;
+  if (code >= 60 && code <= 69) return VesselType::kPassenger;
+  if (code >= 70 && code <= 79) return VesselType::kCargo;
+  if (code >= 80 && code <= 89) return VesselType::kTanker;
+  return VesselType::kOther;
+}
+
+void KnowledgeBase::UpsertVesselStatic(stream::Mmsi mmsi,
+                                       const std::string& name,
+                                       VesselType type, double draft_m) {
+  VesselInfo& v = vessels_[mmsi];
+  v.mmsi = mmsi;
+  if (!name.empty()) v.name = name;
+  v.type = type;
+  if (type == VesselType::kFishing) v.fishing_gear = true;
+  if (draft_m > 0.0) v.draft_m = draft_m;
+}
+
+const AreaInfo* KnowledgeBase::FindArea(int32_t id) const {
+  const auto it = area_index_.find(id);
+  return it == area_index_.end() ? nullptr : &areas_[it->second];
+}
+
+const VesselInfo* KnowledgeBase::FindVessel(stream::Mmsi mmsi) const {
+  const auto it = vessels_.find(mmsi);
+  return it == vessels_.end() ? nullptr : &it->second;
+}
+
+bool KnowledgeBase::Close(const geo::GeoPoint& p, int32_t area_id) const {
+  const AreaInfo* area = FindArea(area_id);
+  if (area == nullptr) return false;
+  return area->polygon.DistanceMeters(p) < close_threshold_m_;
+}
+
+std::vector<int32_t> KnowledgeBase::AreasCloseTo(const geo::GeoPoint& p) const {
+  std::vector<int32_t> out;
+  for (const int32_t id : grid_.Candidates(p)) {
+    if (Close(p, id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<int32_t> KnowledgeBase::AreasCloseTo(const geo::GeoPoint& p,
+                                                 AreaKind kind) const {
+  std::vector<int32_t> out;
+  for (const int32_t id : grid_.Candidates(p)) {
+    const AreaInfo* area = FindArea(id);
+    if (area != nullptr && area->kind == kind && Close(p, id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+bool KnowledgeBase::IsFishing(stream::Mmsi mmsi) const {
+  const VesselInfo* v = FindVessel(mmsi);
+  if (v == nullptr) return false;
+  return v->fishing_gear || v->type == VesselType::kFishing;
+}
+
+bool KnowledgeBase::IsShallowFor(int32_t area_id, stream::Mmsi mmsi) const {
+  const AreaInfo* area = FindArea(area_id);
+  if (area == nullptr || area->kind != AreaKind::kShallow) return false;
+  const VesselInfo* v = FindVessel(mmsi);
+  // Unknown vessels get a conservative default draft so alerts still fire.
+  const double draft = v != nullptr ? v->draft_m : 3.0;
+  return area->depth_m < draft + kUnderKeelClearanceM;
+}
+
+const AreaInfo* KnowledgeBase::PortContaining(const geo::GeoPoint& p) const {
+  for (const int32_t id : grid_.Candidates(p)) {
+    const AreaInfo* area = FindArea(id);
+    if (area != nullptr && area->kind == AreaKind::kPort &&
+        area->polygon.Contains(p)) {
+      return area;
+    }
+  }
+  return nullptr;
+}
+
+KnowledgeBase KnowledgeBase::Restricted(
+    const std::vector<int32_t>& area_ids) const {
+  KnowledgeBase out(close_threshold_m_);
+  for (const int32_t id : area_ids) {
+    const AreaInfo* area = FindArea(id);
+    if (area != nullptr) out.AddArea(*area);
+  }
+  for (const auto& [mmsi, vessel] : vessels_) out.AddVessel(vessel);
+  return out;
+}
+
+}  // namespace maritime::surveillance

@@ -1,0 +1,230 @@
+#include "maritime/live_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maritime::surveillance {
+
+Encounter ComputeCpa(const LiveVessel& a, const LiveVessel& b) {
+  Encounter e;
+  e.a = a.mmsi;
+  e.b = b.mmsi;
+  e.current_distance_m = geo::HaversineMeters(a.pos, b.pos);
+
+  // Local tangent plane around `a` (east/north meters).
+  const double coslat = std::cos(geo::DegToRad(a.pos.lat));
+  const double meters_per_deg_lat = 111194.9;
+  const double rx = (b.pos.lon - a.pos.lon) * meters_per_deg_lat * coslat;
+  const double ry = (b.pos.lat - a.pos.lat) * meters_per_deg_lat;
+
+  const geo::Velocity va{a.speed_knots, a.heading_deg};
+  const geo::Velocity vb{b.speed_knots, b.heading_deg};
+  const double vx = vb.east_mps() - va.east_mps();
+  const double vy = vb.north_mps() - va.north_mps();
+  const double v2 = vx * vx + vy * vy;
+  if (v2 < 1e-9) {
+    // No relative motion: the distance never changes.
+    e.cpa_distance_m = e.current_distance_m;
+    e.time_to_cpa = 0;
+    return e;
+  }
+  const double t = -(rx * vx + ry * vy) / v2;
+  if (t <= 0.0) {
+    // Already past the closest point; diverging.
+    e.cpa_distance_m = e.current_distance_m;
+    e.time_to_cpa = 0;
+    return e;
+  }
+  const double cx = rx + vx * t;
+  const double cy = ry + vy * t;
+  e.cpa_distance_m = std::hypot(cx, cy);
+  e.time_to_cpa = static_cast<Duration>(t);
+  return e;
+}
+
+LiveVesselIndex::CellKey LiveVesselIndex::KeyFor(const geo::GeoPoint& p)
+    const {
+  const int32_t cx = static_cast<int32_t>(std::floor((p.lon + 180.0) /
+                                                     cell_deg_));
+  const int32_t cy = static_cast<int32_t>(std::floor((p.lat + 90.0) /
+                                                     cell_deg_));
+  return (static_cast<int64_t>(cx) << 32) | static_cast<uint32_t>(cy);
+}
+
+void LiveVesselIndex::RemoveFromCell(stream::Mmsi mmsi, CellKey key) {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return;
+  auto& vec = it->second;
+  vec.erase(std::remove(vec.begin(), vec.end(), mmsi), vec.end());
+  if (vec.empty()) cells_.erase(it);
+}
+
+void LiveVesselIndex::Update(const tracker::CriticalPoint& cp) {
+  const auto [it, inserted] = vessels_.try_emplace(cp.mmsi);
+  LiveVessel& v = it->second;
+  if (!inserted && cp.tau < v.tau) return;  // stale update
+  const bool had_cell = !inserted;
+  const CellKey old_key = had_cell ? vessel_cell_[cp.mmsi] : 0;
+  v.mmsi = cp.mmsi;
+  v.pos = cp.pos;
+  v.tau = cp.tau;
+  v.speed_knots = cp.speed_knots;
+  v.heading_deg = cp.heading_deg;
+  v.in_gap = cp.Has(tracker::kGapStart);
+  const CellKey new_key = KeyFor(cp.pos);
+  if (!had_cell) {
+    cells_[new_key].push_back(cp.mmsi);
+    vessel_cell_[cp.mmsi] = new_key;
+  } else if (new_key != old_key) {
+    RemoveFromCell(cp.mmsi, old_key);
+    cells_[new_key].push_back(cp.mmsi);
+    vessel_cell_[cp.mmsi] = new_key;
+  }
+}
+
+void LiveVesselIndex::Update(const stream::PositionTuple& fix) {
+  const LiveVessel* previous = Find(fix.mmsi);
+  tracker::CriticalPoint cp;
+  cp.mmsi = fix.mmsi;
+  cp.pos = fix.pos;
+  cp.tau = fix.tau;
+  if (previous != nullptr && fix.tau > previous->tau) {
+    const geo::Velocity v = geo::VelocityBetween(previous->pos, previous->tau,
+                                                 fix.pos, fix.tau);
+    cp.speed_knots = v.speed_knots;
+    cp.heading_deg = v.heading_deg;
+  }
+  Update(cp);
+}
+
+void LiveVesselIndex::EvictSilentSince(Timestamp cutoff) {
+  for (auto it = vessels_.begin(); it != vessels_.end();) {
+    if (it->second.tau < cutoff) {
+      RemoveFromCell(it->first, vessel_cell_[it->first]);
+      vessel_cell_.erase(it->first);
+      it = vessels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const LiveVessel* LiveVesselIndex::Find(stream::Mmsi mmsi) const {
+  const auto it = vessels_.find(mmsi);
+  return it == vessels_.end() ? nullptr : &it->second;
+}
+
+std::vector<LiveVesselIndex::CellKey> LiveVesselIndex::CellsNear(
+    const geo::GeoPoint& center, double radius_m) const {
+  const double coslat =
+      std::max(0.2, std::cos(geo::DegToRad(center.lat)));
+  const double radius_deg_lat = radius_m / 111194.9;
+  const double radius_deg_lon = radius_deg_lat / coslat;
+  std::vector<CellKey> out;
+  for (double lon = center.lon - radius_deg_lon;
+       lon <= center.lon + radius_deg_lon + cell_deg_; lon += cell_deg_) {
+    for (double lat = center.lat - radius_deg_lat;
+         lat <= center.lat + radius_deg_lat + cell_deg_; lat += cell_deg_) {
+      out.push_back(KeyFor(geo::GeoPoint{lon, lat}));
+    }
+  }
+  return out;
+}
+
+std::vector<const LiveVessel*> LiveVesselIndex::Within(
+    const geo::GeoPoint& center, double radius_m) const {
+  std::vector<const LiveVessel*> out;
+  for (const CellKey key : CellsNear(center, radius_m)) {
+    const auto it = cells_.find(key);
+    if (it == cells_.end()) continue;
+    for (const stream::Mmsi m : it->second) {
+      const LiveVessel& v = vessels_.at(m);
+      if (geo::HaversineMeters(v.pos, center) <= radius_m) {
+        out.push_back(&v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LiveVessel* a, const LiveVessel* b) {
+              return a->mmsi < b->mmsi;
+            });
+  return out;
+}
+
+std::vector<const LiveVessel*> LiveVesselIndex::Nearest(
+    const geo::GeoPoint& center, size_t k) const {
+  // Expanding ring search over the grid; falls back to a full scan once the
+  // ring covers everything.
+  std::vector<const LiveVessel*> candidates;
+  for (double radius_m = 10000.0; radius_m <= 4.0e6; radius_m *= 2.0) {
+    candidates = Within(center, radius_m);
+    if (candidates.size() >= k) break;
+    if (candidates.size() == vessels_.size()) break;
+  }
+  if (candidates.size() < std::min(k, vessels_.size())) {
+    candidates.clear();
+    for (const auto& [m, v] : vessels_) candidates.push_back(&v);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&center](const LiveVessel* a, const LiveVessel* b) {
+              return geo::HaversineMeters(a->pos, center) <
+                     geo::HaversineMeters(b->pos, center);
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+std::vector<const LiveVessel*> LiveVesselIndex::Inside(
+    const AreaInfo& area) const {
+  const geo::GeoPoint center = area.polygon.VertexCentroid();
+  double radius_m = 0.0;
+  for (const geo::GeoPoint& v : area.polygon.vertices()) {
+    radius_m = std::max(radius_m, geo::HaversineMeters(center, v));
+  }
+  std::vector<const LiveVessel*> out;
+  for (const LiveVessel* v : Within(center, radius_m + 500.0)) {
+    if (area.polygon.Contains(v->pos)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<const LiveVessel*> LiveVesselIndex::Approaching(
+    const geo::GeoPoint& port_center, double within_m,
+    double min_speed_knots, double bearing_tolerance_deg) const {
+  std::vector<const LiveVessel*> out;
+  for (const LiveVessel* v : Within(port_center, within_m)) {
+    if (v->in_gap || v->speed_knots < min_speed_knots) continue;
+    const double bearing_to_port =
+        geo::InitialBearingDeg(v->pos, port_center);
+    if (std::fabs(geo::BearingDifferenceDeg(v->heading_deg,
+                                            bearing_to_port)) <=
+        bearing_tolerance_deg) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<Encounter> LiveVesselIndex::CollisionScreen(
+    double cpa_threshold_m, Duration horizon_s,
+    double screen_radius_m) const {
+  std::vector<Encounter> out;
+  for (const auto& [mmsi, v] : vessels_) {
+    if (v.in_gap || v.speed_knots < 0.5) continue;
+    for (const LiveVessel* other : Within(v.pos, screen_radius_m)) {
+      if (other->mmsi <= mmsi) continue;  // each unordered pair once
+      if (other->in_gap || other->speed_knots < 0.5) continue;
+      const Encounter e = ComputeCpa(v, *other);
+      if (e.time_to_cpa > 0 && e.time_to_cpa <= horizon_s &&
+          e.cpa_distance_m < cpa_threshold_m) {
+        out.push_back(e);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Encounter& x, const Encounter& y) {
+    return x.cpa_distance_m < y.cpa_distance_m;
+  });
+  return out;
+}
+
+}  // namespace maritime::surveillance

@@ -1,0 +1,115 @@
+#ifndef MARITIME_MARITIME_LIVE_INDEX_H_
+#define MARITIME_MARITIME_LIVE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/velocity.h"
+#include "maritime/knowledge.h"
+#include "tracker/critical_point.h"
+
+namespace maritime::surveillance {
+
+/// Latest known kinematic state of one vessel.
+struct LiveVessel {
+  stream::Mmsi mmsi = 0;
+  geo::GeoPoint pos;
+  Timestamp tau = 0;            ///< Time of the state.
+  double speed_knots = 0.0;
+  double heading_deg = 0.0;
+  bool in_gap = false;          ///< Transponder silent (course unknown).
+};
+
+/// A predicted close encounter between two moving vessels, from a
+/// constant-velocity closest-point-of-approach (CPA) extrapolation.
+struct Encounter {
+  stream::Mmsi a = 0;
+  stream::Mmsi b = 0;
+  double current_distance_m = 0.0;
+  double cpa_distance_m = 0.0;  ///< Distance at the closest approach.
+  Duration time_to_cpa = 0;     ///< Seconds until it (0 = already diverging).
+};
+
+/// Closest point of approach of two constant-velocity tracks: returns the
+/// time (>= 0 s) at which the distance is minimal, and that distance. The
+/// classic ARPA computation, in a local tangent plane around `a`.
+Encounter ComputeCpa(const LiveVessel& a, const LiveVessel& b);
+
+/// Continuously maintained snapshot of the fleet's latest positions,
+/// bucketed on a uniform grid for spatial queries. This is the substrate of
+/// the "continuous location-aware queries" of paper Section 2 — e.g. "is a
+/// ship approaching a port", "which vessels are inside an area right now" —
+/// and of low-latency online collision screening, both of which the paper
+/// motivates as consumers of the compressed critical-point stream.
+///
+/// Feed it critical points (they carry position, time, speed and heading);
+/// between critical points a vessel's state is, by construction of the
+/// synopsis, well approximated by its last critical state.
+class LiveVesselIndex {
+ public:
+  /// `cell_deg` is the grid resolution (default ~0.1° ≈ 11 km).
+  explicit LiveVesselIndex(double cell_deg = 0.1) : cell_deg_(cell_deg) {}
+
+  /// Updates the vessel's state from a critical point (ignores stale ones).
+  void Update(const tracker::CriticalPoint& cp);
+
+  /// Updates from a raw position fix, deriving speed and heading from the
+  /// previous fix. A control-room display tracks every report, not just the
+  /// compressed synopsis: a vessel on a dead-straight course emits no
+  /// critical points for hours, yet its live state must stay fresh.
+  void Update(const stream::PositionTuple& fix);
+
+  /// Drops vessels not heard from since `cutoff` (stale tracks).
+  void EvictSilentSince(Timestamp cutoff);
+
+  const LiveVessel* Find(stream::Mmsi mmsi) const;
+  size_t size() const { return vessels_.size(); }
+
+  /// Vessels currently within `radius_m` of `center`.
+  std::vector<const LiveVessel*> Within(const geo::GeoPoint& center,
+                                        double radius_m) const;
+
+  /// The `k` vessels nearest to `center`, nearest first.
+  std::vector<const LiveVessel*> Nearest(const geo::GeoPoint& center,
+                                         size_t k) const;
+
+  /// Vessels inside the polygon of `area`.
+  std::vector<const LiveVessel*> Inside(const AreaInfo& area) const;
+
+  /// Vessels within `within_m` of `port_center` that are moving toward it
+  /// (course within `bearing_tolerance_deg` of the bearing to the port) —
+  /// the "ship approaching a port" continuous query of Section 2.
+  std::vector<const LiveVessel*> Approaching(
+      const geo::GeoPoint& port_center, double within_m,
+      double min_speed_knots = 1.0,
+      double bearing_tolerance_deg = 30.0) const;
+
+  /// All pairs of moving vessels whose predicted CPA within `horizon_s`
+  /// seconds is below `cpa_threshold_m` — the online collision screen.
+  /// Vessels in a gap (course unknown) are skipped. Pairs are pre-filtered
+  /// by the grid to those currently within `screen_radius_m`.
+  std::vector<Encounter> CollisionScreen(double cpa_threshold_m,
+                                         Duration horizon_s,
+                                         double screen_radius_m = 20000.0)
+      const;
+
+ private:
+  using CellKey = int64_t;
+  CellKey KeyFor(const geo::GeoPoint& p) const;
+  /// Cells overlapping the disk (center, radius).
+  std::vector<CellKey> CellsNear(const geo::GeoPoint& center,
+                                 double radius_m) const;
+  void RemoveFromCell(stream::Mmsi mmsi, CellKey key);
+
+  double cell_deg_;
+  std::unordered_map<stream::Mmsi, LiveVessel> vessels_;
+  std::unordered_map<stream::Mmsi, CellKey> vessel_cell_;
+  std::map<CellKey, std::vector<stream::Mmsi>> cells_;
+};
+
+}  // namespace maritime::surveillance
+
+#endif  // MARITIME_MARITIME_LIVE_INDEX_H_

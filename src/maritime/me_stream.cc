@@ -1,0 +1,112 @@
+#include "maritime/me_stream.h"
+
+#include <algorithm>
+
+namespace maritime::surveillance {
+
+MaritimeSchema MaritimeSchema::Declare(rtec::Engine& engine) {
+  MaritimeSchema s;
+  s.gap = engine.DeclareEvent("gap");
+  s.gap_end = engine.DeclareEvent("gapEnd");
+  s.turn = engine.DeclareEvent("turn");
+  s.speed_change = engine.DeclareEvent("speedChange");
+  s.slow_motion = engine.DeclareEvent("slowMotion");
+  s.stop_start = engine.DeclareEvent("stopStart");
+  s.stop_end = engine.DeclareEvent("stopEnd");
+  s.slow_start = engine.DeclareEvent("slowStart");
+  s.slow_end = engine.DeclareEvent("slowEnd");
+  s.close_fact = engine.DeclareEvent("close");
+  s.stopped = engine.DeclareFluent("stopped");
+  s.low_speed = engine.DeclareFluent("lowSpeed");
+  s.suspicious = engine.DeclareFluent("suspicious");
+  s.illegal_fishing = engine.DeclareFluent("illegalFishing");
+  s.illegal_shipping = engine.DeclareEvent("illegalShipping");
+  s.dangerous_shipping = engine.DeclareEvent("dangerousShipping");
+  s.adrift = engine.DeclareFluent("adrift");
+  return s;
+}
+
+uint64_t FeedCriticalPoint(rtec::Engine& engine, const MaritimeSchema& schema,
+                           const tracker::CriticalPoint& cp) {
+  const rtec::Term vessel = VesselTerm(cp.mmsi);
+  engine.AssertCoord(vessel, cp.tau, cp.pos);
+  uint64_t asserted = 0;
+  const auto assert_event = [&](rtec::EventId e) {
+    engine.AssertEvent(e, vessel, cp.tau);
+    ++asserted;
+  };
+  if (cp.Has(tracker::kGapStart)) assert_event(schema.gap);
+  if (cp.Has(tracker::kGapEnd)) assert_event(schema.gap_end);
+  if (cp.Has(tracker::kTurn) || cp.Has(tracker::kSmoothTurn)) {
+    assert_event(schema.turn);
+  }
+  if (cp.Has(tracker::kSpeedChange)) assert_event(schema.speed_change);
+  if (cp.Has(tracker::kStopStart)) assert_event(schema.stop_start);
+  if (cp.Has(tracker::kStopEnd)) assert_event(schema.stop_end);
+  if (cp.Has(tracker::kSlowMotionStart)) {
+    assert_event(schema.slow_start);
+    // The instantaneous slowMotion ME of rules (4) and (6) fires once per
+    // episode, at its detection.
+    assert_event(schema.slow_motion);
+  }
+  if (cp.Has(tracker::kSlowMotionEnd)) assert_event(schema.slow_end);
+  return asserted;
+}
+
+void SpatialFactTable::AddFactGroup(stream::Mmsi mmsi, Timestamp t,
+                                    std::vector<int32_t> areas) {
+  std::sort(areas.begin(), areas.end());
+  fact_count_ += areas.size();
+  auto& vec = groups_[mmsi];
+  Group g{t, std::move(areas)};
+  if (!vec.empty() && vec.back().t > t) {
+    // Delayed fact group: keep per-vessel order.
+    const auto pos = std::partition_point(
+        vec.begin(), vec.end(),
+        [t](const Group& existing) { return existing.t <= t; });
+    vec.insert(pos, std::move(g));
+  } else {
+    vec.push_back(std::move(g));
+  }
+}
+
+std::vector<int32_t> SpatialFactTable::AreasCloseAt(stream::Mmsi mmsi,
+                                                    Timestamp t) const {
+  const auto it = groups_.find(mmsi);
+  if (it == groups_.end()) return {};
+  const auto& vec = it->second;
+  const auto pos = std::partition_point(
+      vec.begin(), vec.end(), [t](const Group& g) { return g.t <= t; });
+  if (pos == vec.begin()) return {};
+  return (pos - 1)->areas;
+}
+
+bool SpatialFactTable::IsCloseAt(stream::Mmsi mmsi, int32_t area,
+                                 Timestamp t) const {
+  const auto it = groups_.find(mmsi);
+  if (it == groups_.end()) return false;
+  const auto& vec = it->second;
+  const auto pos = std::partition_point(
+      vec.begin(), vec.end(), [t](const Group& g) { return g.t <= t; });
+  if (pos == vec.begin()) return false;
+  const auto& areas = (pos - 1)->areas;
+  return std::binary_search(areas.begin(), areas.end(), area);
+}
+
+void SpatialFactTable::PurgeBefore(Timestamp cutoff) {
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    auto& vec = it->second;
+    const auto pos = std::partition_point(
+        vec.begin(), vec.end(),
+        [cutoff](const Group& g) { return g.t <= cutoff; });
+    for (auto g = vec.begin(); g != pos; ++g) fact_count_ -= g->areas.size();
+    vec.erase(vec.begin(), pos);
+    if (vec.empty()) {
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace maritime::surveillance

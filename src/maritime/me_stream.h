@@ -1,0 +1,124 @@
+#ifndef MARITIME_MARITIME_ME_STREAM_H_
+#define MARITIME_MARITIME_ME_STREAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/time.h"
+#include "rtec/engine.h"
+#include "stream/position.h"
+#include "tracker/critical_point.h"
+
+namespace maritime::surveillance {
+
+/// Term kinds used by the maritime CE definitions.
+inline constexpr int32_t kVesselTermKind = 0;
+inline constexpr int32_t kAreaTermKind = 1;
+
+inline rtec::Term VesselTerm(stream::Mmsi mmsi) {
+  return rtec::Term{kVesselTermKind, static_cast<int32_t>(mmsi)};
+}
+inline rtec::Term AreaTerm(int32_t area_id) {
+  return rtec::Term{kAreaTermKind, area_id};
+}
+
+/// Log-friendly label for a ground term ("area=3", "vessel=205").
+inline std::string TermLabel(rtec::Term t) {
+  if (t.kind == kVesselTermKind) return StrPrintf("vessel=%d", t.id);
+  if (t.kind == kAreaTermKind) return StrPrintf("area=%d", t.id);
+  return StrPrintf("term=%d:%d", t.kind, t.id);
+}
+
+/// The event/fluent vocabulary of the maritime CE library: the critical
+/// movement events (MEs) produced by the trajectory detection component —
+/// gap, turn, speedChange, slowMotion, plus the marker events bounding the
+/// durative MEs stopped and lowSpeed — and the CEs of paper Section 4.
+struct MaritimeSchema {
+  // Input MEs (instantaneous).
+  rtec::EventId gap = -1;           ///< Communication gap started.
+  rtec::EventId gap_end = -1;       ///< Vessel reporting again.
+  rtec::EventId turn = -1;          ///< Sharp or smooth turn.
+  rtec::EventId speed_change = -1;  ///< Speed deviated by more than α.
+  rtec::EventId slow_motion = -1;   ///< Vessel moving "too" slowly.
+  // Marker events bounding the durative input MEs.
+  rtec::EventId stop_start = -1;
+  rtec::EventId stop_end = -1;
+  rtec::EventId slow_start = -1;
+  rtec::EventId slow_end = -1;
+  /// Spatial fact: subject vessel is close to object area (Figure 11(b)
+  /// mode, where spatial relations arrive precomputed in the input stream).
+  rtec::EventId close_fact = -1;
+
+  // Input durative MEs, represented as fluents.
+  rtec::FluentId stopped = -1;    ///< stopped(Vessel)=true intervals.
+  rtec::FluentId low_speed = -1;  ///< lowSpeed(Vessel)=true intervals.
+
+  // Output CEs.
+  rtec::FluentId suspicious = -1;       ///< suspicious(Area), rule-set (3).
+  rtec::FluentId illegal_fishing = -1;  ///< illegalFishing(Area), rule-set (4).
+  rtec::EventId illegal_shipping = -1;  ///< illegalShipping(Area), rule (5).
+  rtec::EventId dangerous_shipping = -1;  ///< dangerousShipping(Area), (6).
+  /// Extension beyond the paper's four CEs: adrift(Vessel) holds while a
+  /// vessel is stopped in open water, away from every port — the signature
+  /// of a disabled ship (or one engaged in a transfer at sea). The rule is
+  /// definable in exactly the paper's formalism:
+  ///   initiatedAt(adrift(V)=true, T)  <- happensAt(start(stopped(V)=true), T),
+  ///                                      holdsAt(coord(V)=(Lon,Lat), T),
+  ///                                      not close(Lon, Lat, any port)
+  ///   terminatedAt(adrift(V)=true, T) <- happensAt(end(stopped(V)=true), T)
+  rtec::FluentId adrift = -1;
+
+  /// Declares every event and fluent on `engine`.
+  static MaritimeSchema Declare(rtec::Engine& engine);
+};
+
+/// Statistics of one conversion from critical points to MEs.
+struct MeFeedStats {
+  uint64_t critical_points = 0;
+  uint64_t me_events = 0;      ///< Instantaneous ME occurrences asserted.
+  uint64_t spatial_facts = 0;  ///< close facts asserted (fact mode only).
+};
+
+/// Converts one critical point into ME assertions on `engine`: the vessel
+/// coordinates always (the coord fluent), one event per relevant annotation
+/// flag. Returns the number of ME events asserted.
+uint64_t FeedCriticalPoint(rtec::Engine& engine, const MaritimeSchema& schema,
+                           const tracker::CriticalPoint& cp);
+
+/// Side table of precomputed spatial facts for the Figure 11(b) setting.
+/// Each ME of a vessel is accompanied by facts naming the areas the vessel
+/// is close to at the ME's timestamp; between MEs the latest fact group
+/// stays in force.
+class SpatialFactTable {
+ public:
+  /// Registers an ME of `mmsi` at `t` being close to exactly `areas`.
+  void AddFactGroup(stream::Mmsi mmsi, Timestamp t,
+                    std::vector<int32_t> areas);
+
+  /// Areas the vessel was close to according to its latest fact group at or
+  /// before `t` (empty when none in window).
+  std::vector<int32_t> AreasCloseAt(stream::Mmsi mmsi, Timestamp t) const;
+
+  /// True iff `area` is among AreasCloseAt(mmsi, t).
+  bool IsCloseAt(stream::Mmsi mmsi, int32_t area, Timestamp t) const;
+
+  /// Drops fact groups at or before `cutoff` (window management).
+  void PurgeBefore(Timestamp cutoff);
+
+  size_t fact_count() const { return fact_count_; }
+
+ private:
+  struct Group {
+    Timestamp t;
+    std::vector<int32_t> areas;
+  };
+  std::map<stream::Mmsi, std::vector<Group>> groups_;
+  size_t fact_count_ = 0;
+};
+
+}  // namespace maritime::surveillance
+
+#endif  // MARITIME_MARITIME_ME_STREAM_H_

@@ -1,0 +1,111 @@
+#include "maritime/pipeline.h"
+
+#include <chrono>
+
+namespace maritime::surveillance {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SurveillancePipeline::SurveillancePipeline(const KnowledgeBase* kb,
+                                           PipelineConfig config)
+    : kb_(kb), config_(config), tracker_(config.tracker) {
+  RecognizerConfig rc;
+  rc.window = config_.window;
+  rc.ce = config_.ce;
+  recognizer_ = std::make_unique<PartitionedRecognizer>(*kb_, rc,
+                                                        config_.partitions);
+  if (config_.archive) {
+    archiver_ = std::make_unique<mod::HermesArchiver>(kb_);
+  }
+}
+
+SlideReport SurveillancePipeline::RunSlide(
+    Timestamp q, std::span<const stream::PositionTuple> batch) {
+  SlideReport report;
+  report.query_time = q;
+  report.raw_positions = batch.size();
+
+  // --- online tracking: fresh positions -> trajectory events ---------------
+  const double t0 = NowSeconds();
+  std::vector<tracker::CriticalPoint> raw_criticals;
+  for (const auto& tuple : batch) tracker_.Process(tuple, &raw_criticals);
+  tracker_.AdvanceTo(q, &raw_criticals);
+  std::vector<tracker::CriticalPoint> criticals =
+      compressor_.Compress(std::move(raw_criticals), batch.size());
+  report.tracking_seconds = NowSeconds() - t0;
+  report.critical_points = criticals.size();
+
+  // --- feed CE recognition ---------------------------------------------------
+  for (const auto& cp : criticals) recognizer_->Feed(cp);
+  for (const auto& cp : criticals) {
+    window_criticals_.push_back(cp);
+    all_criticals_.push_back(cp);
+  }
+
+  const double t1 = NowSeconds();
+  report.recognition = recognizer_->Recognize(q);
+  report.recognition_seconds = NowSeconds() - t1;
+
+  // --- offline archival of evicted ("delta") critical points ----------------
+  ArchiveEvicted(q);
+  return report;
+}
+
+void SurveillancePipeline::ArchiveEvicted(Timestamp q) {
+  if (archiver_ == nullptr) return;
+  const Timestamp cutoff = q - config_.window.range;
+  std::vector<tracker::CriticalPoint> evicted;
+  while (!window_criticals_.empty() &&
+         window_criticals_.front().tau <= cutoff) {
+    evicted.push_back(window_criticals_.front());
+    window_criticals_.pop_front();
+  }
+  if (!evicted.empty()) archiver_->ArchiveBatch(evicted);
+}
+
+void SurveillancePipeline::Run(
+    stream::StreamReplayer& replayer,
+    const std::function<void(const SlideReport&)>& on_slide) {
+  const Timestamp origin = replayer.first_timestamp();
+  if (origin == kInvalidTimestamp) return;
+  stream::QueryTimeSequence queries(config_.window, origin);
+  const Timestamp last = replayer.last_timestamp();
+  while (true) {
+    const Timestamp q = queries.Fire();
+    const auto batch = replayer.NextBatch(q);
+    const SlideReport report = RunSlide(q, batch);
+    if (on_slide) on_slide(report);
+    if (q >= last) break;
+  }
+  Finish();
+}
+
+void SurveillancePipeline::Finish() {
+  std::vector<tracker::CriticalPoint> tail;
+  tracker_.Finish(&tail);
+  for (const auto& cp : tail) {
+    all_criticals_.push_back(cp);
+    window_criticals_.push_back(cp);
+  }
+  if (archiver_ != nullptr) {
+    std::vector<tracker::CriticalPoint> rest(window_criticals_.begin(),
+                                             window_criticals_.end());
+    window_criticals_.clear();
+    if (!rest.empty()) archiver_->ArchiveBatch(rest);
+  }
+}
+
+std::vector<tracker::CriticalPoint> SurveillancePipeline::TakeCriticalPoints() {
+  std::vector<tracker::CriticalPoint> out = std::move(all_criticals_);
+  all_criticals_.clear();
+  return out;
+}
+
+}  // namespace maritime::surveillance

@@ -1,0 +1,98 @@
+#ifndef MARITIME_MARITIME_PIPELINE_H_
+#define MARITIME_MARITIME_PIPELINE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "maritime/knowledge.h"
+#include "maritime/recognizer.h"
+#include "mod/hermes.h"
+#include "stream/replayer.h"
+#include "stream/sliding_window.h"
+#include "tracker/compressor.h"
+#include "tracker/mobility_tracker.h"
+
+namespace maritime::surveillance {
+
+/// End-to-end configuration of the surveillance system (Figure 1).
+struct PipelineConfig {
+  /// Sliding window (range ω, slide β) shared by online tracking and CE
+  /// recognition.
+  stream::WindowSpec window{kHour, 10 * kMinute};
+  tracker::TrackerParams tracker;
+  CeOptions ce;
+  /// Number of CE-recognition partitions (1 = single processor; 2
+  /// reproduces the paper's distributed setting).
+  int partitions = 1;
+  /// Enable the offline archival path (staging → reconstruction → loading
+  /// into the trajectory store).
+  bool archive = true;
+};
+
+/// What happened during one window slide.
+struct SlideReport {
+  Timestamp query_time = 0;
+  size_t raw_positions = 0;    ///< Fresh positions consumed this slide.
+  size_t critical_points = 0;  ///< Critical points emitted this slide.
+  /// Recognition output, one entry per partition.
+  std::vector<rtec::RecognitionResult> recognition;
+  double tracking_seconds = 0.0;
+  double recognition_seconds = 0.0;
+};
+
+/// The complete processing scheme of Figure 1: Data-Scanner output (a
+/// positional stream) flows through the Mobility Tracker and Compressor into
+/// critical points, which feed both the Complex Event Recognition module and
+/// (lagged by ω, so online and offline state never overlap) the offline
+/// archival path into the trajectory store.
+class SurveillancePipeline {
+ public:
+  /// `kb` must outlive the pipeline.
+  SurveillancePipeline(const KnowledgeBase* kb, PipelineConfig config);
+
+  /// Processes the fresh positions of the slide ending at query time `q`
+  /// (their tau must be <= q), then recognizes CEs at `q`.
+  SlideReport RunSlide(Timestamp q,
+                       std::span<const stream::PositionTuple> batch);
+
+  /// Replays an entire recorded stream, sliding the window in step with the
+  /// reported timestamps; invokes `on_slide` (if set) after every slide.
+  void Run(stream::StreamReplayer& replayer,
+           const std::function<void(const SlideReport&)>& on_slide = nullptr);
+
+  /// Closes open episodes and archives everything still pending.
+  void Finish();
+
+  const tracker::MobilityTracker& mobility_tracker() const { return tracker_; }
+  const tracker::Compressor& compressor() const { return compressor_; }
+  PartitionedRecognizer& recognizer() { return *recognizer_; }
+  const mod::HermesArchiver* archiver() const { return archiver_.get(); }
+  const PipelineConfig& config() const { return config_; }
+
+  /// Every critical point emitted so far (kept for RMSE / export use; cleared
+  /// with TakeCriticalPoints).
+  const std::vector<tracker::CriticalPoint>& critical_points() const {
+    return all_criticals_;
+  }
+  std::vector<tracker::CriticalPoint> TakeCriticalPoints();
+
+ private:
+  void ArchiveEvicted(Timestamp q);
+
+  const KnowledgeBase* kb_;
+  PipelineConfig config_;
+  tracker::MobilityTracker tracker_;
+  tracker::Compressor compressor_;
+  std::unique_ptr<PartitionedRecognizer> recognizer_;
+  std::unique_ptr<mod::HermesArchiver> archiver_;
+  /// Critical points not yet evicted from the window (awaiting archival).
+  std::deque<tracker::CriticalPoint> window_criticals_;
+  std::vector<tracker::CriticalPoint> all_criticals_;
+};
+
+}  // namespace maritime::surveillance
+
+#endif  // MARITIME_MARITIME_PIPELINE_H_

@@ -1,0 +1,95 @@
+#ifndef MARITIME_MARITIME_RECOGNIZER_H_
+#define MARITIME_MARITIME_RECOGNIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "maritime/ce_definitions.h"
+#include "maritime/knowledge.h"
+#include "maritime/me_stream.h"
+#include "rtec/engine.h"
+#include "stream/sliding_window.h"
+#include "tracker/critical_point.h"
+
+namespace maritime::surveillance {
+
+/// Configuration of the CE recognition module.
+struct RecognizerConfig {
+  stream::WindowSpec window{kHour, kHour};  ///< RTEC working memory ω / slide.
+  CeOptions ce;
+};
+
+/// The Complex Event Recognition module of Figure 1: wraps an RTEC engine
+/// loaded with the maritime CE definitions, converts incoming critical
+/// points into ME assertions (plus precomputed spatial facts in the
+/// Figure 11(b) mode), and recognizes CEs at each query time.
+class CERecognizer {
+ public:
+  /// `kb` must outlive the recognizer.
+  CERecognizer(const KnowledgeBase* kb, RecognizerConfig config);
+
+  CERecognizer(const CERecognizer&) = delete;
+  CERecognizer& operator=(const CERecognizer&) = delete;
+
+  /// Feeds one critical point (possibly delayed) into the working memory.
+  void Feed(const tracker::CriticalPoint& cp);
+
+  /// Runs recognition at query time `q`.
+  rtec::RecognitionResult Recognize(Timestamp q);
+
+  const MaritimeSchema& schema() const { return schema_; }
+  rtec::Engine& engine() { return *engine_; }
+  const rtec::Engine& engine() const { return *engine_; }
+  const MeFeedStats& feed_stats() const { return feed_stats_; }
+  const KnowledgeBase& knowledge() const { return *kb_; }
+
+  /// Renders a recognized CE in a log-friendly form, e.g.
+  /// "illegalShipping(area=12, vessel=205) @ 3600" or
+  /// "suspicious(area=3)=true (7200,9000]".
+  std::string Describe(const rtec::RecognizedEvent& e) const;
+  std::string Describe(const rtec::RecognizedFluent& f) const;
+
+ private:
+  const KnowledgeBase* kb_;
+  RecognizerConfig config_;
+  SpatialFactTable facts_;
+  std::unique_ptr<rtec::Engine> engine_;
+  MaritimeSchema schema_;
+  MeFeedStats feed_stats_;
+};
+
+/// Distributed CE recognition (paper Section 5.2): the monitored region is
+/// split into longitude bands; each partition gets its own RTEC engine with
+/// only the areas located in its band, input MEs are routed by vessel
+/// location, and the partitions recognize in parallel on separate threads.
+class PartitionedRecognizer {
+ public:
+  /// Splits `kb`'s areas into `partitions` longitude bands of roughly equal
+  /// area count. `partitions` >= 1.
+  PartitionedRecognizer(const KnowledgeBase& kb, RecognizerConfig config,
+                        int partitions);
+
+  /// Routes a critical point to the partition covering its position.
+  void Feed(const tracker::CriticalPoint& cp);
+
+  /// Recognizes on all partitions in parallel; returns one result per
+  /// partition.
+  std::vector<rtec::RecognitionResult> Recognize(Timestamp q);
+
+  int partition_count() const { return static_cast<int>(parts_.size()); }
+  CERecognizer& partition(int i) { return *parts_[static_cast<size_t>(i)].rec; }
+
+ private:
+  struct Partition {
+    double min_lon;  ///< Inclusive lower bound of the band.
+    std::unique_ptr<KnowledgeBase> kb;
+    std::unique_ptr<CERecognizer> rec;
+  };
+  size_t PartitionFor(const geo::GeoPoint& p) const;
+  std::vector<Partition> parts_;  // sorted by min_lon ascending
+};
+
+}  // namespace maritime::surveillance
+
+#endif  // MARITIME_MARITIME_RECOGNIZER_H_

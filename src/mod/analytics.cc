@@ -1,0 +1,143 @@
+#include "mod/analytics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace maritime::mod {
+
+std::vector<VesselTravelStats> ComputeVesselStats(
+    const TrajectoryStore& store) {
+  std::unordered_map<stream::Mmsi, VesselTravelStats> agg;
+  std::unordered_map<stream::Mmsi, Timestamp> last_arrival;
+  // Trips are stored in completion order; group per vessel in time order.
+  std::unordered_map<stream::Mmsi, std::vector<const Trip*>> by_vessel;
+  for (const Trip& t : store.trips()) by_vessel[t.mmsi].push_back(&t);
+  for (auto& [mmsi, trips] : by_vessel) {
+    std::sort(trips.begin(), trips.end(),
+              [](const Trip* a, const Trip* b) {
+                return a->start_tau < b->start_tau;
+              });
+    VesselTravelStats& s = agg[mmsi];
+    s.mmsi = mmsi;
+    std::set<int32_t> seen_ports;
+    Timestamp previous_arrival = kInvalidTimestamp;
+    for (const Trip* t : trips) {
+      ++s.trips;
+      s.total_distance_m += t->distance_m;
+      s.total_travel_time += t->TravelTime();
+      if (previous_arrival != kInvalidTimestamp &&
+          t->start_tau > previous_arrival) {
+        s.total_idle_time += t->start_tau - previous_arrival;
+      }
+      previous_arrival = t->end_tau;
+      for (const int32_t port : {t->origin_port, t->destination_port}) {
+        if (port >= 0 && seen_ports.insert(port).second) {
+          s.visited_ports.push_back(port);
+        }
+      }
+    }
+  }
+  std::vector<VesselTravelStats> out;
+  out.reserve(agg.size());
+  for (auto& [mmsi, s] : agg) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(),
+            [](const VesselTravelStats& a, const VesselTravelStats& b) {
+              return a.mmsi < b.mmsi;
+            });
+  return out;
+}
+
+std::map<Timestamp, uint64_t> DeparturesPerPeriod(const TrajectoryStore& store,
+                                                  Duration granularity) {
+  std::map<Timestamp, uint64_t> out;
+  for (const Trip& t : store.trips()) {
+    const Timestamp bucket = (t.start_tau / granularity) * granularity;
+    ++out[bucket];
+  }
+  return out;
+}
+
+std::vector<CorridorCell> FrequentCorridors(const TrajectoryStore& store,
+                                            double cell_deg, size_t limit) {
+  // Cell key -> set of trip indices that crossed it.
+  std::map<std::pair<int64_t, int64_t>, std::set<size_t>> cells;
+  const auto cell_of = [cell_deg](const geo::GeoPoint& p) {
+    return std::make_pair(
+        static_cast<int64_t>(std::floor(p.lon / cell_deg)),
+        static_cast<int64_t>(std::floor(p.lat / cell_deg)));
+  };
+  for (size_t i = 0; i < store.trips().size(); ++i) {
+    const Trip& t = store.trips()[i];
+    for (size_t j = 0; j < t.points.size(); ++j) {
+      cells[cell_of(t.points[j].pos)].insert(i);
+      // Rasterize long inter-point segments so corridors are continuous.
+      if (j + 1 < t.points.size()) {
+        const geo::GeoPoint& a = t.points[j].pos;
+        const geo::GeoPoint& b = t.points[j + 1].pos;
+        const double span =
+            std::max(std::fabs(b.lon - a.lon), std::fabs(b.lat - a.lat));
+        const int steps = static_cast<int>(span / cell_deg);
+        for (int k = 1; k <= steps; ++k) {
+          cells[cell_of(geo::Interpolate(
+                    a, b, static_cast<double>(k) / (steps + 1)))]
+              .insert(i);
+        }
+      }
+    }
+  }
+  std::vector<CorridorCell> out;
+  out.reserve(cells.size());
+  for (const auto& [key, trips] : cells) {
+    CorridorCell c;
+    c.lon = (static_cast<double>(key.first) + 0.5) * cell_deg;
+    c.lat = (static_cast<double>(key.second) + 0.5) * cell_deg;
+    c.trips = trips.size();
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CorridorCell& a, const CorridorCell& b) {
+              return a.trips > b.trips;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<PeriodicService> DetectPeriodicServices(
+    const TrajectoryStore& store, uint64_t min_trips) {
+  std::map<std::pair<int32_t, int32_t>, std::vector<Timestamp>> departures;
+  for (const Trip& t : store.trips()) {
+    if (t.origin_port < 0) continue;
+    departures[{t.origin_port, t.destination_port}].push_back(t.start_tau);
+  }
+  std::vector<PeriodicService> out;
+  for (auto& [od, times] : departures) {
+    if (times.size() < min_trips) continue;
+    std::sort(times.begin(), times.end());
+    std::vector<double> headways;
+    for (size_t i = 1; i < times.size(); ++i) {
+      headways.push_back(static_cast<double>(times[i] - times[i - 1]));
+    }
+    double mean = 0.0;
+    for (const double h : headways) mean += h;
+    mean /= static_cast<double>(headways.size());
+    double var = 0.0;
+    for (const double h : headways) var += (h - mean) * (h - mean);
+    var /= static_cast<double>(headways.size());
+    PeriodicService s;
+    s.origin_port = od.first;
+    s.destination_port = od.second;
+    s.trips = times.size();
+    s.mean_headway = static_cast<Duration>(mean);
+    s.headway_cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PeriodicService& a, const PeriodicService& b) {
+              return a.headway_cv < b.headway_cv;
+            });
+  return out;
+}
+
+}  // namespace maritime::mod

@@ -1,0 +1,73 @@
+#ifndef MARITIME_MOD_ANALYTICS_H_
+#define MARITIME_MOD_ANALYTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mod/store.h"
+
+namespace maritime::mod {
+
+/// Offline trajectory analytics over the archived trips (paper Section 3.3:
+/// "a series of derived tables can offer historical information about
+/// traveled distances and travel times per ship, idle periods at dock,
+/// visited ports... aggregates at various time granularities... by other
+/// dimensions as well (e.g. vessel type)... motion patterns... frequently
+/// traveled paths ('corridors')").
+
+/// Per-vessel travel history aggregate.
+struct VesselTravelStats {
+  stream::Mmsi mmsi = 0;
+  uint64_t trips = 0;
+  double total_distance_m = 0.0;
+  Duration total_travel_time = 0;
+  Duration total_idle_time = 0;   ///< Time between consecutive trips
+                                  ///< (docked/idle at port).
+  std::vector<int32_t> visited_ports;  ///< Distinct, in first-visit order.
+};
+
+/// Computes per-vessel aggregates over the whole archive.
+std::vector<VesselTravelStats> ComputeVesselStats(const TrajectoryStore& store);
+
+/// Time-bucketed departure counts (aggregates "at various time
+/// granularities": pass kHour, kDay, ...). Key = trip start rounded down to
+/// the granularity.
+std::map<Timestamp, uint64_t> DeparturesPerPeriod(const TrajectoryStore& store,
+                                                  Duration granularity);
+
+/// A frequently traveled cell of the "corridor" heat map: trips are rasterized
+/// onto a uniform grid and cells are ranked by the number of *distinct trips*
+/// crossing them.
+struct CorridorCell {
+  double lon = 0.0;   ///< Cell center.
+  double lat = 0.0;
+  uint64_t trips = 0; ///< Distinct trips crossing the cell.
+};
+
+/// Top-`limit` corridor cells at `cell_deg` resolution (default ~5.5 km).
+std::vector<CorridorCell> FrequentCorridors(const TrajectoryStore& store,
+                                            double cell_deg = 0.05,
+                                            size_t limit = 20);
+
+/// Itineraries served with near-regular departures — periodic movement such
+/// as ferry services (paper Section 3.3's periodicity mining, simplified to
+/// the O–D timetable level).
+struct PeriodicService {
+  int32_t origin_port = -1;
+  int32_t destination_port = -1;
+  uint64_t trips = 0;
+  Duration mean_headway = 0;   ///< Mean time between departures.
+  double headway_cv = 0.0;     ///< Coefficient of variation of the headway;
+                               ///< small means regular (periodic) service.
+};
+
+/// Itineraries with at least `min_trips` departures, sorted by regularity
+/// (ascending headway CV).
+std::vector<PeriodicService> DetectPeriodicServices(
+    const TrajectoryStore& store, uint64_t min_trips = 3);
+
+}  // namespace maritime::mod
+
+#endif  // MARITIME_MOD_ANALYTICS_H_

@@ -1,0 +1,109 @@
+#include "mod/clustering.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maritime::mod {
+namespace {
+
+/// Position along a trip's compressed shape at relative progress f ∈ [0,1]
+/// (by time, interpolating between critical points).
+geo::GeoPoint SampleTrip(const Trip& t, double f) {
+  assert(!t.points.empty());
+  if (t.points.size() == 1) return t.points.front().pos;
+  const Timestamp span = t.points.back().tau - t.points.front().tau;
+  if (span <= 0) return t.points.front().pos;
+  const Timestamp target =
+      t.points.front().tau + static_cast<Timestamp>(f * span);
+  // Find bracketing points.
+  for (size_t i = 1; i < t.points.size(); ++i) {
+    if (t.points[i].tau >= target) {
+      const auto& lo = t.points[i - 1];
+      const auto& hi = t.points[i];
+      if (hi.tau == lo.tau) return hi.pos;
+      const double frac = static_cast<double>(target - lo.tau) /
+                          static_cast<double>(hi.tau - lo.tau);
+      return geo::Interpolate(lo.pos, hi.pos, frac);
+    }
+  }
+  return t.points.back().pos;
+}
+
+}  // namespace
+
+double TripShapeDistanceMeters(const Trip& a, const Trip& b, int samples) {
+  assert(samples >= 2);
+  if (a.points.empty() || b.points.empty()) return 1e18;
+  double total = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double f = static_cast<double>(i) / (samples - 1);
+    total += geo::HaversineMeters(SampleTrip(a, f), SampleTrip(b, f));
+  }
+  return total / samples;
+}
+
+Duration DepartureTimeOfDayDistance(const Trip& a, const Trip& b) {
+  const Duration ta = ((a.start_tau % kDay) + kDay) % kDay;
+  const Duration tb = ((b.start_tau % kDay) + kDay) % kDay;
+  const Duration diff = ta > tb ? ta - tb : tb - ta;
+  return std::min(diff, kDay - diff);
+}
+
+std::vector<TripCluster> ClusterTrips(const TrajectoryStore& store,
+                                      const ClusteringParams& params) {
+  std::vector<TripCluster> clusters;
+  const auto& trips = store.trips();
+  for (size_t i = 0; i < trips.size(); ++i) {
+    bool placed = false;
+    for (TripCluster& c : clusters) {
+      const Trip& seed = trips[c.seed];
+      if (DepartureTimeOfDayDistance(trips[i], seed) >
+          params.temporal_threshold) {
+        continue;
+      }
+      if (TripShapeDistanceMeters(trips[i], seed, params.samples) >
+          params.spatial_threshold_m) {
+        continue;
+      }
+      c.trip_indices.push_back(i);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      TripCluster c;
+      c.seed = i;
+      c.trip_indices.push_back(i);
+      clusters.push_back(std::move(c));
+    }
+  }
+  // Largest clusters first: the dominant recurring movements.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const TripCluster& a, const TripCluster& b) {
+              return a.trip_indices.size() > b.trip_indices.size();
+            });
+  return clusters;
+}
+
+std::vector<size_t> MostSimilarTrips(const TrajectoryStore& store,
+                                     const Trip& query, size_t k,
+                                     int samples) {
+  std::vector<std::pair<double, size_t>> ranked;
+  const auto& trips = store.trips();
+  for (size_t i = 0; i < trips.size(); ++i) {
+    // Skip the query itself (same vessel, same departure).
+    if (trips[i].mmsi == query.mmsi &&
+        trips[i].start_tau == query.start_tau) {
+      continue;
+    }
+    ranked.emplace_back(TripShapeDistanceMeters(trips[i], query, samples),
+                        i);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<size_t> out;
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+}  // namespace maritime::mod

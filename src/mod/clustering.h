@@ -1,0 +1,61 @@
+#ifndef MARITIME_MOD_CLUSTERING_H_
+#define MARITIME_MOD_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mod/store.h"
+
+namespace maritime::mod {
+
+/// Spatiotemporal trip clustering (paper Section 3.3): "Hermes MOD
+/// incorporates an algorithm for spatiotemporal clustering, which can help
+/// exploring periodicity of trips. Indeed, two (or more) trajectory clusters
+/// may be almost identical spatially, but they are distinct because the
+/// temporal dimension is taken into consideration."
+///
+/// The trip-to-trip distance samples both trips at `samples` aligned
+/// fractions of their durations and averages the Haversine deviation
+/// (spatial part); the temporal part compares time-of-day of departure, so
+/// the same ferry run at 08:00 and at 20:00 lands in different clusters even
+/// though the paths coincide.
+
+struct ClusteringParams {
+  /// Trips join a cluster when their mean spatial deviation from the
+  /// cluster's seed trip is below this.
+  double spatial_threshold_m = 5000.0;
+  /// ... and their departure time-of-day differs by less than this
+  /// (circular distance within the day).
+  Duration temporal_threshold = 2 * kHour;
+  /// Shape sampling resolution.
+  int samples = 8;
+};
+
+struct TripCluster {
+  std::vector<size_t> trip_indices;  ///< Indices into store.trips().
+  size_t seed = 0;                   ///< Index of the cluster's seed trip.
+};
+
+/// Mean spatial deviation between two trips, sampling both shapes at the
+/// same relative progress (meters).
+double TripShapeDistanceMeters(const Trip& a, const Trip& b, int samples = 8);
+
+/// Circular time-of-day distance between the two departures (seconds).
+Duration DepartureTimeOfDayDistance(const Trip& a, const Trip& b);
+
+/// Greedy seed-based clustering: trips are scanned in store order; each
+/// joins the first cluster whose seed is within both thresholds, otherwise
+/// it seeds a new cluster. Deterministic; O(clusters × trips × samples).
+std::vector<TripCluster> ClusterTrips(const TrajectoryStore& store,
+                                      const ClusteringParams& params = {});
+
+/// Similarity search over the archive (a Hermes MOD query operator, paper
+/// Section 6): the `k` trips most similar in shape to `query`, nearest
+/// first, excluding `query` itself if it is in the store.
+std::vector<size_t> MostSimilarTrips(const TrajectoryStore& store,
+                                     const Trip& query, size_t k,
+                                     int samples = 8);
+
+}  // namespace maritime::mod
+
+#endif  // MARITIME_MOD_CLUSTERING_H_

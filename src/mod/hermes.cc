@@ -1,0 +1,62 @@
+#include "mod/hermes.h"
+
+#include <chrono>
+
+namespace maritime::mod {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+HermesArchiver::HermesArchiver(const surveillance::KnowledgeBase* kb)
+    : kb_(kb), builder_(kb) {}
+
+void HermesArchiver::StageBatch(
+    const std::vector<tracker::CriticalPoint>& batch) {
+  const double t0 = NowSeconds();
+  staging_.insert(staging_.end(), batch.begin(), batch.end());
+  timings_.staging_s += NowSeconds() - t0;
+  ++timings_.batches;
+}
+
+size_t HermesArchiver::Reconstruct() {
+  const double t0 = NowSeconds();
+  const size_t before = reconstructed_.size();
+  while (!staging_.empty()) {
+    builder_.Add(staging_.front(), &reconstructed_);
+    staging_.pop_front();
+  }
+  timings_.reconstruction_s += NowSeconds() - t0;
+  return reconstructed_.size() - before;
+}
+
+size_t HermesArchiver::Load() {
+  const double t0 = NowSeconds();
+  const size_t loaded = reconstructed_.size();
+  for (Trip& t : reconstructed_) store_.AddTrip(std::move(t));
+  reconstructed_.clear();
+  timings_.loading_s += NowSeconds() - t0;
+  return loaded;
+}
+
+void HermesArchiver::ArchiveBatch(
+    const std::vector<tracker::CriticalPoint>& batch) {
+  StageBatch(batch);
+  Reconstruct();
+  Load();
+}
+
+uint64_t HermesArchiver::pending_points() const {
+  return staging_.size() + builder_.pending_points();
+}
+
+TripStatistics HermesArchiver::Statistics() const {
+  return store_.ComputeStatistics(pending_points());
+}
+
+}  // namespace maritime::mod

@@ -1,0 +1,54 @@
+#include "mod/trips.h"
+
+#include <cassert>
+
+namespace maritime::mod {
+
+TripBuilder::TripBuilder(const surveillance::KnowledgeBase* kb,
+                         double min_trip_distance_m)
+    : kb_(kb), min_trip_distance_m_(min_trip_distance_m) {
+  assert(kb_ != nullptr);
+}
+
+void TripBuilder::Add(const tracker::CriticalPoint& cp,
+                      std::vector<Trip>* out) {
+  OpenSegment& seg = segments_[cp.mmsi];
+  if (!seg.points.empty()) {
+    seg.distance_m += geo::HaversineMeters(seg.points.back().pos, cp.pos);
+  }
+  seg.points.push_back(cp);
+
+  // A long-term stop inside a port polygon anchors the segmentation.
+  if (!cp.Has(tracker::kStopEnd)) return;
+  const surveillance::AreaInfo* port = kb_->PortContaining(cp.pos);
+  if (port == nullptr) return;
+
+  if (seg.distance_m >= min_trip_distance_m_ && seg.points.size() >= 2) {
+    Trip trip;
+    trip.mmsi = cp.mmsi;
+    trip.origin_port = seg.origin_port;
+    trip.destination_port = port->id;
+    trip.points = seg.points;
+    trip.start_tau = seg.points.front().tau;
+    // The stop-end critical point fires when the vessel *departs* again and
+    // carries the stop's duration; the trip ended when the vessel arrived.
+    trip.end_tau = cp.tau - std::max<Duration>(0, cp.duration);
+    trip.end_tau = std::max(trip.end_tau, trip.start_tau);
+    trip.distance_m = seg.distance_m;
+    out->push_back(std::move(trip));
+  }
+  // Start the next segment at this port stop.
+  seg.origin_port = port->id;
+  tracker::CriticalPoint anchor = cp;
+  seg.points.clear();
+  seg.points.push_back(anchor);
+  seg.distance_m = 0.0;
+}
+
+size_t TripBuilder::pending_points() const {
+  size_t n = 0;
+  for (const auto& [mmsi, seg] : segments_) n += seg.points.size();
+  return n;
+}
+
+}  // namespace maritime::mod

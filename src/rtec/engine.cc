@@ -1,0 +1,296 @@
+#include "rtec/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maritime::rtec {
+namespace {
+
+bool EventOrder(const EventInstance& a, const EventInstance& b) {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.subject != b.subject) return a.subject < b.subject;
+  return a.object < b.object;
+}
+
+}  // namespace
+
+// --- EvalContext -----------------------------------------------------------
+
+const std::vector<EventInstance>& EvalContext::Events(EventId e) const {
+  return engine_->EventsOf(e);
+}
+
+std::vector<Term> EvalContext::FluentKeys(FluentId f) const {
+  return engine_->KeysOf(f);
+}
+
+const FluentTimeline& EvalContext::Timeline(FluentId f, Term key) const {
+  return engine_->TimelineOf(f, key);
+}
+
+std::optional<geo::GeoPoint> EvalContext::CoordAt(Term vessel,
+                                                  Timestamp t) const {
+  return engine_->CoordOf(vessel, t);
+}
+
+// --- Engine ------------------------------------------------------------------
+
+Engine::Engine(stream::WindowSpec window, const void* user_data)
+    : window_(window), user_data_(user_data) {
+  assert(window_.Validate().ok());
+}
+
+EventId Engine::DeclareEvent(std::string name) {
+  const EventId id = static_cast<EventId>(event_names_.size());
+  event_names_.push_back(std::move(name));
+  input_events_.emplace_back();
+  derived_events_.emplace_back();
+  return id;
+}
+
+FluentId Engine::DeclareFluent(std::string name) {
+  const FluentId id = static_cast<FluentId>(fluent_names_.size());
+  fluent_names_.push_back(std::move(name));
+  timelines_.emplace_back();
+  return id;
+}
+
+void Engine::AddSimpleFluent(SimpleFluentSpec spec) {
+  assert(spec.fluent >= 0 &&
+         static_cast<size_t>(spec.fluent) < fluent_names_.size());
+  assert(spec.domain && spec.rules);
+  definitions_.emplace_back(std::move(spec));
+}
+
+void Engine::AddStaticFluent(StaticFluentSpec spec) {
+  assert(spec.fluent >= 0 &&
+         static_cast<size_t>(spec.fluent) < fluent_names_.size());
+  assert(spec.domain && spec.compute);
+  definitions_.emplace_back(std::move(spec));
+}
+
+void Engine::AddDerivedEvent(DerivedEventSpec spec) {
+  assert(spec.event >= 0 &&
+         static_cast<size_t>(spec.event) < event_names_.size());
+  assert(spec.compute);
+  definitions_.emplace_back(std::move(spec));
+}
+
+void Engine::AssertEvent(EventId e, Term subject, Timestamp t, Term object) {
+  assert(e >= 0 && static_cast<size_t>(e) < event_names_.size());
+  input_events_[static_cast<size_t>(e)].push_back(
+      EventInstance{subject, object, t});
+  input_dirty_ = true;
+}
+
+void Engine::AssertCoord(Term vessel, Timestamp t, geo::GeoPoint pos) {
+  coords_[vessel].emplace_back(t, pos);
+  coords_dirty_ = true;
+}
+
+void Engine::PurgeBefore(Timestamp inclusive_cutoff) {
+  for (auto& store : input_events_) {
+    store.erase(std::remove_if(store.begin(), store.end(),
+                               [&](const EventInstance& i) {
+                                 return i.t <= inclusive_cutoff;
+                               }),
+                store.end());
+  }
+  for (auto it = coords_.begin(); it != coords_.end();) {
+    auto& vec = it->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [&](const auto& p) {
+                               return p.first <= inclusive_cutoff;
+                             }),
+              vec.end());
+    if (vec.empty()) {
+      it = coords_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Engine::SortPendingInput() {
+  if (input_dirty_) {
+    for (auto& store : input_events_) {
+      std::sort(store.begin(), store.end(), EventOrder);
+    }
+    input_dirty_ = false;
+  }
+  if (coords_dirty_) {
+    for (auto& [vessel, vec] : coords_) {
+      std::sort(vec.begin(), vec.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    coords_dirty_ = false;
+  }
+}
+
+size_t Engine::buffered_events() const {
+  size_t n = 0;
+  for (const auto& store : input_events_) n += store.size();
+  return n;
+}
+
+const std::vector<EventInstance>& Engine::EventsOf(EventId e) const {
+  assert(e >= 0 && static_cast<size_t>(e) < event_names_.size());
+  // Derived events shadow-extend the input store; during recognition the
+  // derived store holds this step's occurrences (input events and derived
+  // events never share an id in practice: inputs are asserted, deriveds are
+  // computed).
+  const auto& derived = derived_events_[static_cast<size_t>(e)];
+  if (!derived.empty()) return derived;
+  return input_events_[static_cast<size_t>(e)];
+}
+
+const FluentTimeline& Engine::TimelineOf(FluentId f, Term key) const {
+  const auto& map = timelines_[static_cast<size_t>(f)];
+  const auto it = map.find(key);
+  return it == map.end() ? empty_timeline_ : it->second;
+}
+
+std::vector<Term> Engine::KeysOf(FluentId f) const {
+  const auto& map = timelines_[static_cast<size_t>(f)];
+  std::vector<Term> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, v] : map) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::optional<geo::GeoPoint> Engine::CoordOf(Term vessel, Timestamp t) const {
+  const auto it = coords_.find(vessel);
+  if (it == coords_.end()) return std::nullopt;
+  const auto& vec = it->second;
+  // Last entry with time <= t.
+  auto pos = std::partition_point(
+      vec.begin(), vec.end(), [t](const auto& p) { return p.first <= t; });
+  if (pos == vec.begin()) return std::nullopt;
+  return (pos - 1)->second;
+}
+
+RecognitionResult Engine::Recognize(Timestamp q) {
+  const Timestamp wstart = q - window_.range;
+  PurgeBefore(wstart);
+  SortPendingInput();
+  for (auto& d : derived_events_) d.clear();
+  for (auto& t : timelines_) t.clear();
+
+  RecognitionResult result;
+  result.query_time = q;
+  result.window_start = wstart;
+  result.input_events_in_window = buffered_events();
+
+  const EvalContext ctx(this, wstart, q, user_data_);
+
+  const bool have_boundary = boundary_.at == wstart &&
+                             boundary_.values.size() == fluent_names_.size();
+
+  for (const auto& def : definitions_) {
+    if (const auto* simple = std::get_if<SimpleFluentSpec>(&def)) {
+      const size_t fidx = static_cast<size_t>(simple->fluent);
+      std::vector<Term> keys = simple->domain(ctx);
+      if (have_boundary) {
+        // Inertia: keys whose value persists from before this window must be
+        // evaluated even without fresh evidence.
+        for (const auto& [key, value] : boundary_.values[fidx]) {
+          keys.push_back(key);
+        }
+      }
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      for (const Term& key : keys) {
+        FluentEvidence ev;
+        simple->rules(ctx, key, &ev.initiations, &ev.terminations);
+        if (have_boundary) {
+          const auto& bmap = boundary_.values[fidx];
+          const auto bit = bmap.find(key);
+          if (bit != bmap.end()) ev.carried_value = bit->second;
+        }
+        FluentTimeline timeline = ComputeSimpleFluent(ev, wstart, q);
+        if (simple->output) {
+          for (const auto& [value, list] : timeline.intervals) {
+            if (!list.empty()) {
+              result.fluents.push_back(
+                  RecognizedFluent{simple->fluent, key, value, list});
+            }
+          }
+        }
+        timelines_[fidx][key] = std::move(timeline);
+      }
+    } else if (const auto* st = std::get_if<StaticFluentSpec>(&def)) {
+      const size_t fidx = static_cast<size_t>(st->fluent);
+      std::vector<Term> keys = st->domain(ctx);
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      for (const Term& key : keys) {
+        std::map<Value, IntervalList> computed;
+        st->compute(ctx, key, &computed);
+        FluentTimeline timeline;
+        for (auto& [value, list] : computed) {
+          NormalizeIntervals(&list);
+          IntervalList clipped = ClipToWindow(list, wstart, q);
+          for (const Interval& i : clipped) {
+            // A boundary-touching since is a clipping artifact, not a real
+            // initiation; an interval reaching q may still be ongoing.
+            if (i.since > wstart) {
+              timeline.starts[value].push_back(i.since);
+            }
+            if (i.till < q) {
+              timeline.ends[value].push_back(i.till);
+            } else {
+              timeline.open_value = value;
+            }
+          }
+          if (!clipped.empty()) {
+            if (st->output) {
+              result.fluents.push_back(
+                  RecognizedFluent{st->fluent, key, value, clipped});
+            }
+            timeline.intervals[value] = std::move(clipped);
+          }
+        }
+        timelines_[fidx][key] = std::move(timeline);
+      }
+    } else {
+      const auto& de = std::get<DerivedEventSpec>(def);
+      std::vector<EventInstance> instances;
+      de.compute(ctx, &instances);
+      auto& store = derived_events_[static_cast<size_t>(de.event)];
+      for (const EventInstance& i : instances) {
+        if (i.t > wstart && i.t <= q) store.push_back(i);
+      }
+      std::sort(store.begin(), store.end(), EventOrder);
+      store.erase(std::unique(store.begin(), store.end()), store.end());
+      if (de.output) {
+        for (const EventInstance& i : store) {
+          result.events.push_back(RecognizedEvent{de.event, i});
+        }
+      }
+    }
+  }
+
+  // Record the fluent values holding at the next window's start so inertia
+  // survives the slide even after the supporting events are discarded.
+  const Timestamp next_wstart = q - window_.range + window_.slide;
+  boundary_.at = next_wstart;
+  boundary_.values.assign(fluent_names_.size(), {});
+  for (const auto& def : definitions_) {
+    const auto* simple = std::get_if<SimpleFluentSpec>(&def);
+    if (simple == nullptr) continue;
+    const size_t fidx = static_cast<size_t>(simple->fluent);
+    for (const auto& [key, timeline] : timelines_[fidx]) {
+      std::optional<Value> v;
+      if (next_wstart >= q) {
+        v = timeline.open_value;
+      } else {
+        v = timeline.ValueRightOf(next_wstart);
+      }
+      if (v.has_value()) boundary_.values[fidx][key] = *v;
+    }
+  }
+  return result;
+}
+
+}  // namespace maritime::rtec

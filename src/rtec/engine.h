@@ -1,0 +1,253 @@
+#ifndef MARITIME_RTEC_ENGINE_H_
+#define MARITIME_RTEC_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/geo_point.h"
+#include "rtec/terms.h"
+#include "rtec/timeline.h"
+#include "stream/sliding_window.h"
+
+namespace maritime::rtec {
+
+class Engine;
+
+/// Read-only view rules evaluate against: the events in the current window,
+/// the timelines of fluents already computed at this query time (definitions
+/// are evaluated in registration order, so a rule may only reference fluents
+/// and derived events registered before it — the usual Event Calculus
+/// definition hierarchy), per-vessel coordinates, and the window bounds.
+class EvalContext {
+ public:
+  /// All occurrences of `e` in the window, sorted by time.
+  const std::vector<EventInstance>& Events(EventId e) const;
+
+  /// Keys (ground terms) for which `f` was evaluated at this query time.
+  std::vector<Term> FluentKeys(FluentId f) const;
+
+  /// Timeline of `f` on `key`; empty timeline when not evaluated.
+  const FluentTimeline& Timeline(FluentId f, Term key) const;
+
+  bool HoldsAt(FluentId f, Term key, Value v, Timestamp t) const {
+    return Timeline(f, key).Holds(v, t);
+  }
+
+  /// holdsAt at the right limit of t (counts episodes starting exactly at t).
+  bool HoldsRightOf(FluentId f, Term key, Value v, Timestamp t) const {
+    return Timeline(f, key).HoldsRight(v, t);
+  }
+
+  /// The coord fluent: the vessel's most recent position at or before `t`
+  /// within the window (each critical ME carries the vessel coordinates,
+  /// paper Section 4.1).
+  std::optional<geo::GeoPoint> CoordAt(Term vessel, Timestamp t) const;
+
+  /// Window bounds: events in (window_start, query_time] are visible.
+  Timestamp window_start() const { return window_start_; }
+  Timestamp query_time() const { return query_time_; }
+
+  /// Application knowledge (e.g. the maritime KnowledgeBase). Not owned.
+  const void* user_data() const { return user_data_; }
+
+ private:
+  friend class Engine;
+  EvalContext(const Engine* engine, Timestamp window_start,
+              Timestamp query_time, const void* user_data)
+      : engine_(engine),
+        window_start_(window_start),
+        query_time_(query_time),
+        user_data_(user_data) {}
+
+  const Engine* engine_;
+  Timestamp window_start_;
+  Timestamp query_time_;
+  const void* user_data_;
+};
+
+/// Definition of a simple fluent: domain + initiatedAt/terminatedAt rules.
+/// The engine computes maximal intervals from the generated points under the
+/// law of inertia (rules (1)–(2) of the paper).
+struct SimpleFluentSpec {
+  FluentId fluent = -1;
+  /// Ground terms to evaluate at each query time (may depend on the window
+  /// contents, e.g. "all vessels with MEs in the window").
+  std::function<std::vector<Term>(const EvalContext&)> domain;
+  /// Appends initiation and termination points for `key`. Points outside the
+  /// window are ignored.
+  std::function<void(const EvalContext&, Term key,
+                     std::vector<ValuedPoint>* initiated,
+                     std::vector<ValuedPoint>* terminated)>
+      rules;
+  /// Include this fluent's intervals in RecognitionResult.
+  bool output = false;
+};
+
+/// Definition of a statically determined fluent: its intervals are computed
+/// directly by interval manipulation (union/intersect/complement) over
+/// previously computed timelines, without inertia.
+struct StaticFluentSpec {
+  FluentId fluent = -1;
+  std::function<std::vector<Term>(const EvalContext&)> domain;
+  std::function<void(const EvalContext&, Term key,
+                     std::map<Value, IntervalList>* out)>
+      compute;
+  bool output = false;
+};
+
+/// Definition of a derived (output) event: happensAt rules producing event
+/// occurrences from the window contents, e.g. illegalShipping (rule (5)).
+struct DerivedEventSpec {
+  EventId event = -1;
+  std::function<void(const EvalContext&, std::vector<EventInstance>* out)>
+      compute;
+  bool output = false;
+};
+
+/// One recognized durative CE: fluent=value over maximal intervals.
+struct RecognizedFluent {
+  FluentId fluent = -1;
+  Term key;
+  Value value = kTrue;
+  IntervalList intervals;
+};
+
+/// One recognized instantaneous CE occurrence.
+struct RecognizedEvent {
+  EventId event = -1;
+  EventInstance instance;
+};
+
+/// Result of one recognition step at query time Q.
+struct RecognitionResult {
+  Timestamp query_time = 0;
+  Timestamp window_start = 0;
+  std::vector<RecognizedFluent> fluents;   ///< Output fluents, with non-empty
+                                           ///< interval lists only.
+  std::vector<RecognizedEvent> events;     ///< Output event occurrences.
+  size_t input_events_in_window = 0;       ///< MEs (and SFs) considered.
+
+  /// Convenience: total number of distinct CE interval/instance items.
+  size_t RecognizedCount() const {
+    size_t n = events.size();
+    for (const auto& f : fluents) n += f.intervals.size();
+    return n;
+  }
+};
+
+/// The Event Calculus for Run-Time reasoning (RTEC) engine, re-implemented
+/// as a C++ library (the paper's implementation is YAP Prolog). It performs
+/// CE recognition at query times Q1, Q2, ... over a sliding window ("working
+/// memory") of range ω: at each Qi only events in (Qi−ω, Qi] are considered
+/// and everything older is discarded, so recognition cost depends on ω and
+/// not on the full history (paper Section 4.2, Figure 5). Delayed events —
+/// occurring before Qi−1 but arriving after it — are incorporated at Qi as
+/// long as they are still inside the window.
+///
+/// Usage:
+///   Engine eng(WindowSpec{...});
+///   EventId turn = eng.DeclareEvent("turn");
+///   FluentId stopped = eng.DeclareFluent("stopped");
+///   eng.AddSimpleFluent({...});        // definitions, in dependency order
+///   eng.AssertEvent(turn, vessel, t);  // stream input (may be delayed)
+///   RecognitionResult r = eng.Recognize(q);
+class Engine {
+ public:
+  explicit Engine(stream::WindowSpec window, const void* user_data = nullptr);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- schema ------------------------------------------------------------
+  EventId DeclareEvent(std::string name);
+  FluentId DeclareFluent(std::string name);
+  const std::string& EventName(EventId e) const { return event_names_.at(e); }
+  const std::string& FluentName(FluentId f) const {
+    return fluent_names_.at(static_cast<size_t>(f));
+  }
+
+  // --- definitions (evaluated in registration order) ----------------------
+  void AddSimpleFluent(SimpleFluentSpec spec);
+  void AddStaticFluent(StaticFluentSpec spec);
+  void AddDerivedEvent(DerivedEventSpec spec);
+
+  // --- stream input --------------------------------------------------------
+  /// Asserts happensAt(e(subject[, object]), t). Events may arrive delayed
+  /// and out of order; those at or before the current window start are
+  /// dropped (information loss by design, paper Section 4.2).
+  void AssertEvent(EventId e, Term subject, Timestamp t,
+                   Term object = Term::None());
+
+  /// Asserts the vessel coordinates accompanying a critical ME.
+  void AssertCoord(Term vessel, Timestamp t, geo::GeoPoint pos);
+
+  // --- recognition -----------------------------------------------------------
+  /// Performs CE recognition at query time `q`. Query times should advance
+  /// by the window slide; the engine purges events at or before q − ω.
+  RecognitionResult Recognize(Timestamp q);
+
+  /// Number of input event instances currently buffered.
+  size_t buffered_events() const;
+
+  // --- introspection (valid during and after a Recognize call) --------------
+  const std::vector<EventInstance>& EventsOf(EventId e) const;
+  const FluentTimeline& TimelineOf(FluentId f, Term key) const;
+  std::vector<Term> KeysOf(FluentId f) const;
+  std::optional<geo::GeoPoint> CoordOf(Term vessel, Timestamp t) const;
+
+ private:
+  friend class EvalContext;
+  using FluentKeyMap =
+      std::unordered_map<Term, FluentTimeline, TermHash>;
+
+  void PurgeBefore(Timestamp inclusive_cutoff);
+  void SortPendingInput();
+
+  stream::WindowSpec window_;
+  const void* user_data_;
+
+  std::vector<std::string> event_names_;
+  std::vector<std::string> fluent_names_;
+
+  using AnySpec =
+      std::variant<SimpleFluentSpec, StaticFluentSpec, DerivedEventSpec>;
+  std::vector<AnySpec> definitions_;
+
+  // Input event store: per event id, kept sorted by time (lazily).
+  std::vector<std::vector<EventInstance>> input_events_;
+  bool input_dirty_ = false;
+
+  // Derived event instances of the current recognition step.
+  std::vector<std::vector<EventInstance>> derived_events_;
+
+  // coord fluent: per vessel, (t, pos) sorted by t.
+  std::unordered_map<Term, std::vector<std::pair<Timestamp, geo::GeoPoint>>,
+                     TermHash>
+      coords_;
+  bool coords_dirty_ = false;
+
+  // Computed timelines of the current recognition step.
+  std::vector<FluentKeyMap> timelines_;
+
+  // Inertia across window slides: for each fluent key, the value holding at
+  // the *next* window start, recorded at the end of each recognition step.
+  struct BoundaryRecord {
+    Timestamp at = kInvalidTimestamp;
+    std::vector<std::unordered_map<Term, Value, TermHash>> values;
+  };
+  BoundaryRecord boundary_;
+
+  FluentTimeline empty_timeline_;
+  std::vector<EventInstance> empty_events_;
+};
+
+}  // namespace maritime::rtec
+
+#endif  // MARITIME_RTEC_ENGINE_H_

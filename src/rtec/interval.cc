@@ -1,0 +1,127 @@
+#include "rtec/interval.h"
+
+#include <algorithm>
+
+namespace maritime::rtec {
+
+void NormalizeIntervals(IntervalList* list) {
+  auto& v = *list;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [](const Interval& i) { return !i.NonEmpty(); }),
+          v.end());
+  std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) {
+    if (a.since != b.since) return a.since < b.since;
+    return a.till < b.till;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (out > 0 && v[i].since <= v[out - 1].till) {
+      // Overlapping or adjacent ((a,b] followed by (b,c]): coalesce.
+      v[out - 1].till = std::max(v[out - 1].till, v[i].till);
+    } else {
+      v[out++] = v[i];
+    }
+  }
+  v.resize(out);
+}
+
+bool IsNormalized(const IntervalList& list) {
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (!list[i].NonEmpty()) return false;
+    if (i > 0 && list[i].since <= list[i - 1].till) return false;
+  }
+  return true;
+}
+
+bool HoldsAt(const IntervalList& list, Timestamp t) {
+  // Last interval with since < t.
+  const auto it = std::partition_point(
+      list.begin(), list.end(),
+      [t](const Interval& i) { return i.since < t; });
+  if (it == list.begin()) return false;
+  return (it - 1)->till >= t;
+}
+
+bool HoldsRightOf(const IntervalList& list, Timestamp t) {
+  const auto it = std::partition_point(
+      list.begin(), list.end(),
+      [t](const Interval& i) { return i.since <= t; });
+  if (it == list.begin()) return false;
+  return (it - 1)->till > t;
+}
+
+IntervalList UnionAll(const std::vector<IntervalList>& lists) {
+  IntervalList out;
+  for (const auto& l : lists) out.insert(out.end(), l.begin(), l.end());
+  NormalizeIntervals(&out);
+  return out;
+}
+
+IntervalList IntersectAll(const std::vector<IntervalList>& lists) {
+  if (lists.empty()) return {};
+  IntervalList acc = lists[0];
+  NormalizeIntervals(&acc);
+  for (size_t k = 1; k < lists.size(); ++k) {
+    IntervalList rhs = lists[k];
+    NormalizeIntervals(&rhs);
+    IntervalList next;
+    size_t i = 0, j = 0;
+    while (i < acc.size() && j < rhs.size()) {
+      const Timestamp lo = std::max(acc[i].since, rhs[j].since);
+      const Timestamp hi = std::min(acc[i].till, rhs[j].till);
+      if (lo < hi) next.push_back(Interval{lo, hi});
+      if (acc[i].till < rhs[j].till) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    acc = std::move(next);
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+IntervalList RelativeComplementAll(const IntervalList& base,
+                                   const std::vector<IntervalList>& subtract) {
+  IntervalList cut = UnionAll(subtract);
+  IntervalList norm_base = base;
+  NormalizeIntervals(&norm_base);
+  IntervalList out;
+  size_t j = 0;
+  for (const Interval& b : norm_base) {
+    Timestamp cursor = b.since;
+    while (j < cut.size() && cut[j].till <= cursor) ++j;
+    size_t k = j;
+    while (k < cut.size() && cut[k].since < b.till) {
+      if (cut[k].since > cursor) {
+        out.push_back(Interval{cursor, cut[k].since});
+      }
+      cursor = std::max(cursor, cut[k].till);
+      if (cursor >= b.till) break;
+      ++k;
+    }
+    if (cursor < b.till) out.push_back(Interval{cursor, b.till});
+  }
+  NormalizeIntervals(&out);
+  return out;
+}
+
+IntervalList ClipToWindow(const IntervalList& list, Timestamp lo,
+                          Timestamp hi) {
+  IntervalList out;
+  for (const Interval& i : list) {
+    const Interval clipped{std::max(i.since, lo), std::min(i.till, hi)};
+    if (clipped.NonEmpty()) out.push_back(clipped);
+  }
+  NormalizeIntervals(&out);
+  return out;
+}
+
+Duration TotalLength(const IntervalList& list) {
+  Duration total = 0;
+  for (const Interval& i : list) total += i.Length();
+  return total;
+}
+
+}  // namespace maritime::rtec

@@ -1,0 +1,83 @@
+#ifndef MARITIME_RTEC_INTERVAL_H_
+#define MARITIME_RTEC_INTERVAL_H_
+
+#include <ostream>
+#include <vector>
+
+#include "common/time.h"
+
+namespace maritime::rtec {
+
+/// A maximal interval of an Event Calculus fluent, following RTEC's
+/// convention: if F=V is initiated at Ts and first broken at Tf, then F=V
+/// holds at every time-point T with Ts < T <= Tf (paper Section 4.1: "if
+/// F=V is initiated at 10 and 20 and terminated at 25 and 30, F=V holds at
+/// all T such that 10 < T <= 25").
+///
+/// `since` is the initiation boundary (the built-in start(F=V) event fires
+/// there) and `till` the last time-point at which the value holds (the
+/// built-in end(F=V) event fires there).
+struct Interval {
+  Timestamp since = 0;  ///< Exclusive lower bound (start-event time-point).
+  Timestamp till = 0;   ///< Inclusive upper bound (end-event time-point).
+
+  /// True iff the interval contains at least one time-point.
+  bool NonEmpty() const { return since < till; }
+
+  /// True iff F=V holds at `t` within this interval.
+  bool Covers(Timestamp t) const { return since < t && t <= till; }
+
+  /// Number of time-points at which the value holds.
+  Duration Length() const { return till - since; }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.since == b.since && a.till == b.till;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& i) {
+  return os << "(" << i.since << "," << i.till << "]";
+}
+
+/// A list of maximal intervals: sorted by `since`, pairwise disjoint and
+/// non-adjacent (adjacent intervals are coalesced because the fluent then
+/// holds continuously across them).
+using IntervalList = std::vector<Interval>;
+
+/// Sorts, drops empty intervals, and coalesces overlapping/adjacent ones,
+/// establishing the IntervalList invariant in place.
+void NormalizeIntervals(IntervalList* list);
+
+/// True iff `list` satisfies the IntervalList invariant.
+bool IsNormalized(const IntervalList& list);
+
+/// True iff the fluent value holds at `t` in any interval of the list.
+/// Precondition: `list` normalized. O(log n).
+bool HoldsAt(const IntervalList& list, Timestamp t);
+
+/// True iff the value holds at the "right limit" of `t`, i.e. at t+1 in the
+/// discrete time model: there is an interval with since <= t < till. Used by
+/// rules that must count an episode starting exactly at `t` (e.g. the vessel
+/// whose stop initiates a suspicious-area episode).
+bool HoldsRightOf(const IntervalList& list, Timestamp t);
+
+/// union_all: points covered by any input list.
+IntervalList UnionAll(const std::vector<IntervalList>& lists);
+
+/// intersect_all: points covered by every input list.
+IntervalList IntersectAll(const std::vector<IntervalList>& lists);
+
+/// relative_complement_all: points of `base` covered by none of `subtract`.
+IntervalList RelativeComplementAll(const IntervalList& base,
+                                   const std::vector<IntervalList>& subtract);
+
+/// Clips every interval to the window (`lo`, `hi`]; empty results dropped.
+IntervalList ClipToWindow(const IntervalList& list, Timestamp lo,
+                          Timestamp hi);
+
+/// Total number of time-points covered.
+Duration TotalLength(const IntervalList& list);
+
+}  // namespace maritime::rtec
+
+#endif  // MARITIME_RTEC_INTERVAL_H_

@@ -1,0 +1,77 @@
+#ifndef MARITIME_RTEC_TERMS_H_
+#define MARITIME_RTEC_TERMS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "common/time.h"
+
+namespace maritime::rtec {
+
+/// Identifier of a declared event type (e.g. `turn`, `gap`). Dense indices
+/// assigned by Engine::DeclareEvent.
+using EventId = int32_t;
+
+/// Identifier of a declared fluent (e.g. `stopped`, `suspicious`).
+using FluentId = int32_t;
+
+/// Value of a fluent. Boolean fluents use kFalse/kTrue; multi-valued fluents
+/// may use any other integers.
+using Value = int32_t;
+inline constexpr Value kFalse = 0;
+inline constexpr Value kTrue = 1;
+
+/// A ground term: a typed entity identifier such as vessel1 or areaA.
+/// `kind` is application-defined (the maritime layer uses kVessel/kArea).
+/// Events and fluents are parameterized by at most two terms.
+struct Term {
+  int32_t kind = -1;
+  int32_t id = -1;
+
+  bool valid() const { return kind >= 0; }
+
+  /// The "no term" placeholder (for events without an object argument).
+  static Term None() { return Term{}; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.id == b.id;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.id < b.id;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << "<" << t.kind << ":" << t.id << ">";
+}
+
+/// An event occurrence: happensAt(E(subject[, object]), t).
+struct EventInstance {
+  Term subject;
+  Term object;  ///< Term::None() for unary events.
+  Timestamp t = 0;
+
+  friend bool operator==(const EventInstance& a, const EventInstance& b) {
+    return a.subject == b.subject && a.object == b.object && a.t == b.t;
+  }
+};
+
+/// A (value, time-point) pair produced by initiatedAt / terminatedAt rules.
+struct ValuedPoint {
+  Value value = kTrue;
+  Timestamp t = 0;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(t.kind) << 32) ^
+                                static_cast<uint32_t>(t.id));
+  }
+};
+
+}  // namespace maritime::rtec
+
+#endif  // MARITIME_RTEC_TERMS_H_

@@ -1,0 +1,169 @@
+#include "rtec/timeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maritime::rtec {
+namespace {
+
+const IntervalList kEmptyIntervals;
+const std::vector<Timestamp> kEmptyPoints;
+
+struct Marker {
+  Timestamp t;
+  bool is_termination;
+  Value value;
+};
+
+struct RawEpisode {
+  Value value;
+  Timestamp since;
+  Timestamp till;
+  bool carried;   // Seeded by inertia at the window boundary (no start event).
+  bool ongoing;   // Still open at the query time (no end event).
+};
+
+}  // namespace
+
+const IntervalList& FluentTimeline::IntervalsFor(Value v) const {
+  const auto it = intervals.find(v);
+  return it == intervals.end() ? kEmptyIntervals : it->second;
+}
+
+const std::vector<Timestamp>& FluentTimeline::StartsFor(Value v) const {
+  const auto it = starts.find(v);
+  return it == starts.end() ? kEmptyPoints : it->second;
+}
+
+const std::vector<Timestamp>& FluentTimeline::EndsFor(Value v) const {
+  const auto it = ends.find(v);
+  return it == ends.end() ? kEmptyPoints : it->second;
+}
+
+bool FluentTimeline::Holds(Value v, Timestamp t) const {
+  return HoldsAt(IntervalsFor(v), t);
+}
+
+bool FluentTimeline::HoldsRight(Value v, Timestamp t) const {
+  return HoldsRightOf(IntervalsFor(v), t);
+}
+
+std::optional<Value> FluentTimeline::ValueAt(Timestamp t) const {
+  for (const auto& [v, list] : intervals) {
+    if (HoldsAt(list, t)) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<Value> FluentTimeline::ValueRightOf(Timestamp t) const {
+  for (const auto& [v, list] : intervals) {
+    if (HoldsRightOf(list, t)) return v;
+  }
+  return std::nullopt;
+}
+
+FluentTimeline ComputeSimpleFluent(const FluentEvidence& evidence,
+                                   Timestamp window_start,
+                                   Timestamp query_time) {
+  assert(window_start <= query_time);
+  std::vector<Marker> markers;
+  markers.reserve(evidence.initiations.size() + evidence.terminations.size());
+  for (const auto& p : evidence.initiations) {
+    if (p.t > window_start && p.t <= query_time) {
+      markers.push_back(Marker{p.t, false, p.value});
+    }
+  }
+  for (const auto& p : evidence.terminations) {
+    if (p.t > window_start && p.t <= query_time) {
+      markers.push_back(Marker{p.t, true, p.value});
+    }
+  }
+  std::sort(markers.begin(), markers.end(),
+            [](const Marker& a, const Marker& b) {
+              if (a.t != b.t) return a.t < b.t;
+              // Terminations sort before initiations at the same time-point
+              // so a value broken at t can be re-initiated at t.
+              if (a.is_termination != b.is_termination) return a.is_termination;
+              return a.value < b.value;
+            });
+
+  std::vector<RawEpisode> raw;
+  bool has_current = false;
+  Value current = 0;
+  Timestamp open_since = window_start;
+  bool open_carried = false;
+  if (evidence.carried_value.has_value()) {
+    has_current = true;
+    current = *evidence.carried_value;
+    open_since = window_start;
+    open_carried = true;
+  }
+
+  size_t i = 0;
+  while (i < markers.size()) {
+    const Timestamp t = markers[i].t;
+    // Gather this time-point's group.
+    bool terminates_current = false;
+    bool initiates_other = false;
+    bool has_min_init = false;
+    Value min_init = 0;
+    for (size_t j = i; j < markers.size() && markers[j].t == t; ++j) {
+      const Marker& m = markers[j];
+      if (m.is_termination) {
+        if (has_current && m.value == current) {
+          terminates_current = true;
+        }
+      } else {
+        if (!has_min_init || m.value < min_init) {
+          min_init = m.value;
+          has_min_init = true;
+        }
+        if (has_current && m.value != current) initiates_other = true;
+      }
+    }
+    if (has_current && (terminates_current || initiates_other)) {
+      raw.push_back(
+          RawEpisode{current, open_since, t, open_carried, false});
+      has_current = false;
+    }
+    if (!has_current && has_min_init) {
+      has_current = true;
+      current = min_init;
+      open_since = t;
+      open_carried = false;
+    }
+    while (i < markers.size() && markers[i].t == t) ++i;
+  }
+  if (has_current) {
+    raw.push_back(RawEpisode{current, open_since, query_time, open_carried,
+                             true});
+  }
+
+  // Coalesce same-value episodes that touch (a break immediately followed by
+  // a re-initiation at the same time-point is not a real interval boundary).
+  std::vector<RawEpisode> merged;
+  for (const RawEpisode& e : raw) {
+    if (!merged.empty() && merged.back().value == e.value &&
+        merged.back().till == e.since) {
+      merged.back().till = e.till;
+      merged.back().ongoing = e.ongoing;
+      continue;
+    }
+    merged.push_back(e);
+  }
+
+  FluentTimeline out;
+  for (const RawEpisode& e : merged) {
+    if (e.ongoing) {
+      out.open_value = e.value;
+    }
+    if (e.since >= e.till) continue;  // An initiation exactly at the query
+                                      // time has no in-window points yet.
+    out.intervals[e.value].push_back(Interval{e.since, e.till});
+    if (!e.carried) out.starts[e.value].push_back(e.since);
+    if (!e.ongoing) out.ends[e.value].push_back(e.till);
+  }
+  return out;
+}
+
+}  // namespace maritime::rtec

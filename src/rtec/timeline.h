@@ -1,0 +1,76 @@
+#ifndef MARITIME_RTEC_TIMELINE_H_
+#define MARITIME_RTEC_TIMELINE_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rtec/interval.h"
+#include "rtec/terms.h"
+
+namespace maritime::rtec {
+
+/// Computed history of one fluent key (F applied to one ground term) within
+/// the current window: per value, the maximal intervals plus the derived
+/// built-in start/end event time-points.
+///
+/// start(F=V) fires at the initiation boundary (`since`) of each maximal
+/// interval whose initiation was observed inside the window; an interval
+/// carried across the window boundary by inertia has no start event. end(F=V)
+/// fires at `till` of each interval that is actually broken; an interval
+/// still open at the query time has no end event yet (paper Section 4.1).
+struct FluentTimeline {
+  std::map<Value, IntervalList> intervals;
+  std::map<Value, std::vector<Timestamp>> starts;
+  std::map<Value, std::vector<Timestamp>> ends;
+
+  /// The value still open (unbroken) at the query time, if any; its interval
+  /// is reported clipped at the query time. Used by the engine to carry
+  /// inertia across window slides.
+  std::optional<Value> open_value;
+
+  const IntervalList& IntervalsFor(Value v) const;
+  const std::vector<Timestamp>& StartsFor(Value v) const;
+  const std::vector<Timestamp>& EndsFor(Value v) const;
+
+  /// holdsAt(F=v, t).
+  bool Holds(Value v, Timestamp t) const;
+
+  /// F=v holds immediately after t (covers episodes starting exactly at t).
+  bool HoldsRight(Value v, Timestamp t) const;
+
+  /// The value holding at `t`, if any (a fluent need not have a value at
+  /// every time-point).
+  std::optional<Value> ValueAt(Timestamp t) const;
+
+  /// The value holding immediately after `t`, if any.
+  std::optional<Value> ValueRightOf(Timestamp t) const;
+};
+
+/// Inputs to the maximal-interval computation for one fluent key.
+struct FluentEvidence {
+  /// Domain-specific initiation points: initiatedAt(F=value, t).
+  std::vector<ValuedPoint> initiations;
+  /// Domain-specific termination points: terminatedAt(F=value, t).
+  std::vector<ValuedPoint> terminations;
+  /// Value carried across the window boundary by inertia (the value the
+  /// fluent held at window_start according to the previous recognition
+  /// step), if any.
+  std::optional<Value> carried_value;
+};
+
+/// Computes the maximal intervals of a simple fluent over the window
+/// (window_start, query_time], implementing the law of inertia and the
+/// `broken` rules (1)–(2) of the paper: F=V1 is broken at Tf either by
+/// terminatedAt(F=V1, Tf) or by initiatedAt(F=V2, Tf) for V2 != V1, so a
+/// fluent never holds two values at once.
+///
+/// Evidence points outside the window are ignored. An interval still open at
+/// query_time is reported with till = query_time (and no end event).
+FluentTimeline ComputeSimpleFluent(const FluentEvidence& evidence,
+                                   Timestamp window_start,
+                                   Timestamp query_time);
+
+}  // namespace maritime::rtec
+
+#endif  // MARITIME_RTEC_TIMELINE_H_

@@ -1,0 +1,678 @@
+#include "sim/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace maritime::sim {
+namespace {
+
+using geo::GeoPoint;
+using surveillance::AreaInfo;
+using surveillance::AreaKind;
+using surveillance::VesselType;
+
+/// Per-vessel kinematic walker: integrates the true position and emits noisy
+/// reports at speed-dependent intervals (scaled from the ITU-R M.1371
+/// reporting schedule; see DESIGN.md).
+struct Walker {
+  const FleetConfig* cfg = nullptr;
+  GroundTruth* truth = nullptr;
+  Rng rng{0};
+  stream::Mmsi mmsi = 0;
+  bool class_b = false;
+  GeoPoint pos;
+  Timestamp now = 0;
+  Timestamp horizon = 0;
+  double bearing_deg = 0.0;
+  double speed_knots = 0.0;
+  Timestamp silent_until = -1;
+  std::vector<stream::PositionTuple>* out = nullptr;
+  // Helmsman/current wander state (see GoToDirect).
+  double wander_phase = 0.0;
+  double wander_amplitude_deg = 3.0;
+  double wander_period_s = 1800.0;
+
+  bool Done() const { return now >= horizon; }
+
+  // Reporting schedule: the shape of ITU-R M.1371 (faster when faster),
+  // scaled so the fleet-wide mean matches the paper's real dataset — "on
+  // average, each vessel reports its position once every 2 minutes".
+  Duration ReportInterval() const {
+    Duration base;
+    if (class_b) {
+      base = speed_knots < 2.0 ? 180 : 120;
+    } else if (speed_knots < 0.2) {
+      base = 180;
+    } else if (speed_knots < 14.0) {
+      base = 120;
+    } else if (speed_knots < 23.0) {
+      base = 60;
+    } else {
+      base = 30;
+    }
+    if (cfg->report_rate_multiplier > 1.0) {
+      base = static_cast<Duration>(static_cast<double>(base) /
+                                   cfg->report_rate_multiplier);
+    }
+    return std::max<Duration>(1, base);
+  }
+
+  void Report() {
+    if (now < silent_until || now > horizon) return;
+    GeoPoint reported = pos;
+    if (rng.NextBool(cfg->outlier_prob)) {
+      reported = geo::DestinationPoint(pos, rng.NextDouble(0.0, 360.0),
+                                       rng.NextDouble(2000.0, 6000.0));
+      ++truth->injected_outliers;
+      truth->outlier_reports.emplace_back(mmsi, now);
+    } else if (cfg->gps_noise_m > 0.0) {
+      const double dx = rng.NextGaussian() * cfg->gps_noise_m;
+      const double dy = rng.NextGaussian() * cfg->gps_noise_m;
+      const double dist = std::hypot(dx, dy);
+      if (dist > 0.0) {
+        reported = geo::DestinationPoint(
+            pos, geo::RadToDeg(std::atan2(dx, dy)), dist);
+      }
+    }
+    out->push_back(stream::PositionTuple{mmsi, reported, now});
+    if (rng.NextBool(cfg->dropout_prob)) {
+      silent_until = now + rng.NextInt(15 * kMinute, 45 * kMinute);
+      ++truth->random_dropouts;
+    }
+  }
+
+  /// Sails to `target` at `speed`, reporting along the way. Long passages
+  /// are broken into hops of at most ~70 km with sharp deliberate course
+  /// changes at each hop — coastal routing around islands, the turns ships
+  /// actually make. (Besides realism this bounds the deviation between a
+  /// reconstructed straight segment and the near-great-circle path, which
+  /// grows as d²/8R·tan(lat).)
+  void GoTo(const GeoPoint& target, double speed) {
+    constexpr double kMaxLegMeters = 90000.0;
+    constexpr double kHopMeters = 70000.0;
+    while (!Done() && geo::HaversineMeters(pos, target) > kMaxLegMeters) {
+      const double deflection =
+          (rng.NextBool(0.5) ? 1.0 : -1.0) * rng.NextDouble(28.0, 60.0);
+      const GeoPoint hop = geo::DestinationPoint(
+          pos,
+          geo::NormalizeBearingDeg(geo::InitialBearingDeg(pos, target) +
+                                   deflection),
+          kHopMeters);
+      GoToDirect(hop, speed);
+    }
+    GoToDirect(target, speed);
+  }
+
+  /// Sails straight to `target`, reporting along the way. On top of GPS
+  /// noise, a slow sinusoidal helmsman/current wander (a few degrees over
+  /// tens of minutes) sways the track laterally by one to two hundred
+  /// meters — the "sea drift" that makes tight turn thresholds pick up
+  /// extra critical points (paper Section 3.1).
+  void GoToDirect(const GeoPoint& target, double speed) {
+    speed_knots = std::max(0.5, speed);
+    while (!Done()) {
+      const double remaining = geo::HaversineMeters(pos, target);
+      if (remaining < 30.0) return;
+      wander_phase += 2.0 * geo::kPi *
+                      static_cast<double>(ReportInterval()) / wander_period_s;
+      const double wander =
+          wander_amplitude_deg * std::sin(wander_phase);
+      bearing_deg = geo::NormalizeBearingDeg(
+          geo::InitialBearingDeg(pos, target) + wander +
+          rng.NextGaussian() * 0.4);
+      const Duration interval = ReportInterval();
+      const double step =
+          speed_knots * geo::kKnotsToMps * static_cast<double>(interval);
+      if (step >= remaining) {
+        const double mps = speed_knots * geo::kKnotsToMps;
+        pos = target;
+        now += std::max<Duration>(1, static_cast<Duration>(remaining / mps));
+        Report();
+        return;
+      }
+      pos = geo::DestinationPoint(pos, bearing_deg, step);
+      now += interval;
+      Report();
+    }
+  }
+
+  /// Stays near the current position for `duration` with jitter (anchor
+  /// drift / dock movement).
+  void Dwell(Duration duration, double jitter_m) {
+    speed_knots = 0.0;
+    const GeoPoint anchor = pos;
+    const Timestamp until = std::min(horizon, now + duration);
+    while (now < until) {
+      now += ReportInterval();
+      pos = geo::DestinationPoint(anchor, rng.NextDouble(0.0, 360.0),
+                                  rng.NextDouble(0.0, jitter_m));
+      Report();
+    }
+    pos = anchor;
+  }
+
+  /// Trawling random walk around `center` at trawl speed.
+  void Trawl(const GeoPoint& center, Duration duration) {
+    const Timestamp until = std::min(horizon, now + duration);
+    bearing_deg = rng.NextDouble(0.0, 360.0);
+    while (now < until) {
+      speed_knots = rng.NextDouble(2.4, 3.6);
+      if (geo::HaversineMeters(pos, center) > 3000.0) {
+        bearing_deg = geo::InitialBearingDeg(pos, center);
+      } else {
+        bearing_deg = geo::NormalizeBearingDeg(bearing_deg +
+                                               rng.NextGaussian() * 12.0);
+      }
+      const Duration interval = ReportInterval();
+      pos = geo::DestinationPoint(
+          pos, bearing_deg,
+          speed_knots * geo::kKnotsToMps * static_cast<double>(interval));
+      now += interval;
+      Report();
+    }
+  }
+
+  /// Crosses to `target` with the transponder off; one report on resume.
+  void SilentRun(const GeoPoint& target, double speed) {
+    speed_knots = std::max(0.5, speed);
+    const double dist = geo::HaversineMeters(pos, target);
+    const double mps = speed_knots * geo::kKnotsToMps;
+    bearing_deg = geo::InitialBearingDeg(pos, target);
+    pos = target;
+    now += std::max<Duration>(1, static_cast<Duration>(dist / mps));
+    Report();
+  }
+};
+
+}  // namespace
+
+bool GroundTruth::IsOutlierReport(stream::Mmsi mmsi, Timestamp tau) const {
+  for (const auto& [m, t] : outlier_reports) {
+    if (m == mmsi && t == tau) return true;
+  }
+  return false;
+}
+
+std::vector<stream::PositionTuple> WithoutOutliers(
+    const std::vector<stream::PositionTuple>& tuples,
+    const GroundTruth& truth) {
+  std::vector<stream::PositionTuple> out;
+  out.reserve(tuples.size());
+  for (const auto& t : tuples) {
+    if (!truth.IsOutlierReport(t.mmsi, t.tau)) out.push_back(t);
+  }
+  return out;
+}
+
+std::string_view BehaviorName(Behavior b) {
+  switch (b) {
+    case Behavior::kFerry:
+      return "ferry";
+    case Behavior::kCargoTransit:
+      return "cargo";
+    case Behavior::kFishing:
+      return "fishing";
+    case Behavior::kAnchored:
+      return "anchored";
+    case Behavior::kIntruder:
+      return "intruder";
+    case Behavior::kPleasure:
+      return "pleasure";
+    case Behavior::kLoiterer:
+      return "loiterer";
+  }
+  return "unknown";
+}
+
+FleetSimulator::FleetSimulator(World* world, FleetConfig config)
+    : world_(world), config_(config), rng_(config.seed) {
+  assert(world_ != nullptr);
+  assert(config_.vessels > 0);
+  BuildFleet();
+}
+
+void FleetSimulator::BuildFleet() {
+  const int loiterers =
+      std::min(config_.vessels / 2,
+               config_.loiter_groups * config_.loiter_group_size);
+  const int regular = config_.vessels - loiterers;
+
+  const double weights[] = {config_.ferry_weight,    config_.cargo_weight,
+                            config_.fishing_weight,  config_.anchored_weight,
+                            config_.intruder_weight, config_.pleasure_weight};
+  const Behavior kinds[] = {Behavior::kFerry,    Behavior::kCargoTransit,
+                            Behavior::kFishing,  Behavior::kAnchored,
+                            Behavior::kIntruder, Behavior::kPleasure};
+  double total_weight = 0.0;
+  for (const double w : weights) total_weight += w;
+
+  const auto pick_behavior = [&](double u) {
+    double acc = 0.0;
+    for (size_t i = 0; i < std::size(weights); ++i) {
+      acc += weights[i] / total_weight;
+      if (u < acc) return kinds[i];
+    }
+    return Behavior::kPleasure;
+  };
+
+  for (int i = 0; i < config_.vessels; ++i) {
+    SimVessel v;
+    v.info.mmsi = 200000000u + static_cast<stream::Mmsi>(i);
+    if (i >= regular) {
+      v.behavior = Behavior::kLoiterer;
+    } else if (i < static_cast<int>(std::size(kinds))) {
+      // Guarantee every archetype is represented even in tiny fleets, so
+      // each CE type has at least one potential trigger.
+      v.behavior = kinds[i];
+    } else {
+      v.behavior = pick_behavior(rng_.NextDouble());
+    }
+    switch (v.behavior) {
+      case Behavior::kFerry:
+        v.info.type = VesselType::kPassenger;
+        v.info.draft_m = rng_.NextDouble(5.0, 7.0);
+        v.cruise_speed_knots = rng_.NextDouble(14.0, 18.0);
+        break;
+      case Behavior::kCargoTransit:
+        v.info.type = rng_.NextBool(0.5) ? VesselType::kCargo
+                                         : VesselType::kTanker;
+        v.info.draft_m = rng_.NextDouble(8.0, 14.0);
+        v.cruise_speed_knots = rng_.NextDouble(10.0, 14.0);
+        break;
+      case Behavior::kFishing:
+        v.info.type = VesselType::kFishing;
+        v.info.fishing_gear = true;
+        v.info.draft_m = rng_.NextDouble(3.0, 5.0);
+        v.cruise_speed_knots = rng_.NextDouble(7.0, 9.0);
+        break;
+      case Behavior::kAnchored:
+        v.info.type = VesselType::kCargo;
+        v.info.draft_m = rng_.NextDouble(8.0, 12.0);
+        v.cruise_speed_knots = 0.0;
+        break;
+      case Behavior::kIntruder:
+        v.info.type = VesselType::kTanker;
+        v.info.draft_m = rng_.NextDouble(9.0, 14.0);
+        v.cruise_speed_knots = rng_.NextDouble(11.0, 13.0);
+        break;
+      case Behavior::kPleasure:
+        v.info.type = VesselType::kPleasure;
+        v.info.draft_m = rng_.NextDouble(2.0, 3.5);
+        v.cruise_speed_knots = rng_.NextDouble(5.0, 8.0);
+        v.class_b = true;
+        break;
+      case Behavior::kLoiterer:
+        v.info.type = rng_.NextBool(0.5) ? VesselType::kFishing
+                                         : VesselType::kPleasure;
+        v.info.fishing_gear = v.info.type == VesselType::kFishing;
+        v.info.draft_m = rng_.NextDouble(2.5, 4.0);
+        v.cruise_speed_knots = rng_.NextDouble(6.0, 9.0);
+        break;
+    }
+    v.info.name = StrPrintf("SIM_%s_%03d",
+                            std::string(BehaviorName(v.behavior)).c_str(), i);
+    world_->knowledge.AddVessel(v.info);
+    vessel_seeds_.push_back(rng_.NextU64());
+    fleet_.push_back(std::move(v));
+  }
+
+  // Rendezvous plans: each group gathers close to one non-port area.
+  std::vector<const AreaInfo*> special;
+  for (const AreaInfo& a : world_->knowledge.areas()) {
+    if (a.kind != AreaKind::kPort) special.push_back(&a);
+  }
+  size_t next_loiterer = static_cast<size_t>(regular);
+  for (int g = 0; g < config_.loiter_groups && !special.empty(); ++g) {
+    const AreaInfo* area =
+        special[rng_.NextBelow(special.size())];
+    const GeoPoint center = area->polygon.VertexCentroid();
+    // The waiting anchorages must sit well clear of the area (outside the
+    // close-predicate threshold) so the suspicious CE fires only when the
+    // group actually gathers.
+    double area_radius = 0.0;
+    for (const GeoPoint& v : area->polygon.vertices()) {
+      area_radius = std::max(area_radius, geo::HaversineMeters(center, v));
+    }
+    const Timestamp start = rng_.NextInt(config_.duration / 5,
+                                         (config_.duration * 3) / 5);
+    const Duration stay = rng_.NextInt(1 * kHour, 3 * kHour);
+    bool any = false;
+    for (int k = 0; k < config_.loiter_group_size &&
+                    next_loiterer < fleet_.size();
+         ++k, ++next_loiterer) {
+      LoiterPlan plan;
+      plan.point = geo::DestinationPoint(center, rng_.NextDouble(0.0, 360.0),
+                                         rng_.NextDouble(0.0, 300.0));
+      plan.anchorage = geo::DestinationPoint(
+          center, rng_.NextDouble(0.0, 360.0),
+          area_radius + rng_.NextDouble(8000.0, 18000.0));
+      plan.start = start + rng_.NextInt(0, 10 * kMinute);
+      plan.stay = stay + rng_.NextInt(0, 30 * kMinute);
+      loiter_plans_.emplace_back(next_loiterer, plan);
+      any = true;
+    }
+    if (any) ++truth_.rendezvous_events;
+  }
+}
+
+std::vector<stream::PositionTuple> FleetSimulator::Generate() {
+  std::vector<stream::PositionTuple> stream_out;
+  const auto& areas = world_->knowledge.areas();
+  std::vector<const AreaInfo*> protected_areas, forbidden_areas, shallow_areas;
+  for (const AreaInfo& a : areas) {
+    switch (a.kind) {
+      case AreaKind::kProtected:
+        protected_areas.push_back(&a);
+        break;
+      case AreaKind::kForbiddenFishing:
+        forbidden_areas.push_back(&a);
+        break;
+      case AreaKind::kShallow:
+        shallow_areas.push_back(&a);
+        break;
+      case AreaKind::kPort:
+        break;
+    }
+  }
+  const auto& extent = world_->params.extent;
+
+  for (size_t vi = 0; vi < fleet_.size(); ++vi) {
+    const SimVessel& v = fleet_[vi];
+    Walker w;
+    w.cfg = &config_;
+    w.truth = &truth_;
+    w.rng = Rng(vessel_seeds_[vi]);
+    w.mmsi = v.info.mmsi;
+    w.class_b = v.class_b;
+    w.horizon = config_.duration;
+    w.out = &stream_out;
+    w.wander_phase = w.rng.NextDouble(0.0, 2.0 * geo::kPi);
+    w.wander_amplitude_deg = w.rng.NextDouble(0.6, 1.6);
+    w.wander_period_s = w.rng.NextDouble(1200.0, 3000.0);
+
+    const auto random_port = [&]() -> const Port& {
+      return world_->ports[w.rng.NextBelow(world_->ports.size())];
+    };
+    const auto random_point = [&]() {
+      return GeoPoint{w.rng.NextDouble(extent.min_lon, extent.max_lon),
+                      w.rng.NextDouble(extent.min_lat, extent.max_lat)};
+    };
+    // A waypoint a bounded distance away: Aegean traffic hops island to
+    // island, so legs stay tens of kilometers long. (Unbounded legs would
+    // also be reconstructed poorly — linear interpolation between critical
+    // points deviates from a great circle by ~d²/8R·tan(lat).) Candidates
+    // are rejection-sampled inside an inset of the region: clamping to the
+    // boundary would warp legs into arbitrary shallow course changes.
+    const auto nearby_point = [&](double min_m, double max_m) {
+      const geo::BoundingBox inset = extent.Expanded(-0.2);
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        const GeoPoint p = geo::DestinationPoint(
+            w.pos, w.rng.NextDouble(0.0, 360.0),
+            w.rng.NextDouble(min_m, max_m));
+        if (inset.Contains(p)) return p;
+      }
+      // Decisively head inshore.
+      return geo::Interpolate(
+          w.pos,
+          GeoPoint{(extent.min_lon + extent.max_lon) / 2.0,
+                   (extent.min_lat + extent.max_lat) / 2.0},
+          0.3);
+    };
+    const auto nearest_port = [&](const GeoPoint& p) -> const Port& {
+      const Port* best = &world_->ports.front();
+      double best_d = 1e18;
+      for (const Port& candidate : world_->ports) {
+        const double d = geo::HaversineMeters(p, candidate.center);
+        if (d < best_d) {
+          best_d = d;
+          best = &candidate;
+        }
+      }
+      return *best;
+    };
+    const auto jittered_leg = [&](const GeoPoint& to, double speed) {
+      // Insert a mid waypoint deflecting the course by a deliberate 22–45°,
+      // so legs are not dead straight: a realistic island dogleg whose
+      // course change the tracker captures as a turn at any tested Δθ
+      // (comfortably above the widest threshold plus heading noise).
+      const double leg_m = geo::HaversineMeters(w.pos, to);
+      const double deflection_deg = w.rng.NextDouble(28.0, 60.0);
+      const double offset_m =
+          0.5 * leg_m *
+          std::tan(geo::DegToRad(deflection_deg / 2.0));
+      const GeoPoint mid = geo::Interpolate(w.pos, to, 0.5);
+      const double side =
+          geo::NormalizeBearingDeg(geo::InitialBearingDeg(w.pos, to) +
+                                   (w.rng.NextBool(0.5) ? 90.0 : -90.0));
+      const GeoPoint wp = geo::DestinationPoint(mid, side, offset_m);
+      w.GoTo(wp, speed);
+      w.GoTo(to, speed);
+    };
+
+    switch (v.behavior) {
+      case Behavior::kFerry: {
+        // Ferries serve short hops: pair each home port with its nearest
+        // neighbour so round trips complete within hours, as real island
+        // services do.
+        const Port& a = random_port();
+        const Port* b = nullptr;
+        double best = 1e18;
+        for (const Port& candidate : world_->ports) {
+          if (candidate.id == a.id) continue;
+          const double d = geo::HaversineMeters(a.center, candidate.center);
+          if (d < best) {
+            best = d;
+            b = &candidate;
+          }
+        }
+        if (b == nullptr) b = &a;
+        w.pos = a.center;
+        w.Report();
+        const Port* from = &a;
+        const Port* to = b;
+        while (!w.Done()) {
+          w.Dwell(w.rng.NextInt(45 * kMinute, 90 * kMinute), 8.0);
+          ++truth_.port_calls;
+          if (w.Done()) break;
+          jittered_leg(to->center, v.cruise_speed_knots);
+          std::swap(from, to);
+        }
+        break;
+      }
+      case Behavior::kCargoTransit: {
+        w.pos = random_point();
+        w.Report();
+        while (!w.Done()) {
+          const int hops = static_cast<int>(w.rng.NextInt(2, 4));
+          for (int h = 0; h < hops && !w.Done(); ++h) {
+            jittered_leg(nearby_point(40000.0, 110000.0),
+                         v.cruise_speed_knots);
+          }
+          if (w.Done()) break;
+          const Port& dock = nearest_port(w.pos);
+          w.GoTo(dock.center, v.cruise_speed_knots);
+          w.Dwell(w.rng.NextInt(3 * kHour, 6 * kHour), 8.0);
+          ++truth_.port_calls;
+        }
+        break;
+      }
+      case Behavior::kFishing: {
+        const Port& home = random_port();
+        w.pos = home.center;
+        w.Report();
+        while (!w.Done()) {
+          w.Dwell(w.rng.NextInt(2 * kHour, 4 * kHour), 8.0);
+          ++truth_.port_calls;
+          if (w.Done()) break;
+          GeoPoint ground;
+          if (!forbidden_areas.empty() && w.rng.NextBool(0.6)) {
+            // Poach in the forbidden area nearest to the home port — real
+            // trawlers work grounds within a day's steam of home.
+            const AreaInfo* area = forbidden_areas.front();
+            double best = 1e18;
+            for (const AreaInfo* candidate : forbidden_areas) {
+              const double d = geo::HaversineMeters(
+                  home.center, candidate->polygon.VertexCentroid());
+              if (d < best) {
+                best = d;
+                area = candidate;
+              }
+            }
+            ground = geo::DestinationPoint(
+                area->polygon.VertexCentroid(),
+                w.rng.NextDouble(0.0, 360.0), w.rng.NextDouble(0.0, 800.0));
+            ++truth_.forbidden_trawls;
+          } else {
+            ground = nearby_point(20000.0, 60000.0);
+          }
+          w.GoTo(ground, v.cruise_speed_knots);
+          if (w.Done()) break;
+          w.Trawl(ground, w.rng.NextInt(2 * kHour, 4 * kHour));
+          ++truth_.trawl_episodes;
+          w.GoTo(home.center, v.cruise_speed_knots);
+        }
+        break;
+      }
+      case Behavior::kAnchored: {
+        const Port& near = random_port();
+        w.pos = geo::DestinationPoint(near.center,
+                                      w.rng.NextDouble(0.0, 360.0),
+                                      w.rng.NextDouble(1500.0, 6000.0));
+        w.Report();
+        w.Dwell(config_.duration, 12.0);
+        break;
+      }
+      case Behavior::kIntruder: {
+        w.pos = random_point();
+        w.Report();
+        while (!w.Done()) {
+          if (protected_areas.empty()) {
+            jittered_leg(random_point(), v.cruise_speed_knots);
+            continue;
+          }
+          // Cross the nearest protected area: the "shortcut" motive of
+          // paper Scenario 3 only pays off en route.
+          const AreaInfo* area = protected_areas.front();
+          double best = 1e18;
+          for (const AreaInfo* candidate : protected_areas) {
+            const double d = geo::HaversineMeters(
+                w.pos, candidate->polygon.VertexCentroid());
+            if (d < best) {
+              best = d;
+              area = candidate;
+            }
+          }
+          const GeoPoint center = area->polygon.VertexCentroid();
+          const double approach_bearing = w.rng.NextDouble(0.0, 360.0);
+          // Sail up to the area, cross it dark, resume well past the far
+          // side: the canonical illegal-shipping pattern (paper Scenario 3).
+          // The last report before the silence is close to (in fact inside)
+          // the protected area, so rule (5) can match the gap start.
+          const GeoPoint entry =
+              geo::DestinationPoint(center, approach_bearing, 800.0);
+          const GeoPoint exit = geo::DestinationPoint(
+              center, geo::NormalizeBearingDeg(approach_bearing + 180.0),
+              15000.0);
+          w.GoTo(entry, v.cruise_speed_knots);
+          if (w.Done()) break;
+          w.SilentRun(exit, v.cruise_speed_knots);
+          ++truth_.intentional_gaps;
+          const Port& dock = nearest_port(w.pos);
+          w.GoTo(dock.center, v.cruise_speed_knots);
+          w.Dwell(w.rng.NextInt(2 * kHour, 5 * kHour), 8.0);
+          ++truth_.port_calls;
+        }
+        break;
+      }
+      case Behavior::kPleasure: {
+        w.pos = random_point();
+        w.Report();
+        while (!w.Done()) {
+          if (!shallow_areas.empty() && w.rng.NextBool(0.3)) {
+            const AreaInfo* area =
+                shallow_areas[w.rng.NextBelow(shallow_areas.size())];
+            const GeoPoint over = geo::DestinationPoint(
+                area->polygon.VertexCentroid(),
+                w.rng.NextDouble(0.0, 360.0), w.rng.NextDouble(0.0, 500.0));
+            w.GoTo(over, v.cruise_speed_knots);
+            // Slow pass over the shoal: slowMotion close to shallow waters.
+            const GeoPoint off = geo::DestinationPoint(
+                over, w.rng.NextDouble(0.0, 360.0), 2500.0);
+            w.GoTo(off, 3.0);
+            ++truth_.shoal_passes;
+          } else {
+            // Decisive tacks: each new leg departs from the previous course
+            // by at least 30°, so the turn registers at any tested Δθ
+            // (small craft day-sail in purposeful zig-zags, not gentle
+            // curves). Candidate legs are rejection-sampled inside an inset
+            // of the region: clamping to the boundary would warp the leg
+            // geometry into arbitrary shallow course changes.
+            const geo::BoundingBox inset = extent.Expanded(-0.2);
+            GeoPoint next = geo::Interpolate(
+                w.pos,
+                GeoPoint{(extent.min_lon + extent.max_lon) / 2.0,
+                         (extent.min_lat + extent.max_lat) / 2.0},
+                0.3);  // fallback: decisively head inshore
+            for (int attempt = 0; attempt < 10; ++attempt) {
+              const double tack = (w.rng.NextBool(0.5) ? 1.0 : -1.0) *
+                                  w.rng.NextDouble(30.0, 140.0);
+              const GeoPoint candidate = geo::DestinationPoint(
+                  w.pos, geo::NormalizeBearingDeg(w.bearing_deg + tack),
+                  w.rng.NextDouble(5000.0, 20000.0));
+              if (inset.Contains(candidate)) {
+                next = candidate;
+                break;
+              }
+            }
+            w.GoTo(next, v.cruise_speed_knots);
+          }
+          if (!w.Done() && w.rng.NextBool(0.3)) {
+            w.Dwell(w.rng.NextInt(30 * kMinute, kHour), 10.0);
+          }
+        }
+        break;
+      }
+      case Behavior::kLoiterer: {
+        const LoiterPlan* plan = nullptr;
+        for (const auto& [idx, p] : loiter_plans_) {
+          if (idx == vi) {
+            plan = &p;
+            break;
+          }
+        }
+        if (plan == nullptr) {
+          w.pos = random_point();
+          w.Report();
+          w.Dwell(config_.duration, 10.0);
+          break;
+        }
+        // Wait at an anchorage within easy reach of the rendezvous (but
+        // outside the area's close threshold) so the gathering happens
+        // inside the simulated horizon.
+        w.pos = plan->anchorage;
+        w.Report();
+        const double travel_m = geo::HaversineMeters(w.pos, plan->point);
+        const Duration travel_s = static_cast<Duration>(
+            travel_m / (v.cruise_speed_knots * geo::kKnotsToMps));
+        const Timestamp departure =
+            std::max<Timestamp>(0, plan->start - travel_s);
+        w.Dwell(departure - w.now, 10.0);
+        w.GoTo(plan->point, v.cruise_speed_knots);
+        w.Dwell(plan->stay, 15.0);
+        const Port& dock = random_port();
+        w.GoTo(dock.center, v.cruise_speed_knots);
+        ++truth_.port_calls;
+        w.Dwell(w.horizon - w.now, 8.0);
+        break;
+      }
+    }
+  }
+
+  std::stable_sort(stream_out.begin(), stream_out.end(), stream::StreamOrder);
+  return stream_out;
+}
+
+}  // namespace maritime::sim

@@ -1,0 +1,133 @@
+#ifndef MARITIME_SIM_GENERATOR_H_
+#define MARITIME_SIM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/world.h"
+#include "stream/position.h"
+
+namespace maritime::sim {
+
+/// Behaviour archetypes of the synthetic fleet. Together they exercise every
+/// event the surveillance system detects: port stops (long-term stops, trip
+/// segmentation), transit cruising (turns, speed changes), trawling (slow
+/// motion, illegal fishing), anchoring (pauses, GPS drift), transponder
+/// switch-offs inside protected areas (gaps, illegal shipping), slow passes
+/// over shoals (dangerous shipping), and multi-vessel rendezvous (suspicious
+/// areas).
+enum class Behavior : uint8_t {
+  kFerry,         ///< Periodic service between two or three ports.
+  kCargoTransit,  ///< Long straight legs across the region, ends at a port.
+  kFishing,       ///< Port → fishing ground → trawl → return.
+  kAnchored,      ///< At anchor the whole time (GPS jitter + sea drift).
+  kIntruder,      ///< Switches the transponder off through a protected area.
+  kPleasure,      ///< Class-B wanderer; sometimes drifts over shoals.
+  kLoiterer,      ///< Rendezvous with other loiterers near an area.
+};
+
+std::string_view BehaviorName(Behavior b);
+
+/// One simulated vessel: its static registry entry plus behaviour knobs.
+struct SimVessel {
+  surveillance::VesselInfo info;
+  Behavior behavior = Behavior::kCargoTransit;
+  double cruise_speed_knots = 12.0;
+  bool class_b = false;
+};
+
+/// Counts of the situations the simulator deliberately created; tests and
+/// EXPERIMENTS.md compare detection output against these.
+struct GroundTruth {
+  uint64_t port_calls = 0;          ///< Dwell episodes inside port polygons.
+  uint64_t intentional_gaps = 0;    ///< Transponder switch-offs (intruders).
+  uint64_t random_dropouts = 0;     ///< Comm dropouts long enough to gap.
+  uint64_t trawl_episodes = 0;      ///< Slow-motion fishing episodes.
+  uint64_t forbidden_trawls = 0;    ///< Trawls close to forbidden areas.
+  uint64_t shoal_passes = 0;        ///< Slow passes close to shallow areas.
+  uint64_t rendezvous_events = 0;   ///< Loiter-group gatherings.
+  uint64_t injected_outliers = 0;   ///< Off-course positions injected.
+  /// Identity of every injected off-course report, so accuracy evaluations
+  /// can exclude noise the tracker is *supposed* to discard.
+  std::vector<std::pair<stream::Mmsi, Timestamp>> outlier_reports;
+
+  bool IsOutlierReport(stream::Mmsi mmsi, Timestamp tau) const;
+};
+
+/// Returns `tuples` without the reports recorded as injected outliers.
+std::vector<stream::PositionTuple> WithoutOutliers(
+    const std::vector<stream::PositionTuple>& tuples,
+    const GroundTruth& truth);
+
+/// Fleet generation parameters. The default scale keeps
+/// `for b in build/bench/*; do $b; done` minutes-fast; benches scale the
+/// fleet and duration up via MARITIME_BENCH_SCALE.
+struct FleetConfig {
+  int vessels = 120;
+  Duration duration = 24 * kHour;
+  uint64_t seed = 7;
+
+  double gps_noise_m = 6.0;           ///< Per-report Gaussian position noise.
+
+  /// Divides every reporting interval (>= 1 s floor). Used by stress tests
+  /// to inflate the stream arrival rate without touching any vessel's
+  /// kinematics (positions are integrated continuously, so denser sampling
+  /// of the same motion stays exact) — the paper's Figure 7 setup, where
+  /// every ship ends up reporting almost twice per second.
+  double report_rate_multiplier = 1.0;
+  double outlier_prob = 0.0005;       ///< Chance a report is a 2–6 km outlier.
+  double dropout_prob = 0.0015;       ///< Chance per report to fall silent
+                                      ///< for 15–45 minutes.
+
+  /// Behaviour mix (relative weights; normalized internally).
+  double ferry_weight = 0.24;
+  double cargo_weight = 0.24;
+  double fishing_weight = 0.18;
+  double anchored_weight = 0.10;
+  double intruder_weight = 0.08;
+  double pleasure_weight = 0.16;
+
+  /// Loiter groups are carved out of `vessels` on top of the mix.
+  int loiter_groups = 2;
+  int loiter_group_size = 5;
+};
+
+/// Deterministic synthetic AIS fleet: substitutes for the proprietary
+/// 3-month IMIS Hellas dataset (see DESIGN.md, substitution table). Every
+/// vessel gets an independent RNG stream forked from the fleet seed, so
+/// traces are stable under changes to fleet size or iteration order.
+class FleetSimulator {
+ public:
+  /// `world` must outlive the simulator. Generated vessels are registered
+  /// into world->knowledge (static vessel data).
+  FleetSimulator(World* world, FleetConfig config);
+
+  /// Generates the complete positional stream (sorted in stream order).
+  std::vector<stream::PositionTuple> Generate();
+
+  const std::vector<SimVessel>& fleet() const { return fleet_; }
+  const GroundTruth& ground_truth() const { return truth_; }
+
+ private:
+  void BuildFleet();
+
+  World* world_;
+  FleetConfig config_;
+  Rng rng_;
+  std::vector<SimVessel> fleet_;
+  std::vector<uint64_t> vessel_seeds_;
+  /// Rendezvous assignments for loiterers: vessel index -> (point, start).
+  struct LoiterPlan {
+    geo::GeoPoint point;       ///< Rendezvous, close to the target area.
+    geo::GeoPoint anchorage;   ///< Waiting spot, well clear of the area.
+    Timestamp start;
+    Duration stay;
+  };
+  std::vector<std::pair<size_t, LoiterPlan>> loiter_plans_;
+  GroundTruth truth_;
+};
+
+}  // namespace maritime::sim
+
+#endif  // MARITIME_SIM_GENERATOR_H_

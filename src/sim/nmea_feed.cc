@@ -1,0 +1,101 @@
+#include "sim/nmea_feed.h"
+
+#include <unordered_map>
+
+#include "ais/messages.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace maritime::sim {
+
+std::string EncodeTaggedNmeaFeed(
+    const std::vector<stream::PositionTuple>& tuples,
+    const std::vector<SimVessel>& fleet, const NmeaFeedOptions& options) {
+  std::unordered_map<stream::Mmsi, const SimVessel*> by_mmsi;
+  for (const SimVessel& v : fleet) by_mmsi[v.info.mmsi] = &v;
+  Rng rng(options.seed);
+  std::string out;
+  int sequence = 0;
+  std::unordered_map<stream::Mmsi, int> reports_since_static;
+  const auto ais_ship_type = [](surveillance::VesselType type) {
+    switch (type) {
+      case surveillance::VesselType::kFishing:
+        return 30;
+      case surveillance::VesselType::kPleasure:
+        return 37;
+      case surveillance::VesselType::kPassenger:
+        return 60;
+      case surveillance::VesselType::kCargo:
+        return 70;
+      case surveillance::VesselType::kTanker:
+        return 80;
+      case surveillance::VesselType::kOther:
+        return 90;
+    }
+    return 90;
+  };
+  for (const auto& t : tuples) {
+    ais::PositionReport report;
+    report.mmsi = t.mmsi;
+    report.lon_deg = t.pos.lon;
+    report.lat_deg = t.pos.lat;
+    report.utc_second = static_cast<int>(t.tau % 60);
+    const auto it = by_mmsi.find(t.mmsi);
+    const bool class_b = it != by_mmsi.end() && it->second->class_b;
+    if (class_b) {
+      report.type = rng.NextBool(options.extended_class_b_prob)
+                        ? ais::MessageType::kExtendedClassB
+                        : ais::MessageType::kStandardClassB;
+      if (report.type == ais::MessageType::kExtendedClassB &&
+          it != by_mmsi.end()) {
+        report.ship_name = it->second->info.name.substr(0, 20);
+        report.ship_type = 37;  // pleasure craft
+      }
+    } else {
+      report.type = ais::MessageType::kPositionReportScheduled;
+      report.nav_status = ais::NavStatus::kUnderWayUsingEngine;
+    }
+    std::vector<std::string> sentences =
+        ais::EncodeToNmea(report, 'A', sequence++);
+    // Class A vessels periodically broadcast static & voyage data (type 5).
+    if (!class_b && options.static_report_every > 0 &&
+        ++reports_since_static[t.mmsi] >= options.static_report_every) {
+      reports_since_static[t.mmsi] = 0;
+      ais::StaticVoyageData sv;
+      sv.mmsi = t.mmsi;
+      sv.imo_number = 9000000u + t.mmsi % 1000000u;
+      sv.call_sign = StrPrintf("SV%05u", t.mmsi % 100000u);
+      if (it != by_mmsi.end()) {
+        sv.ship_name = it->second->info.name.substr(0, 20);
+        sv.ship_type = ais_ship_type(it->second->info.type);
+        sv.draught_m = it->second->info.draft_m;
+      }
+      // Crew-entered voyage data is often missing or stale (paper §3.2).
+      if (rng.NextBool(0.4)) {
+        sv.destination = "";  // never entered
+      } else if (rng.NextBool(0.3)) {
+        sv.destination = "PIRAEUS";  // stale from a previous voyage
+      } else {
+        sv.destination = StrPrintf("PORT %02llu",
+                                   static_cast<unsigned long long>(
+                                       rng.NextBelow(25)));
+      }
+      for (std::string& s : ais::EncodeStaticToNmea(sv, 'A', sequence++)) {
+        sentences.push_back(std::move(s));
+      }
+    }
+    for (std::string sentence : sentences) {
+      if (rng.NextBool(options.corrupt_prob) && !sentence.empty()) {
+        // Flip one payload character; the checksum no longer matches.
+        const size_t idx = 15 + rng.NextBelow(8);
+        if (idx < sentence.size() - 3) sentence[idx] ^= 0x1;
+      }
+      out += StrPrintf("%lld\t", static_cast<long long>(t.tau));
+      out += sentence;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace maritime::sim

@@ -1,0 +1,38 @@
+#ifndef MARITIME_SIM_NMEA_FEED_H_
+#define MARITIME_SIM_NMEA_FEED_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/generator.h"
+#include "stream/position.h"
+
+namespace maritime::sim {
+
+/// Options for rendering a simulated positional stream as a raw AIS feed.
+struct NmeaFeedOptions {
+  /// Fraction of sentences whose checksum is corrupted (models transmission
+  /// distortion the Data Scanner must discard).
+  double corrupt_prob = 0.0;
+  /// Fraction of class-B reports upgraded to extended type 19 (two-fragment
+  /// messages exercising reassembly).
+  double extended_class_b_prob = 0.1;
+  /// Class A vessels interleave a type 5 static/voyage broadcast roughly
+  /// every this many position reports (0 disables). The voyage destination
+  /// field is filled with stale or empty text with realistic probability —
+  /// the unreliability the paper observed in real data.
+  int static_report_every = 30;
+  uint64_t seed = 99;
+};
+
+/// Encodes each tuple through the real AIS encoder into tagged NMEA lines
+/// ("<tau>\t!AIVDM,..."), the wire format the DataScanner consumes, so the
+/// full decode path can be driven end to end. `fleet` supplies each vessel's
+/// transponder class; vessels not found default to class A.
+std::string EncodeTaggedNmeaFeed(
+    const std::vector<stream::PositionTuple>& tuples,
+    const std::vector<SimVessel>& fleet, const NmeaFeedOptions& options = {});
+
+}  // namespace maritime::sim
+
+#endif  // MARITIME_SIM_NMEA_FEED_H_

@@ -1,0 +1,117 @@
+#include "sim/scenarios.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace maritime::sim {
+
+TraceBuilder::TraceBuilder(stream::Mmsi mmsi, geo::GeoPoint origin,
+                           Timestamp start)
+    : mmsi_(mmsi),
+      pos_(origin),
+      now_(start),
+      jitter_state_(0x9e3779b97f4a7c15ULL ^ mmsi) {
+  Report();
+}
+
+void TraceBuilder::Report() {
+  tuples_.push_back(stream::PositionTuple{mmsi_, pos_, now_});
+}
+
+TraceBuilder& TraceBuilder::Cruise(double bearing_deg, double speed_knots,
+                                   Duration duration_s, Duration interval_s) {
+  assert(interval_s > 0);
+  bearing_deg_ = bearing_deg;
+  speed_knots_ = speed_knots;
+  const double step_m = speed_knots * geo::kKnotsToMps *
+                        static_cast<double>(interval_s);
+  for (Duration elapsed = 0; elapsed < duration_s; elapsed += interval_s) {
+    pos_ = geo::DestinationPoint(pos_, bearing_deg, step_m);
+    now_ += interval_s;
+    Report();
+  }
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::Hold(Duration duration_s, Duration interval_s) {
+  assert(interval_s > 0);
+  speed_knots_ = 0.0;
+  for (Duration elapsed = 0; elapsed < duration_s; elapsed += interval_s) {
+    now_ += interval_s;
+    Report();
+  }
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::Drift(Duration duration_s, Duration interval_s,
+                                  double jitter_m) {
+  assert(interval_s > 0);
+  speed_knots_ = 0.0;
+  Rng rng(jitter_state_);
+  const geo::GeoPoint anchor = pos_;
+  for (Duration elapsed = 0; elapsed < duration_s; elapsed += interval_s) {
+    now_ += interval_s;
+    const double bearing = rng.NextDouble(0.0, 360.0);
+    const double dist = rng.NextDouble(0.0, jitter_m);
+    pos_ = geo::DestinationPoint(anchor, bearing, dist);
+    Report();
+  }
+  jitter_state_ = rng.NextU64();
+  pos_ = anchor;
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::SmoothTurn(double total_turn_deg, int steps,
+                                       double speed_knots,
+                                       Duration interval_s) {
+  assert(steps > 0 && interval_s > 0);
+  speed_knots_ = speed_knots;
+  const double per_step = total_turn_deg / static_cast<double>(steps);
+  const double step_m = speed_knots * geo::kKnotsToMps *
+                        static_cast<double>(interval_s);
+  for (int i = 0; i < steps; ++i) {
+    bearing_deg_ = geo::NormalizeBearingDeg(bearing_deg_ + per_step);
+    pos_ = geo::DestinationPoint(pos_, bearing_deg_, step_m);
+    now_ += interval_s;
+    Report();
+  }
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::Silence(Duration duration_s, bool keep_moving) {
+  if (keep_moving && speed_knots_ > 0.0) {
+    const double dist = speed_knots_ * geo::kKnotsToMps *
+                        static_cast<double>(duration_s);
+    pos_ = geo::DestinationPoint(pos_, bearing_deg_, dist);
+  }
+  now_ += duration_s;
+  Report();  // The first report after the silent period.
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::Outlier(double offset_m, double bearing_deg,
+                                    Duration interval_s) {
+  now_ += interval_s;
+  const geo::GeoPoint bogus =
+      geo::DestinationPoint(pos_, bearing_deg, offset_m);
+  tuples_.push_back(stream::PositionTuple{mmsi_, bogus, now_});
+  // The true position is unchanged; the next segment continues from it.
+  return *this;
+}
+
+std::vector<stream::PositionTuple> MergeTraces(
+    std::vector<std::vector<stream::PositionTuple>> traces) {
+  std::vector<stream::PositionTuple> out;
+  size_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  out.reserve(total);
+  for (auto& t : traces) {
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  std::stable_sort(out.begin(), out.end(), stream::StreamOrder);
+  return out;
+}
+
+}  // namespace maritime::sim

@@ -1,0 +1,81 @@
+#ifndef MARITIME_SIM_SCENARIOS_H_
+#define MARITIME_SIM_SCENARIOS_H_
+
+#include <vector>
+
+#include "common/time.h"
+#include "stream/position.h"
+
+namespace maritime::sim {
+
+/// Hand-scriptable single-vessel trace builder used by unit tests and the
+/// example programs: appends kinematically consistent position reports
+/// segment by segment. No noise unless explicitly requested — tests want
+/// exact behaviour.
+class TraceBuilder {
+ public:
+  /// Starts a trace for `mmsi` at `origin`, first report at `start`.
+  TraceBuilder(stream::Mmsi mmsi, geo::GeoPoint origin, Timestamp start);
+
+  /// Cruises on `bearing_deg` at `speed_knots`, reporting every
+  /// `interval_s`, for `duration_s` of travel. Returns *this for chaining.
+  TraceBuilder& Cruise(double bearing_deg, double speed_knots,
+                       Duration duration_s, Duration interval_s);
+
+  /// Stays at the current position (zero speed), reporting every
+  /// `interval_s` for `duration_s`.
+  TraceBuilder& Hold(Duration duration_s, Duration interval_s);
+
+  /// Stays roughly in place with per-report random-looking jitter of
+  /// `jitter_m` meters (deterministic from the report index) — models an
+  /// anchored vessel with GPS noise and sea drift.
+  TraceBuilder& Drift(Duration duration_s, Duration interval_s,
+                      double jitter_m);
+
+  /// A gradual course change: `total_turn_deg` spread evenly over
+  /// `steps` reports at `speed_knots`, one report per `interval_s`.
+  TraceBuilder& SmoothTurn(double total_turn_deg, int steps,
+                           double speed_knots, Duration interval_s);
+
+  /// Goes silent for `duration_s` (no reports), then continues from the
+  /// dead-reckoned position (keeps last bearing/speed while silent if
+  /// `keep_moving`, else stays put).
+  TraceBuilder& Silence(Duration duration_s, bool keep_moving = true);
+
+  /// Injects a single off-course outlier report `offset_m` meters away at
+  /// `bearing_deg` from the current position, `interval_s` after the last
+  /// report, without moving the true position.
+  TraceBuilder& Outlier(double offset_m, double bearing_deg,
+                        Duration interval_s);
+
+  /// Current simulated state.
+  geo::GeoPoint position() const { return pos_; }
+  Timestamp now() const { return now_; }
+  double last_bearing_deg() const { return bearing_deg_; }
+  double last_speed_knots() const { return speed_knots_; }
+
+  /// The accumulated reports, in time order.
+  const std::vector<stream::PositionTuple>& tuples() const { return tuples_; }
+
+  /// Copies out the accumulated reports (callable mid-chain).
+  std::vector<stream::PositionTuple> Build() const { return tuples_; }
+
+ private:
+  void Report();
+
+  stream::Mmsi mmsi_;
+  geo::GeoPoint pos_;
+  Timestamp now_;
+  double bearing_deg_ = 0.0;
+  double speed_knots_ = 0.0;
+  uint64_t jitter_state_;
+  std::vector<stream::PositionTuple> tuples_;
+};
+
+/// Merges several traces into one stream, sorted in stream order.
+std::vector<stream::PositionTuple> MergeTraces(
+    std::vector<std::vector<stream::PositionTuple>> traces);
+
+}  // namespace maritime::sim
+
+#endif  // MARITIME_SIM_SCENARIOS_H_

@@ -1,0 +1,94 @@
+#include "sim/world.h"
+
+#include "common/strings.h"
+
+namespace maritime::sim {
+namespace {
+
+geo::GeoPoint RandomPointIn(Rng& rng, const geo::BoundingBox& box) {
+  return geo::GeoPoint{rng.NextDouble(box.min_lon, box.max_lon),
+                       rng.NextDouble(box.min_lat, box.max_lat)};
+}
+
+bool FarFromAll(const geo::GeoPoint& p, const std::vector<Port>& ports,
+                double min_distance_m) {
+  for (const Port& port : ports) {
+    if (geo::HaversineMeters(p, port.center) < min_distance_m) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const Port* World::FindPort(int32_t id) const {
+  for (const Port& p : ports) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+World BuildWorld(uint64_t seed, const WorldParams& params) {
+  World world;
+  world.params = params;
+  world.knowledge = surveillance::KnowledgeBase(params.close_threshold_m);
+  Rng rng(seed);
+
+  // --- ports -----------------------------------------------------------------
+  for (int i = 0; i < params.ports; ++i) {
+    Port port;
+    port.id = 1000 + i;
+    port.name = StrPrintf("port_%02d", i);
+    port.radius_m = rng.NextDouble(500.0, 900.0);
+    // Rejection-sample a location respecting the separation constraint;
+    // degrade gracefully if the region gets crowded.
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      port.center = RandomPointIn(rng, params.extent);
+      if (FarFromAll(port.center, world.ports, params.port_separation_m)) {
+        break;
+      }
+    }
+    surveillance::AreaInfo area;
+    area.id = port.id;
+    area.name = port.name;
+    area.kind = surveillance::AreaKind::kPort;
+    area.polygon =
+        geo::Polygon::RegularPolygon(port.center, port.radius_m, 12);
+    world.knowledge.AddArea(std::move(area));
+    world.ports.push_back(std::move(port));
+  }
+
+  // --- the 35 special areas ---------------------------------------------------
+  int32_t next_id = 1;
+  const auto add_special = [&](surveillance::AreaKind kind, int count,
+                               const char* prefix) {
+    for (int i = 0; i < count; ++i) {
+      surveillance::AreaInfo area;
+      area.id = next_id++;
+      area.name = StrPrintf("%s_%02d", prefix, i);
+      area.kind = kind;
+      geo::GeoPoint center;
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        center = RandomPointIn(rng, params.extent);
+        if (FarFromAll(center, world.ports, params.area_port_clearance_m)) {
+          break;
+        }
+      }
+      const double radius = rng.NextDouble(2000.0, 8000.0);
+      const int sides = static_cast<int>(rng.NextInt(5, 9));
+      area.polygon = geo::Polygon::RegularPolygon(center, radius, sides);
+      if (kind == surveillance::AreaKind::kShallow) {
+        area.depth_m = rng.NextDouble(2.0, 6.0);
+      }
+      world.knowledge.AddArea(std::move(area));
+    }
+  };
+  add_special(surveillance::AreaKind::kProtected, params.protected_areas,
+              "marine_park");
+  add_special(surveillance::AreaKind::kForbiddenFishing,
+              params.forbidden_fishing_areas, "no_fishing");
+  add_special(surveillance::AreaKind::kShallow, params.shallow_areas,
+              "shoal");
+  return world;
+}
+
+}  // namespace maritime::sim

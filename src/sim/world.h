@@ -1,0 +1,57 @@
+#ifndef MARITIME_SIM_WORLD_H_
+#define MARITIME_SIM_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/polygon.h"
+#include "maritime/knowledge.h"
+
+namespace maritime::sim {
+
+/// A port: trip segmentation anchor and route endpoint.
+struct Port {
+  int32_t id = -1;
+  std::string name;
+  geo::GeoPoint center;
+  double radius_m = 700.0;
+};
+
+/// Parameters of the synthetic world. Defaults match the paper's evaluation
+/// setting: 35 special areas (protected / forbidden fishing / shallow) in an
+/// Aegean-sized region.
+struct WorldParams {
+  int ports = 25;
+  int protected_areas = 12;
+  int forbidden_fishing_areas = 12;
+  int shallow_areas = 11;
+  /// Monitored region (defaults approximate the Aegean Sea).
+  geo::BoundingBox extent{22.5, 35.0, 27.5, 41.0};
+  /// Minimum separation between ports, and between special areas and ports
+  /// (so routine port calls do not constantly trip area CEs).
+  double port_separation_m = 25000.0;
+  double area_port_clearance_m = 12000.0;
+  double close_threshold_m = 1000.0;
+};
+
+/// The static geography the simulator and the surveillance system share:
+/// ports plus the 35 areas of interest, all registered in a KnowledgeBase.
+/// Vessels are added to the knowledge base separately by the fleet
+/// generator (static vessel data accompanies the fleet, not the geography).
+struct World {
+  WorldParams params;
+  std::vector<Port> ports;
+  surveillance::KnowledgeBase knowledge;
+
+  const Port* FindPort(int32_t id) const;
+};
+
+/// Deterministically builds a world from `seed`. Area ids: ports get ids
+/// 1000+i; special areas 1..35.
+World BuildWorld(uint64_t seed, const WorldParams& params = WorldParams());
+
+}  // namespace maritime::sim
+
+#endif  // MARITIME_SIM_WORLD_H_

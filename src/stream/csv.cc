@@ -1,0 +1,108 @@
+#include "stream/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace maritime::stream {
+
+std::string WritePositionsCsv(const std::vector<PositionTuple>& tuples) {
+  std::string out = "mmsi,t,lon,lat\n";
+  for (const auto& t : tuples) {
+    out += StrPrintf("%u,%lld,%.6f,%.6f\n", t.mmsi,
+                     static_cast<long long>(t.tau), t.pos.lon, t.pos.lat);
+  }
+  return out;
+}
+
+Result<std::vector<PositionTuple>> ParsePositionsCsv(std::string_view csv,
+                                                     const CsvFormat& format,
+                                                     size_t* skipped) {
+  std::vector<PositionTuple> out;
+  size_t bad = 0;
+  size_t data_rows = 0;
+  size_t line_start = 0;
+  bool first_line = true;
+  const int max_column = std::max(
+      std::max(format.mmsi_column, format.tau_column),
+      std::max(format.lon_column, format.lat_column));
+  while (line_start < csv.size()) {
+    size_t line_end = csv.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = csv.size();
+    const std::string_view line =
+        StripWhitespace(csv.substr(line_start, line_end - line_start));
+    line_start = line_end + 1;
+    const bool is_header = first_line && format.has_header;
+    first_line = false;
+    if (line.empty() || is_header) continue;
+    ++data_rows;
+    const auto fields = SplitString(line, format.separator);
+    if (static_cast<int>(fields.size()) <= max_column) {
+      ++bad;
+      continue;
+    }
+    PositionTuple t;
+    char* end = nullptr;
+    const std::string mmsi_s(fields[static_cast<size_t>(format.mmsi_column)]);
+    const std::string tau_s(fields[static_cast<size_t>(format.tau_column)]);
+    const std::string lon_s(fields[static_cast<size_t>(format.lon_column)]);
+    const std::string lat_s(fields[static_cast<size_t>(format.lat_column)]);
+    const unsigned long mmsi = std::strtoul(mmsi_s.c_str(), &end, 10);
+    if (end == mmsi_s.c_str() || *end != '\0') {
+      ++bad;
+      continue;
+    }
+    const long long tau = std::strtoll(tau_s.c_str(), &end, 10);
+    if (end == tau_s.c_str() || *end != '\0') {
+      ++bad;
+      continue;
+    }
+    const double lon = std::strtod(lon_s.c_str(), &end);
+    if (end == lon_s.c_str() || *end != '\0') {
+      ++bad;
+      continue;
+    }
+    const double lat = std::strtod(lat_s.c_str(), &end);
+    if (end == lat_s.c_str() || *end != '\0') {
+      ++bad;
+      continue;
+    }
+    t.mmsi = static_cast<Mmsi>(mmsi);
+    t.tau = static_cast<Timestamp>(tau);
+    t.pos = geo::GeoPoint{lon, lat};
+    if (!geo::IsValidPosition(t.pos)) {
+      ++bad;
+      continue;
+    }
+    out.push_back(t);
+  }
+  if (skipped != nullptr) *skipped = bad;
+  if (out.empty() && data_rows > 0) {
+    return Status::Corruption(
+        StrPrintf("no valid rows among %zu data rows", data_rows));
+  }
+  return out;
+}
+
+Status SavePositionsCsv(const std::string& path,
+                        const std::vector<PositionTuple>& tuples) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << WritePositionsCsv(tuples);
+  if (!f) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<PositionTuple>> LoadPositionsCsv(const std::string& path,
+                                                    const CsvFormat& format,
+                                                    size_t* skipped) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  return ParsePositionsCsv(buffer.str(), format, skipped);
+}
+
+}  // namespace maritime::stream

@@ -1,0 +1,49 @@
+#ifndef MARITIME_STREAM_CSV_H_
+#define MARITIME_STREAM_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/position.h"
+
+namespace maritime::stream {
+
+/// CSV interchange for positional streams, in the layout of the public
+/// anonymized IMIS dataset the paper released (chorochronos.org:
+/// one record per position, vessel id + timestamp + lon + lat). This lets
+/// the system run on the paper's real data when available, and lets
+/// simulated workloads be persisted and shared.
+
+/// Options describing a CSV layout.
+struct CsvFormat {
+  char separator = ',';
+  bool has_header = true;
+  /// Zero-based column indices.
+  int mmsi_column = 0;
+  int tau_column = 1;
+  int lon_column = 2;
+  int lat_column = 3;
+};
+
+/// Serializes tuples as "mmsi,t,lon,lat" with a header row.
+std::string WritePositionsCsv(const std::vector<PositionTuple>& tuples);
+
+/// Parses a CSV document. Malformed rows and rows with out-of-range
+/// coordinates are skipped and counted in `*skipped` (may be null); the
+/// whole parse only fails when the input yields no valid tuple at all but
+/// contained data rows.
+Result<std::vector<PositionTuple>> ParsePositionsCsv(
+    std::string_view csv, const CsvFormat& format = CsvFormat(),
+    size_t* skipped = nullptr);
+
+/// File convenience wrappers.
+Status SavePositionsCsv(const std::string& path,
+                        const std::vector<PositionTuple>& tuples);
+Result<std::vector<PositionTuple>> LoadPositionsCsv(
+    const std::string& path, const CsvFormat& format = CsvFormat(),
+    size_t* skipped = nullptr);
+
+}  // namespace maritime::stream
+
+#endif  // MARITIME_STREAM_CSV_H_

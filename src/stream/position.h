@@ -1,0 +1,40 @@
+#ifndef MARITIME_STREAM_POSITION_H_
+#define MARITIME_STREAM_POSITION_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/time.h"
+#include "geo/geo_point.h"
+
+namespace maritime::stream {
+
+/// Vessel identifier (Maritime Mobile Service Identity).
+using Mmsi = uint32_t;
+
+/// The positional stream tuple ⟨MMSI, Lon, Lat, τ⟩ of paper Section 2 — the
+/// only four attributes the online analysis consumes. This is an append-only
+/// stream: no deletions or updates of received locations.
+struct PositionTuple {
+  Mmsi mmsi = 0;
+  geo::GeoPoint pos;
+  Timestamp tau = 0;
+
+  friend bool operator==(const PositionTuple& a, const PositionTuple& b) {
+    return a.mmsi == b.mmsi && a.pos == b.pos && a.tau == b.tau;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const PositionTuple& p) {
+  return os << "{mmsi=" << p.mmsi << " " << p.pos << " tau=" << p.tau << "}";
+}
+
+/// Ordering by timestamp then MMSI: the canonical stream order.
+inline bool StreamOrder(const PositionTuple& a, const PositionTuple& b) {
+  if (a.tau != b.tau) return a.tau < b.tau;
+  return a.mmsi < b.mmsi;
+}
+
+}  // namespace maritime::stream
+
+#endif  // MARITIME_STREAM_POSITION_H_

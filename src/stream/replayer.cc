@@ -1,0 +1,28 @@
+#include "stream/replayer.h"
+
+#include <algorithm>
+
+namespace maritime::stream {
+
+StreamReplayer::StreamReplayer(std::vector<PositionTuple> tuples)
+    : tuples_(std::move(tuples)) {
+  std::stable_sort(tuples_.begin(), tuples_.end(), StreamOrder);
+}
+
+std::span<const PositionTuple> StreamReplayer::NextBatch(Timestamp until) {
+  const size_t begin = cursor_;
+  while (cursor_ < tuples_.size() && tuples_[cursor_].tau <= until) {
+    ++cursor_;
+  }
+  return {tuples_.data() + begin, cursor_ - begin};
+}
+
+Timestamp StreamReplayer::first_timestamp() const {
+  return tuples_.empty() ? kInvalidTimestamp : tuples_.front().tau;
+}
+
+Timestamp StreamReplayer::last_timestamp() const {
+  return tuples_.empty() ? kInvalidTimestamp : tuples_.back().tau;
+}
+
+}  // namespace maritime::stream

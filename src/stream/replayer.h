@@ -1,0 +1,49 @@
+#ifndef MARITIME_STREAM_REPLAYER_H_
+#define MARITIME_STREAM_REPLAYER_H_
+
+#include <span>
+#include <vector>
+
+#include "stream/position.h"
+
+namespace maritime::stream {
+
+/// Replays a recorded positional stream in timestamp order, handing out the
+/// batch of tuples that "arrived" up to each successive query time. This is
+/// the simulation harness of paper Section 5: "we simulated a streaming
+/// behavior by consuming this positional data little by little, reading
+/// small chunks periodically according to window specifications", with the
+/// window keeping pace with the reported timestamps rather than wall-clock
+/// time.
+class StreamReplayer {
+ public:
+  /// `tuples` need not be sorted; the replayer sorts a copy into stream
+  /// order once.
+  explicit StreamReplayer(std::vector<PositionTuple> tuples);
+
+  /// Tuples with `tau` in (last consumed, until]. Subsequent calls continue
+  /// from where the previous batch stopped. The span is valid until the
+  /// replayer is destroyed.
+  std::span<const PositionTuple> NextBatch(Timestamp until);
+
+  /// True when the stream is exhausted.
+  bool Done() const { return cursor_ >= tuples_.size(); }
+
+  /// Rewinds to the beginning.
+  void Reset() { cursor_ = 0; }
+
+  /// Timestamp of the first/last tuple (kInvalidTimestamp when empty).
+  Timestamp first_timestamp() const;
+  Timestamp last_timestamp() const;
+
+  size_t size() const { return tuples_.size(); }
+  const std::vector<PositionTuple>& tuples() const { return tuples_; }
+
+ private:
+  std::vector<PositionTuple> tuples_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace maritime::stream
+
+#endif  // MARITIME_STREAM_REPLAYER_H_

@@ -1,0 +1,29 @@
+#include "stream/sliding_window.h"
+
+#include "common/strings.h"
+
+namespace maritime::stream {
+
+Status WindowSpec::Validate() const {
+  if (range <= 0) {
+    return Status::InvalidArgument(
+        StrPrintf("window range must be positive, got %lld",
+                  static_cast<long long>(range)));
+  }
+  if (slide <= 0) {
+    return Status::InvalidArgument(
+        StrPrintf("window slide must be positive, got %lld",
+                  static_cast<long long>(slide)));
+  }
+  return Status::OK();
+}
+
+std::vector<Timestamp> QueryTimeSequence::FireUntil(Timestamp until) {
+  std::vector<Timestamp> fired;
+  while (next_ <= until) {
+    fired.push_back(Fire());
+  }
+  return fired;
+}
+
+}  // namespace maritime::stream

@@ -1,0 +1,33 @@
+#include "tracker/critical_point.h"
+
+namespace maritime::tracker {
+
+std::string CriticalFlagsToString(uint32_t flags) {
+  static constexpr struct {
+    CriticalFlag flag;
+    const char* name;
+  } kNames[] = {
+      {kFirst, "first"},
+      {kGapStart, "gap_start"},
+      {kGapEnd, "gap_end"},
+      {kTurn, "turn"},
+      {kSmoothTurn, "smooth_turn"},
+      {kSpeedChange, "speed_change"},
+      {kStopStart, "stop_start"},
+      {kStopEnd, "stop_end"},
+      {kSlowMotionStart, "slow_start"},
+      {kSlowMotionEnd, "slow_end"},
+      {kLast, "last"},
+      {kSlowMotionWaypoint, "slow_waypoint"},
+  };
+  std::string out;
+  for (const auto& [flag, name] : kNames) {
+    if (flags & flag) {
+      if (!out.empty()) out += '|';
+      out += name;
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace maritime::tracker

@@ -1,0 +1,114 @@
+#ifndef MARITIME_TRACKER_MOBILITY_TRACKER_H_
+#define MARITIME_TRACKER_MOBILITY_TRACKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/position.h"
+#include "tracker/critical_point.h"
+#include "tracker/params.h"
+#include "tracker/vessel_state.h"
+
+namespace maritime::tracker {
+
+/// Counters describing the tracker's filtering behaviour.
+struct TrackerStats {
+  uint64_t processed = 0;           ///< Tuples fed in.
+  uint64_t accepted = 0;            ///< Tuples accepted into vessel state.
+  uint64_t stale_discarded = 0;     ///< τ not strictly increasing per vessel.
+  uint64_t outliers_discarded = 0;  ///< Off-course positions dropped.
+  uint64_t outlier_resets = 0;      ///< Motion-state resets after persistent
+                                    ///< deviation.
+  uint64_t critical_points = 0;     ///< Critical points emitted.
+
+  /// Compression ratio so far: fraction of raw positions NOT retained as
+  /// critical points (paper Figure 9; close to 1 means strong reduction).
+  double CompressionRatio() const {
+    if (processed == 0) return 0.0;
+    return 1.0 - static_cast<double>(critical_points) /
+                     static_cast<double>(processed);
+  }
+};
+
+/// The Mobility Tracker of paper Section 3: consumes the positional stream,
+/// maintains one velocity vector per vessel from its two most recent
+/// positions, detects instantaneous trajectory events (pause, speed change,
+/// turn, off-course outlier) and long-lasting ones (communication gap,
+/// smooth turn, long-term stop, slow motion), and emits annotated critical
+/// points.
+///
+/// Complexity per incoming tuple: O(1) for instantaneous events and gaps
+/// (only the two latest positions are examined), O(m) for long-lasting
+/// events (m = params.history_size), matching Section 3.1.
+///
+/// Not thread-safe; partition vessels across instances for parallelism (as
+/// the paper does for CE recognition).
+class MobilityTracker {
+ public:
+  explicit MobilityTracker(TrackerParams params = TrackerParams());
+
+  const TrackerParams& params() const { return params_; }
+
+  /// Processes one positional tuple, appending any critical points to `out`.
+  /// Tuples must arrive per-vessel in non-decreasing τ order; stale tuples
+  /// are counted and dropped (the stream is append-only).
+  void Process(const stream::PositionTuple& tuple,
+               std::vector<CriticalPoint>* out);
+
+  /// Processes a batch (one window slide's worth of fresh positions).
+  void ProcessBatch(const std::vector<stream::PositionTuple>& batch,
+                    std::vector<CriticalPoint>* out);
+
+  /// Advances the tracker clock to `now` (typically a window query time):
+  /// detects communication gaps of vessels that have been silent for longer
+  /// than ΔT and finalizes episodes interrupted by those gaps.
+  void AdvanceTo(Timestamp now, std::vector<CriticalPoint>* out);
+
+  /// Flushes open episodes (stops, slow motions) at end of stream, emitting
+  /// their closing critical points at the vessels' last timestamps.
+  void Finish(std::vector<CriticalPoint>* out);
+
+  const TrackerStats& stats() const { return stats_; }
+  size_t vessel_count() const { return vessels_.size(); }
+
+  /// Read-only view of a vessel's state; nullptr when unknown. Exposed for
+  /// tests and diagnostics.
+  const VesselState* FindVessel(stream::Mmsi mmsi) const;
+
+  /// Traveled distance of `mmsi` since its first accepted position, in
+  /// meters (0 when unknown). Distance across silent periods counts the
+  /// straight line between the bracketing reports. The "traveled distance
+  /// from a given origin" feature the paper lists as future work.
+  double OdometerMeters(stream::Mmsi mmsi) const {
+    const VesselState* vs = FindVessel(mmsi);
+    return vs == nullptr ? 0.0 : vs->odometer_m;
+  }
+
+ private:
+  void Emit(const CriticalPoint& cp, std::vector<CriticalPoint>* out);
+  /// True when `v_now` is an off-course outlier w.r.t. the vessel's mean
+  /// recent velocity.
+  bool IsOutlier(const VesselState& vs, const geo::Velocity& v_now) const;
+  /// Closes an active stop episode, emitting kStopEnd.
+  void CloseStop(VesselState& vs, stream::Mmsi mmsi, Timestamp end_tau,
+                 std::vector<CriticalPoint>* out);
+  /// Closes an active slow-motion episode, emitting kSlowMotionEnd.
+  void CloseSlowMotion(VesselState& vs, stream::Mmsi mmsi, Timestamp end_tau,
+                       std::vector<CriticalPoint>* out);
+  /// Updates stop detection with an accepted sample; returns true when the
+  /// sample is absorbed into a stop episode (suppressing other annotations).
+  bool UpdateStop(VesselState& vs, const stream::PositionTuple& t,
+                  double speed_knots, std::vector<CriticalPoint>* out);
+  void UpdateSlowMotion(VesselState& vs, const stream::PositionTuple& t,
+                        double speed_knots, bool in_stop,
+                        std::vector<CriticalPoint>* out);
+
+  TrackerParams params_;
+  std::unordered_map<stream::Mmsi, VesselState> vessels_;
+  TrackerStats stats_;
+};
+
+}  // namespace maritime::tracker
+
+#endif  // MARITIME_TRACKER_MOBILITY_TRACKER_H_

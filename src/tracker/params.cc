@@ -1,0 +1,40 @@
+#include "tracker/params.h"
+
+namespace maritime::tracker {
+
+Status TrackerParams::Validate() const {
+  if (min_speed_knots <= 0.0) {
+    return Status::InvalidArgument("min_speed_knots must be positive");
+  }
+  if (slow_speed_knots < min_speed_knots) {
+    return Status::InvalidArgument(
+        "slow_speed_knots must be >= min_speed_knots");
+  }
+  if (speed_change_ratio <= 0.0 || speed_change_ratio >= 1.0) {
+    return Status::InvalidArgument("speed_change_ratio must be in (0,1)");
+  }
+  if (gap_period <= 0) {
+    return Status::InvalidArgument("gap_period must be positive");
+  }
+  if (turn_threshold_deg <= 0.0 || turn_threshold_deg >= 180.0) {
+    return Status::InvalidArgument("turn_threshold_deg must be in (0,180)");
+  }
+  if (stop_radius_m <= 0.0) {
+    return Status::InvalidArgument("stop_radius_m must be positive");
+  }
+  if (history_size < 2) {
+    return Status::InvalidArgument("history_size must be at least 2");
+  }
+  if (outlier_speed_factor <= 1.0) {
+    return Status::InvalidArgument("outlier_speed_factor must exceed 1");
+  }
+  if (outlier_min_speed_knots <= 0.0) {
+    return Status::InvalidArgument("outlier_min_speed_knots must be positive");
+  }
+  if (outlier_reset_count < 1) {
+    return Status::InvalidArgument("outlier_reset_count must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace maritime::tracker

@@ -1,0 +1,75 @@
+#include "tracker/reconstruct.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace maritime::tracker {
+
+geo::GeoPoint ReconstructAt(const std::vector<CriticalPoint>& critical,
+                            Timestamp tau) {
+  assert(!critical.empty());
+  if (tau <= critical.front().tau) return critical.front().pos;
+  if (tau >= critical.back().tau) return critical.back().pos;
+  // First critical point with tau >= requested time.
+  const auto it = std::lower_bound(
+      critical.begin(), critical.end(), tau,
+      [](const CriticalPoint& cp, Timestamp t) { return cp.tau < t; });
+  const CriticalPoint& hi = *it;
+  if (hi.tau == tau) return hi.pos;
+  const CriticalPoint& lo = *(it - 1);
+  const double fraction = static_cast<double>(tau - lo.tau) /
+                          static_cast<double>(hi.tau - lo.tau);
+  // Constant velocity along the great circle between the two anchors (the
+  // paper interpolates with Haversine distances; plain lon/lat interpolation
+  // would bow away from the true path on long segments).
+  const double dist = geo::HaversineMeters(lo.pos, hi.pos);
+  if (dist < 1.0) return geo::Interpolate(lo.pos, hi.pos, fraction);
+  return geo::DestinationPoint(lo.pos, geo::InitialBearingDeg(lo.pos, hi.pos),
+                               dist * fraction);
+}
+
+double TrajectoryRmseMeters(const std::vector<stream::PositionTuple>& original,
+                            const std::vector<CriticalPoint>& critical) {
+  if (original.empty() || critical.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto& p : original) {
+    const geo::GeoPoint approx = ReconstructAt(critical, p.tau);
+    const double err = geo::HaversineMeters(p.pos, approx);
+    sum_sq += err * err;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(original.size()));
+}
+
+ApproximationError EvaluateApproximation(
+    const std::vector<stream::PositionTuple>& originals,
+    const std::vector<CriticalPoint>& criticals) {
+  std::unordered_map<stream::Mmsi, std::vector<stream::PositionTuple>>
+      orig_by_vessel;
+  for (const auto& p : originals) orig_by_vessel[p.mmsi].push_back(p);
+  std::unordered_map<stream::Mmsi, std::vector<CriticalPoint>> crit_by_vessel;
+  for (const auto& c : criticals) crit_by_vessel[c.mmsi].push_back(c);
+
+  ApproximationError out;
+  double total = 0.0;
+  for (auto& [mmsi, orig] : orig_by_vessel) {
+    auto it = crit_by_vessel.find(mmsi);
+    if (it == crit_by_vessel.end()) continue;
+    std::sort(orig.begin(), orig.end(), stream::StreamOrder);
+    std::sort(it->second.begin(), it->second.end(),
+              [](const CriticalPoint& a, const CriticalPoint& b) {
+                return a.tau < b.tau;
+              });
+    const double rmse = TrajectoryRmseMeters(orig, it->second);
+    total += rmse;
+    out.max_rmse_m = std::max(out.max_rmse_m, rmse);
+    ++out.vessel_count;
+  }
+  if (out.vessel_count > 0) {
+    out.avg_rmse_m = total / static_cast<double>(out.vessel_count);
+  }
+  return out;
+}
+
+}  // namespace maritime::tracker

@@ -1,0 +1,43 @@
+#ifndef MARITIME_TRACKER_RECONSTRUCT_H_
+#define MARITIME_TRACKER_RECONSTRUCT_H_
+
+#include <vector>
+
+#include "stream/position.h"
+#include "tracker/critical_point.h"
+
+namespace maritime::tracker {
+
+/// Reconstructs the approximate position of a vessel at time `tau` from its
+/// (time-sorted) critical points by linear interpolation between the
+/// bracketing pair, assuming constant velocity between them (paper Section
+/// 5.1). Times before the first / after the last critical point clamp to it.
+/// Precondition: `critical` is non-empty and sorted by tau.
+geo::GeoPoint ReconstructAt(const std::vector<CriticalPoint>& critical,
+                            Timestamp tau);
+
+/// Root-mean-square error (meters) between a vessel's original samples and
+/// its compressed representation: for each original point, the time-aligned
+/// interpolated trace point is computed and the Haversine deviation taken
+/// (the RMSE formula of paper Section 5.1). Returns 0 for empty inputs.
+/// Preconditions: both sequences sorted by tau; same vessel.
+double TrajectoryRmseMeters(const std::vector<stream::PositionTuple>& original,
+                            const std::vector<CriticalPoint>& critical);
+
+/// Fleet-level approximation-error summary (paper Figure 8: one error value
+/// per vessel trajectory; plot average and maximum over vessels).
+struct ApproximationError {
+  double avg_rmse_m = 0.0;
+  double max_rmse_m = 0.0;
+  size_t vessel_count = 0;
+};
+
+/// Computes per-vessel RMSE over a whole run. `originals` and `criticals`
+/// are each grouped per vessel internally.
+ApproximationError EvaluateApproximation(
+    const std::vector<stream::PositionTuple>& originals,
+    const std::vector<CriticalPoint>& criticals);
+
+}  // namespace maritime::tracker
+
+#endif  // MARITIME_TRACKER_RECONSTRUCT_H_

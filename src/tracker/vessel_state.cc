@@ -1,0 +1,18 @@
+#include "tracker/vessel_state.h"
+
+namespace maritime::tracker {
+
+void VesselState::ResetMotionState() {
+  has_velocity = false;
+  recent_velocities.clear();
+  heading_diffs.clear();
+  stop_buffer.clear();
+  stop_active = false;
+  stop_start_tau = kInvalidTimestamp;
+  slow_buffer.clear();
+  slow_active = false;
+  slow_start_tau = kInvalidTimestamp;
+  consecutive_outliers = 0;
+}
+
+}  // namespace maritime::tracker

@@ -1,0 +1,67 @@
+#ifndef MARITIME_TRACKER_VESSEL_STATE_H_
+#define MARITIME_TRACKER_VESSEL_STATE_H_
+
+#include <deque>
+#include <vector>
+
+#include "geo/velocity.h"
+#include "stream/position.h"
+
+namespace maritime::tracker {
+
+/// Per-vessel in-memory movement state maintained by the mobility tracker.
+/// The tracker works "entirely in main memory and without any index support"
+/// (paper Section 2); each vessel's state is O(m) in the number of inspected
+/// recent positions.
+struct VesselState {
+  // --- latest accepted sample -------------------------------------------
+  bool has_last = false;
+  stream::PositionTuple last;
+
+  // --- instantaneous velocity -------------------------------------------
+  bool has_velocity = false;
+  geo::Velocity v_prev;  ///< Velocity implied by the two latest positions.
+
+  /// Ring of the last m component velocities (for the mean velocity v_m used
+  /// in off-course detection).
+  std::deque<geo::Velocity> recent_velocities;
+
+  /// Ring of the last m signed heading changes (for smooth-turn detection).
+  std::deque<double> heading_diffs;
+
+  // --- long-term stop tracking ------------------------------------------
+  /// Consecutive pause samples, candidates for / members of a stop episode.
+  std::vector<stream::PositionTuple> stop_buffer;
+  bool stop_active = false;
+  Timestamp stop_start_tau = kInvalidTimestamp;
+
+  // --- slow-motion tracking ---------------------------------------------
+  std::vector<stream::PositionTuple> slow_buffer;
+  bool slow_active = false;
+  Timestamp slow_start_tau = kInvalidTimestamp;
+  /// Last emitted shape waypoint of the active slow-motion episode.
+  geo::GeoPoint slow_anchor;
+
+  // --- communication-gap tracking ---------------------------------------
+  bool gap_open = false;
+  Timestamp gap_start_tau = kInvalidTimestamp;
+
+  // --- outlier tracking ---------------------------------------------------
+  int consecutive_outliers = 0;
+
+  uint64_t accepted_count = 0;
+
+  /// Cumulative traveled distance since the first accepted position (a
+  /// feature the paper lists as future work in Section 3.1). Distance over
+  /// silent periods is counted as the straight line between the bracketing
+  /// reports, so the value is a lower bound while gaps occur.
+  double odometer_m = 0.0;
+
+  /// Drops velocity history and open episodes (used after gaps and outlier
+  /// resets, when the recent course is no longer trustworthy). Keeps `last`.
+  void ResetMotionState();
+};
+
+}  // namespace maritime::tracker
+
+#endif  // MARITIME_TRACKER_VESSEL_STATE_H_

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "maritime/recognizer.h"
+
+namespace maritime::surveillance {
+namespace {
+
+const geo::GeoPoint kPortCenter{26.5, 39.5};
+const geo::GeoPoint kOpenSea{24.5, 37.5};
+constexpr stream::Mmsi kShip = 4242;
+
+KnowledgeBase MakeKb() {
+  KnowledgeBase kb(1000.0);
+  AreaInfo port;
+  port.id = 1000;
+  port.name = "port";
+  port.kind = AreaKind::kPort;
+  port.polygon = geo::Polygon::RegularPolygon(kPortCenter, 700.0, 10);
+  kb.AddArea(port);
+  VesselInfo v;
+  v.mmsi = kShip;
+  v.type = VesselType::kCargo;
+  kb.AddVessel(v);
+  return kb;
+}
+
+tracker::CriticalPoint Cp(geo::GeoPoint pos, Timestamp tau, uint32_t flags) {
+  tracker::CriticalPoint cp;
+  cp.mmsi = kShip;
+  cp.pos = pos;
+  cp.tau = tau;
+  cp.flags = flags;
+  return cp;
+}
+
+RecognizerConfig Config(bool facts) {
+  RecognizerConfig cfg;
+  cfg.window = stream::WindowSpec{2 * kHour, kHour};
+  cfg.ce.use_spatial_facts = facts;
+  return cfg;
+}
+
+class AdriftTest : public ::testing::TestWithParam<bool> {
+ protected:
+  AdriftTest() : kb_(MakeKb()), rec_(&kb_, Config(GetParam())) {}
+
+  const rtec::RecognizedFluent* FindAdrift(
+      const rtec::RecognitionResult& r) const {
+    for (const auto& f : r.fluents) {
+      if (f.fluent == rec_.schema().adrift &&
+          f.key == VesselTerm(kShip)) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+
+  KnowledgeBase kb_;
+  CERecognizer rec_;
+};
+
+TEST_P(AdriftTest, StopInOpenWaterRaisesAdrift) {
+  rec_.Feed(Cp(kOpenSea, 600, tracker::kStopStart));
+  rec_.Feed(Cp(kOpenSea, 4800, tracker::kStopEnd));
+  const auto r = rec_.Recognize(7200);
+  const auto* f = FindAdrift(r);
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->intervals.size(), 1u);
+  EXPECT_EQ(f->intervals[0], (rtec::Interval{600, 4800}));
+}
+
+TEST_P(AdriftTest, StopInPortIsNotAdrift) {
+  rec_.Feed(Cp(kPortCenter, 600, tracker::kStopStart));
+  const auto r = rec_.Recognize(7200);
+  EXPECT_EQ(FindAdrift(r), nullptr);
+}
+
+TEST_P(AdriftTest, OngoingEpisodeReportedOpen) {
+  rec_.Feed(Cp(kOpenSea, 600, tracker::kStopStart));
+  const auto r = rec_.Recognize(7200);
+  const auto* f = FindAdrift(r);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->intervals[0], (rtec::Interval{600, 7200}));
+}
+
+TEST_P(AdriftTest, DescribeLabelsVessel) {
+  rec_.Feed(Cp(kOpenSea, 600, tracker::kStopStart));
+  const auto r = rec_.Recognize(7200);
+  const auto* f = FindAdrift(r);
+  ASSERT_NE(f, nullptr);
+  const std::string text = rec_.Describe(*f);
+  EXPECT_NE(text.find("adrift"), std::string::npos);
+  EXPECT_NE(text.find("vessel=4242"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(SpatialModes, AdriftTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "PrecomputedFacts"
+                                             : "OnDemandReasoning";
+                         });
+
+TEST(AdriftDisabledTest, FlagSuppressesExtensionCe) {
+  KnowledgeBase kb = MakeKb();
+  RecognizerConfig cfg = Config(false);
+  cfg.ce.enable_adrift = false;
+  CERecognizer rec(&kb, cfg);
+  rec.Feed(Cp(kOpenSea, 600, tracker::kStopStart));
+  const auto r = rec.Recognize(7200);
+  for (const auto& f : r.fluents) {
+    EXPECT_NE(f.fluent, rec.schema().adrift);
+  }
+}
+
+}  // namespace
+}  // namespace maritime::surveillance

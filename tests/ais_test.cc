@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include "ais/bit_buffer.h"
+#include "ais/messages.h"
+#include "ais/nmea.h"
+#include "ais/scanner.h"
+#include "ais/sixbit.h"
+#include "common/rng.h"
+
+namespace maritime::ais {
+namespace {
+
+TEST(BitBufferTest, WriteReadUnsigned) {
+  BitWriter w;
+  w.WriteUnsigned(0b101101, 6);
+  w.WriteUnsigned(0x3FF, 10);
+  w.WriteUnsigned(0, 3);
+  BitReader r(w.bits());
+  EXPECT_EQ(r.ReadUnsigned(6), 0b101101u);
+  EXPECT_EQ(r.ReadUnsigned(10), 0x3FFu);
+  EXPECT_EQ(r.ReadUnsigned(3), 0u);
+  EXPECT_FALSE(r.overflow());
+}
+
+TEST(BitBufferTest, SignedRoundTrip) {
+  for (const int64_t v : {-1L, -128L, 127L, 0L, -42L, 55L}) {
+    BitWriter w;
+    w.WriteSigned(v, 8);
+    BitReader r(w.bits());
+    EXPECT_EQ(r.ReadSigned(8), v) << "value " << v;
+  }
+}
+
+TEST(BitBufferTest, SignedWideField) {
+  // Longitude raw values use 28 bits.
+  for (const int64_t v : {-180 * 600000L, 180 * 600000L, 0L, -1L}) {
+    BitWriter w;
+    w.WriteSigned(v, 28);
+    BitReader r(w.bits());
+    EXPECT_EQ(r.ReadSigned(28), v);
+  }
+}
+
+TEST(BitBufferTest, OverflowReadsZeroAndFlags) {
+  BitWriter w;
+  w.WriteUnsigned(0xFF, 8);
+  BitReader r(w.bits());
+  EXPECT_EQ(r.ReadUnsigned(8), 0xFFu);
+  EXPECT_EQ(r.ReadUnsigned(8), 0u);
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(BitBufferTest, SixbitStringRoundTrip) {
+  BitWriter w;
+  w.WriteSixbitString("HELLO WORLD 42", 20);
+  BitReader r(w.bits());
+  EXPECT_EQ(r.ReadSixbitString(20), "HELLO WORLD 42");
+}
+
+TEST(BitBufferTest, SixbitStringLowercaseMapsToUpper) {
+  BitWriter w;
+  w.WriteSixbitString("abc", 5);
+  BitReader r(w.bits());
+  EXPECT_EQ(r.ReadSixbitString(5), "ABC");
+}
+
+TEST(SixbitTest, ArmorCharMapping) {
+  EXPECT_EQ(ArmorChar(0), '0');
+  EXPECT_EQ(ArmorChar(39), 'W');
+  EXPECT_EQ(ArmorChar(40), '`');
+  EXPECT_EQ(ArmorChar(63), 'w');
+}
+
+TEST(SixbitTest, DearmorInvertsArmor) {
+  for (int v = 0; v < 64; ++v) {
+    EXPECT_EQ(DearmorChar(ArmorChar(static_cast<uint8_t>(v))), v);
+  }
+  EXPECT_EQ(DearmorChar('X'), -1);  // 'X' is not in the armoring alphabet
+  EXPECT_EQ(DearmorChar(' '), -1);
+}
+
+TEST(SixbitTest, PayloadRoundTripAllFillSizes) {
+  Rng rng(5);
+  for (int len = 1; len <= 24; ++len) {
+    std::vector<uint8_t> bits;
+    for (int i = 0; i < len; ++i) {
+      bits.push_back(static_cast<uint8_t>(rng.NextBelow(2)));
+    }
+    int fill = -1;
+    const std::string payload = ArmorPayload(bits, &fill);
+    EXPECT_GE(fill, 0);
+    EXPECT_LE(fill, 5);
+    const auto back = DearmorPayload(payload, fill);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back.value(), bits) << "length " << len;
+  }
+}
+
+TEST(SixbitTest, DearmorRejectsBadInput) {
+  EXPECT_FALSE(DearmorPayload("1", 6).ok());   // fill out of range
+  EXPECT_FALSE(DearmorPayload("~", 0).ok());   // bad character
+  EXPECT_FALSE(DearmorPayload("1", -1).ok());
+}
+
+TEST(NmeaTest, ChecksumMatchesKnownSentence) {
+  // Classic reference sentence from the AIVDM documentation.
+  EXPECT_EQ(NmeaChecksum("AIVDM,1,1,,B,177KQJ5000G?tO`K>RA1wUbN0TKH,0"), "5C");
+}
+
+TEST(NmeaTest, FormatParseRoundTrip) {
+  NmeaSentence s;
+  s.fragment_count = 2;
+  s.fragment_index = 1;
+  s.sequence_id = 3;
+  s.channel = 'B';
+  s.payload = "177KQJ5000G?tO`K>RA1wUbN0TKH";
+  s.fill_bits = 0;
+  const std::string line = FormatSentence(s);
+  const auto parsed = ParseSentence(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().fragment_count, 2);
+  EXPECT_EQ(parsed.value().fragment_index, 1);
+  EXPECT_EQ(parsed.value().sequence_id, 3);
+  EXPECT_EQ(parsed.value().channel, 'B');
+  EXPECT_EQ(parsed.value().payload, s.payload);
+}
+
+TEST(NmeaTest, ParseRejectsBadChecksum) {
+  const auto r =
+      ParseSentence("!AIVDM,1,1,,B,177KQJ5000G?tO`K>RA1wUbN0TKH,0*00");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NmeaTest, ParseRejectsFraming) {
+  EXPECT_FALSE(ParseSentence("").ok());
+  EXPECT_FALSE(ParseSentence("$GPGGA,foo*00").ok());
+  EXPECT_FALSE(ParseSentence("!AIVDM,1,1,,B,xyz,0").ok());  // no checksum
+  EXPECT_FALSE(ParseSentence("!AIVDM,1,1,B,xyz,0*23").ok());  // 6 fields
+}
+
+TEST(NmeaTest, ParseRejectsInconsistentFragments) {
+  NmeaSentence s;
+  s.fragment_count = 1;
+  s.fragment_index = 2;  // index > count
+  s.payload = "177KQJ5000G?tO`K>RA1wUbN0TKH";
+  EXPECT_FALSE(ParseSentence(FormatSentence(s)).ok());
+}
+
+TEST(NmeaTest, ParseToleratesTrailingWhitespace) {
+  NmeaSentence s;
+  s.payload = "177KQJ5000G?tO`K>RA1wUbN0TKH";
+  EXPECT_TRUE(ParseSentence(FormatSentence(s) + "\r\n").ok());
+}
+
+TEST(FragmentAssemblerTest, SingleFragmentPassesThrough) {
+  FragmentAssembler fa;
+  NmeaSentence s;
+  s.payload = "ABC";
+  s.fill_bits = 2;
+  const auto r = fa.Add(s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().payload, "ABC");
+  EXPECT_EQ(r.value().fill_bits, 2);
+  EXPECT_EQ(fa.pending_groups(), 0u);
+}
+
+TEST(FragmentAssemblerTest, TwoFragmentReassembly) {
+  FragmentAssembler fa;
+  NmeaSentence f1;
+  f1.fragment_count = 2;
+  f1.fragment_index = 1;
+  f1.sequence_id = 5;
+  f1.payload = "AAAA";
+  NmeaSentence f2 = f1;
+  f2.fragment_index = 2;
+  f2.payload = "BBB";
+  f2.fill_bits = 4;
+  const auto r1 = fa.Add(f1);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fa.pending_groups(), 1u);
+  const auto r2 = fa.Add(f2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().payload, "AAAABBB");
+  EXPECT_EQ(r2.value().fill_bits, 4);
+  EXPECT_EQ(fa.pending_groups(), 0u);
+}
+
+TEST(FragmentAssemblerTest, DuplicateFragmentRejected) {
+  FragmentAssembler fa;
+  NmeaSentence f;
+  f.fragment_count = 2;
+  f.fragment_index = 2;
+  f.sequence_id = 1;
+  f.payload = "X";
+  EXPECT_FALSE(fa.Add(f).ok());
+  const auto dup = fa.Add(f);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FragmentAssemblerTest, ReusedSequenceIdRestartsGroup) {
+  FragmentAssembler fa;
+  NmeaSentence f1;
+  f1.fragment_count = 2;
+  f1.fragment_index = 1;
+  f1.sequence_id = 9;
+  f1.payload = "OLD1";
+  EXPECT_FALSE(fa.Add(f1).ok());
+  // A fresh first fragment with the same sequence id: the stale group is
+  // dropped, not merged.
+  NmeaSentence g1 = f1;
+  g1.payload = "NEW1";
+  EXPECT_FALSE(fa.Add(g1).ok());
+  NmeaSentence g2 = f1;
+  g2.fragment_index = 2;
+  g2.payload = "NEW2";
+  const auto done = fa.Add(g2);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value().payload, "NEW1NEW2");
+}
+
+PositionReport MakeReport(MessageType type) {
+  PositionReport r;
+  r.type = type;
+  r.mmsi = 237001234;
+  r.nav_status = NavStatus::kUnderWayUsingEngine;
+  r.lon_deg = 24.12345;
+  r.lat_deg = 37.54321;
+  r.sog_knots = 12.3;
+  r.cog_deg = 231.4;
+  r.true_heading_deg = 230;
+  r.utc_second = 42;
+  r.position_accuracy_high = true;
+  return r;
+}
+
+class MessageRoundTripTest : public ::testing::TestWithParam<MessageType> {};
+
+TEST_P(MessageRoundTripTest, EncodeDecodePreservesFields) {
+  PositionReport in = MakeReport(GetParam());
+  if (GetParam() == MessageType::kExtendedClassB) {
+    in.ship_name = "WIND DANCER";
+    in.ship_type = 37;
+  }
+  const auto bits = EncodePositionReport(in);
+  const size_t expected_bits =
+      GetParam() == MessageType::kExtendedClassB ? 312u : 168u;
+  EXPECT_EQ(bits.size(), expected_bits);
+  const auto out = DecodePositionReport(bits);
+  ASSERT_TRUE(out.ok()) << out.status();
+  const PositionReport& r = out.value();
+  EXPECT_EQ(r.type, in.type);
+  EXPECT_EQ(r.mmsi, in.mmsi);
+  // Coordinates quantize to 1/10000 arc-minute (~0.18 m).
+  EXPECT_NEAR(r.lon_deg, in.lon_deg, 1.0 / 600000.0);
+  EXPECT_NEAR(r.lat_deg, in.lat_deg, 1.0 / 600000.0);
+  ASSERT_TRUE(r.sog_knots.has_value());
+  EXPECT_NEAR(*r.sog_knots, 12.3, 0.05);
+  ASSERT_TRUE(r.cog_deg.has_value());
+  EXPECT_NEAR(*r.cog_deg, 231.4, 0.05);
+  ASSERT_TRUE(r.true_heading_deg.has_value());
+  EXPECT_EQ(*r.true_heading_deg, 230);
+  EXPECT_EQ(r.utc_second, 42);
+  EXPECT_TRUE(r.position_accuracy_high);
+  if (GetParam() == MessageType::kExtendedClassB) {
+    EXPECT_EQ(r.ship_name, "WIND DANCER");
+    EXPECT_EQ(r.ship_type, 37);
+  }
+  if (GetParam() == MessageType::kPositionReportScheduled) {
+    EXPECT_EQ(r.nav_status, NavStatus::kUnderWayUsingEngine);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, MessageRoundTripTest,
+                         ::testing::Values(
+                             MessageType::kPositionReportScheduled,
+                             MessageType::kPositionReportAssigned,
+                             MessageType::kPositionReportResponse,
+                             MessageType::kStandardClassB,
+                             MessageType::kExtendedClassB));
+
+TEST(MessageTest, NotAvailableSentinels) {
+  PositionReport in = MakeReport(MessageType::kPositionReportScheduled);
+  in.sog_knots = std::nullopt;
+  in.cog_deg = std::nullopt;
+  in.true_heading_deg = std::nullopt;
+  const auto out = DecodePositionReport(EncodePositionReport(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out.value().sog_knots.has_value());
+  EXPECT_FALSE(out.value().cog_deg.has_value());
+  EXPECT_FALSE(out.value().true_heading_deg.has_value());
+}
+
+TEST(MessageTest, NegativeCoordinatesRoundTrip) {
+  PositionReport in = MakeReport(MessageType::kPositionReportScheduled);
+  in.lon_deg = -70.25;
+  in.lat_deg = -33.125;
+  const auto out = DecodePositionReport(EncodePositionReport(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out.value().lon_deg, -70.25, 1e-5);
+  EXPECT_NEAR(out.value().lat_deg, -33.125, 1e-5);
+}
+
+TEST(MessageTest, DecodeRejectsTruncatedPayload) {
+  auto bits = EncodePositionReport(
+      MakeReport(MessageType::kPositionReportScheduled));
+  bits.resize(100);
+  const auto out = DecodePositionReport(bits);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+}
+
+TEST(MessageTest, DecodeRejectsUnsupportedType) {
+  BitWriter w;
+  w.WriteUnsigned(5, 6);  // type 5: static voyage data, unsupported
+  w.WriteUnsigned(0, 162);
+  const auto out = DecodePositionReport(w.bits());
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(MessageTest, SupportedTypePredicate) {
+  for (const int t : {1, 2, 3, 18, 19}) EXPECT_TRUE(IsSupportedType(t));
+  for (const int t : {0, 4, 5, 17, 20, 24, 27}) {
+    EXPECT_FALSE(IsSupportedType(t));
+  }
+}
+
+TEST(EncodeToNmeaTest, ClassAFitsOneSentence) {
+  const auto lines =
+      EncodeToNmea(MakeReport(MessageType::kPositionReportScheduled));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(ParseSentence(lines[0]).ok());
+}
+
+TEST(EncodeToNmeaTest, Type19SpansTwoFragments) {
+  PositionReport r = MakeReport(MessageType::kExtendedClassB);
+  r.ship_name = "LONG NAME VESSEL";
+  const auto lines = EncodeToNmea(r, 'B', 4);
+  ASSERT_EQ(lines.size(), 2u);
+  const auto s1 = ParseSentence(lines[0]);
+  const auto s2 = ParseSentence(lines[1]);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1.value().fragment_count, 2);
+  EXPECT_EQ(s1.value().sequence_id, 4);
+  EXPECT_EQ(s2.value().fragment_index, 2);
+}
+
+TEST(ScannerTest, AcceptsValidClassA) {
+  DataScanner scanner;
+  const auto lines =
+      EncodeToNmea(MakeReport(MessageType::kPositionReportScheduled));
+  const auto r = scanner.FeedLine(lines[0], 1234);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().mmsi, 237001234u);
+  EXPECT_EQ(r.value().tau, 1234);
+  EXPECT_NEAR(r.value().pos.lon, 24.12345, 1e-5);
+  EXPECT_EQ(scanner.stats().accepted, 1u);
+}
+
+TEST(ScannerTest, ReassemblesType19) {
+  DataScanner scanner;
+  PositionReport rep = MakeReport(MessageType::kExtendedClassB);
+  rep.ship_name = "TWO PART";
+  const auto lines = EncodeToNmea(rep);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_FALSE(scanner.FeedLine(lines[0], 10).ok());
+  const auto r = scanner.FeedLine(lines[1], 11);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(scanner.last_report().ship_name, "TWO PART");
+  EXPECT_EQ(scanner.stats().fragment_pending, 1u);
+  EXPECT_EQ(scanner.stats().accepted, 1u);
+}
+
+TEST(ScannerTest, DiscardsBadChecksum) {
+  DataScanner scanner;
+  auto line = EncodeToNmea(MakeReport(MessageType::kPositionReportScheduled))
+                  .front();
+  line[15] ^= 0x1;  // corrupt one payload character
+  EXPECT_FALSE(scanner.FeedLine(line, 5).ok());
+  EXPECT_EQ(scanner.stats().framing_errors, 1u);
+  EXPECT_EQ(scanner.stats().accepted, 0u);
+}
+
+TEST(ScannerTest, DiscardsSentinelPosition) {
+  DataScanner scanner;
+  PositionReport r = MakeReport(MessageType::kPositionReportScheduled);
+  r.lon_deg = 181.0;  // "not available" sentinel
+  const auto lines = EncodeToNmea(r);
+  EXPECT_FALSE(scanner.FeedLine(lines[0], 5).ok());
+  EXPECT_EQ(scanner.stats().invalid_position, 1u);
+}
+
+TEST(ScannerTest, TaggedFormat) {
+  DataScanner scanner;
+  const auto line =
+      EncodeToNmea(MakeReport(MessageType::kPositionReportScheduled)).front();
+  const auto r = scanner.FeedTagged("98765\t" + line);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().tau, 98765);
+  EXPECT_FALSE(scanner.FeedTagged("notanumber\t" + line).ok());
+  EXPECT_FALSE(scanner.FeedTagged(line).ok());  // no tag
+}
+
+TEST(ScannerTest, ScanTaggedLogFiltersNoise) {
+  const auto line =
+      EncodeToNmea(MakeReport(MessageType::kPositionReportScheduled)).front();
+  std::string log;
+  log += "100\t" + line + "\n";
+  log += "garbage line\n";
+  log += "\n";
+  log += "200\t" + line + "\n";
+  DataScanner scanner;
+  const auto tuples = scanner.ScanTaggedLog(log);
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0].tau, 100);
+  EXPECT_EQ(tuples[1].tau, 200);
+}
+
+}  // namespace
+}  // namespace maritime::ais

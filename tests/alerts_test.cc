@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "maritime/alerts.h"
+#include "maritime/recognizer.h"
+
+namespace maritime::surveillance {
+namespace {
+
+const geo::GeoPoint kParkCenter{23.5, 36.5};
+
+KnowledgeBase MakeKb() {
+  KnowledgeBase kb(1000.0);
+  AreaInfo a;
+  a.id = 1;
+  a.name = "park";
+  a.kind = AreaKind::kProtected;
+  a.polygon = geo::Polygon::RegularPolygon(kParkCenter, 3000.0, 8);
+  kb.AddArea(a);
+  a = AreaInfo();
+  a.id = 2;
+  a.name = "nofish";
+  a.kind = AreaKind::kForbiddenFishing;
+  a.polygon =
+      geo::Polygon::RegularPolygon(geo::GeoPoint{24.5, 37.5}, 3000.0, 8);
+  kb.AddArea(a);
+  VesselInfo v;
+  v.mmsi = 100;
+  v.type = VesselType::kFishing;
+  v.fishing_gear = true;
+  kb.AddVessel(v);
+  v = VesselInfo();
+  v.mmsi = 200;
+  v.type = VesselType::kTanker;
+  v.draft_m = 12.0;
+  kb.AddVessel(v);
+  return kb;
+}
+
+tracker::CriticalPoint Cp(stream::Mmsi mmsi, geo::GeoPoint pos, Timestamp tau,
+                          uint32_t flags) {
+  tracker::CriticalPoint cp;
+  cp.mmsi = mmsi;
+  cp.pos = pos;
+  cp.tau = tau;
+  cp.flags = flags;
+  return cp;
+}
+
+class AlertManagerTest : public ::testing::Test {
+ protected:
+  AlertManagerTest()
+      : kb_(MakeKb()),
+        rec_(&kb_, MakeConfig()),
+        alerts_(&rec_.engine()) {}
+
+  static RecognizerConfig MakeConfig() {
+    RecognizerConfig cfg;
+    cfg.window = stream::WindowSpec{2 * kHour, kHour};
+    return cfg;
+  }
+
+  size_t CountKind(const std::vector<Alert>& alerts, Alert::Kind kind) {
+    size_t n = 0;
+    for (const auto& a : alerts) {
+      if (a.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  KnowledgeBase kb_;
+  CERecognizer rec_;
+  AlertManager alerts_;
+};
+
+TEST_F(AlertManagerTest, EventReportedExactlyOnce) {
+  // A gap near the park at t=600 stays in the 2h working memory across
+  // several query times; the raw recognition re-reports it each time, the
+  // alert manager must not.
+  rec_.Feed(Cp(200, kParkCenter, 600, tracker::kGapStart));
+  const auto a1 = alerts_.Process(rec_.Recognize(3600));
+  EXPECT_EQ(CountKind(a1, Alert::Kind::kEvent), 1u);
+  const auto a2 = alerts_.Process(rec_.Recognize(7200));
+  EXPECT_EQ(CountKind(a2, Alert::Kind::kEvent), 0u) << "already alerted";
+  // Once the occurrence leaves the window it may not resurface.
+  const auto a3 = alerts_.Process(rec_.Recognize(10800));
+  EXPECT_EQ(CountKind(a3, Alert::Kind::kEvent), 0u);
+}
+
+TEST_F(AlertManagerTest, DurativeCeStartAndEnd) {
+  rec_.Feed(Cp(100, geo::GeoPoint{24.5, 37.5}, 900,
+               tracker::kSlowMotionStart));
+  const auto a1 = alerts_.Process(rec_.Recognize(3600));
+  ASSERT_EQ(CountKind(a1, Alert::Kind::kStarted), 1u);
+  EXPECT_EQ(a1[0].at, 900);
+  EXPECT_NE(a1[0].text.find("illegalFishing"), std::string::npos);
+  EXPECT_NE(a1[0].text.find("STARTED"), std::string::npos);
+
+  // Still ongoing: no repeat.
+  rec_.Feed(Cp(100, geo::GeoPoint{24.5, 37.5}, 4000,
+               tracker::kSlowMotionWaypoint));
+  const auto a2 = alerts_.Process(rec_.Recognize(7200));
+  EXPECT_EQ(CountKind(a2, Alert::Kind::kStarted), 0u);
+  EXPECT_EQ(CountKind(a2, Alert::Kind::kEnded), 0u);
+
+  // The episode terminates.
+  rec_.Feed(Cp(100, geo::GeoPoint{24.5, 37.5}, 9000,
+               tracker::kSlowMotionEnd));
+  const auto a3 = alerts_.Process(rec_.Recognize(10800));
+  ASSERT_EQ(CountKind(a3, Alert::Kind::kEnded), 1u);
+  for (const auto& a : a3) {
+    if (a.kind == Alert::Kind::kEnded) {
+      EXPECT_EQ(a.at, 9000);
+      EXPECT_EQ(a.interval.since, 900);
+    }
+  }
+  // Nothing further.
+  const auto a4 = alerts_.Process(rec_.Recognize(14400));
+  EXPECT_TRUE(a4.empty());
+}
+
+TEST_F(AlertManagerTest, CompletedWithinOneWindow) {
+  rec_.Feed(Cp(100, geo::GeoPoint{24.5, 37.5}, 600,
+               tracker::kSlowMotionStart));
+  rec_.Feed(Cp(100, geo::GeoPoint{24.5, 37.5}, 2400,
+               tracker::kSlowMotionEnd));
+  const auto a1 = alerts_.Process(rec_.Recognize(3600));
+  ASSERT_EQ(CountKind(a1, Alert::Kind::kCompleted), 1u);
+  EXPECT_EQ(a1[0].interval, (rtec::Interval{600, 2400}));
+  // The same closed interval is still in the window at the next query.
+  const auto a2 = alerts_.Process(rec_.Recognize(7200));
+  EXPECT_TRUE(a2.empty());
+}
+
+TEST_F(AlertManagerTest, EmittedCounterAccumulates) {
+  rec_.Feed(Cp(200, kParkCenter, 600, tracker::kGapStart));
+  alerts_.Process(rec_.Recognize(3600));
+  EXPECT_EQ(alerts_.emitted(), 1u);
+}
+
+TEST(AlertKindTest, Names) {
+  EXPECT_EQ(AlertKindName(Alert::Kind::kEvent), "EVENT");
+  EXPECT_EQ(AlertKindName(Alert::Kind::kStarted), "STARTED");
+  EXPECT_EQ(AlertKindName(Alert::Kind::kEnded), "ENDED");
+  EXPECT_EQ(AlertKindName(Alert::Kind::kCompleted), "COMPLETED");
+}
+
+}  // namespace
+}  // namespace maritime::surveillance

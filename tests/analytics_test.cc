@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "mod/analytics.h"
+
+namespace maritime::mod {
+namespace {
+
+tracker::CriticalPoint Cp(stream::Mmsi mmsi, geo::GeoPoint pos,
+                          Timestamp tau) {
+  tracker::CriticalPoint cp;
+  cp.mmsi = mmsi;
+  cp.pos = pos;
+  cp.tau = tau;
+  return cp;
+}
+
+Trip MakeTrip(stream::Mmsi mmsi, int32_t origin, int32_t dest,
+              Timestamp start, Duration travel, double distance_m,
+              std::vector<geo::GeoPoint> shape = {}) {
+  Trip t;
+  t.mmsi = mmsi;
+  t.origin_port = origin;
+  t.destination_port = dest;
+  t.start_tau = start;
+  t.end_tau = start + travel;
+  t.distance_m = distance_m;
+  if (shape.empty()) {
+    shape = {geo::GeoPoint{24.0, 37.0}, geo::GeoPoint{24.5, 37.5}};
+  }
+  Duration step = travel / static_cast<Duration>(shape.size());
+  Timestamp tau = start;
+  for (const auto& p : shape) {
+    t.points.push_back(Cp(mmsi, p, tau));
+    tau += step;
+  }
+  return t;
+}
+
+TEST(VesselStatsTest, AggregatesPerVessel) {
+  TrajectoryStore store;
+  store.AddTrip(MakeTrip(7, 1000, 1001, 0, 2 * kHour, 40000.0));
+  store.AddTrip(MakeTrip(7, 1001, 1002, 5 * kHour, 3 * kHour, 60000.0));
+  store.AddTrip(MakeTrip(8, 1000, 1001, kHour, kHour, 30000.0));
+  const auto stats = ComputeVesselStats(store);
+  ASSERT_EQ(stats.size(), 2u);
+  const VesselTravelStats& v7 = stats[0];
+  EXPECT_EQ(v7.mmsi, 7u);
+  EXPECT_EQ(v7.trips, 2u);
+  EXPECT_DOUBLE_EQ(v7.total_distance_m, 100000.0);
+  EXPECT_EQ(v7.total_travel_time, 5 * kHour);
+  // Idle between arrival at 2h and departure at 5h.
+  EXPECT_EQ(v7.total_idle_time, 3 * kHour);
+  EXPECT_EQ(v7.visited_ports,
+            (std::vector<int32_t>{1000, 1001, 1002}));
+  EXPECT_EQ(stats[1].mmsi, 8u);
+  EXPECT_EQ(stats[1].total_idle_time, 0);
+}
+
+TEST(VesselStatsTest, UnknownOriginIgnoredInVisitedPorts) {
+  TrajectoryStore store;
+  store.AddTrip(MakeTrip(7, -1, 1001, 0, kHour, 30000.0));
+  const auto stats = ComputeVesselStats(store);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].visited_ports, std::vector<int32_t>{1001});
+}
+
+TEST(DeparturesTest, BucketsByGranularity) {
+  TrajectoryStore store;
+  store.AddTrip(MakeTrip(7, 1000, 1001, 10 * kMinute, kHour, 30000.0));
+  store.AddTrip(MakeTrip(8, 1000, 1001, 50 * kMinute, kHour, 30000.0));
+  store.AddTrip(MakeTrip(9, 1000, 1001, 90 * kMinute, kHour, 30000.0));
+  const auto hourly = DeparturesPerPeriod(store, kHour);
+  ASSERT_EQ(hourly.size(), 2u);
+  EXPECT_EQ(hourly.at(0), 2u);
+  EXPECT_EQ(hourly.at(kHour), 1u);
+  const auto daily = DeparturesPerPeriod(store, kDay);
+  ASSERT_EQ(daily.size(), 1u);
+  EXPECT_EQ(daily.at(0), 3u);
+}
+
+TEST(CorridorTest, SharedLaneRanksFirst) {
+  TrajectoryStore store;
+  // Three trips along the same lane, one elsewhere.
+  const std::vector<geo::GeoPoint> lane = {geo::GeoPoint{24.0, 37.0},
+                                           geo::GeoPoint{24.3, 37.0}};
+  const std::vector<geo::GeoPoint> other = {geo::GeoPoint{26.0, 39.0},
+                                            geo::GeoPoint{26.3, 39.0}};
+  store.AddTrip(MakeTrip(7, 1000, 1001, 0, kHour, 27000.0, lane));
+  store.AddTrip(MakeTrip(8, 1000, 1001, kHour, kHour, 27000.0, lane));
+  store.AddTrip(MakeTrip(9, 1000, 1001, 2 * kHour, kHour, 27000.0, lane));
+  store.AddTrip(MakeTrip(10, 1002, 1003, 0, kHour, 27000.0, other));
+  const auto cells = FrequentCorridors(store, 0.05, 5);
+  ASSERT_FALSE(cells.empty());
+  EXPECT_EQ(cells[0].trips, 3u) << "the shared lane dominates";
+  EXPECT_NEAR(cells[0].lat, 37.0, 0.06);
+  // A trip counts once per cell no matter how many of its points fall in.
+  for (const auto& c : cells) EXPECT_LE(c.trips, 3u);
+}
+
+TEST(CorridorTest, RasterizesBetweenSparsePoints) {
+  TrajectoryStore store;
+  // Two points ~0.3 degrees apart: intermediate cells must be filled.
+  store.AddTrip(MakeTrip(7, 1000, 1001, 0, kHour, 27000.0,
+                         {geo::GeoPoint{24.0, 37.0},
+                          geo::GeoPoint{24.3, 37.0}}));
+  const auto cells = FrequentCorridors(store, 0.05, 50);
+  EXPECT_GE(cells.size(), 5u) << "the in-between cells are covered";
+}
+
+TEST(PeriodicServiceTest, RegularFerryDetected) {
+  TrajectoryStore store;
+  // Ferry: departures every 2 h exactly. Tramp: irregular.
+  for (int i = 0; i < 6; ++i) {
+    store.AddTrip(MakeTrip(7, 1000, 1001, i * 2 * kHour, kHour, 30000.0));
+  }
+  const Timestamp tramp_starts[] = {0, kHour, 7 * kHour, 8 * kHour};
+  for (const Timestamp s : tramp_starts) {
+    store.AddTrip(MakeTrip(8, 1002, 1003, s, kHour, 30000.0));
+  }
+  const auto services = DetectPeriodicServices(store, 3);
+  ASSERT_EQ(services.size(), 2u);
+  EXPECT_EQ(services[0].origin_port, 1000) << "most regular first";
+  EXPECT_EQ(services[0].trips, 6u);
+  EXPECT_EQ(services[0].mean_headway, 2 * kHour);
+  EXPECT_NEAR(services[0].headway_cv, 0.0, 1e-9);
+  EXPECT_GT(services[1].headway_cv, 0.5);
+}
+
+TEST(PeriodicServiceTest, MinTripsFilter) {
+  TrajectoryStore store;
+  store.AddTrip(MakeTrip(7, 1000, 1001, 0, kHour, 30000.0));
+  store.AddTrip(MakeTrip(7, 1000, 1001, 4 * kHour, kHour, 30000.0));
+  EXPECT_TRUE(DetectPeriodicServices(store, 3).empty());
+  EXPECT_EQ(DetectPeriodicServices(store, 2).size(), 1u);
+}
+
+TEST(PeriodicServiceTest, UnknownOriginExcluded) {
+  TrajectoryStore store;
+  for (int i = 0; i < 4; ++i) {
+    store.AddTrip(MakeTrip(7, -1, 1001, i * kHour, kHour, 30000.0));
+  }
+  EXPECT_TRUE(DetectPeriodicServices(store, 2).empty());
+}
+
+}  // namespace
+}  // namespace maritime::mod

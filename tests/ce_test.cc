@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "maritime/recognizer.h"
+
+namespace maritime::surveillance {
+namespace {
+
+const geo::GeoPoint kParkCenter{23.5, 36.5};     // protected, id 1
+const geo::GeoPoint kNoFishCenter{24.5, 37.5};   // forbidden fishing, id 2
+const geo::GeoPoint kShoalCenter{25.5, 38.5};    // shallow, id 3
+const geo::GeoPoint kPortCenter{26.5, 39.5};     // port, id 1000
+
+constexpr stream::Mmsi kTrawler = 100;   // registered fishing vessel
+constexpr stream::Mmsi kTanker = 200;    // deep draft
+constexpr stream::Mmsi kDinghy = 300;    // shallow draft pleasure craft
+
+KnowledgeBase MakeKb() {
+  KnowledgeBase kb(1000.0);
+  AreaInfo a;
+  a.id = 1;
+  a.name = "park";
+  a.kind = AreaKind::kProtected;
+  a.polygon = geo::Polygon::RegularPolygon(kParkCenter, 3000.0, 8);
+  kb.AddArea(a);
+  a = AreaInfo();
+  a.id = 2;
+  a.name = "nofish";
+  a.kind = AreaKind::kForbiddenFishing;
+  a.polygon = geo::Polygon::RegularPolygon(kNoFishCenter, 3000.0, 8);
+  kb.AddArea(a);
+  a = AreaInfo();
+  a.id = 3;
+  a.name = "shoal";
+  a.kind = AreaKind::kShallow;
+  a.depth_m = 4.0;
+  a.polygon = geo::Polygon::RegularPolygon(kShoalCenter, 2000.0, 8);
+  kb.AddArea(a);
+  a = AreaInfo();
+  a.id = 1000;
+  a.name = "port";
+  a.kind = AreaKind::kPort;
+  a.polygon = geo::Polygon::RegularPolygon(kPortCenter, 700.0, 10);
+  kb.AddArea(a);
+
+  VesselInfo v;
+  v.mmsi = kTrawler;
+  v.type = VesselType::kFishing;
+  v.fishing_gear = true;
+  v.draft_m = 4.0;
+  kb.AddVessel(v);
+  v = VesselInfo();
+  v.mmsi = kTanker;
+  v.type = VesselType::kTanker;
+  v.draft_m = 12.0;
+  kb.AddVessel(v);
+  v = VesselInfo();
+  v.mmsi = kDinghy;
+  v.type = VesselType::kPleasure;
+  v.draft_m = 1.5;
+  kb.AddVessel(v);
+  // Extra anonymous vessels for the suspicious-area scenario.
+  for (stream::Mmsi m = 400; m < 410; ++m) {
+    v = VesselInfo();
+    v.mmsi = m;
+    v.type = VesselType::kOther;
+    v.draft_m = 3.0;
+    kb.AddVessel(v);
+  }
+  return kb;
+}
+
+tracker::CriticalPoint Cp(stream::Mmsi mmsi, geo::GeoPoint pos, Timestamp tau,
+                          uint32_t flags) {
+  tracker::CriticalPoint cp;
+  cp.mmsi = mmsi;
+  cp.pos = pos;
+  cp.tau = tau;
+  cp.flags = flags;
+  return cp;
+}
+
+RecognizerConfig Config(bool spatial_facts) {
+  RecognizerConfig cfg;
+  cfg.window = stream::WindowSpec{kHour, kHour};
+  cfg.ce.use_spatial_facts = spatial_facts;
+  return cfg;
+}
+
+/// Both spatial-reasoning modes must recognize identically; the whole suite
+/// therefore runs parameterized on the mode (paper Figures 11(a) vs 11(b)).
+class CeScenarioTest : public ::testing::TestWithParam<bool> {
+ protected:
+  CeScenarioTest() : kb_(MakeKb()), rec_(&kb_, Config(GetParam())) {}
+
+  const rtec::RecognizedFluent* FindFluent(
+      const rtec::RecognitionResult& r, rtec::FluentId f, int32_t area) const {
+    for (const auto& rf : r.fluents) {
+      if (rf.fluent == f && rf.key == AreaTerm(area)) return &rf;
+    }
+    return nullptr;
+  }
+
+  size_t CountEvents(const rtec::RecognitionResult& r, rtec::EventId e,
+                     int32_t area) const {
+    size_t n = 0;
+    for (const auto& re : r.events) {
+      if (re.event == e && re.instance.object == AreaTerm(area)) ++n;
+    }
+    return n;
+  }
+
+  KnowledgeBase kb_;
+  CERecognizer rec_;
+};
+
+TEST_P(CeScenarioTest, IllegalFishingLifecycle) {
+  const auto& schema = rec_.schema();
+  // A registered fishing vessel starts trawling (slow motion) inside the
+  // forbidden-fishing area at t=600 and stops trawling at t=3000.
+  rec_.Feed(Cp(kTrawler, kNoFishCenter, 600, tracker::kSlowMotionStart));
+  rec_.Feed(Cp(kTrawler, kNoFishCenter, 3000, tracker::kSlowMotionEnd));
+  const auto r = rec_.Recognize(3600);
+  const auto* f = FindFluent(r, schema.illegal_fishing, 2);
+  ASSERT_NE(f, nullptr) << "illegalFishing(nofish) must be recognized";
+  ASSERT_EQ(f->intervals.size(), 1u);
+  EXPECT_EQ(f->intervals[0], (rtec::Interval{600, 3000}));
+}
+
+TEST_P(CeScenarioTest, IllegalFishingViaStop) {
+  const auto& schema = rec_.schema();
+  // Rule-set (4), first clause: a fishing vessel *stopping* close to the
+  // area also initiates illegal fishing.
+  rec_.Feed(Cp(kTrawler, kNoFishCenter, 900, tracker::kStopStart));
+  const auto r = rec_.Recognize(3600);
+  const auto* f = FindFluent(r, schema.illegal_fishing, 2);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->intervals[0], (rtec::Interval{900, 3600}))
+      << "still ongoing at query time";
+}
+
+TEST_P(CeScenarioTest, NonFishingVesselDoesNotTriggerIllegalFishing) {
+  const auto& schema = rec_.schema();
+  rec_.Feed(Cp(kTanker, kNoFishCenter, 600, tracker::kSlowMotionStart));
+  const auto r = rec_.Recognize(3600);
+  EXPECT_EQ(FindFluent(r, schema.illegal_fishing, 2), nullptr);
+}
+
+TEST_P(CeScenarioTest, FishingOutsideForbiddenAreaIsLegal) {
+  const auto& schema = rec_.schema();
+  const geo::GeoPoint far =
+      geo::DestinationPoint(kNoFishCenter, 0.0, 20000.0);
+  rec_.Feed(Cp(kTrawler, far, 600, tracker::kSlowMotionStart));
+  const auto r = rec_.Recognize(3600);
+  EXPECT_EQ(FindFluent(r, schema.illegal_fishing, 2), nullptr);
+}
+
+TEST_P(CeScenarioTest, IllegalFishingPersistsWhileAnotherVesselEngaged) {
+  const auto& schema = rec_.schema();
+  // Two fishing vessels; one leaves, the CE only terminates when the last
+  // one disengages.
+  KnowledgeBase& kb = kb_;
+  VesselInfo second;
+  second.mmsi = 101;
+  second.type = VesselType::kFishing;
+  second.fishing_gear = true;
+  kb.AddVessel(second);
+  rec_.Feed(Cp(kTrawler, kNoFishCenter, 600, tracker::kSlowMotionStart));
+  rec_.Feed(Cp(101, kNoFishCenter, 700, tracker::kSlowMotionStart));
+  rec_.Feed(Cp(kTrawler, kNoFishCenter, 1500, tracker::kSlowMotionEnd));
+  rec_.Feed(Cp(101, kNoFishCenter, 2500, tracker::kSlowMotionEnd));
+  const auto r = rec_.Recognize(3600);
+  const auto* f = FindFluent(r, schema.illegal_fishing, 2);
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->intervals.size(), 1u);
+  EXPECT_EQ(f->intervals[0], (rtec::Interval{600, 2500}))
+      << "the first slow-end at 1500 must not terminate while vessel 101 "
+         "keeps trawling";
+}
+
+TEST_P(CeScenarioTest, SuspiciousAreaNeedsFourVessels) {
+  const auto& schema = rec_.schema();
+  // Vessels 400..402 stop close to the park: three are not enough.
+  for (int i = 0; i < 3; ++i) {
+    rec_.Feed(Cp(400 + static_cast<stream::Mmsi>(i), kParkCenter,
+                 300 + 100 * i, tracker::kStopStart));
+  }
+  const auto r1 = rec_.Recognize(3600);
+  EXPECT_EQ(FindFluent(r1, schema.suspicious, 1), nullptr);
+}
+
+TEST_P(CeScenarioTest, SuspiciousAreaLifecycle) {
+  const auto& schema = rec_.schema();
+  // Four vessels stop close to the park; the fourth stop (t=600) initiates
+  // the CE, and the first stop-end (t=2000) drops the count below four,
+  // terminating it.
+  for (int i = 0; i < 4; ++i) {
+    rec_.Feed(Cp(400 + static_cast<stream::Mmsi>(i), kParkCenter,
+                 300 + 100 * i, tracker::kStopStart));
+  }
+  rec_.Feed(Cp(401, kParkCenter, 2000, tracker::kStopEnd));
+  const auto r = rec_.Recognize(3600);
+  const auto* f = FindFluent(r, schema.suspicious, 1);
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->intervals.size(), 1u);
+  EXPECT_EQ(f->intervals[0], (rtec::Interval{600, 2000}));
+}
+
+TEST_P(CeScenarioTest, IllegalShippingOnGapNearProtectedArea) {
+  const auto& schema = rec_.schema();
+  const geo::GeoPoint near_park =
+      geo::DestinationPoint(kParkCenter, 90.0, 3500.0);  // 500 m off the edge
+  rec_.Feed(Cp(kTanker, near_park, 1200, tracker::kGapStart));
+  const auto r = rec_.Recognize(3600);
+  EXPECT_EQ(CountEvents(r, schema.illegal_shipping, 1), 1u);
+  // The event carries the vessel and the time of the gap start.
+  for (const auto& e : r.events) {
+    if (e.event == schema.illegal_shipping) {
+      EXPECT_EQ(e.instance.subject, VesselTerm(kTanker));
+      EXPECT_EQ(e.instance.t, 1200);
+    }
+  }
+}
+
+TEST_P(CeScenarioTest, GapFarFromProtectedAreaIsNotIllegalShipping) {
+  const auto& schema = rec_.schema();
+  rec_.Feed(Cp(kTanker, kPortCenter, 1200, tracker::kGapStart));
+  const auto r = rec_.Recognize(3600);
+  EXPECT_EQ(CountEvents(r, schema.illegal_shipping, 1), 0u);
+}
+
+TEST_P(CeScenarioTest, DangerousShippingRespectsDraft) {
+  const auto& schema = rec_.schema();
+  // Deep-draft tanker slow over the 4 m shoal: dangerous.
+  rec_.Feed(Cp(kTanker, kShoalCenter, 900, tracker::kSlowMotionStart));
+  // Shallow-draft dinghy doing the same: safe.
+  rec_.Feed(Cp(kDinghy, kShoalCenter, 900, tracker::kSlowMotionStart));
+  const auto r = rec_.Recognize(3600);
+  EXPECT_EQ(CountEvents(r, schema.dangerous_shipping, 3), 1u);
+  for (const auto& e : r.events) {
+    if (e.event == schema.dangerous_shipping) {
+      EXPECT_EQ(e.instance.subject, VesselTerm(kTanker));
+    }
+  }
+}
+
+TEST_P(CeScenarioTest, SlidingRecognitionAcrossWindows) {
+  const auto& schema = rec_.schema();
+  // Trawling begins in the first window and ends in the second; the CE
+  // interval must persist across the slide by inertia.
+  rec_.Feed(Cp(kTrawler, kNoFishCenter, 1800, tracker::kSlowMotionStart));
+  const auto r1 = rec_.Recognize(3600);
+  const auto* f1 = FindFluent(r1, schema.illegal_fishing, 2);
+  ASSERT_NE(f1, nullptr);
+  EXPECT_EQ(f1->intervals[0], (rtec::Interval{1800, 3600}));
+
+  rec_.Feed(Cp(kTrawler, kNoFishCenter, 5400, tracker::kSlowMotionEnd));
+  const auto r2 = rec_.Recognize(7200);
+  const auto* f2 = FindFluent(r2, schema.illegal_fishing, 2);
+  ASSERT_NE(f2, nullptr);
+  EXPECT_EQ(f2->intervals[0], (rtec::Interval{3600, 5400}))
+      << "carried across the window boundary, closed by the slow-end";
+
+  const auto r3 = rec_.Recognize(10800);
+  EXPECT_EQ(FindFluent(r3, schema.illegal_fishing, 2), nullptr);
+}
+
+TEST_P(CeScenarioTest, DescribeRendersReadableAlerts) {
+  const auto& schema = rec_.schema();
+  rec_.Feed(Cp(kTanker,
+               geo::DestinationPoint(kParkCenter, 90.0, 3500.0), 1200,
+               tracker::kGapStart));
+  const auto r = rec_.Recognize(3600);
+  ASSERT_FALSE(r.events.empty());
+  const std::string text = rec_.Describe(r.events[0]);
+  EXPECT_NE(text.find("illegalShipping"), std::string::npos);
+  EXPECT_NE(text.find("vessel=200"), std::string::npos);
+  (void)schema;
+}
+
+INSTANTIATE_TEST_SUITE_P(SpatialModes, CeScenarioTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "PrecomputedFacts"
+                                             : "OnDemandReasoning";
+                         });
+
+TEST(PartitionedRecognizerTest, TwoPartitionsCoverEastAndWest) {
+  KnowledgeBase kb = MakeKb();
+  PartitionedRecognizer rec(kb, Config(false), 2);
+  ASSERT_EQ(rec.partition_count(), 2);
+  // West event (park, lon 23.5) and east event (shoal, lon 25.5).
+  rec.Feed(Cp(kTanker, geo::DestinationPoint(kParkCenter, 90.0, 3500.0),
+              1200, tracker::kGapStart));
+  rec.Feed(Cp(kTanker, kShoalCenter, 1500, tracker::kSlowMotionStart));
+  const auto results = rec.Recognize(3600);
+  ASSERT_EQ(results.size(), 2u);
+  size_t total_events = 0;
+  for (const auto& r : results) total_events += r.events.size();
+  EXPECT_EQ(total_events, 2u)
+      << "both the west illegalShipping and the east dangerousShipping must "
+         "be recognized by their respective partitions";
+}
+
+TEST(PartitionedRecognizerTest, SinglePartitionMatchesPlainRecognizer) {
+  KnowledgeBase kb = MakeKb();
+  PartitionedRecognizer part(kb, Config(false), 1);
+  CERecognizer plain(&kb, Config(false));
+  const auto cp =
+      Cp(kTrawler, kNoFishCenter, 600, tracker::kSlowMotionStart);
+  part.Feed(cp);
+  plain.Feed(cp);
+  const auto pr = part.Recognize(3600);
+  const auto r = plain.Recognize(3600);
+  ASSERT_EQ(pr.size(), 1u);
+  EXPECT_EQ(pr[0].fluents.size(), r.fluents.size());
+  EXPECT_EQ(pr[0].events.size(), r.events.size());
+}
+
+}  // namespace
+}  // namespace maritime::surveillance

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "mod/clustering.h"
+
+namespace maritime::mod {
+namespace {
+
+tracker::CriticalPoint Cp(stream::Mmsi mmsi, geo::GeoPoint pos,
+                          Timestamp tau) {
+  tracker::CriticalPoint cp;
+  cp.mmsi = mmsi;
+  cp.pos = pos;
+  cp.tau = tau;
+  return cp;
+}
+
+/// A trip along the lane A->B departing at `depart`, optionally shifted
+/// sideways by `offset_m`.
+Trip LaneTrip(stream::Mmsi mmsi, Timestamp depart, double offset_m = 0.0) {
+  const geo::GeoPoint a =
+      geo::DestinationPoint(geo::GeoPoint{24.0, 37.0}, 90.0, offset_m);
+  const geo::GeoPoint b =
+      geo::DestinationPoint(geo::GeoPoint{24.0, 37.5}, 90.0, offset_m);
+  Trip t;
+  t.mmsi = mmsi;
+  t.origin_port = 1000;
+  t.destination_port = 1001;
+  t.start_tau = depart;
+  t.end_tau = depart + 2 * kHour;
+  t.distance_m = geo::HaversineMeters(a, b);
+  for (int i = 0; i <= 4; ++i) {
+    t.points.push_back(Cp(mmsi, geo::Interpolate(a, b, i / 4.0),
+                          depart + i * 30 * kMinute));
+  }
+  return t;
+}
+
+TEST(TripDistanceTest, IdenticalShapesAreZero) {
+  const Trip a = LaneTrip(1, 0);
+  const Trip b = LaneTrip(2, 5 * kHour);  // same path, later departure
+  EXPECT_NEAR(TripShapeDistanceMeters(a, b), 0.0, 1.0);
+}
+
+TEST(TripDistanceTest, ParallelShiftMeasured) {
+  const Trip a = LaneTrip(1, 0);
+  const Trip b = LaneTrip(2, 0, /*offset_m=*/3000.0);
+  EXPECT_NEAR(TripShapeDistanceMeters(a, b), 3000.0, 50.0);
+}
+
+TEST(TripDistanceTest, ReverseDirectionIsFar) {
+  Trip a = LaneTrip(1, 0);
+  Trip b = LaneTrip(2, 0);
+  std::reverse(b.points.begin(), b.points.end());
+  // Re-stamp times ascending after the reversal.
+  for (size_t i = 0; i < b.points.size(); ++i) {
+    b.points[i].tau = static_cast<Timestamp>(i) * 30 * kMinute;
+  }
+  // A and the reversed B coincide only at the midpoint.
+  EXPECT_GT(TripShapeDistanceMeters(a, b), 20000.0);
+}
+
+TEST(TimeOfDayDistanceTest, CircularWithinDay) {
+  const Trip morning = LaneTrip(1, 8 * kHour);
+  const Trip evening = LaneTrip(2, 20 * kHour);
+  EXPECT_EQ(DepartureTimeOfDayDistance(morning, evening), 12 * kHour);
+  const Trip next_day_morning = LaneTrip(3, kDay + 8 * kHour);
+  EXPECT_EQ(DepartureTimeOfDayDistance(morning, next_day_morning), 0);
+  const Trip late = LaneTrip(4, 23 * kHour);
+  const Trip early = LaneTrip(5, kHour);
+  EXPECT_EQ(DepartureTimeOfDayDistance(late, early), 2 * kHour);
+}
+
+TEST(ClusterTripsTest, SamePathSameHourClustersAcrossDays) {
+  TrajectoryStore store;
+  // The 08:00 ferry on three days, the 20:00 ferry on three days: same
+  // path, two clusters — "almost identical spatially, but distinct because
+  // the temporal dimension is taken into consideration" (paper §3.3).
+  for (int day = 0; day < 3; ++day) {
+    store.AddTrip(LaneTrip(1, day * kDay + 8 * kHour));
+    store.AddTrip(LaneTrip(1, day * kDay + 20 * kHour));
+  }
+  const auto clusters = ClusterTrips(store);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].trip_indices.size(), 3u);
+  EXPECT_EQ(clusters[1].trip_indices.size(), 3u);
+}
+
+TEST(ClusterTripsTest, SpatiallyDistinctPathsSeparate) {
+  TrajectoryStore store;
+  store.AddTrip(LaneTrip(1, 8 * kHour));
+  store.AddTrip(LaneTrip(2, 8 * kHour, /*offset_m=*/40000.0));
+  const auto clusters = ClusterTrips(store);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(ClusterTripsTest, ThresholdsRespected) {
+  TrajectoryStore store;
+  store.AddTrip(LaneTrip(1, 8 * kHour));
+  store.AddTrip(LaneTrip(2, 8 * kHour, /*offset_m=*/3000.0));
+  ClusteringParams tight;
+  tight.spatial_threshold_m = 1000.0;
+  EXPECT_EQ(ClusterTrips(store, tight).size(), 2u);
+  ClusteringParams loose;
+  loose.spatial_threshold_m = 6000.0;
+  EXPECT_EQ(ClusterTrips(store, loose).size(), 1u);
+}
+
+TEST(ClusterTripsTest, LargestClusterFirst) {
+  TrajectoryStore store;
+  store.AddTrip(LaneTrip(1, 8 * kHour, 40000.0));  // singleton
+  for (int day = 0; day < 4; ++day) {
+    store.AddTrip(LaneTrip(2, day * kDay + 8 * kHour));
+  }
+  const auto clusters = ClusterTrips(store);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].trip_indices.size(), 4u);
+}
+
+TEST(ClusterTripsTest, EmptyStore) {
+  TrajectoryStore store;
+  EXPECT_TRUE(ClusterTrips(store).empty());
+}
+
+TEST(SimilarityTest, RanksByShapeDistance) {
+  TrajectoryStore store;
+  store.AddTrip(LaneTrip(1, 0));                       // 0: identical shape
+  store.AddTrip(LaneTrip(2, 0, /*offset_m=*/2000.0));  // 1: 2 km off
+  store.AddTrip(LaneTrip(3, 0, /*offset_m=*/20000.0)); // 2: far
+  const Trip query = LaneTrip(9, 12 * kHour);
+  const auto similar = MostSimilarTrips(store, query, 2);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0], 0u);
+  EXPECT_EQ(similar[1], 1u);
+}
+
+TEST(SimilarityTest, ExcludesQueryItself) {
+  TrajectoryStore store;
+  const Trip self = LaneTrip(1, 0);
+  store.AddTrip(self);
+  store.AddTrip(LaneTrip(2, 0, 2000.0));
+  const auto similar = MostSimilarTrips(store, self, 5);
+  ASSERT_EQ(similar.size(), 1u);
+  EXPECT_EQ(similar[0], 1u);
+}
+
+}  // namespace
+}  // namespace maritime::mod

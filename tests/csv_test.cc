@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "stream/csv.h"
+
+namespace maritime::stream {
+namespace {
+
+std::vector<PositionTuple> Sample() {
+  return {
+      {237001234, {23.646, 37.942}, 100},
+      {237005678, {25.1442, 35.3387}, 160},
+  };
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  const std::string csv = WritePositionsCsv(Sample());
+  size_t skipped = 99;
+  const auto parsed = ParsePositionsCsv(csv, CsvFormat(), &skipped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].mmsi, 237001234u);
+  EXPECT_EQ(parsed.value()[0].tau, 100);
+  EXPECT_NEAR(parsed.value()[0].pos.lon, 23.646, 1e-6);
+  EXPECT_NEAR(parsed.value()[1].pos.lat, 35.3387, 1e-6);
+}
+
+TEST(CsvTest, SkipsMalformedRows) {
+  const std::string csv =
+      "mmsi,t,lon,lat\n"
+      "1,10,24.0,37.0\n"
+      "not,a,row\n"              // too few usable fields
+      "2,xx,24.0,37.0\n"          // bad timestamp
+      "3,30,999.0,37.0\n"         // out-of-range longitude
+      "4,40,24.0,37.0\n";
+  size_t skipped = 0;
+  const auto parsed = ParsePositionsCsv(csv, CsvFormat(), &skipped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(skipped, 3u);
+}
+
+TEST(CsvTest, AllRowsBadIsCorruption) {
+  const auto parsed = ParsePositionsCsv("mmsi,t,lon,lat\njunk,x,y,z\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, EmptyInputGivesEmptyVector) {
+  const auto parsed = ParsePositionsCsv("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(CsvTest, CustomLayout) {
+  // chorochronos-like: t;mmsi;lat;lon with semicolons and no header.
+  CsvFormat fmt;
+  fmt.separator = ';';
+  fmt.has_header = false;
+  fmt.tau_column = 0;
+  fmt.mmsi_column = 1;
+  fmt.lat_column = 2;
+  fmt.lon_column = 3;
+  const auto parsed = ParsePositionsCsv("100;42;37.9;23.6\n", fmt);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value()[0].mmsi, 42u);
+  EXPECT_EQ(parsed.value()[0].tau, 100);
+  EXPECT_NEAR(parsed.value()[0].pos.lat, 37.9, 1e-9);
+  EXPECT_NEAR(parsed.value()[0].pos.lon, 23.6, 1e-9);
+}
+
+TEST(CsvTest, HeaderlessDefaultLayout) {
+  CsvFormat fmt;
+  fmt.has_header = false;
+  const auto parsed = ParsePositionsCsv("5,50,24.5,38.5", fmt);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 1u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/maritime_csv_test.csv";
+  ASSERT_TRUE(SavePositionsCsv(path, Sample()).ok());
+  const auto loaded = LoadPositionsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value(), Sample());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  const auto loaded = LoadPositionsCsv("/nonexistent-dir/x.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, NegativeTimestampAndCoordinates) {
+  const auto parsed =
+      ParsePositionsCsv("mmsi,t,lon,lat\n9,-50,-70.5,-33.2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()[0].tau, -50);
+  EXPECT_NEAR(parsed.value()[0].pos.lon, -70.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace maritime::stream

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "export/kml.h"
+
+namespace maritime::exporter {
+namespace {
+
+tracker::CriticalPoint Cp(stream::Mmsi mmsi, geo::GeoPoint pos, Timestamp tau,
+                          uint32_t flags) {
+  tracker::CriticalPoint cp;
+  cp.mmsi = mmsi;
+  cp.pos = pos;
+  cp.tau = tau;
+  cp.flags = flags;
+  cp.speed_knots = 7.5;
+  return cp;
+}
+
+TEST(KmlWriterTest, DocumentSkeleton) {
+  KmlWriter w;
+  const std::string kml = w.Finish();
+  EXPECT_NE(kml.find("<?xml"), std::string::npos);
+  EXPECT_NE(kml.find("<kml"), std::string::npos);
+  EXPECT_NE(kml.find("</Document>"), std::string::npos);
+}
+
+TEST(KmlWriterTest, TrajectoryPolyline) {
+  KmlWriter w;
+  w.AddTrajectory("vessel 42", {{24.0, 37.0}, {24.1, 37.1}});
+  const std::string kml = w.Finish();
+  EXPECT_NE(kml.find("<LineString>"), std::string::npos);
+  EXPECT_NE(kml.find("24.000000,37.000000,0"), std::string::npos);
+  EXPECT_NE(kml.find("vessel 42"), std::string::npos);
+}
+
+TEST(KmlWriterTest, CriticalPointPlacemarks) {
+  KmlWriter w;
+  w.AddCriticalPoints("alerts", {Cp(7, {24.5, 37.5}, 100, tracker::kTurn)});
+  const std::string kml = w.Finish();
+  EXPECT_NE(kml.find("<Folder>"), std::string::npos);
+  EXPECT_NE(kml.find("turn"), std::string::npos);
+  EXPECT_NE(kml.find("mmsi=7"), std::string::npos);
+}
+
+TEST(KmlWriterTest, PolygonClosesRing) {
+  KmlWriter w;
+  w.AddPolygon("park", {{24.0, 37.0}, {24.1, 37.0}, {24.1, 37.1}});
+  const std::string kml = w.Finish();
+  // The first coordinate appears twice: once as the opening vertex and once
+  // as the closing one.
+  const size_t first = kml.find("24.000000,37.000000,0");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(kml.find("24.000000,37.000000,0", first + 1), std::string::npos);
+}
+
+TEST(KmlWriterTest, EscapesXml) {
+  KmlWriter w;
+  w.AddTrajectory("a<b>&\"c\"", {{24.0, 37.0}});
+  const std::string kml = w.Finish();
+  EXPECT_EQ(kml.find("a<b>"), std::string::npos);
+  EXPECT_NE(kml.find("a&lt;b&gt;&amp;&quot;c&quot;"), std::string::npos);
+}
+
+TEST(KmlWriterTest, WriteFile) {
+  KmlWriter w;
+  w.AddTrajectory("t", {{24.0, 37.0}});
+  const std::string path = ::testing::TempDir() + "/maritime_export_test.kml";
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, w.Finish());
+  std::remove(path.c_str());
+}
+
+TEST(KmlWriterTest, WriteFileFailsOnBadPath) {
+  KmlWriter w;
+  EXPECT_FALSE(w.WriteFile("/nonexistent-dir/x.kml").ok());
+}
+
+TEST(CsvTest, CriticalPoints) {
+  const std::string csv = CriticalPointsToCsv(
+      {Cp(7, {24.0, 37.0}, 100, tracker::kStopEnd)});
+  EXPECT_NE(csv.find("mmsi,tau,lon,lat,flags,speed_knots,duration_s"),
+            std::string::npos);
+  EXPECT_NE(csv.find("7,100,24.000000,37.000000,stop_end,7.50,0"),
+            std::string::npos);
+}
+
+TEST(CsvTest, Positions) {
+  const std::string csv =
+      PositionsToCsv({stream::PositionTuple{9, {25.0, 38.0}, 50}});
+  EXPECT_NE(csv.find("9,50,25.000000,38.000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maritime::exporter

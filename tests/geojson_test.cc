@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "export/geojson.h"
+
+namespace maritime::exporter {
+namespace {
+
+tracker::CriticalPoint Cp() {
+  tracker::CriticalPoint cp;
+  cp.mmsi = 7;
+  cp.pos = geo::GeoPoint{24.5, 37.5};
+  cp.tau = 100;
+  cp.flags = tracker::kTurn;
+  cp.speed_knots = 9.25;
+  return cp;
+}
+
+TEST(GeoJsonTest, EmptyCollection) {
+  GeoJsonWriter w;
+  EXPECT_EQ(w.Finish(), "{\"type\":\"FeatureCollection\",\"features\":[]}");
+  EXPECT_EQ(w.feature_count(), 0u);
+}
+
+TEST(GeoJsonTest, TrajectoryLineString) {
+  GeoJsonWriter w;
+  w.AddTrajectory("vessel 7", {{24.0, 37.0}, {24.1, 37.1}});
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("\"LineString\""), std::string::npos);
+  EXPECT_NE(doc.find("[24.000000,37.000000]"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"vessel 7\""), std::string::npos);
+  EXPECT_EQ(w.feature_count(), 1u);
+}
+
+TEST(GeoJsonTest, CriticalPointProperties) {
+  GeoJsonWriter w;
+  w.AddCriticalPoints({Cp()});
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("\"mmsi\":7"), std::string::npos);
+  EXPECT_NE(doc.find("\"tau\":100"), std::string::npos);
+  EXPECT_NE(doc.find("\"flags\":\"turn\""), std::string::npos);
+  EXPECT_NE(doc.find("\"speed_knots\":9.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"Point\""), std::string::npos);
+}
+
+TEST(GeoJsonTest, PolygonRingClosed) {
+  GeoJsonWriter w;
+  w.AddPolygon("park", "protected",
+               {{24.0, 37.0}, {24.1, 37.0}, {24.1, 37.1}});
+  const std::string doc = w.Finish();
+  const size_t first = doc.find("[24.000000,37.000000]");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(doc.find("[24.000000,37.000000]", first + 1), std::string::npos)
+      << "ring closed with the first vertex repeated";
+  EXPECT_NE(doc.find("\"kind\":\"protected\""), std::string::npos);
+}
+
+TEST(GeoJsonTest, EscapesStrings) {
+  GeoJsonWriter w;
+  w.AddTrajectory("he said \"hi\"\\\n", {{24.0, 37.0}});
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("he said \\\"hi\\\"\\\\\\n"), std::string::npos);
+}
+
+TEST(GeoJsonTest, MultipleFeaturesCommaSeparated) {
+  GeoJsonWriter w;
+  w.AddTrajectory("a", {{24.0, 37.0}});
+  w.AddTrajectory("b", {{25.0, 38.0}});
+  const std::string doc = w.Finish();
+  EXPECT_NE(doc.find("}},{\"type\":\"Feature\""), std::string::npos);
+  EXPECT_EQ(w.feature_count(), 2u);
+}
+
+TEST(GeoJsonTest, WriteFile) {
+  GeoJsonWriter w;
+  w.AddTrajectory("t", {{24.0, 37.0}});
+  const std::string path =
+      ::testing::TempDir() + "/maritime_geojson_test.json";
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, w.Finish());
+  std::remove(path.c_str());
+  EXPECT_FALSE(w.WriteFile("/nonexistent-dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace maritime::exporter

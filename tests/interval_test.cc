@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "common/rng.h"
+#include "rtec/interval.h"
+
+namespace maritime::rtec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Brute-force reference model: a fluent over the discrete domain (0, 256]
+// represented as a bitset, where bit t means "holds at time-point t+1".
+// Every interval-algebra property test checks the optimized implementation
+// against this model.
+// ---------------------------------------------------------------------------
+constexpr int kDomain = 256;
+using Bits = std::bitset<kDomain>;
+
+Bits ToBits(const IntervalList& list) {
+  Bits b;
+  for (const Interval& i : list) {
+    for (Timestamp t = i.since + 1; t <= i.till; ++t) {
+      if (t >= 1 && t <= kDomain) b.set(static_cast<size_t>(t - 1));
+    }
+  }
+  return b;
+}
+
+IntervalList RandomList(Rng& rng, int max_intervals) {
+  IntervalList out;
+  const int n = static_cast<int>(rng.NextInt(0, max_intervals));
+  for (int i = 0; i < n; ++i) {
+    const Timestamp a = rng.NextInt(0, kDomain - 1);
+    const Timestamp b = rng.NextInt(a, kDomain);
+    out.push_back(Interval{a, b});  // may be empty when a == b
+  }
+  return out;
+}
+
+TEST(IntervalTest, CoversSemantics) {
+  // (10, 25] holds at 11..25 (paper Section 4.1 example).
+  const Interval i{10, 25};
+  EXPECT_FALSE(i.Covers(10));
+  EXPECT_TRUE(i.Covers(11));
+  EXPECT_TRUE(i.Covers(25));
+  EXPECT_FALSE(i.Covers(26));
+  EXPECT_EQ(i.Length(), 15);
+}
+
+TEST(IntervalTest, EmptyInterval) {
+  const Interval i{5, 5};
+  EXPECT_FALSE(i.NonEmpty());
+  EXPECT_FALSE(i.Covers(5));
+}
+
+TEST(NormalizeTest, SortsAndMerges) {
+  IntervalList l = {{30, 40}, {0, 10}, {10, 20}, {35, 50}};
+  NormalizeIntervals(&l);
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l[0], (Interval{0, 20}));  // (0,10] and (10,20] are adjacent
+  EXPECT_EQ(l[1], (Interval{30, 50}));
+  EXPECT_TRUE(IsNormalized(l));
+}
+
+TEST(NormalizeTest, DropsEmpty) {
+  IntervalList l = {{5, 5}, {7, 6}, {1, 2}};
+  NormalizeIntervals(&l);
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_EQ(l[0], (Interval{1, 2}));
+}
+
+TEST(NormalizeTest, IdempotentProperty) {
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalList l = RandomList(rng, 10);
+    NormalizeIntervals(&l);
+    IntervalList twice = l;
+    NormalizeIntervals(&twice);
+    EXPECT_EQ(l, twice);
+    EXPECT_TRUE(IsNormalized(l));
+  }
+}
+
+TEST(NormalizeTest, PreservesCoverageProperty) {
+  Rng rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalList raw = RandomList(rng, 10);
+    const Bits before = ToBits(raw);
+    NormalizeIntervals(&raw);
+    EXPECT_EQ(ToBits(raw), before);
+  }
+}
+
+TEST(HoldsAtTest, MatchesBruteForceProperty) {
+  Rng rng(47);
+  for (int trial = 0; trial < 100; ++trial) {
+    IntervalList l = RandomList(rng, 8);
+    NormalizeIntervals(&l);
+    const Bits b = ToBits(l);
+    for (Timestamp t = 1; t <= kDomain; ++t) {
+      EXPECT_EQ(HoldsAt(l, t), b.test(static_cast<size_t>(t - 1)))
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(HoldsRightOfTest, CountsEpisodeStartingExactlyAtT) {
+  IntervalList l = {{10, 20}};
+  EXPECT_FALSE(HoldsAt(l, 10));
+  EXPECT_TRUE(HoldsRightOf(l, 10));   // starts at 10: holds at 11
+  EXPECT_TRUE(HoldsRightOf(l, 19));
+  EXPECT_FALSE(HoldsRightOf(l, 20));  // ends at 20: does not hold at 21
+}
+
+TEST(UnionTest, MatchesBruteForceProperty) {
+  Rng rng(53);
+  for (int trial = 0; trial < 200; ++trial) {
+    const IntervalList a = RandomList(rng, 6);
+    const IntervalList b = RandomList(rng, 6);
+    const IntervalList c = RandomList(rng, 6);
+    const IntervalList u = UnionAll({a, b, c});
+    EXPECT_TRUE(IsNormalized(u));
+    EXPECT_EQ(ToBits(u), ToBits(a) | ToBits(b) | ToBits(c));
+  }
+}
+
+TEST(IntersectTest, MatchesBruteForceProperty) {
+  Rng rng(59);
+  for (int trial = 0; trial < 200; ++trial) {
+    const IntervalList a = RandomList(rng, 8);
+    const IntervalList b = RandomList(rng, 8);
+    const IntervalList i = IntersectAll({a, b});
+    EXPECT_TRUE(IsNormalized(i));
+    EXPECT_EQ(ToBits(i), ToBits(a) & ToBits(b));
+  }
+}
+
+TEST(IntersectTest, ThreeWayProperty) {
+  Rng rng(61);
+  for (int trial = 0; trial < 100; ++trial) {
+    const IntervalList a = RandomList(rng, 6);
+    const IntervalList b = RandomList(rng, 6);
+    const IntervalList c = RandomList(rng, 6);
+    EXPECT_EQ(ToBits(IntersectAll({a, b, c})),
+              ToBits(a) & ToBits(b) & ToBits(c));
+  }
+}
+
+TEST(IntersectTest, EmptyInputs) {
+  EXPECT_TRUE(IntersectAll({}).empty());
+  EXPECT_TRUE(IntersectAll({IntervalList{{0, 10}}, IntervalList{}}).empty());
+}
+
+TEST(ComplementTest, MatchesBruteForceProperty) {
+  Rng rng(67);
+  for (int trial = 0; trial < 200; ++trial) {
+    const IntervalList base = RandomList(rng, 6);
+    const IntervalList s1 = RandomList(rng, 6);
+    const IntervalList s2 = RandomList(rng, 6);
+    const IntervalList c = RelativeComplementAll(base, {s1, s2});
+    EXPECT_TRUE(IsNormalized(c));
+    EXPECT_EQ(ToBits(c), ToBits(base) & ~(ToBits(s1) | ToBits(s2)));
+  }
+}
+
+TEST(ComplementTest, SubtractNothingIsNormalize) {
+  const IntervalList base = {{10, 20}, {0, 5}};
+  const IntervalList c = RelativeComplementAll(base, {});
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], (Interval{0, 5}));
+  EXPECT_EQ(c[1], (Interval{10, 20}));
+}
+
+TEST(ComplementTest, SubtractAllIsEmpty) {
+  const IntervalList base = {{0, 100}};
+  EXPECT_TRUE(RelativeComplementAll(base, {base}).empty());
+}
+
+TEST(AlgebraLawsTest, DeMorganProperty) {
+  // base \ (a ∪ b) == (base \ a) ∩ (base \ b)... checked through bits.
+  Rng rng(71);
+  for (int trial = 0; trial < 100; ++trial) {
+    const IntervalList base = RandomList(rng, 5);
+    const IntervalList a = RandomList(rng, 5);
+    const IntervalList b = RandomList(rng, 5);
+    const IntervalList lhs = RelativeComplementAll(base, {a, b});
+    const IntervalList rhs = IntersectAll(
+        {RelativeComplementAll(base, {a}), RelativeComplementAll(base, {b})});
+    EXPECT_EQ(ToBits(lhs), ToBits(rhs));
+  }
+}
+
+TEST(ClipTest, ClipsToWindow) {
+  const IntervalList l = {{0, 10}, {20, 30}, {40, 50}};
+  const IntervalList c = ClipToWindow(l, 5, 45);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], (Interval{5, 10}));
+  EXPECT_EQ(c[1], (Interval{20, 30}));
+  EXPECT_EQ(c[2], (Interval{40, 45}));
+}
+
+TEST(ClipTest, DropsOutOfWindow) {
+  const IntervalList l = {{0, 10}};
+  EXPECT_TRUE(ClipToWindow(l, 10, 20).empty());
+  EXPECT_TRUE(ClipToWindow(l, 20, 30).empty());
+}
+
+TEST(TotalLengthTest, SumsPointCounts) {
+  EXPECT_EQ(TotalLength({{0, 10}, {20, 25}}), 15);
+  EXPECT_EQ(TotalLength({}), 0);
+}
+
+}  // namespace
+}  // namespace maritime::rtec

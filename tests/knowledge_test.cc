@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "maritime/knowledge.h"
+#include "maritime/me_stream.h"
+
+namespace maritime::surveillance {
+namespace {
+
+const geo::GeoPoint kCenterA{24.0, 37.0};
+const geo::GeoPoint kCenterB{25.5, 38.5};
+
+KnowledgeBase MakeKb() {
+  KnowledgeBase kb(1000.0);
+  AreaInfo park;
+  park.id = 1;
+  park.name = "park";
+  park.kind = AreaKind::kProtected;
+  park.polygon = geo::Polygon::RegularPolygon(kCenterA, 3000.0, 8);
+  kb.AddArea(park);
+
+  AreaInfo shoal;
+  shoal.id = 2;
+  shoal.name = "shoal";
+  shoal.kind = AreaKind::kShallow;
+  shoal.polygon = geo::Polygon::RegularPolygon(kCenterB, 2000.0, 8);
+  shoal.depth_m = 4.0;
+  kb.AddArea(shoal);
+
+  AreaInfo port;
+  port.id = 1000;
+  port.name = "port";
+  port.kind = AreaKind::kPort;
+  port.polygon =
+      geo::Polygon::RegularPolygon(geo::GeoPoint{24.5, 37.5}, 700.0, 10);
+  kb.AddArea(port);
+
+  VesselInfo trawler;
+  trawler.mmsi = 100;
+  trawler.type = VesselType::kFishing;
+  trawler.fishing_gear = true;
+  trawler.draft_m = 4.0;
+  kb.AddVessel(trawler);
+
+  VesselInfo tanker;
+  tanker.mmsi = 200;
+  tanker.type = VesselType::kTanker;
+  tanker.draft_m = 12.0;
+  kb.AddVessel(tanker);
+
+  VesselInfo dinghy;
+  dinghy.mmsi = 300;
+  dinghy.type = VesselType::kPleasure;
+  dinghy.draft_m = 1.5;
+  kb.AddVessel(dinghy);
+  return kb;
+}
+
+TEST(KnowledgeTest, FindAreaAndVessel) {
+  const KnowledgeBase kb = MakeKb();
+  ASSERT_NE(kb.FindArea(1), nullptr);
+  EXPECT_EQ(kb.FindArea(1)->name, "park");
+  EXPECT_EQ(kb.FindArea(99), nullptr);
+  ASSERT_NE(kb.FindVessel(100), nullptr);
+  EXPECT_EQ(kb.FindVessel(100)->type, VesselType::kFishing);
+  EXPECT_EQ(kb.FindVessel(999), nullptr);
+  EXPECT_EQ(kb.vessel_count(), 3u);
+}
+
+TEST(KnowledgeTest, ClosePredicate) {
+  const KnowledgeBase kb = MakeKb();
+  EXPECT_TRUE(kb.Close(kCenterA, 1)) << "inside is close";
+  // 500 m outside the 3 km polygon: within the 1000 m threshold.
+  EXPECT_TRUE(kb.Close(geo::DestinationPoint(kCenterA, 0.0, 3500.0), 1));
+  // 5 km outside: not close.
+  EXPECT_FALSE(kb.Close(geo::DestinationPoint(kCenterA, 0.0, 8000.0), 1));
+  EXPECT_FALSE(kb.Close(kCenterA, 99));
+}
+
+TEST(KnowledgeTest, AreasCloseToFiltersKind) {
+  const KnowledgeBase kb = MakeKb();
+  const auto all = kb.AreasCloseTo(kCenterA);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], 1);
+  EXPECT_TRUE(kb.AreasCloseTo(kCenterA, AreaKind::kShallow).empty());
+  const auto shallow = kb.AreasCloseTo(kCenterB, AreaKind::kShallow);
+  ASSERT_EQ(shallow.size(), 1u);
+  EXPECT_EQ(shallow[0], 2);
+}
+
+TEST(KnowledgeTest, FishingPredicate) {
+  const KnowledgeBase kb = MakeKb();
+  EXPECT_TRUE(kb.IsFishing(100));
+  EXPECT_FALSE(kb.IsFishing(200));
+  EXPECT_FALSE(kb.IsFishing(12345)) << "unknown vessels are not fishing";
+}
+
+TEST(KnowledgeTest, ShallowPredicateUsesDraft) {
+  const KnowledgeBase kb = MakeKb();
+  // Area 2 is 4 m deep. Tanker draft 12 m: too shallow. Dinghy draft 1.5 m
+  // (+1 m clearance = 2.5 m): safe.
+  EXPECT_TRUE(kb.IsShallowFor(2, 200));
+  EXPECT_FALSE(kb.IsShallowFor(2, 300));
+  // Trawler draft 4.0 + 1.0 clearance > 4.0: too shallow.
+  EXPECT_TRUE(kb.IsShallowFor(2, 100));
+  // A protected area is never "shallow".
+  EXPECT_FALSE(kb.IsShallowFor(1, 200));
+  // Unknown vessel: conservative 3 m draft + 1 m clearance = 4 m, not < 4.
+  EXPECT_FALSE(kb.IsShallowFor(2, 777));
+}
+
+TEST(KnowledgeTest, PortContaining) {
+  const KnowledgeBase kb = MakeKb();
+  const AreaInfo* port = kb.PortContaining(geo::GeoPoint{24.5, 37.5});
+  ASSERT_NE(port, nullptr);
+  EXPECT_EQ(port->id, 1000);
+  EXPECT_EQ(kb.PortContaining(kCenterA), nullptr)
+      << "the protected area is not a port";
+  EXPECT_EQ(kb.PortContaining(geo::GeoPoint{20.0, 30.0}), nullptr);
+}
+
+TEST(KnowledgeTest, RestrictedKeepsVesselsAndSelectedAreas) {
+  const KnowledgeBase kb = MakeKb();
+  const KnowledgeBase west = kb.Restricted({1});
+  EXPECT_EQ(west.areas().size(), 1u);
+  EXPECT_NE(west.FindArea(1), nullptr);
+  EXPECT_EQ(west.FindArea(2), nullptr);
+  EXPECT_EQ(west.vessel_count(), 3u);
+  EXPECT_TRUE(west.IsFishing(100));
+}
+
+TEST(KnowledgeTest, KindAndTypeNames) {
+  EXPECT_EQ(AreaKindName(AreaKind::kProtected), "protected");
+  EXPECT_EQ(AreaKindName(AreaKind::kForbiddenFishing), "forbidden_fishing");
+  EXPECT_EQ(AreaKindName(AreaKind::kShallow), "shallow");
+  EXPECT_EQ(AreaKindName(AreaKind::kPort), "port");
+  EXPECT_EQ(VesselTypeName(VesselType::kFishing), "fishing");
+  EXPECT_EQ(VesselTypeName(VesselType::kTanker), "tanker");
+}
+
+TEST(SpatialFactTableTest, LatestGroupInForce) {
+  SpatialFactTable t;
+  t.AddFactGroup(100, 10, {1, 2});
+  t.AddFactGroup(100, 50, {2});
+  EXPECT_TRUE(t.IsCloseAt(100, 1, 10));
+  EXPECT_TRUE(t.IsCloseAt(100, 1, 49)) << "group at 10 in force until 50";
+  EXPECT_FALSE(t.IsCloseAt(100, 1, 50)) << "superseded by the group at 50";
+  EXPECT_TRUE(t.IsCloseAt(100, 2, 50));
+  EXPECT_FALSE(t.IsCloseAt(100, 1, 5)) << "no facts before the first group";
+  EXPECT_FALSE(t.IsCloseAt(999, 1, 50));
+  EXPECT_EQ(t.AreasCloseAt(100, 60), std::vector<int32_t>{2});
+  EXPECT_EQ(t.fact_count(), 3u);
+}
+
+TEST(SpatialFactTableTest, DelayedGroupInsertedInOrder) {
+  SpatialFactTable t;
+  t.AddFactGroup(100, 50, {2});
+  t.AddFactGroup(100, 10, {1});  // arrives late
+  EXPECT_TRUE(t.IsCloseAt(100, 1, 20));
+  EXPECT_TRUE(t.IsCloseAt(100, 2, 60));
+}
+
+TEST(SpatialFactTableTest, PurgeDropsOldGroups) {
+  SpatialFactTable t;
+  t.AddFactGroup(100, 10, {1});
+  t.AddFactGroup(100, 50, {2});
+  t.PurgeBefore(10);
+  EXPECT_EQ(t.fact_count(), 1u);
+  EXPECT_FALSE(t.IsCloseAt(100, 1, 20));
+  t.PurgeBefore(100);
+  EXPECT_EQ(t.fact_count(), 0u);
+  EXPECT_TRUE(t.AreasCloseAt(100, 200).empty());
+}
+
+}  // namespace
+}  // namespace maritime::surveillance

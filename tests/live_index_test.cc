@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "maritime/live_index.h"
+
+namespace maritime::surveillance {
+namespace {
+
+const geo::GeoPoint kCenter{24.0, 37.0};
+
+tracker::CriticalPoint Cp(stream::Mmsi mmsi, geo::GeoPoint pos, Timestamp tau,
+                          double speed = 10.0, double heading = 0.0,
+                          uint32_t flags = tracker::kTurn) {
+  tracker::CriticalPoint cp;
+  cp.mmsi = mmsi;
+  cp.pos = pos;
+  cp.tau = tau;
+  cp.flags = flags;
+  cp.speed_knots = speed;
+  cp.heading_deg = heading;
+  return cp;
+}
+
+LiveVessel Mv(stream::Mmsi mmsi, geo::GeoPoint pos, double speed,
+              double heading) {
+  LiveVessel v;
+  v.mmsi = mmsi;
+  v.pos = pos;
+  v.speed_knots = speed;
+  v.heading_deg = heading;
+  return v;
+}
+
+TEST(CpaTest, HeadOnCollisionCourse) {
+  // Two ships 10 km apart, closing head-on at 10 kn each (~10.3 m/s
+  // relative): CPA distance ~0 in ~970 s.
+  const LiveVessel a = Mv(1, kCenter, 10.0, 0.0);
+  const LiveVessel b =
+      Mv(2, geo::DestinationPoint(kCenter, 0.0, 10000.0), 10.0, 180.0);
+  const Encounter e = ComputeCpa(a, b);
+  EXPECT_NEAR(e.current_distance_m, 10000.0, 20.0);
+  EXPECT_LT(e.cpa_distance_m, 50.0);
+  EXPECT_NEAR(static_cast<double>(e.time_to_cpa),
+              10000.0 / (2.0 * 10.0 * geo::kKnotsToMps), 15.0);
+}
+
+TEST(CpaTest, ParallelSameCourseKeepsDistance) {
+  const LiveVessel a = Mv(1, kCenter, 12.0, 90.0);
+  const LiveVessel b =
+      Mv(2, geo::DestinationPoint(kCenter, 0.0, 3000.0), 12.0, 90.0);
+  const Encounter e = ComputeCpa(a, b);
+  EXPECT_NEAR(e.cpa_distance_m, 3000.0, 10.0);
+  EXPECT_EQ(e.time_to_cpa, 0);
+}
+
+TEST(CpaTest, DivergingShipsReportNoFutureCpa) {
+  const LiveVessel a = Mv(1, kCenter, 10.0, 270.0);
+  const LiveVessel b =
+      Mv(2, geo::DestinationPoint(kCenter, 90.0, 5000.0), 10.0, 90.0);
+  const Encounter e = ComputeCpa(a, b);
+  EXPECT_EQ(e.time_to_cpa, 0);
+  EXPECT_NEAR(e.cpa_distance_m, e.current_distance_m, 1.0);
+}
+
+TEST(CpaTest, CrossingTracks) {
+  // B crosses A's bow: A northbound at 10 kn, B westbound at 10 kn starting
+  // 5 km east and 2 km north of A.
+  const LiveVessel a = Mv(1, kCenter, 10.0, 0.0);
+  const geo::GeoPoint b_pos = geo::DestinationPoint(
+      geo::DestinationPoint(kCenter, 90.0, 5000.0), 0.0, 2000.0);
+  const LiveVessel b = Mv(2, b_pos, 10.0, 270.0);
+  const Encounter e = ComputeCpa(a, b);
+  EXPECT_GT(e.time_to_cpa, 0);
+  EXPECT_LT(e.cpa_distance_m, e.current_distance_m);
+}
+
+class LiveIndexTest : public ::testing::Test {
+ protected:
+  LiveVesselIndex index_;
+};
+
+TEST_F(LiveIndexTest, UpdateAndFind) {
+  index_.Update(Cp(7, kCenter, 100, 12.0, 45.0));
+  ASSERT_EQ(index_.size(), 1u);
+  const LiveVessel* v = index_.Find(7);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->pos, kCenter);
+  EXPECT_EQ(v->tau, 100);
+  EXPECT_DOUBLE_EQ(v->speed_knots, 12.0);
+  EXPECT_EQ(index_.Find(8), nullptr);
+}
+
+TEST_F(LiveIndexTest, StaleUpdateIgnoredNewerApplied) {
+  index_.Update(Cp(7, kCenter, 100));
+  index_.Update(Cp(7, geo::DestinationPoint(kCenter, 0, 5000.0), 50));
+  EXPECT_EQ(index_.Find(7)->tau, 100) << "older update ignored";
+  const geo::GeoPoint newer = geo::DestinationPoint(kCenter, 0, 9000.0);
+  index_.Update(Cp(7, newer, 200));
+  EXPECT_EQ(index_.Find(7)->tau, 200);
+  EXPECT_EQ(index_.Find(7)->pos, newer);
+}
+
+TEST_F(LiveIndexTest, GapFlagTracked) {
+  index_.Update(Cp(7, kCenter, 100, 12.0, 0.0, tracker::kGapStart));
+  EXPECT_TRUE(index_.Find(7)->in_gap);
+  index_.Update(Cp(7, kCenter, 200, 12.0, 0.0, tracker::kGapEnd));
+  EXPECT_FALSE(index_.Find(7)->in_gap);
+}
+
+TEST_F(LiveIndexTest, EvictSilent) {
+  index_.Update(Cp(7, kCenter, 100));
+  index_.Update(Cp(8, kCenter, 900));
+  index_.EvictSilentSince(500);
+  EXPECT_EQ(index_.size(), 1u);
+  EXPECT_EQ(index_.Find(7), nullptr);
+  EXPECT_NE(index_.Find(8), nullptr);
+}
+
+TEST_F(LiveIndexTest, WithinRadius) {
+  index_.Update(Cp(1, kCenter, 100));
+  index_.Update(Cp(2, geo::DestinationPoint(kCenter, 90.0, 3000.0), 100));
+  index_.Update(Cp(3, geo::DestinationPoint(kCenter, 90.0, 30000.0), 100));
+  const auto near = index_.Within(kCenter, 5000.0);
+  ASSERT_EQ(near.size(), 2u);
+  EXPECT_EQ(near[0]->mmsi, 1u);
+  EXPECT_EQ(near[1]->mmsi, 2u);
+  EXPECT_EQ(index_.Within(kCenter, 100.0).size(), 1u);
+}
+
+TEST_F(LiveIndexTest, NearestOrdersByDistance) {
+  for (int i = 1; i <= 5; ++i) {
+    index_.Update(Cp(static_cast<stream::Mmsi>(i),
+                     geo::DestinationPoint(kCenter, 90.0, 2000.0 * i), 100));
+  }
+  const auto nearest = index_.Nearest(kCenter, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0]->mmsi, 1u);
+  EXPECT_EQ(nearest[1]->mmsi, 2u);
+  EXPECT_EQ(nearest[2]->mmsi, 3u);
+  // k larger than the fleet returns everyone.
+  EXPECT_EQ(index_.Nearest(kCenter, 50).size(), 5u);
+}
+
+TEST_F(LiveIndexTest, NearestFindsFarVessels) {
+  // A vessel far outside the first search rings must still be found.
+  index_.Update(Cp(1, geo::GeoPoint{10.0, 50.0}, 100));
+  const auto nearest = index_.Nearest(kCenter, 1);
+  ASSERT_EQ(nearest.size(), 1u);
+  EXPECT_EQ(nearest[0]->mmsi, 1u);
+}
+
+TEST_F(LiveIndexTest, InsideArea) {
+  AreaInfo area;
+  area.id = 1;
+  area.kind = AreaKind::kProtected;
+  area.polygon = geo::Polygon::RegularPolygon(kCenter, 4000.0, 8);
+  index_.Update(Cp(1, kCenter, 100));
+  index_.Update(Cp(2, geo::DestinationPoint(kCenter, 0.0, 10000.0), 100));
+  const auto inside = index_.Inside(area);
+  ASSERT_EQ(inside.size(), 1u);
+  EXPECT_EQ(inside[0]->mmsi, 1u);
+}
+
+TEST_F(LiveIndexTest, ApproachingPortQuery) {
+  const geo::GeoPoint port = kCenter;
+  // Vessel 1: 10 km south, heading north (towards the port).
+  index_.Update(Cp(1, geo::DestinationPoint(port, 180.0, 10000.0), 100,
+                   12.0, 0.0));
+  // Vessel 2: 10 km south, heading south (away).
+  index_.Update(Cp(2, geo::DestinationPoint(port, 180.0, 10000.0), 100,
+                   12.0, 180.0));
+  // Vessel 3: close but anchored.
+  index_.Update(Cp(3, geo::DestinationPoint(port, 90.0, 5000.0), 100, 0.2,
+                   0.0));
+  // Vessel 4: heading toward the port but silent (gap).
+  index_.Update(Cp(4, geo::DestinationPoint(port, 0.0, 10000.0), 100, 12.0,
+                   180.0, tracker::kGapStart));
+  const auto approaching = index_.Approaching(port, 20000.0);
+  ASSERT_EQ(approaching.size(), 1u);
+  EXPECT_EQ(approaching[0]->mmsi, 1u);
+}
+
+TEST_F(LiveIndexTest, CollisionScreenFlagsConvergingPair) {
+  // Head-on pair 8 km apart.
+  index_.Update(Cp(1, kCenter, 100, 12.0, 0.0));
+  index_.Update(Cp(2, geo::DestinationPoint(kCenter, 0.0, 8000.0), 100,
+                   12.0, 180.0));
+  // A bystander sailing away.
+  index_.Update(Cp(3, geo::DestinationPoint(kCenter, 90.0, 9000.0), 100,
+                   12.0, 90.0));
+  const auto encounters = index_.CollisionScreen(
+      /*cpa_threshold_m=*/500.0, /*horizon_s=*/kHour);
+  ASSERT_EQ(encounters.size(), 1u);
+  EXPECT_EQ(encounters[0].a, 1u);
+  EXPECT_EQ(encounters[0].b, 2u);
+  EXPECT_LT(encounters[0].cpa_distance_m, 500.0);
+}
+
+TEST_F(LiveIndexTest, CollisionScreenSkipsStoppedAndGapped) {
+  index_.Update(Cp(1, kCenter, 100, 0.2, 0.0));  // anchored
+  index_.Update(Cp(2, geo::DestinationPoint(kCenter, 0.0, 2000.0), 100,
+                   12.0, 180.0, tracker::kGapStart));  // silent
+  EXPECT_TRUE(index_.CollisionScreen(1000.0, kHour).empty());
+}
+
+}  // namespace
+}  // namespace maritime::surveillance

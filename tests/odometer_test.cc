@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "sim/scenarios.h"
+#include "tracker/mobility_tracker.h"
+
+namespace maritime::tracker {
+namespace {
+
+const geo::GeoPoint kOrigin{24.0, 37.0};
+constexpr stream::Mmsi kShip = 23700314;
+
+TEST(OdometerTest, UnknownVesselIsZero) {
+  MobilityTracker tracker;
+  EXPECT_EQ(tracker.OdometerMeters(12345), 0.0);
+}
+
+TEST(OdometerTest, AccumulatesCruiseDistance) {
+  MobilityTracker tracker;
+  const Duration duration = kHour;
+  const auto tuples = sim::TraceBuilder(kShip, kOrigin, 0)
+                          .Cruise(90.0, 12.0, duration, 30)
+                          .Build();
+  std::vector<CriticalPoint> out;
+  for (const auto& t : tuples) tracker.Process(t, &out);
+  const double expected =
+      12.0 * geo::kKnotsToMps * static_cast<double>(duration);
+  EXPECT_NEAR(tracker.OdometerMeters(kShip), expected, expected * 0.01);
+}
+
+TEST(OdometerTest, CountsStraightLineAcrossGaps) {
+  MobilityTracker tracker;
+  const auto tuples = sim::TraceBuilder(kShip, kOrigin, 0)
+                          .Cruise(0.0, 10.0, 20 * kMinute, 30)
+                          .Silence(30 * kMinute)  // dead-reckons onward
+                          .Cruise(0.0, 10.0, 20 * kMinute, 30)
+                          .Build();
+  std::vector<CriticalPoint> out;
+  for (const auto& t : tuples) tracker.Process(t, &out);
+  const double expected =
+      10.0 * geo::kKnotsToMps * static_cast<double>(70 * kMinute);
+  EXPECT_NEAR(tracker.OdometerMeters(kShip), expected, expected * 0.02);
+}
+
+TEST(OdometerTest, OutliersDoNotInflate) {
+  MobilityTracker tracker;
+  auto builder = sim::TraceBuilder(kShip, kOrigin, 0);
+  builder.Cruise(0.0, 10.0, 20 * kMinute, 30)
+      .Outlier(5000.0, 90.0, 30)
+      .Cruise(0.0, 10.0, 20 * kMinute, 30);
+  std::vector<CriticalPoint> out;
+  for (const auto& t : builder.tuples()) tracker.Process(t, &out);
+  EXPECT_EQ(tracker.stats().outliers_discarded, 1u);
+  const double expected = 10.0 * geo::kKnotsToMps *
+                          static_cast<double>(40 * kMinute + 30);
+  // The discarded 5 km excursion must not be counted (10 km round trip).
+  EXPECT_NEAR(tracker.OdometerMeters(kShip), expected, expected * 0.02);
+}
+
+TEST(OdometerTest, StationaryVesselBarelyMoves) {
+  MobilityTracker tracker;
+  const auto tuples = sim::TraceBuilder(kShip, kOrigin, 0)
+                          .Drift(2 * kHour, 180, 10.0)
+                          .Build();
+  std::vector<CriticalPoint> out;
+  for (const auto& t : tuples) tracker.Process(t, &out);
+  // Jitter of up to 10 m per report sums to little compared to any voyage.
+  EXPECT_LT(tracker.OdometerMeters(kShip), 1500.0);
+}
+
+}  // namespace
+}  // namespace maritime::tracker

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "sim/scenarios.h"
+#include "tracker/mobility_tracker.h"
+#include "tracker/reconstruct.h"
+
+namespace maritime::tracker {
+namespace {
+
+using sim::TraceBuilder;
+using stream::PositionTuple;
+
+const geo::GeoPoint kOrigin{24.0, 37.0};
+constexpr stream::Mmsi kShip = 23700042;
+
+CriticalPoint Cp(stream::Mmsi mmsi, geo::GeoPoint pos, Timestamp tau) {
+  CriticalPoint cp;
+  cp.mmsi = mmsi;
+  cp.pos = pos;
+  cp.tau = tau;
+  return cp;
+}
+
+TEST(ReconstructAtTest, ClampsOutsideRange) {
+  const std::vector<CriticalPoint> cps = {Cp(kShip, {24.0, 37.0}, 100),
+                                          Cp(kShip, {24.2, 37.0}, 200)};
+  EXPECT_EQ(ReconstructAt(cps, 50), (geo::GeoPoint{24.0, 37.0}));
+  EXPECT_EQ(ReconstructAt(cps, 500), (geo::GeoPoint{24.2, 37.0}));
+}
+
+TEST(ReconstructAtTest, ExactHitReturnsCriticalPoint) {
+  const std::vector<CriticalPoint> cps = {Cp(kShip, {24.0, 37.0}, 100),
+                                          Cp(kShip, {24.2, 37.4}, 200)};
+  EXPECT_EQ(ReconstructAt(cps, 100), (geo::GeoPoint{24.0, 37.0}));
+  EXPECT_EQ(ReconstructAt(cps, 200), (geo::GeoPoint{24.2, 37.4}));
+}
+
+TEST(ReconstructAtTest, ConstantVelocityInterpolationBetweenAnchors) {
+  const geo::GeoPoint a{24.0, 37.0};
+  const geo::GeoPoint b{24.4, 37.2};
+  const std::vector<CriticalPoint> cps = {Cp(kShip, a, 0),
+                                          Cp(kShip, b, 100)};
+  const geo::GeoPoint mid = ReconstructAt(cps, 50);
+  // Constant velocity along the great circle: equidistant from both
+  // anchors, on the direct course.
+  EXPECT_NEAR(geo::HaversineMeters(a, mid), geo::HaversineMeters(mid, b),
+              1.0);
+  EXPECT_NEAR(geo::HaversineMeters(a, mid) + geo::HaversineMeters(mid, b),
+              geo::HaversineMeters(a, b), 1.0);
+  // And still in the right neighbourhood of the lon/lat average.
+  EXPECT_NEAR(mid.lon, 24.2, 0.01);
+  EXPECT_NEAR(mid.lat, 37.1, 0.01);
+}
+
+TEST(RmseTest, ZeroWhenAllPointsKept) {
+  std::vector<PositionTuple> original;
+  std::vector<CriticalPoint> cps;
+  for (int i = 0; i <= 10; ++i) {
+    const geo::GeoPoint p{24.0 + 0.01 * i, 37.0};
+    original.push_back({kShip, p, i * 60});
+    cps.push_back(Cp(kShip, p, i * 60));
+  }
+  EXPECT_NEAR(TrajectoryRmseMeters(original, cps), 0.0, 1e-6);
+}
+
+TEST(RmseTest, NearZeroForConstantVelocityCompression) {
+  // Keeping only the endpoints of a constant-velocity leg loses (almost)
+  // nothing: the linear reconstruction reproduces every sample.
+  std::vector<PositionTuple> original;
+  const double step_m = 12.0 * geo::kKnotsToMps * 30.0;
+  geo::GeoPoint pos = kOrigin;
+  for (int i = 0; i <= 100; ++i) {
+    original.push_back({kShip, pos, i * 30});
+    pos = geo::DestinationPoint(pos, 90.0, step_m);
+  }
+  const std::vector<CriticalPoint> cps = {
+      Cp(kShip, original.front().pos, original.front().tau),
+      Cp(kShip, original.back().pos, original.back().tau)};
+  EXPECT_LT(TrajectoryRmseMeters(original, cps), 5.0);
+}
+
+TEST(RmseTest, DetectsUncapturedDetour) {
+  // A triangular detour not represented by the critical points produces a
+  // real error of the detour's scale.
+  std::vector<PositionTuple> original;
+  original.push_back({kShip, kOrigin, 0});
+  const geo::GeoPoint detour = geo::DestinationPoint(kOrigin, 0.0, 2000.0);
+  original.push_back({kShip, detour, 100});
+  const geo::GeoPoint end = geo::DestinationPoint(kOrigin, 90.0, 4000.0);
+  original.push_back({kShip, end, 200});
+  const std::vector<CriticalPoint> cps = {Cp(kShip, kOrigin, 0),
+                                          Cp(kShip, end, 200)};
+  const double rmse = TrajectoryRmseMeters(original, cps);
+  // At t=100 the reconstruction sits mid-leg; the true position is ~2 km
+  // off the leg. RMSE over 3 points ≈ 2000/sqrt(3).
+  EXPECT_GT(rmse, 800.0);
+  EXPECT_LT(rmse, 2000.0);
+}
+
+TEST(RmseTest, EmptyInputsGiveZero) {
+  EXPECT_EQ(TrajectoryRmseMeters({}, {}), 0.0);
+  EXPECT_EQ(TrajectoryRmseMeters({{kShip, kOrigin, 0}}, {}), 0.0);
+}
+
+TEST(EvaluateApproximationTest, PerVesselAggregation) {
+  std::vector<PositionTuple> originals;
+  std::vector<CriticalPoint> criticals;
+  // Vessel 1: perfectly captured.
+  originals.push_back({1, kOrigin, 0});
+  criticals.push_back(Cp(1, kOrigin, 0));
+  // Vessel 2: constant error of ~1111 m (0.01° latitude shift).
+  originals.push_back({2, {24.0, 37.00}, 0});
+  originals.push_back({2, {24.0, 37.00}, 60});
+  criticals.push_back(Cp(2, {24.0, 37.01}, 0));
+  criticals.push_back(Cp(2, {24.0, 37.01}, 60));
+  const ApproximationError err = EvaluateApproximation(originals, criticals);
+  EXPECT_EQ(err.vessel_count, 2u);
+  EXPECT_NEAR(err.max_rmse_m, 1112.0, 5.0);
+  EXPECT_NEAR(err.avg_rmse_m, 556.0, 3.0);
+}
+
+TEST(EvaluateApproximationTest, VesselWithoutCriticalsSkipped) {
+  const ApproximationError err =
+      EvaluateApproximation({{7, kOrigin, 0}}, {});
+  EXPECT_EQ(err.vessel_count, 0u);
+  EXPECT_EQ(err.avg_rmse_m, 0.0);
+}
+
+TEST(EndToEndApproximationTest, TrackerCompressionStaysAccurate) {
+  // Drive a realistic multi-phase voyage through the tracker and verify the
+  // paper's headline numbers at small scale: strong compression with a
+  // small RMSE (Figures 8 and 9: avg error below ~16 m at default Δθ would
+  // require GPS noise; noiseless traces stay well under 100 m).
+  MobilityTracker tracker;
+  const auto tuples = TraceBuilder(kShip, kOrigin, 0)
+                          .Cruise(45.0, 12.0, kHour, 30)
+                          .SmoothTurn(60.0, 20, 12.0, 30)
+                          .Cruise(105.0, 12.0, kHour, 30)
+                          .Drift(40 * kMinute, 60, 8.0)
+                          .Cruise(200.0, 10.0, kHour, 30)
+                          .Build();
+  std::vector<CriticalPoint> cps;
+  for (const auto& t : tuples) tracker.Process(t, &cps);
+  tracker.Finish(&cps);
+  const ApproximationError err = EvaluateApproximation(tuples, cps);
+  EXPECT_EQ(err.vessel_count, 1u);
+  EXPECT_LT(err.avg_rmse_m, 100.0);
+  EXPECT_LT(cps.size() * 10, tuples.size())
+      << "compression should keep well under 10% of the raw points";
+}
+
+}  // namespace
+}  // namespace maritime::tracker

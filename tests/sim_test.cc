@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ais/scanner.h"
+#include "sim/generator.h"
+#include "sim/nmea_feed.h"
+#include "sim/scenarios.h"
+#include "sim/world.h"
+
+namespace maritime::sim {
+namespace {
+
+WorldParams SmallWorldParams() {
+  WorldParams p;
+  p.ports = 8;
+  p.protected_areas = 3;
+  p.forbidden_fishing_areas = 3;
+  p.shallow_areas = 2;
+  return p;
+}
+
+FleetConfig SmallFleetConfig() {
+  FleetConfig cfg;
+  cfg.vessels = 20;
+  cfg.duration = 6 * kHour;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(WorldTest, BuildsRequestedInventory) {
+  const World w = BuildWorld(1, SmallWorldParams());
+  EXPECT_EQ(w.ports.size(), 8u);
+  // 8 ports + 3 + 3 + 2 special areas.
+  EXPECT_EQ(w.knowledge.areas().size(), 16u);
+  int protected_n = 0, fishing_n = 0, shallow_n = 0, port_n = 0;
+  for (const auto& a : w.knowledge.areas()) {
+    switch (a.kind) {
+      case surveillance::AreaKind::kProtected:
+        ++protected_n;
+        break;
+      case surveillance::AreaKind::kForbiddenFishing:
+        ++fishing_n;
+        break;
+      case surveillance::AreaKind::kShallow:
+        ++shallow_n;
+        EXPECT_GT(a.depth_m, 0.0);
+        break;
+      case surveillance::AreaKind::kPort:
+        ++port_n;
+        break;
+    }
+  }
+  EXPECT_EQ(protected_n, 3);
+  EXPECT_EQ(fishing_n, 3);
+  EXPECT_EQ(shallow_n, 2);
+  EXPECT_EQ(port_n, 8);
+}
+
+TEST(WorldTest, DefaultParamsGiveThirtyFiveSpecialAreas) {
+  // The paper's evaluation uses exactly 35 areas.
+  const World w = BuildWorld(2);
+  int special = 0;
+  for (const auto& a : w.knowledge.areas()) {
+    if (a.kind != surveillance::AreaKind::kPort) ++special;
+  }
+  EXPECT_EQ(special, 35);
+}
+
+TEST(WorldTest, DeterministicFromSeed) {
+  const World a = BuildWorld(42, SmallWorldParams());
+  const World b = BuildWorld(42, SmallWorldParams());
+  ASSERT_EQ(a.ports.size(), b.ports.size());
+  for (size_t i = 0; i < a.ports.size(); ++i) {
+    EXPECT_EQ(a.ports[i].center, b.ports[i].center);
+  }
+}
+
+TEST(WorldTest, AreasInsideExtent) {
+  const World w = BuildWorld(3, SmallWorldParams());
+  const auto extent = w.params.extent.Expanded(0.2);
+  for (const auto& a : w.knowledge.areas()) {
+    EXPECT_TRUE(extent.Contains(a.polygon.VertexCentroid()))
+        << a.name;
+  }
+}
+
+TEST(WorldTest, FindPort) {
+  const World w = BuildWorld(4, SmallWorldParams());
+  ASSERT_NE(w.FindPort(1000), nullptr);
+  EXPECT_EQ(w.FindPort(9999), nullptr);
+}
+
+TEST(TraceBuilderTest, CruiseKinematics) {
+  const auto tuples = TraceBuilder(1, geo::GeoPoint{24, 37}, 0)
+                          .Cruise(0.0, 10.0, 10 * kMinute, 60)
+                          .Build();
+  ASSERT_EQ(tuples.size(), 11u);  // initial report + 10 steps
+  // Consecutive reports are one minute and ~308.7 m apart.
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    EXPECT_EQ(tuples[i].tau - tuples[i - 1].tau, 60);
+    EXPECT_NEAR(geo::HaversineMeters(tuples[i - 1].pos, tuples[i].pos),
+                10.0 * geo::kKnotsToMps * 60.0, 1.0);
+  }
+}
+
+TEST(TraceBuilderTest, SilenceDeadReckons) {
+  TraceBuilder b(1, geo::GeoPoint{24, 37}, 0);
+  b.Cruise(90.0, 10.0, 5 * kMinute, 60).Silence(20 * kMinute);
+  const auto& tuples = b.tuples();
+  ASSERT_GE(tuples.size(), 2u);
+  const auto& resume = tuples.back();
+  const auto& before = tuples[tuples.size() - 2];
+  EXPECT_EQ(resume.tau - before.tau, 20 * kMinute);
+  EXPECT_NEAR(geo::HaversineMeters(before.pos, resume.pos),
+              10.0 * geo::kKnotsToMps * 20.0 * 60.0, 2.0);
+}
+
+TEST(TraceBuilderTest, MergeTracesSorted) {
+  const auto a =
+      TraceBuilder(1, geo::GeoPoint{24, 37}, 0).Hold(300, 60).Build();
+  const auto b =
+      TraceBuilder(2, geo::GeoPoint{25, 38}, 30).Hold(300, 60).Build();
+  const auto merged = MergeTraces({a, b});
+  EXPECT_EQ(merged.size(), a.size() + b.size());
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end(),
+                             [](const auto& x, const auto& y) {
+                               return x.tau < y.tau;
+                             }));
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  FleetTest() : world_(BuildWorld(5, SmallWorldParams())) {}
+  World world_;
+};
+
+TEST_F(FleetTest, GeneratesDeterministically) {
+  World w2 = BuildWorld(5, SmallWorldParams());
+  FleetSimulator sim1(&world_, SmallFleetConfig());
+  FleetSimulator sim2(&w2, SmallFleetConfig());
+  const auto s1 = sim1.Generate();
+  const auto s2 = sim2.Generate();
+  ASSERT_EQ(s1.size(), s2.size());
+  ASSERT_FALSE(s1.empty());
+  for (size_t i = 0; i < s1.size(); i += 97) {
+    EXPECT_EQ(s1[i], s2[i]);
+  }
+}
+
+TEST_F(FleetTest, StreamPropertiesHold) {
+  FleetSimulator sim(&world_, SmallFleetConfig());
+  const auto stream = sim.Generate();
+  ASSERT_GT(stream.size(), 1000u);
+  std::set<stream::Mmsi> vessels;
+  for (const auto& t : stream) {
+    vessels.insert(t.mmsi);
+    EXPECT_TRUE(geo::IsValidPosition(t.pos)) << t;
+    EXPECT_GE(t.tau, 0);
+    EXPECT_LE(t.tau, SmallFleetConfig().duration + kHour);
+  }
+  EXPECT_TRUE(std::is_sorted(stream.begin(), stream.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.tau < b.tau;
+                             }));
+  // Every vessel registered in the knowledge base.
+  for (const stream::Mmsi m : vessels) {
+    EXPECT_NE(world_.knowledge.FindVessel(m), nullptr);
+  }
+  EXPECT_GE(vessels.size(), 15u) << "most of the fleet should report";
+}
+
+TEST_F(FleetTest, GroundTruthCountsPopulated) {
+  FleetConfig cfg = SmallFleetConfig();
+  cfg.vessels = 40;
+  cfg.duration = 12 * kHour;
+  FleetSimulator sim(&world_, cfg);
+  sim.Generate();
+  const GroundTruth& gt = sim.ground_truth();
+  EXPECT_GT(gt.port_calls, 0u);
+  EXPECT_GT(gt.trawl_episodes, 0u);
+  EXPECT_GT(gt.intentional_gaps, 0u);
+  EXPECT_GT(gt.rendezvous_events, 0u);
+}
+
+TEST_F(FleetTest, BehaviorMixRepresented) {
+  FleetConfig cfg = SmallFleetConfig();
+  cfg.vessels = 60;
+  FleetSimulator sim(&world_, cfg);
+  std::set<Behavior> behaviors;
+  for (const auto& v : sim.fleet()) behaviors.insert(v.behavior);
+  EXPECT_GE(behaviors.size(), 5u);
+  // Loiter groups carved from the fleet.
+  size_t loiterers = 0;
+  for (const auto& v : sim.fleet()) {
+    if (v.behavior == Behavior::kLoiterer) ++loiterers;
+  }
+  EXPECT_EQ(loiterers, static_cast<size_t>(cfg.loiter_groups *
+                                           cfg.loiter_group_size));
+}
+
+TEST_F(FleetTest, NmeaFeedRoundTripsThroughScanner) {
+  FleetConfig cfg = SmallFleetConfig();
+  cfg.vessels = 5;
+  cfg.duration = kHour;
+  cfg.gps_noise_m = 0.0;
+  cfg.outlier_prob = 0.0;
+  cfg.dropout_prob = 0.0;
+  FleetSimulator sim(&world_, cfg);
+  const auto stream = sim.Generate();
+  ASSERT_FALSE(stream.empty());
+  const std::string feed = EncodeTaggedNmeaFeed(stream, sim.fleet());
+  ais::DataScanner scanner;
+  const auto decoded = scanner.ScanTaggedLog(feed);
+  ASSERT_EQ(decoded.size(), stream.size());
+  for (size_t i = 0; i < decoded.size(); i += 53) {
+    EXPECT_EQ(decoded[i].mmsi, stream[i].mmsi);
+    EXPECT_EQ(decoded[i].tau, stream[i].tau);
+    // AIS coordinates quantize to 1/10000 arc-minute.
+    EXPECT_NEAR(decoded[i].pos.lon, stream[i].pos.lon, 2.0 / 600000.0);
+    EXPECT_NEAR(decoded[i].pos.lat, stream[i].pos.lat, 2.0 / 600000.0);
+  }
+  EXPECT_EQ(scanner.stats().framing_errors, 0u);
+}
+
+TEST_F(FleetTest, CorruptedFeedLinesAreDropped) {
+  FleetConfig cfg = SmallFleetConfig();
+  cfg.vessels = 5;
+  cfg.duration = kHour;
+  FleetSimulator sim(&world_, cfg);
+  const auto stream = sim.Generate();
+  NmeaFeedOptions opt;
+  opt.corrupt_prob = 0.2;
+  const std::string feed = EncodeTaggedNmeaFeed(stream, sim.fleet(), opt);
+  ais::DataScanner scanner;
+  const auto decoded = scanner.ScanTaggedLog(feed);
+  EXPECT_LT(decoded.size(), stream.size());
+  EXPECT_GT(scanner.stats().framing_errors, 0u);
+  // Roughly 20% corrupted.
+  const double loss = 1.0 - static_cast<double>(decoded.size()) /
+                                static_cast<double>(stream.size());
+  EXPECT_NEAR(loss, 0.2, 0.08);
+}
+
+}  // namespace
+}  // namespace maritime::sim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "stream/position.h"
+#include "stream/replayer.h"
+#include "stream/sliding_window.h"
+
+namespace maritime::stream {
+namespace {
+
+TEST(WindowSpecTest, Validation) {
+  EXPECT_TRUE((WindowSpec{kHour, kMinute}).Validate().ok());
+  EXPECT_FALSE((WindowSpec{0, kMinute}).Validate().ok());
+  EXPECT_FALSE((WindowSpec{kHour, 0}).Validate().ok());
+  EXPECT_FALSE((WindowSpec{-kHour, kMinute}).Validate().ok());
+  // Tumbling window (slide == range) is legal.
+  EXPECT_TRUE((WindowSpec{kHour, kHour}).Validate().ok());
+}
+
+TEST(QueryTimeSequenceTest, AdvancesBySlide) {
+  QueryTimeSequence q(WindowSpec{kHour, 10 * kMinute}, 0);
+  EXPECT_EQ(q.next_query_time(), 600);
+  EXPECT_EQ(q.Fire(), 600);
+  EXPECT_EQ(q.Fire(), 1200);
+  EXPECT_EQ(q.next_query_time(), 1800);
+}
+
+TEST(QueryTimeSequenceTest, WindowStart) {
+  QueryTimeSequence q(WindowSpec{kHour, 10 * kMinute}, 0);
+  EXPECT_EQ(q.next_window_start(), 600 - 3600);
+}
+
+TEST(QueryTimeSequenceTest, FireUntil) {
+  QueryTimeSequence q(WindowSpec{kHour, kHour}, 0);
+  const auto fired = q.FireUntil(4 * kHour);
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_EQ(fired.front(), kHour);
+  EXPECT_EQ(fired.back(), 4 * kHour);
+  EXPECT_EQ(q.next_query_time(), 5 * kHour);
+  EXPECT_TRUE(q.FireUntil(4 * kHour).empty());
+}
+
+TEST(StreamOrderTest, TimeMajorThenMmsi) {
+  const PositionTuple a{5, {}, 10};
+  const PositionTuple b{3, {}, 20};
+  const PositionTuple c{1, {}, 10};
+  EXPECT_TRUE(StreamOrder(a, b));
+  EXPECT_TRUE(StreamOrder(c, a));
+  EXPECT_FALSE(StreamOrder(a, c));
+}
+
+std::vector<PositionTuple> MakeStream() {
+  return {
+      {1, {24.0, 37.0}, 30},  {2, {24.1, 37.1}, 10},
+      {1, {24.0, 37.01}, 90}, {2, {24.1, 37.11}, 70},
+      {1, {24.0, 37.02}, 150},
+  };
+}
+
+TEST(ReplayerTest, SortsInput) {
+  StreamReplayer r(MakeStream());
+  EXPECT_EQ(r.first_timestamp(), 10);
+  EXPECT_EQ(r.last_timestamp(), 150);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(r.tuples().begin(), r.tuples().end(),
+                             [](const auto& a, const auto& b) {
+                               return a.tau < b.tau;
+                             }));
+}
+
+TEST(ReplayerTest, BatchesByTimestamp) {
+  StreamReplayer r(MakeStream());
+  const auto b1 = r.NextBatch(60);
+  ASSERT_EQ(b1.size(), 2u);
+  EXPECT_EQ(b1[0].tau, 10);
+  EXPECT_EQ(b1[1].tau, 30);
+  const auto b2 = r.NextBatch(120);
+  ASSERT_EQ(b2.size(), 2u);
+  const auto b3 = r.NextBatch(1000);
+  ASSERT_EQ(b3.size(), 1u);
+  EXPECT_TRUE(r.Done());
+  EXPECT_TRUE(r.NextBatch(2000).empty());
+}
+
+TEST(ReplayerTest, EmptyBatchWhenNoData) {
+  StreamReplayer r(MakeStream());
+  EXPECT_TRUE(r.NextBatch(5).empty());
+  EXPECT_FALSE(r.Done());
+}
+
+TEST(ReplayerTest, ResetRewinds) {
+  StreamReplayer r(MakeStream());
+  r.NextBatch(1000);
+  EXPECT_TRUE(r.Done());
+  r.Reset();
+  EXPECT_FALSE(r.Done());
+  EXPECT_EQ(r.NextBatch(1000).size(), 5u);
+}
+
+TEST(ReplayerTest, EmptyStream) {
+  StreamReplayer r({});
+  EXPECT_EQ(r.first_timestamp(), kInvalidTimestamp);
+  EXPECT_EQ(r.last_timestamp(), kInvalidTimestamp);
+  EXPECT_TRUE(r.Done());
+  EXPECT_TRUE(r.NextBatch(100).empty());
+}
+
+TEST(ReplayerTest, InclusiveUpperBound) {
+  StreamReplayer r({{1, {}, 100}});
+  EXPECT_EQ(r.NextBatch(100).size(), 1u) << "tau == until must be included";
+}
+
+}  // namespace
+}  // namespace maritime::stream

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtec/timeline.h"
+
+namespace maritime::rtec {
+namespace {
+
+FluentEvidence Evidence(std::vector<ValuedPoint> inits,
+                        std::vector<ValuedPoint> terms,
+                        std::optional<Value> carried = std::nullopt) {
+  FluentEvidence e;
+  e.initiations = std::move(inits);
+  e.terminations = std::move(terms);
+  e.carried_value = carried;
+  return e;
+}
+
+TEST(TimelineTest, PaperCanonicalExample) {
+  // "Suppose that F=V is initiated at time-points 10 and 20 and terminated
+  // at time-points 25 and 30. In that case F=V holds at all T such that
+  // 10 < T <= 25. start(F=V) takes place at 10 and at no other time-point,
+  // end(F=V) takes place at 25 and at no other time-point."
+  const FluentTimeline tl = ComputeSimpleFluent(
+      Evidence({{kTrue, 10}, {kTrue, 20}}, {{kTrue, 25}, {kTrue, 30}}), 0,
+      100);
+  ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{10, 25}));
+  EXPECT_EQ(tl.StartsFor(kTrue), std::vector<Timestamp>{10});
+  EXPECT_EQ(tl.EndsFor(kTrue), std::vector<Timestamp>{25});
+  EXPECT_FALSE(tl.Holds(kTrue, 10));
+  EXPECT_TRUE(tl.Holds(kTrue, 11));
+  EXPECT_TRUE(tl.Holds(kTrue, 25));
+  EXPECT_FALSE(tl.Holds(kTrue, 26));
+  EXPECT_FALSE(tl.open_value.has_value());
+}
+
+TEST(TimelineTest, OngoingIntervalClipsAtQueryTime) {
+  const FluentTimeline tl =
+      ComputeSimpleFluent(Evidence({{kTrue, 30}}, {}), 0, 100);
+  ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{30, 100}));
+  EXPECT_EQ(tl.StartsFor(kTrue), std::vector<Timestamp>{30});
+  EXPECT_TRUE(tl.EndsFor(kTrue).empty()) << "no end event while ongoing";
+  ASSERT_TRUE(tl.open_value.has_value());
+  EXPECT_EQ(*tl.open_value, kTrue);
+}
+
+TEST(TimelineTest, CarriedValueSeedsWindowStart) {
+  // Inertia across the window boundary: the fluent held at window start and
+  // is terminated inside the window.
+  const FluentTimeline tl =
+      ComputeSimpleFluent(Evidence({}, {{kTrue, 50}}, kTrue), 0, 100);
+  ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{0, 50}));
+  EXPECT_TRUE(tl.StartsFor(kTrue).empty())
+      << "carried interval has no start event (its initiation is old)";
+  EXPECT_EQ(tl.EndsFor(kTrue), std::vector<Timestamp>{50});
+}
+
+TEST(TimelineTest, CarriedValueUnbrokenSpansWholeWindow) {
+  const FluentTimeline tl = ComputeSimpleFluent(Evidence({}, {}, kTrue), 0, 60);
+  ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{0, 60}));
+  EXPECT_EQ(tl.open_value, std::optional<Value>(kTrue));
+}
+
+TEST(TimelineTest, RedundantInitiationsAbsorbed) {
+  const FluentTimeline tl = ComputeSimpleFluent(
+      Evidence({{kTrue, 10}, {kTrue, 15}, {kTrue, 20}}, {{kTrue, 30}}), 0,
+      100);
+  ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{10, 30}));
+  EXPECT_EQ(tl.StartsFor(kTrue).size(), 1u);
+}
+
+TEST(TimelineTest, TerminationWithoutInitiationIsNoop) {
+  const FluentTimeline tl =
+      ComputeSimpleFluent(Evidence({}, {{kTrue, 30}}), 0, 100);
+  EXPECT_TRUE(tl.IntervalsFor(kTrue).empty());
+}
+
+TEST(TimelineTest, InitiationOfOtherValueBreaks) {
+  // Rule (2): initiating F=V2 terminates F=V1 — a fluent cannot hold two
+  // values at once.
+  constexpr Value kV1 = 1, kV2 = 2;
+  const FluentTimeline tl =
+      ComputeSimpleFluent(Evidence({{kV1, 10}, {kV2, 40}}, {}), 0, 100);
+  ASSERT_EQ(tl.IntervalsFor(kV1).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kV1)[0], (Interval{10, 40}));
+  ASSERT_EQ(tl.IntervalsFor(kV2).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kV2)[0], (Interval{40, 100}));
+  EXPECT_EQ(tl.EndsFor(kV1), std::vector<Timestamp>{40});
+  EXPECT_EQ(tl.ValueAt(40), std::optional<Value>(kV1));
+  EXPECT_EQ(tl.ValueAt(41), std::optional<Value>(kV2));
+}
+
+TEST(TimelineTest, BreakAndReinitiateAtSamePointStaysMaximal) {
+  // terminatedAt(F=true, 30) and initiatedAt(F=true, 30): the value holds
+  // continuously, so there is one maximal interval and no events at 30.
+  const FluentTimeline tl = ComputeSimpleFluent(
+      Evidence({{kTrue, 10}, {kTrue, 30}}, {{kTrue, 30}, {kTrue, 60}}), 0,
+      100);
+  ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{10, 60}));
+  EXPECT_EQ(tl.StartsFor(kTrue), std::vector<Timestamp>{10});
+  EXPECT_EQ(tl.EndsFor(kTrue), std::vector<Timestamp>{60});
+}
+
+TEST(TimelineTest, EvidenceOutsideWindowIgnored) {
+  const FluentTimeline tl = ComputeSimpleFluent(
+      Evidence({{kTrue, 5}, {kTrue, 30}}, {{kTrue, 150}}), 20, 100);
+  ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{30, 100}))
+      << "initiation at 5 (<= window start) and termination at 150 (> query "
+         "time) must be ignored";
+}
+
+TEST(TimelineTest, InitiationExactlyAtQueryTimeYieldsOpenValueOnly) {
+  const FluentTimeline tl =
+      ComputeSimpleFluent(Evidence({{kTrue, 100}}, {}), 0, 100);
+  EXPECT_TRUE(tl.IntervalsFor(kTrue).empty());
+  EXPECT_EQ(tl.open_value, std::optional<Value>(kTrue));
+}
+
+TEST(TimelineTest, MultipleEpisodes) {
+  const FluentTimeline tl = ComputeSimpleFluent(
+      Evidence({{kTrue, 10}, {kTrue, 50}}, {{kTrue, 20}, {kTrue, 70}}), 0,
+      100);
+  ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 2u);
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{10, 20}));
+  EXPECT_EQ(tl.IntervalsFor(kTrue)[1], (Interval{50, 70}));
+  EXPECT_EQ(tl.StartsFor(kTrue), (std::vector<Timestamp>{10, 50}));
+  EXPECT_EQ(tl.EndsFor(kTrue), (std::vector<Timestamp>{20, 70}));
+}
+
+TEST(TimelineTest, ValueRightOfBoundaries) {
+  const FluentTimeline tl =
+      ComputeSimpleFluent(Evidence({{kTrue, 10}}, {{kTrue, 30}}), 0, 100);
+  EXPECT_EQ(tl.ValueRightOf(10), std::optional<Value>(kTrue));
+  EXPECT_EQ(tl.ValueRightOf(29), std::optional<Value>(kTrue));
+  EXPECT_EQ(tl.ValueRightOf(30), std::nullopt);
+  EXPECT_EQ(tl.ValueRightOf(9), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: the sweep must agree with a brute-force point-by-point
+// simulation of the inertia law over a small discrete domain.
+// ---------------------------------------------------------------------------
+TEST(TimelinePropertyTest, MatchesBruteForceInertia) {
+  Rng rng(101);
+  constexpr Timestamp kQ = 64;
+  for (int trial = 0; trial < 300; ++trial) {
+    FluentEvidence ev;
+    const int n_init = static_cast<int>(rng.NextInt(0, 8));
+    const int n_term = static_cast<int>(rng.NextInt(0, 8));
+    for (int i = 0; i < n_init; ++i) {
+      ev.initiations.push_back(
+          {static_cast<Value>(rng.NextInt(1, 3)), rng.NextInt(1, kQ)});
+    }
+    for (int i = 0; i < n_term; ++i) {
+      ev.terminations.push_back(
+          {static_cast<Value>(rng.NextInt(1, 3)), rng.NextInt(1, kQ)});
+    }
+    if (rng.NextBool(0.3)) {
+      ev.carried_value = static_cast<Value>(rng.NextInt(1, 3));
+    }
+
+    // Brute force: walk time-points 1..kQ tracking the current value.
+    // At each point t, initiations/terminations AT t affect values AFTER t.
+    std::optional<Value> cur = ev.carried_value;
+    std::vector<std::optional<Value>> holds(kQ + 1);  // holds[t], 1-based
+    for (Timestamp t = 0; t <= kQ; ++t) {
+      if (t >= 1) holds[static_cast<size_t>(t)] = cur;
+      // Apply markers at time t (they affect t+1 onwards).
+      bool broken = false;
+      for (const auto& p : ev.terminations) {
+        if (p.t == t && cur.has_value() && p.value == *cur) broken = true;
+      }
+      bool has_min = false;
+      Value min_init = 0;
+      for (const auto& p : ev.initiations) {
+        if (p.t == t) {
+          if (!has_min || p.value < min_init) {
+            min_init = p.value;
+            has_min = true;
+          }
+          if (cur.has_value() && p.value != *cur) broken = true;
+        }
+      }
+      if (broken) cur.reset();
+      if (!cur.has_value() && has_min) cur = min_init;
+    }
+
+    const FluentTimeline tl = ComputeSimpleFluent(ev, 0, kQ);
+    for (Timestamp t = 1; t <= kQ; ++t) {
+      EXPECT_EQ(tl.ValueAt(t), holds[static_cast<size_t>(t)])
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maritime::rtec
