@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_maintenance.dir/fig10_maintenance.cpp.o"
+  "CMakeFiles/fig10_maintenance.dir/fig10_maintenance.cpp.o.d"
+  "fig10_maintenance"
+  "fig10_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_ce_recognition.dir/fig11a_ce_recognition.cpp.o"
+  "CMakeFiles/fig11a_ce_recognition.dir/fig11a_ce_recognition.cpp.o.d"
+  "fig11a_ce_recognition"
+  "fig11a_ce_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_ce_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_ce_spatial_facts.dir/fig11b_ce_spatial_facts.cpp.o"
+  "CMakeFiles/fig11b_ce_spatial_facts.dir/fig11b_ce_spatial_facts.cpp.o.d"
+  "fig11b_ce_spatial_facts"
+  "fig11b_ce_spatial_facts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_ce_spatial_facts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

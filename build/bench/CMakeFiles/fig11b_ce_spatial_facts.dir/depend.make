@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11b_ce_spatial_facts.
+# This may be replaced when dependencies are built.

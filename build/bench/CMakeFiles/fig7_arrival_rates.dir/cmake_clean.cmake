@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_arrival_rates.dir/fig7_arrival_rates.cpp.o"
+  "CMakeFiles/fig7_arrival_rates.dir/fig7_arrival_rates.cpp.o.d"
+  "fig7_arrival_rates"
+  "fig7_arrival_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_arrival_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

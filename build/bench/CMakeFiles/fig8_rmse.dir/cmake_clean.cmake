@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rmse.dir/fig8_rmse.cpp.o"
+  "CMakeFiles/fig8_rmse.dir/fig8_rmse.cpp.o.d"
+  "fig8_rmse"
+  "fig8_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

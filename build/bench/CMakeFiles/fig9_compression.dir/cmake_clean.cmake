@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_compression.dir/fig9_compression.cpp.o"
+  "CMakeFiles/fig9_compression.dir/fig9_compression.cpp.o.d"
+  "fig9_compression"
+  "fig9_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rtec.dir/micro_rtec.cpp.o"
+  "CMakeFiles/micro_rtec.dir/micro_rtec.cpp.o.d"
+  "micro_rtec"
+  "micro_rtec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rtec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_rtec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tracker.dir/micro_tracker.cpp.o"
+  "CMakeFiles/micro_tracker.dir/micro_tracker.cpp.o.d"
+  "micro_tracker"
+  "micro_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

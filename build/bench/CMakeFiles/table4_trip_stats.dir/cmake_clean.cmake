@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_trip_stats.dir/table4_trip_stats.cpp.o"
+  "CMakeFiles/table4_trip_stats.dir/table4_trip_stats.cpp.o.d"
+  "table4_trip_stats"
+  "table4_trip_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_trip_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fishing_watch.dir/fishing_watch.cpp.o"
+  "CMakeFiles/fishing_watch.dir/fishing_watch.cpp.o.d"
+  "fishing_watch"
+  "fishing_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fishing_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

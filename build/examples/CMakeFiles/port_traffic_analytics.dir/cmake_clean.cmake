@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_traffic_analytics.dir/port_traffic_analytics.cpp.o"
+  "CMakeFiles/port_traffic_analytics.dir/port_traffic_analytics.cpp.o.d"
+  "port_traffic_analytics"
+  "port_traffic_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_traffic_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_area_monitor.dir/protected_area_monitor.cpp.o"
+  "CMakeFiles/protected_area_monitor.dir/protected_area_monitor.cpp.o.d"
+  "protected_area_monitor"
+  "protected_area_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_area_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

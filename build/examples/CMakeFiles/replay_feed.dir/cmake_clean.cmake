@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_feed.dir/replay_feed.cpp.o"
+  "CMakeFiles/replay_feed.dir/replay_feed.cpp.o.d"
+  "replay_feed"
+  "replay_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ais/bit_buffer.cc" "src/ais/CMakeFiles/maritime_ais.dir/bit_buffer.cc.o" "gcc" "src/ais/CMakeFiles/maritime_ais.dir/bit_buffer.cc.o.d"
+  "/root/repo/src/ais/messages.cc" "src/ais/CMakeFiles/maritime_ais.dir/messages.cc.o" "gcc" "src/ais/CMakeFiles/maritime_ais.dir/messages.cc.o.d"
+  "/root/repo/src/ais/nmea.cc" "src/ais/CMakeFiles/maritime_ais.dir/nmea.cc.o" "gcc" "src/ais/CMakeFiles/maritime_ais.dir/nmea.cc.o.d"
+  "/root/repo/src/ais/scanner.cc" "src/ais/CMakeFiles/maritime_ais.dir/scanner.cc.o" "gcc" "src/ais/CMakeFiles/maritime_ais.dir/scanner.cc.o.d"
+  "/root/repo/src/ais/sixbit.cc" "src/ais/CMakeFiles/maritime_ais.dir/sixbit.cc.o" "gcc" "src/ais/CMakeFiles/maritime_ais.dir/sixbit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maritime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/maritime_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

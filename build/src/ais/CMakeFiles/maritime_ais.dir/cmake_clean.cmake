@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_ais.dir/bit_buffer.cc.o"
+  "CMakeFiles/maritime_ais.dir/bit_buffer.cc.o.d"
+  "CMakeFiles/maritime_ais.dir/messages.cc.o"
+  "CMakeFiles/maritime_ais.dir/messages.cc.o.d"
+  "CMakeFiles/maritime_ais.dir/nmea.cc.o"
+  "CMakeFiles/maritime_ais.dir/nmea.cc.o.d"
+  "CMakeFiles/maritime_ais.dir/scanner.cc.o"
+  "CMakeFiles/maritime_ais.dir/scanner.cc.o.d"
+  "CMakeFiles/maritime_ais.dir/sixbit.cc.o"
+  "CMakeFiles/maritime_ais.dir/sixbit.cc.o.d"
+  "libmaritime_ais.a"
+  "libmaritime_ais.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_ais.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaritime_ais.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_common.dir/rng.cc.o"
+  "CMakeFiles/maritime_common.dir/rng.cc.o.d"
+  "CMakeFiles/maritime_common.dir/status.cc.o"
+  "CMakeFiles/maritime_common.dir/status.cc.o.d"
+  "CMakeFiles/maritime_common.dir/strings.cc.o"
+  "CMakeFiles/maritime_common.dir/strings.cc.o.d"
+  "CMakeFiles/maritime_common.dir/time.cc.o"
+  "CMakeFiles/maritime_common.dir/time.cc.o.d"
+  "libmaritime_common.a"
+  "libmaritime_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

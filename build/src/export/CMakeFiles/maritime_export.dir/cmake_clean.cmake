@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_export.dir/geojson.cc.o"
+  "CMakeFiles/maritime_export.dir/geojson.cc.o.d"
+  "CMakeFiles/maritime_export.dir/kml.cc.o"
+  "CMakeFiles/maritime_export.dir/kml.cc.o.d"
+  "libmaritime_export.a"
+  "libmaritime_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

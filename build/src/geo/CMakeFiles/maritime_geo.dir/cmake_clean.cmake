@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_geo.dir/geo_point.cc.o"
+  "CMakeFiles/maritime_geo.dir/geo_point.cc.o.d"
+  "CMakeFiles/maritime_geo.dir/grid_index.cc.o"
+  "CMakeFiles/maritime_geo.dir/grid_index.cc.o.d"
+  "CMakeFiles/maritime_geo.dir/polygon.cc.o"
+  "CMakeFiles/maritime_geo.dir/polygon.cc.o.d"
+  "CMakeFiles/maritime_geo.dir/velocity.cc.o"
+  "CMakeFiles/maritime_geo.dir/velocity.cc.o.d"
+  "libmaritime_geo.a"
+  "libmaritime_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

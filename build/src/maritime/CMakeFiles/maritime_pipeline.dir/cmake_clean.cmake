@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/maritime_pipeline.dir/pipeline.cc.o.d"
+  "libmaritime_pipeline.a"
+  "libmaritime_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

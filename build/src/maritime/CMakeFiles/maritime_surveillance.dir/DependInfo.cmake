@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maritime/alerts.cc" "src/maritime/CMakeFiles/maritime_surveillance.dir/alerts.cc.o" "gcc" "src/maritime/CMakeFiles/maritime_surveillance.dir/alerts.cc.o.d"
+  "/root/repo/src/maritime/ce_definitions.cc" "src/maritime/CMakeFiles/maritime_surveillance.dir/ce_definitions.cc.o" "gcc" "src/maritime/CMakeFiles/maritime_surveillance.dir/ce_definitions.cc.o.d"
+  "/root/repo/src/maritime/knowledge.cc" "src/maritime/CMakeFiles/maritime_surveillance.dir/knowledge.cc.o" "gcc" "src/maritime/CMakeFiles/maritime_surveillance.dir/knowledge.cc.o.d"
+  "/root/repo/src/maritime/live_index.cc" "src/maritime/CMakeFiles/maritime_surveillance.dir/live_index.cc.o" "gcc" "src/maritime/CMakeFiles/maritime_surveillance.dir/live_index.cc.o.d"
+  "/root/repo/src/maritime/me_stream.cc" "src/maritime/CMakeFiles/maritime_surveillance.dir/me_stream.cc.o" "gcc" "src/maritime/CMakeFiles/maritime_surveillance.dir/me_stream.cc.o.d"
+  "/root/repo/src/maritime/recognizer.cc" "src/maritime/CMakeFiles/maritime_surveillance.dir/recognizer.cc.o" "gcc" "src/maritime/CMakeFiles/maritime_surveillance.dir/recognizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maritime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/maritime_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maritime_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/maritime_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtec/CMakeFiles/maritime_rtec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ais/CMakeFiles/maritime_ais.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_surveillance.dir/alerts.cc.o"
+  "CMakeFiles/maritime_surveillance.dir/alerts.cc.o.d"
+  "CMakeFiles/maritime_surveillance.dir/ce_definitions.cc.o"
+  "CMakeFiles/maritime_surveillance.dir/ce_definitions.cc.o.d"
+  "CMakeFiles/maritime_surveillance.dir/knowledge.cc.o"
+  "CMakeFiles/maritime_surveillance.dir/knowledge.cc.o.d"
+  "CMakeFiles/maritime_surveillance.dir/live_index.cc.o"
+  "CMakeFiles/maritime_surveillance.dir/live_index.cc.o.d"
+  "CMakeFiles/maritime_surveillance.dir/me_stream.cc.o"
+  "CMakeFiles/maritime_surveillance.dir/me_stream.cc.o.d"
+  "CMakeFiles/maritime_surveillance.dir/recognizer.cc.o"
+  "CMakeFiles/maritime_surveillance.dir/recognizer.cc.o.d"
+  "libmaritime_surveillance.a"
+  "libmaritime_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mod/analytics.cc" "src/mod/CMakeFiles/maritime_mod.dir/analytics.cc.o" "gcc" "src/mod/CMakeFiles/maritime_mod.dir/analytics.cc.o.d"
+  "/root/repo/src/mod/clustering.cc" "src/mod/CMakeFiles/maritime_mod.dir/clustering.cc.o" "gcc" "src/mod/CMakeFiles/maritime_mod.dir/clustering.cc.o.d"
+  "/root/repo/src/mod/hermes.cc" "src/mod/CMakeFiles/maritime_mod.dir/hermes.cc.o" "gcc" "src/mod/CMakeFiles/maritime_mod.dir/hermes.cc.o.d"
+  "/root/repo/src/mod/store.cc" "src/mod/CMakeFiles/maritime_mod.dir/store.cc.o" "gcc" "src/mod/CMakeFiles/maritime_mod.dir/store.cc.o.d"
+  "/root/repo/src/mod/trips.cc" "src/mod/CMakeFiles/maritime_mod.dir/trips.cc.o" "gcc" "src/mod/CMakeFiles/maritime_mod.dir/trips.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maritime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/maritime_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maritime_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/maritime_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/maritime/CMakeFiles/maritime_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtec/CMakeFiles/maritime_rtec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ais/CMakeFiles/maritime_ais.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_mod.dir/analytics.cc.o"
+  "CMakeFiles/maritime_mod.dir/analytics.cc.o.d"
+  "CMakeFiles/maritime_mod.dir/clustering.cc.o"
+  "CMakeFiles/maritime_mod.dir/clustering.cc.o.d"
+  "CMakeFiles/maritime_mod.dir/hermes.cc.o"
+  "CMakeFiles/maritime_mod.dir/hermes.cc.o.d"
+  "CMakeFiles/maritime_mod.dir/store.cc.o"
+  "CMakeFiles/maritime_mod.dir/store.cc.o.d"
+  "CMakeFiles/maritime_mod.dir/trips.cc.o"
+  "CMakeFiles/maritime_mod.dir/trips.cc.o.d"
+  "libmaritime_mod.a"
+  "libmaritime_mod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtec/engine.cc" "src/rtec/CMakeFiles/maritime_rtec.dir/engine.cc.o" "gcc" "src/rtec/CMakeFiles/maritime_rtec.dir/engine.cc.o.d"
+  "/root/repo/src/rtec/interval.cc" "src/rtec/CMakeFiles/maritime_rtec.dir/interval.cc.o" "gcc" "src/rtec/CMakeFiles/maritime_rtec.dir/interval.cc.o.d"
+  "/root/repo/src/rtec/timeline.cc" "src/rtec/CMakeFiles/maritime_rtec.dir/timeline.cc.o" "gcc" "src/rtec/CMakeFiles/maritime_rtec.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maritime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/maritime_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maritime_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

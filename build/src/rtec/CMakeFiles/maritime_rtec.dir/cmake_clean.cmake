@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_rtec.dir/engine.cc.o"
+  "CMakeFiles/maritime_rtec.dir/engine.cc.o.d"
+  "CMakeFiles/maritime_rtec.dir/interval.cc.o"
+  "CMakeFiles/maritime_rtec.dir/interval.cc.o.d"
+  "CMakeFiles/maritime_rtec.dir/timeline.cc.o"
+  "CMakeFiles/maritime_rtec.dir/timeline.cc.o.d"
+  "libmaritime_rtec.a"
+  "libmaritime_rtec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_rtec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

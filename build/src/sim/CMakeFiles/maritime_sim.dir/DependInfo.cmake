@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/generator.cc" "src/sim/CMakeFiles/maritime_sim.dir/generator.cc.o" "gcc" "src/sim/CMakeFiles/maritime_sim.dir/generator.cc.o.d"
+  "/root/repo/src/sim/nmea_feed.cc" "src/sim/CMakeFiles/maritime_sim.dir/nmea_feed.cc.o" "gcc" "src/sim/CMakeFiles/maritime_sim.dir/nmea_feed.cc.o.d"
+  "/root/repo/src/sim/scenarios.cc" "src/sim/CMakeFiles/maritime_sim.dir/scenarios.cc.o" "gcc" "src/sim/CMakeFiles/maritime_sim.dir/scenarios.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/maritime_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/maritime_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maritime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/maritime_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maritime_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/ais/CMakeFiles/maritime_ais.dir/DependInfo.cmake"
+  "/root/repo/build/src/maritime/CMakeFiles/maritime_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/maritime_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtec/CMakeFiles/maritime_rtec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

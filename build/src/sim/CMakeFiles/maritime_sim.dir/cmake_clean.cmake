@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_sim.dir/generator.cc.o"
+  "CMakeFiles/maritime_sim.dir/generator.cc.o.d"
+  "CMakeFiles/maritime_sim.dir/nmea_feed.cc.o"
+  "CMakeFiles/maritime_sim.dir/nmea_feed.cc.o.d"
+  "CMakeFiles/maritime_sim.dir/scenarios.cc.o"
+  "CMakeFiles/maritime_sim.dir/scenarios.cc.o.d"
+  "CMakeFiles/maritime_sim.dir/world.cc.o"
+  "CMakeFiles/maritime_sim.dir/world.cc.o.d"
+  "libmaritime_sim.a"
+  "libmaritime_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

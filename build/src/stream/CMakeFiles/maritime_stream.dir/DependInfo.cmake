@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/csv.cc" "src/stream/CMakeFiles/maritime_stream.dir/csv.cc.o" "gcc" "src/stream/CMakeFiles/maritime_stream.dir/csv.cc.o.d"
+  "/root/repo/src/stream/replayer.cc" "src/stream/CMakeFiles/maritime_stream.dir/replayer.cc.o" "gcc" "src/stream/CMakeFiles/maritime_stream.dir/replayer.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/stream/CMakeFiles/maritime_stream.dir/sliding_window.cc.o" "gcc" "src/stream/CMakeFiles/maritime_stream.dir/sliding_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maritime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/maritime_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

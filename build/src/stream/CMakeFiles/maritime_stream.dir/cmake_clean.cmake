@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_stream.dir/csv.cc.o"
+  "CMakeFiles/maritime_stream.dir/csv.cc.o.d"
+  "CMakeFiles/maritime_stream.dir/replayer.cc.o"
+  "CMakeFiles/maritime_stream.dir/replayer.cc.o.d"
+  "CMakeFiles/maritime_stream.dir/sliding_window.cc.o"
+  "CMakeFiles/maritime_stream.dir/sliding_window.cc.o.d"
+  "libmaritime_stream.a"
+  "libmaritime_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

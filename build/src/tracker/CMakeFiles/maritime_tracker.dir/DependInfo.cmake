@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracker/compressor.cc" "src/tracker/CMakeFiles/maritime_tracker.dir/compressor.cc.o" "gcc" "src/tracker/CMakeFiles/maritime_tracker.dir/compressor.cc.o.d"
+  "/root/repo/src/tracker/critical_point.cc" "src/tracker/CMakeFiles/maritime_tracker.dir/critical_point.cc.o" "gcc" "src/tracker/CMakeFiles/maritime_tracker.dir/critical_point.cc.o.d"
+  "/root/repo/src/tracker/mobility_tracker.cc" "src/tracker/CMakeFiles/maritime_tracker.dir/mobility_tracker.cc.o" "gcc" "src/tracker/CMakeFiles/maritime_tracker.dir/mobility_tracker.cc.o.d"
+  "/root/repo/src/tracker/params.cc" "src/tracker/CMakeFiles/maritime_tracker.dir/params.cc.o" "gcc" "src/tracker/CMakeFiles/maritime_tracker.dir/params.cc.o.d"
+  "/root/repo/src/tracker/reconstruct.cc" "src/tracker/CMakeFiles/maritime_tracker.dir/reconstruct.cc.o" "gcc" "src/tracker/CMakeFiles/maritime_tracker.dir/reconstruct.cc.o.d"
+  "/root/repo/src/tracker/vessel_state.cc" "src/tracker/CMakeFiles/maritime_tracker.dir/vessel_state.cc.o" "gcc" "src/tracker/CMakeFiles/maritime_tracker.dir/vessel_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maritime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/maritime_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maritime_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

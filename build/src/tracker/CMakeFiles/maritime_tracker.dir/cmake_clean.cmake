@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maritime_tracker.dir/compressor.cc.o"
+  "CMakeFiles/maritime_tracker.dir/compressor.cc.o.d"
+  "CMakeFiles/maritime_tracker.dir/critical_point.cc.o"
+  "CMakeFiles/maritime_tracker.dir/critical_point.cc.o.d"
+  "CMakeFiles/maritime_tracker.dir/mobility_tracker.cc.o"
+  "CMakeFiles/maritime_tracker.dir/mobility_tracker.cc.o.d"
+  "CMakeFiles/maritime_tracker.dir/params.cc.o"
+  "CMakeFiles/maritime_tracker.dir/params.cc.o.d"
+  "CMakeFiles/maritime_tracker.dir/reconstruct.cc.o"
+  "CMakeFiles/maritime_tracker.dir/reconstruct.cc.o.d"
+  "CMakeFiles/maritime_tracker.dir/vessel_state.cc.o"
+  "CMakeFiles/maritime_tracker.dir/vessel_state.cc.o.d"
+  "libmaritime_tracker.a"
+  "libmaritime_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maritime_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

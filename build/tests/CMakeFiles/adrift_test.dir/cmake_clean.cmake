@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrift_test.dir/adrift_test.cc.o"
+  "CMakeFiles/adrift_test.dir/adrift_test.cc.o.d"
+  "adrift_test"
+  "adrift_test.pdb"
+  "adrift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

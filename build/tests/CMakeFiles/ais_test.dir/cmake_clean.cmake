@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ais_test.dir/ais_test.cc.o"
+  "CMakeFiles/ais_test.dir/ais_test.cc.o.d"
+  "ais_test"
+  "ais_test.pdb"
+  "ais_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ais_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

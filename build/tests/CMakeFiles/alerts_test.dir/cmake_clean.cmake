@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alerts_test.dir/alerts_test.cc.o"
+  "CMakeFiles/alerts_test.dir/alerts_test.cc.o.d"
+  "alerts_test"
+  "alerts_test.pdb"
+  "alerts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alerts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_index_test.dir/live_index_test.cc.o"
+  "CMakeFiles/live_index_test.dir/live_index_test.cc.o.d"
+  "live_index_test"
+  "live_index_test.pdb"
+  "live_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

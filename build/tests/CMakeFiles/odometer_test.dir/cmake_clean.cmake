@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odometer_test.dir/odometer_test.cc.o"
+  "CMakeFiles/odometer_test.dir/odometer_test.cc.o.d"
+  "odometer_test"
+  "odometer_test.pdb"
+  "odometer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odometer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/maritime/CMakeFiles/maritime_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/maritime_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/export/CMakeFiles/maritime_export.dir/DependInfo.cmake"
+  "/root/repo/build/src/mod/CMakeFiles/maritime_mod.dir/DependInfo.cmake"
+  "/root/repo/build/src/maritime/CMakeFiles/maritime_surveillance.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtec/CMakeFiles/maritime_rtec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/maritime_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/ais/CMakeFiles/maritime_ais.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/maritime_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/maritime_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maritime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_data_test.dir/static_data_test.cc.o"
+  "CMakeFiles/static_data_test.dir/static_data_test.cc.o.d"
+  "static_data_test"
+  "static_data_test.pdb"
+  "static_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
