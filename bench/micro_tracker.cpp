@@ -5,8 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "sim/scenarios.h"
 #include "tracker/mobility_tracker.h"
+#include "tracker/sharded_tracker.h"
 
 namespace maritime::tracker {
 namespace {
@@ -76,6 +78,39 @@ void BM_ManyVessels(benchmark::State& state) {
                           static_cast<int64_t>(tuples.size()));
 }
 BENCHMARK(BM_ManyVessels)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ShardedSlide(benchmark::State& state) {
+  // Threads axis (paper Section 5.2 scaling): one window slide's batch for a
+  // large fleet, processed by an MMSI-sharded tracker on the shared pool.
+  // With >= 4 cores, 4 shards should track at >= 2x the 1-shard throughput.
+  const int shards = static_cast<int>(state.range(0));
+  const int vessels = 512;
+  std::vector<std::vector<stream::PositionTuple>> traces;
+  for (int v = 0; v < vessels; ++v) {
+    traces.push_back(sim::TraceBuilder(static_cast<stream::Mmsi>(v + 1),
+                                       geo::GeoPoint{24.0 + 0.01 * v, 37.0},
+                                       0)
+                         .Cruise(45.0, 12.0, 64 * 30, 30)
+                         .Build());
+  }
+  const auto tuples = sim::MergeTraces(std::move(traces));
+  const Timestamp q = tuples.back().tau + 1;
+  for (auto _ : state) {
+    ShardedMobilityTracker tracker(TrackerParams(), shards,
+                                   &common::ThreadPool::Shared());
+    auto out = tracker.ProcessSlide(tuples, q);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_ShardedSlide)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 }  // namespace
 }  // namespace maritime::tracker

@@ -31,7 +31,7 @@ void Main() {
   pipeline.Run(replayer);
 
   std::printf("%s\n", pipeline.archiver()->Statistics().ToString().c_str());
-  const auto& cstats = pipeline.compressor().stats();
+  const auto cstats = pipeline.compression_stats();
   std::printf("Compression ratio                              %.4f\n",
               cstats.ratio());
   std::printf("Simulated port calls (ground truth)            %llu\n",

@@ -38,7 +38,7 @@ int main() {
   pipeline.Run(replayer);
 
   // --- compression & accuracy ------------------------------------------------
-  const auto& cstats = pipeline.compressor().stats();
+  const auto cstats = pipeline.compression_stats();
   std::printf("\ncompression ratio: %.1f%% (%llu raw -> %llu critical)\n",
               100.0 * cstats.ratio(),
               static_cast<unsigned long long>(cstats.raw_positions),

@@ -82,7 +82,7 @@ int main() {
   });
 
   // 5. Summary: compression and archived trips (paper Figure 9 / Table 4).
-  const auto& cstats = pipeline.compressor().stats();
+  const auto cstats = pipeline.compression_stats();
   std::printf("\ncompression: %llu raw -> %llu critical (ratio %.1f%%)\n",
               static_cast<unsigned long long>(cstats.raw_positions),
               static_cast<unsigned long long>(cstats.critical_points),

@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
     }
   });
 
-  const auto& cstats = pipeline.compressor().stats();
+  const auto cstats = pipeline.compression_stats();
   std::printf("\nreplay complete: %llu positions -> %llu critical points "
               "(%.1f%% compression), %zu alerts, %zu trips archived\n",
               static_cast<unsigned long long>(cstats.raw_positions),

@@ -42,7 +42,13 @@ Result<NmeaSentence> ParseSentence(std::string_view line) {
   }
   const std::string_view body = line.substr(1, star - 1);
   const std::string_view checksum = line.substr(star + 1, 2);
-  if (NmeaChecksum(body) != checksum) {
+  // Case-insensitive compare: receivers in the wild emit lowercase hex
+  // (`*3f`), which is just as valid as the uppercase we generate.
+  const std::string expected = NmeaChecksum(body);
+  const auto upper = [](char c) {
+    return c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A') : c;
+  };
+  if (upper(checksum[0]) != expected[0] || upper(checksum[1]) != expected[1]) {
     return Status::Corruption("checksum mismatch");
   }
   const auto fields = SplitString(body, ',');
@@ -85,14 +91,26 @@ Result<NmeaSentence> ParseSentence(std::string_view line) {
 
 Result<FragmentAssembler::Assembled> FragmentAssembler::Add(
     const NmeaSentence& s) {
+  ++add_seq_;
+  EvictStale();
   if (s.fragment_count == 1) {
     return Assembled{s.payload, s.fill_bits};
   }
   const auto key = std::make_pair(s.sequence_id, s.channel);
   auto& group = pending_[key];
-  if (s.fragment_index == 1 && group.received > 0) {
-    // Stale partial group with a reused sequence id: restart.
+  group.last_add_seq = add_seq_;
+  // Re-run eviction after a possible insert so the cap holds; the group
+  // just touched carries the newest sequence number and is never the
+  // eviction victim (map erase leaves other references valid).
+  EvictStale();
+  if (s.fragment_index == 1 && !group.fragments.empty() &&
+      !group.fragments[0].empty()) {
+    // A second first-fragment means a reused sequence id: the stale partial
+    // group restarts. (A first fragment merely arriving after a later one
+    // is legal out-of-order delivery and joins the existing group.)
+    const uint64_t seq = group.last_add_seq;
     group = Pending{};
+    group.last_add_seq = seq;
   }
   if (group.fragments.empty()) {
     group.fragments.resize(static_cast<size_t>(s.fragment_count));
@@ -117,6 +135,27 @@ Result<FragmentAssembler::Assembled> FragmentAssembler::Add(
   out.fill_bits = group.fill_bits;
   pending_.erase(key);
   return out;
+}
+
+void FragmentAssembler::EvictStale() {
+  // Age out groups whose missing fragments are evidently lost; without this
+  // the pending buffer grows without bound on a lossy feed.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (add_seq_ - it->second.last_add_seq > options_.max_group_age_adds) {
+      it = pending_.erase(it);
+      ++evicted_groups_;
+    } else {
+      ++it;
+    }
+  }
+  while (pending_.size() > options_.max_pending_groups) {
+    auto oldest = pending_.begin();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->second.last_add_seq < oldest->second.last_add_seq) oldest = it;
+    }
+    pending_.erase(oldest);
+    ++evicted_groups_;
+  }
 }
 
 }  // namespace maritime::ais

@@ -22,7 +22,8 @@ struct NmeaSentence {
 };
 
 /// XOR checksum over the characters between '!' and '*', as two uppercase
-/// hex digits.
+/// hex digits. (Parsing accepts either casing: real AIS feeds emit
+/// lowercase hex, e.g. `*3f`.)
 std::string NmeaChecksum(std::string_view body);
 
 /// Renders the sentence with a correct checksum.
@@ -42,6 +43,22 @@ class FragmentAssembler {
     int fill_bits = 0;
   };
 
+  /// Bounds on the pending-group buffer. When a fragment of a multi-part
+  /// message is lost on the air, its group would otherwise never complete
+  /// and never be erased; stale groups are evicted instead.
+  struct Options {
+    /// Evict a partial group once this many subsequent Add() calls have
+    /// passed without it completing (a message's fragments arrive within a
+    /// handful of sentences of each other on real feeds).
+    uint64_t max_group_age_adds = 256;
+    /// Hard cap on simultaneously pending groups; the least recently
+    /// touched group is evicted first.
+    size_t max_pending_groups = 64;
+  };
+
+  FragmentAssembler() = default;
+  explicit FragmentAssembler(Options options) : options_(options) {}
+
   /// Returns a value when `s` completes a message (single-fragment sentences
   /// complete immediately); kNotFound-status when more fragments are pending;
   /// kCorruption when the fragment is inconsistent with its group.
@@ -49,6 +66,10 @@ class FragmentAssembler {
 
   /// Number of partially assembled groups currently buffered.
   size_t pending_groups() const { return pending_.size(); }
+
+  /// Incomplete groups evicted so far (lost-fragment indicator; exposed so
+  /// operators can monitor feed quality).
+  uint64_t evicted_groups() const { return evicted_groups_; }
 
   /// Drops partial groups (e.g. between replayed streams).
   void Clear() { pending_.clear(); }
@@ -58,7 +79,13 @@ class FragmentAssembler {
     std::vector<std::string> fragments;
     int received = 0;
     int fill_bits = 0;
+    uint64_t last_add_seq = 0;  ///< Value of add_seq_ when last touched.
   };
+  void EvictStale();
+
+  Options options_;
+  uint64_t add_seq_ = 0;
+  uint64_t evicted_groups_ = 0;
   // Key: sequence id + channel (sequence ids are reused over time; a stale
   // group is overwritten when a new first fragment arrives).
   std::map<std::pair<int, char>, Pending> pending_;

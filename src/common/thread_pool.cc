@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace maritime::common {
+namespace {
+
+/// Shared state of one ParallelFor call. Kept alive by shared_ptr until the
+/// last helper task has run, which may be after the call itself returned
+/// (a queued helper that finds no index left exits without touching `body`).
+struct ForState {
+  explicit ForState(size_t n_in) : n(n_in) {}
+  const size_t n;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void DrainIndices(ForState& state, const std::function<void(size_t)>& body) {
+  while (true) {
+    const size_t i = state.next.fetch_add(1);
+    if (i >= state.n) break;
+    body(i);
+    if (state.done.fetch_add(1) + 1 == state.n) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.cv.notify_all();
+    }
+  }
+}
+
+int SharedPoolWorkers() {
+  int width = 0;
+  if (const char* env = std::getenv("MARITIME_THREADS")) {
+    width = std::atoi(env);
+  }
+  if (width <= 0) {
+    width = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (width <= 0) width = 2;
+  return width - 1;  // The ParallelFor caller supplies the last lane.
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  workers_.reserve(static_cast<size_t>(workers > 0 ? workers : 0));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>(n);
+  const size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t h = 0; h < helpers; ++h) {
+    // `body` is captured by reference: every index is claimed before the
+    // call returns, so any task outliving the call exits immediately from
+    // DrainIndices without dereferencing it.
+    Submit([state, &body] { DrainIndices(*state, body); });
+  }
+  DrainIndices(*state, body);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(SharedPoolWorkers());
+  return pool;
+}
+
+}  // namespace maritime::common

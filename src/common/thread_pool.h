@@ -1,0 +1,63 @@
+#ifndef MARITIME_COMMON_THREAD_POOL_H_
+#define MARITIME_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maritime::common {
+
+/// A fixed-size pool of worker threads shared by every parallel stage of the
+/// pipeline (mobility-tracker shards, CE-recognition partitions). Creating
+/// threads per window slide — as the recognizer used to do — costs more than
+/// the recognition itself at small slides; the pool is created once and
+/// reused for the lifetime of the process.
+///
+/// The calling thread always participates in `ParallelFor`, so a pool with
+/// zero workers is a valid (fully serial) configuration and the pool can
+/// never deadlock waiting for itself.
+class ThreadPool {
+ public:
+  /// Spawns `workers` background threads (>= 0). Total parallelism of a
+  /// `ParallelFor` is `workers + 1` because the caller joins in.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `body(i)` for every i in [0, n) across the workers plus the
+  /// calling thread; returns once all n indices have completed. Indices are
+  /// claimed dynamically, so uneven per-index cost balances itself.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Enqueues one fire-and-forget task. Used for work whose completion is
+  /// observed through some other channel; `ParallelFor` is the right API for
+  /// join-style fan-out.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide shared pool. Sized to the hardware concurrency minus
+  /// one (caller participation restores full width); the MARITIME_THREADS
+  /// environment variable overrides the total width, which benches use to
+  /// sweep a threads axis.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace maritime::common
+
+#endif  // MARITIME_COMMON_THREAD_POOL_H_

@@ -1,6 +1,9 @@
 #include "maritime/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "common/thread_pool.h"
 
 namespace maritime::surveillance {
 namespace {
@@ -15,12 +18,15 @@ double NowSeconds() {
 
 SurveillancePipeline::SurveillancePipeline(const KnowledgeBase* kb,
                                            PipelineConfig config)
-    : kb_(kb), config_(config), tracker_(config.tracker) {
+    : kb_(kb),
+      config_(config),
+      tracker_(config.tracker, config.tracker_shards,
+               &common::ThreadPool::Shared()) {
   RecognizerConfig rc;
   rc.window = config_.window;
   rc.ce = config_.ce;
-  recognizer_ = std::make_unique<PartitionedRecognizer>(*kb_, rc,
-                                                        config_.partitions);
+  recognizer_ = std::make_unique<PartitionedRecognizer>(
+      *kb_, rc, config_.partitions, &common::ThreadPool::Shared());
   if (config_.archive) {
     archiver_ = std::make_unique<mod::HermesArchiver>(kb_);
   }
@@ -33,12 +39,11 @@ SlideReport SurveillancePipeline::RunSlide(
   report.raw_positions = batch.size();
 
   // --- online tracking: fresh positions -> trajectory events ---------------
+  // Sharded by MMSI; each shard tracks, gap-detects, and compresses its
+  // vessels concurrently, then the outputs merge in stream order.
   const double t0 = NowSeconds();
-  std::vector<tracker::CriticalPoint> raw_criticals;
-  for (const auto& tuple : batch) tracker_.Process(tuple, &raw_criticals);
-  tracker_.AdvanceTo(q, &raw_criticals);
   std::vector<tracker::CriticalPoint> criticals =
-      compressor_.Compress(std::move(raw_criticals), batch.size());
+      tracker_.ProcessSlide(batch, q, &report.shard_stats);
   report.tracking_seconds = NowSeconds() - t0;
   report.critical_points = criticals.size();
 
@@ -52,6 +57,7 @@ SlideReport SurveillancePipeline::RunSlide(
   const double t1 = NowSeconds();
   report.recognition = recognizer_->Recognize(q);
   report.recognition_seconds = NowSeconds() - t1;
+  last_query_ = q;
 
   // --- offline archival of evicted ("delta") critical points ----------------
   ArchiveEvicted(q);
@@ -84,22 +90,50 @@ void SurveillancePipeline::Run(
     if (on_slide) on_slide(report);
     if (q >= last) break;
   }
-  Finish();
+  const SlideReport flush = Finish();
+  if (on_slide && !flush.recognition.empty()) on_slide(flush);
 }
 
-void SurveillancePipeline::Finish() {
+SlideReport SurveillancePipeline::Finish() {
+  SlideReport report;
+  report.final_flush = true;
+
+  const double t0 = NowSeconds();
   std::vector<tracker::CriticalPoint> tail;
   tracker_.Finish(&tail);
+  report.tracking_seconds = NowSeconds() - t0;
+  report.critical_points = tail.size();
   for (const auto& cp : tail) {
     all_criticals_.push_back(cp);
     window_criticals_.push_back(cp);
   }
+
+  if (!tail.empty()) {
+    // The tail events (episode closings, last anchors) arrived after the
+    // final query time; treat them as delayed input amalgamated at the next
+    // query time Q_{i+1}, per the paper's windowing semantics. Without this
+    // recognition pass, complex events completing in the last partial
+    // window were silently dropped.
+    for (const auto& cp : tail) recognizer_->Feed(cp);
+    Timestamp tail_end = tail.front().tau;
+    for (const auto& cp : tail) tail_end = std::max(tail_end, cp.tau);
+    const Timestamp q_final = last_query_ == kInvalidTimestamp
+                                  ? tail_end
+                                  : last_query_ + config_.window.slide;
+    report.query_time = q_final;
+    const double t1 = NowSeconds();
+    report.recognition = recognizer_->Recognize(q_final);
+    report.recognition_seconds = NowSeconds() - t1;
+    last_query_ = q_final;
+  }
+
   if (archiver_ != nullptr) {
     std::vector<tracker::CriticalPoint> rest(window_criticals_.begin(),
                                              window_criticals_.end());
     window_criticals_.clear();
     if (!rest.empty()) archiver_->ArchiveBatch(rest);
   }
+  return report;
 }
 
 std::vector<tracker::CriticalPoint> SurveillancePipeline::TakeCriticalPoints() {

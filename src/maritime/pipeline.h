@@ -12,8 +12,7 @@
 #include "mod/hermes.h"
 #include "stream/replayer.h"
 #include "stream/sliding_window.h"
-#include "tracker/compressor.h"
-#include "tracker/mobility_tracker.h"
+#include "tracker/sharded_tracker.h"
 
 namespace maritime::surveillance {
 
@@ -27,6 +26,10 @@ struct PipelineConfig {
   /// Number of CE-recognition partitions (1 = single processor; 2
   /// reproduces the paper's distributed setting).
   int partitions = 1;
+  /// Number of MMSI-hashed mobility-tracker shards processed concurrently
+  /// on the shared thread pool. 1 reproduces the serial tracker bit for
+  /// bit; any shard count yields the identical critical-point sequence.
+  int tracker_shards = 1;
   /// Enable the offline archival path (staging → reconstruction → loading
   /// into the trajectory store).
   bool archive = true;
@@ -41,6 +44,12 @@ struct SlideReport {
   std::vector<rtec::RecognitionResult> recognition;
   double tracking_seconds = 0.0;
   double recognition_seconds = 0.0;
+  /// Per-tracker-shard wall time and volume for this slide (size =
+  /// config.tracker_shards).
+  std::vector<tracker::ShardSlideStats> shard_stats;
+  /// True for the synthetic report Finish() produces when flushing the
+  /// tracker tail at end of stream.
+  bool final_flush = false;
 };
 
 /// The complete processing scheme of Figure 1: Data-Scanner output (a
@@ -59,15 +68,24 @@ class SurveillancePipeline {
                        std::span<const stream::PositionTuple> batch);
 
   /// Replays an entire recorded stream, sliding the window in step with the
-  /// reported timestamps; invokes `on_slide` (if set) after every slide.
+  /// reported timestamps; invokes `on_slide` (if set) after every slide and
+  /// once more for the end-of-stream flush when it produced recognition.
   void Run(stream::StreamReplayer& replayer,
            const std::function<void(const SlideReport&)>& on_slide = nullptr);
 
-  /// Closes open episodes and archives everything still pending.
-  void Finish();
+  /// Closes open episodes, feeds the tracker's tail critical points to the
+  /// recognizer, runs one final recognition past the last query time (so
+  /// complex events completing in the last partial window are not dropped),
+  /// and archives everything still pending. Returns what the flush did.
+  SlideReport Finish();
 
-  const tracker::MobilityTracker& mobility_tracker() const { return tracker_; }
-  const tracker::Compressor& compressor() const { return compressor_; }
+  const tracker::ShardedMobilityTracker& mobility_tracker() const {
+    return tracker_;
+  }
+  /// Compression counters aggregated over all tracker shards.
+  tracker::CompressionStats compression_stats() const {
+    return tracker_.compression_stats();
+  }
   PartitionedRecognizer& recognizer() { return *recognizer_; }
   const mod::HermesArchiver* archiver() const { return archiver_.get(); }
   const PipelineConfig& config() const { return config_; }
@@ -84,10 +102,10 @@ class SurveillancePipeline {
 
   const KnowledgeBase* kb_;
   PipelineConfig config_;
-  tracker::MobilityTracker tracker_;
-  tracker::Compressor compressor_;
+  tracker::ShardedMobilityTracker tracker_;
   std::unique_ptr<PartitionedRecognizer> recognizer_;
   std::unique_ptr<mod::HermesArchiver> archiver_;
+  Timestamp last_query_ = kInvalidTimestamp;
   /// Critical points not yet evicted from the window (awaiting archival).
   std::deque<tracker::CriticalPoint> window_criticals_;
   std::vector<tracker::CriticalPoint> all_criticals_;

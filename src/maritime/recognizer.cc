@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <thread>
 
 #include "common/strings.h"
 
@@ -62,7 +61,9 @@ std::string CERecognizer::Describe(const rtec::RecognizedFluent& f) const {
 
 PartitionedRecognizer::PartitionedRecognizer(const KnowledgeBase& kb,
                                              RecognizerConfig config,
-                                             int partitions) {
+                                             int partitions,
+                                             common::ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &common::ThreadPool::Shared()) {
   assert(partitions >= 1);
   // Order areas west to east by polygon centroid and cut into equal bands
   // (the paper splits the surveillance region into a west and an east part).
@@ -103,14 +104,11 @@ void PartitionedRecognizer::Feed(const tracker::CriticalPoint& cp) {
 std::vector<rtec::RecognitionResult> PartitionedRecognizer::Recognize(
     Timestamp q) {
   std::vector<rtec::RecognitionResult> results(parts_.size());
-  std::vector<std::thread> threads;
-  threads.reserve(parts_.size());
-  for (size_t i = 0; i < parts_.size(); ++i) {
-    threads.emplace_back([this, i, q, &results] {
-      results[i] = parts_[i].rec->Recognize(q);
-    });
-  }
-  for (auto& t : threads) t.join();
+  // One task per partition on the long-lived shared pool; spawning fresh
+  // std::threads every slide used to dominate recognition at small slides.
+  pool_->ParallelFor(parts_.size(), [this, q, &results](size_t i) {
+    results[i] = parts_[i].rec->Recognize(q);
+  });
   return results;
 }
 

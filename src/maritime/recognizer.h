@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "maritime/ce_definitions.h"
 #include "maritime/knowledge.h"
 #include "maritime/me_stream.h"
@@ -62,13 +63,15 @@ class CERecognizer {
 /// Distributed CE recognition (paper Section 5.2): the monitored region is
 /// split into longitude bands; each partition gets its own RTEC engine with
 /// only the areas located in its band, input MEs are routed by vessel
-/// location, and the partitions recognize in parallel on separate threads.
+/// location, and the partitions recognize in parallel on the shared thread
+/// pool (long-lived workers, not per-call threads).
 class PartitionedRecognizer {
  public:
   /// Splits `kb`'s areas into `partitions` longitude bands of roughly equal
-  /// area count. `partitions` >= 1.
+  /// area count. `partitions` >= 1. `pool` defaults to the process-wide
+  /// shared pool and must outlive the recognizer.
   PartitionedRecognizer(const KnowledgeBase& kb, RecognizerConfig config,
-                        int partitions);
+                        int partitions, common::ThreadPool* pool = nullptr);
 
   /// Routes a critical point to the partition covering its position.
   void Feed(const tracker::CriticalPoint& cp);
@@ -87,6 +90,7 @@ class PartitionedRecognizer {
     std::unique_ptr<CERecognizer> rec;
   };
   size_t PartitionFor(const geo::GeoPoint& p) const;
+  common::ThreadPool* pool_;
   std::vector<Partition> parts_;  // sorted by min_lon ascending
 };
 

@@ -1,0 +1,99 @@
+#ifndef MARITIME_TRACKER_SHARDED_TRACKER_H_
+#define MARITIME_TRACKER_SHARDED_TRACKER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "stream/position.h"
+#include "tracker/compressor.h"
+#include "tracker/critical_point.h"
+#include "tracker/mobility_tracker.h"
+#include "tracker/params.h"
+
+namespace maritime::tracker {
+
+/// Per-shard accounting for one window slide (the "threads axis" of the
+/// paper's scalability experiments, Section 5.2).
+struct ShardSlideStats {
+  double seconds = 0.0;         ///< Wall time the shard's task took.
+  size_t tuples = 0;            ///< Fresh positions routed to the shard.
+  size_t critical_points = 0;   ///< Critical points the shard emitted.
+};
+
+/// Parallel mobility tracking by MMSI sharding. Per-vessel tracker state is
+/// independent (MobilityTracker is "not thread-safe; partition vessels
+/// across instances"), so the positional stream is hashed MMSI -> N shards,
+/// each owning its own MobilityTracker + Compressor. A slide's batch is
+/// processed with one task per shard on a shared ThreadPool; the per-shard
+/// compressed outputs are then merged in stream (tau, mmsi) order.
+///
+/// The merged critical-point sequence is bit-identical at every shard count
+/// (including 1, which reproduces the serial tracker exactly): coalescing
+/// groups points by (mmsi, tau), a vessel lives in exactly one shard, and
+/// the final ordering is a total order over the coalesced keys.
+class ShardedMobilityTracker {
+ public:
+  /// `pool` may be nullptr (or the pool may have zero workers), in which
+  /// case shards run serially on the calling thread. The pool must outlive
+  /// the tracker.
+  ShardedMobilityTracker(TrackerParams params, int shards,
+                         common::ThreadPool* pool = nullptr);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const TrackerParams& params() const { return shards_.front().tracker.params(); }
+
+  /// Shard owning `mmsi` (deterministic, platform-independent).
+  size_t ShardOf(stream::Mmsi mmsi) const {
+    return static_cast<size_t>(mmsi) % shards_.size();
+  }
+
+  /// Processes one slide: routes `batch` by MMSI, runs every shard's
+  /// Process + AdvanceTo(query_time) + Compress concurrently, and returns
+  /// the merged critical points in stream order. `per_shard` (optional)
+  /// receives one timing entry per shard.
+  std::vector<CriticalPoint> ProcessSlide(
+      std::span<const stream::PositionTuple> batch, Timestamp query_time,
+      std::vector<ShardSlideStats>* per_shard = nullptr);
+
+  /// Serial drop-in surface matching MobilityTracker, for callers that do
+  /// their own batching. These bypass the pool and the compressors.
+  void Process(const stream::PositionTuple& tuple,
+               std::vector<CriticalPoint>* out);
+  void AdvanceTo(Timestamp now, std::vector<CriticalPoint>* out);
+
+  /// Flushes open episodes of every shard at end of stream; the emitted tail
+  /// is sorted in stream order so the sequence does not depend on the shard
+  /// count (or on unordered_map iteration order).
+  void Finish(std::vector<CriticalPoint>* out);
+
+  /// Tracker counters summed over all shards.
+  TrackerStats stats() const;
+  /// Compression counters summed over all shards.
+  CompressionStats compression_stats() const;
+
+  size_t vessel_count() const;
+  const VesselState* FindVessel(stream::Mmsi mmsi) const;
+  double OdometerMeters(stream::Mmsi mmsi) const;
+
+  /// Direct access to one shard's tracker (tests and diagnostics).
+  const MobilityTracker& shard(int i) const {
+    return shards_[static_cast<size_t>(i)].tracker;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(const TrackerParams& params) : tracker(params) {}
+    MobilityTracker tracker;
+    Compressor compressor;
+    std::vector<stream::PositionTuple> inbox;  ///< Routed slide batch.
+    std::vector<CriticalPoint> slide_out;      ///< Compressed slide output.
+  };
+
+  common::ThreadPool* pool_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace maritime::tracker
+
+#endif  // MARITIME_TRACKER_SHARDED_TRACKER_H_

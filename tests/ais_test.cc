@@ -125,6 +125,27 @@ TEST(NmeaTest, FormatParseRoundTrip) {
   EXPECT_EQ(parsed.value().payload, s.payload);
 }
 
+TEST(NmeaTest, ChecksumComparisonIsCaseInsensitive) {
+  // Real AIS feeds emit lowercase hex checksums (`*3f`); both casings must
+  // be accepted.
+  NmeaSentence s;
+  s.channel = 'B';
+  s.payload = "177KQJ5000G?tO`K>RA1wUbN0TKH";
+  // This body is the documentation reference sentence; its checksum is "5C",
+  // which contains a hex letter so the casings genuinely differ.
+  const std::string line = FormatSentence(s);
+  ASSERT_TRUE(ParseSentence(line).ok());
+  std::string lower = line;
+  for (size_t i = lower.size() - 2; i < lower.size(); ++i) {
+    if (lower[i] >= 'A' && lower[i] <= 'F') {
+      lower[i] = static_cast<char>(lower[i] - 'A' + 'a');
+    }
+  }
+  // The reference sentence's checksum is "5C" -> "5c": genuinely mixed-case.
+  ASSERT_NE(lower, line);
+  EXPECT_TRUE(ParseSentence(lower).ok()) << lower;
+}
+
 TEST(NmeaTest, ParseRejectsBadChecksum) {
   const auto r =
       ParseSentence("!AIVDM,1,1,,B,177KQJ5000G?tO`K>RA1wUbN0TKH,0*00");
@@ -219,6 +240,115 @@ TEST(FragmentAssemblerTest, ReusedSequenceIdRestartsGroup) {
   const auto done = fa.Add(g2);
   ASSERT_TRUE(done.ok());
   EXPECT_EQ(done.value().payload, "NEW1NEW2");
+}
+
+TEST(FragmentAssemblerTest, OutOfOrderFragmentsReassemble) {
+  // AIS delivery reorders fragments; a first fragment arriving after a
+  // later one must join the existing group, not restart it.
+  FragmentAssembler fa;
+  NmeaSentence f2;
+  f2.fragment_count = 2;
+  f2.fragment_index = 2;
+  f2.sequence_id = 7;
+  f2.payload = "BBB";
+  f2.fill_bits = 4;
+  NmeaSentence f1 = f2;
+  f1.fragment_index = 1;
+  f1.payload = "AAAA";
+  f1.fill_bits = 0;
+  const auto r2 = fa.Add(f2);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kNotFound);
+  const auto r1 = fa.Add(f1);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(r1.value().payload, "AAAABBB");
+  EXPECT_EQ(r1.value().fill_bits, 4);  // fill bits come from the last fragment
+  EXPECT_EQ(fa.pending_groups(), 0u);
+}
+
+TEST(FragmentAssemblerTest, ThreeFragmentsFullyReversed) {
+  FragmentAssembler fa;
+  NmeaSentence f;
+  f.fragment_count = 3;
+  f.sequence_id = 2;
+  for (const int idx : {3, 2, 1}) {
+    f.fragment_index = idx;
+    f.payload = std::string(1, static_cast<char>('0' + idx));
+    const auto r = fa.Add(f);
+    if (idx == 1) {
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(r.value().payload, "123");
+    } else {
+      EXPECT_FALSE(r.ok());
+    }
+  }
+}
+
+TEST(FragmentAssemblerTest, IncompleteGroupEvictedByAge) {
+  // A lost fragment must not pin its group in memory forever.
+  FragmentAssembler::Options opts;
+  opts.max_group_age_adds = 4;
+  FragmentAssembler fa(opts);
+  NmeaSentence orphan;
+  orphan.fragment_count = 2;
+  orphan.fragment_index = 1;
+  orphan.sequence_id = 3;
+  orphan.payload = "LOST";
+  EXPECT_FALSE(fa.Add(orphan).ok());
+  EXPECT_EQ(fa.pending_groups(), 1u);
+  NmeaSentence single;  // unrelated single-fragment traffic ages the group
+  single.payload = "X";
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fa.Add(single).ok());
+  EXPECT_EQ(fa.pending_groups(), 0u);
+  EXPECT_EQ(fa.evicted_groups(), 1u);
+}
+
+TEST(FragmentAssemblerTest, PendingGroupCapEvictsOldest) {
+  FragmentAssembler::Options opts;
+  opts.max_pending_groups = 2;
+  FragmentAssembler fa(opts);
+  NmeaSentence f;
+  f.fragment_count = 2;
+  f.fragment_index = 1;
+  f.payload = "P";
+  for (int seq = 0; seq < 3; ++seq) {
+    f.sequence_id = seq;
+    EXPECT_FALSE(fa.Add(f).ok());
+  }
+  EXPECT_EQ(fa.pending_groups(), 2u);
+  EXPECT_EQ(fa.evicted_groups(), 1u);
+  // The oldest group (seq 0) was evicted; completing it now fails as a
+  // duplicate-free fresh group rather than assembling "P"+"Q".
+  f.sequence_id = 1;  // still pending: completes normally
+  f.fragment_index = 2;
+  f.payload = "Q";
+  const auto done = fa.Add(f);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value().payload, "PQ");
+}
+
+TEST(FragmentAssemblerTest, CompletionIsNotDisturbedByEviction) {
+  // Groups that keep receiving fragments are never evicted, regardless of
+  // how much unrelated traffic interleaves.
+  FragmentAssembler::Options opts;
+  opts.max_group_age_adds = 3;
+  FragmentAssembler fa(opts);
+  NmeaSentence f1;
+  f1.fragment_count = 2;
+  f1.fragment_index = 1;
+  f1.sequence_id = 8;
+  f1.payload = "HEAD";
+  EXPECT_FALSE(fa.Add(f1).ok());
+  NmeaSentence single;
+  single.payload = "Y";
+  for (int i = 0; i < 2; ++i) EXPECT_TRUE(fa.Add(single).ok());
+  NmeaSentence f2 = f1;
+  f2.fragment_index = 2;
+  f2.payload = "TAIL";
+  const auto done = fa.Add(f2);
+  ASSERT_TRUE(done.ok()) << done.status();
+  EXPECT_EQ(done.value().payload, "HEADTAIL");
+  EXPECT_EQ(fa.evicted_groups(), 0u);
 }
 
 PositionReport MakeReport(MessageType type) {

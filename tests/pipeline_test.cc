@@ -52,7 +52,7 @@ TEST(PipelineTest, EndToEndOnSimulatedFleet) {
   EXPECT_EQ(total_raw, replayer.size());
   EXPECT_GT(total_criticals, 0u);
   // Strong compression, the paper's headline claim (~94% at default Δθ).
-  const double ratio = pipeline.compressor().stats().ratio();
+  const double ratio = pipeline.compression_stats().ratio();
   EXPECT_GT(ratio, 0.7);
   // The scenario generator plants gaps/trawls/rendezvous, so CEs must fire.
   EXPECT_GT(total_ces, 0u);
@@ -137,6 +137,56 @@ TEST(PipelineTest, TwoPartitionsBehaveLikeOne) {
   // drop a few recognitions, but the two settings must largely agree.
   EXPECT_NEAR(static_cast<double>(ces1), static_cast<double>(ces2),
               std::max<double>(5.0, 0.25 * static_cast<double>(ces1)));
+}
+
+TEST(PipelineTest, EndOfStreamEventsAreRecognizedAtFinish) {
+  // Regression: a vessel that is still stopped in open water when the
+  // stream ends. The stop-end critical point is only emitted by the
+  // tracker's Finish; Finish() used to archive it without feeding the
+  // recognizer, so the closing of the adrift episode was silently dropped.
+  KnowledgeBase kb(1000.0);
+  AreaInfo port;
+  port.id = 1000;
+  port.name = "port";
+  port.kind = AreaKind::kPort;
+  port.polygon =
+      geo::Polygon::RegularPolygon(geo::GeoPoint{26.5, 39.5}, 700.0, 10);
+  kb.AddArea(port);
+  VesselInfo v;
+  v.mmsi = 4242;
+  v.type = VesselType::kCargo;
+  kb.AddVessel(v);
+
+  // 30 min cruise in open water, then drifting on the spot until the stream
+  // ends with the stop episode still open.
+  auto tuples = sim::TraceBuilder(4242, geo::GeoPoint{24.5, 37.5}, 0)
+                    .Cruise(90.0, 12.0, 30 * kMinute, 30)
+                    .Drift(40 * kMinute, 30, 10.0)
+                    .Build();
+  stream::StreamReplayer replayer(std::move(tuples));
+
+  PipelineConfig cfg = SmallPipelineConfig();
+  cfg.archive = false;
+  SurveillancePipeline pipeline(&kb, cfg);
+  const auto& schema = pipeline.recognizer().partition(0).schema();
+  bool saw_flush = false;
+  bool adrift_closed = false;
+  pipeline.Run(replayer, [&](const SlideReport& r) {
+    if (!r.final_flush) return;
+    saw_flush = true;
+    EXPECT_GT(r.critical_points, 0u);  // at least stop-end + last anchor
+    for (const auto& rec : r.recognition) {
+      for (const auto& f : rec.fluents) {
+        if (f.fluent != schema.adrift) continue;
+        for (const auto& iv : f.intervals) {
+          // Closed by the fed stop-end marker, not still open at Q.
+          if (iv.till < r.query_time) adrift_closed = true;
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(saw_flush);
+  EXPECT_TRUE(adrift_closed);
 }
 
 TEST(PipelineTest, CriticalPointsAreTakeable) {

@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace maritime::common {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithZeroWorkers) {
+  // The caller participates, so a worker-less pool is a valid serial pool.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(1, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+  // Far more indices than lanes: dynamic claiming must still cover all.
+  pool.ParallelFor(10000, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10001);
+}
+
+TEST(ThreadPoolTest, ParallelForIsReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(64, [&](size_t i) { sum += static_cast<int>(i); });
+    EXPECT_EQ(sum.load(), 2016) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) pool.Submit([&] { ++done; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 8 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> sum{0};
+  a.ParallelFor(16, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 120);
+}
+
+TEST(ThreadPoolTest, UnevenWorkBalances) {
+  // Dynamic index claiming: one slow index must not serialize the rest.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.ParallelFor(32, [&](size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace maritime::common
