@@ -1,0 +1,125 @@
+// Standalone driver for the fuzz harnesses, used when the toolchain has no
+// libFuzzer (GCC builds, and the ctest smoke entries). It mimics the
+// libFuzzer command line the CI uses —
+//
+//   fuzz_target [-runs=N] [-max_len=N] [-seed=N] [corpus dir or files...]
+//
+// — replaying every corpus input and then running N deterministic
+// mutation-fuzzing iterations: each iteration picks a corpus input (or an
+// empty buffer), applies a few random byte flips / truncations / splices /
+// insertions, and calls LLVMFuzzerTestOneInput. A defect surfaces the same
+// way it would under libFuzzer: abort (MARITIME_DCHECK), sanitizer report,
+// or crash — any of which fails the ctest entry.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(f),
+                              std::istreambuf_iterator<char>());
+}
+
+long long FlagValue(const char* arg, const char* name) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return -1;
+  return std::atoll(arg + len + 1);
+}
+
+void Mutate(std::vector<uint8_t>& buf, std::mt19937_64& rng, size_t max_len) {
+  const int edits = 1 + static_cast<int>(rng() % 4);
+  for (int e = 0; e < edits; ++e) {
+    switch (rng() % 5) {
+      case 0:  // flip one bit
+        if (!buf.empty()) buf[rng() % buf.size()] ^= 1u << (rng() % 8);
+        break;
+      case 1:  // overwrite one byte
+        if (!buf.empty()) buf[rng() % buf.size()] = static_cast<uint8_t>(rng());
+        break;
+      case 2:  // truncate
+        if (!buf.empty()) buf.resize(rng() % buf.size());
+        break;
+      case 3: {  // insert a short random run
+        const size_t at = buf.empty() ? 0 : rng() % buf.size();
+        const size_t run = 1 + rng() % 8;
+        std::vector<uint8_t> ins(run);
+        for (auto& b : ins) b = static_cast<uint8_t>(rng());
+        buf.insert(buf.begin() + static_cast<ptrdiff_t>(at), ins.begin(),
+                   ins.end());
+        break;
+      }
+      case 4: {  // duplicate a slice onto another position (splice)
+        if (buf.size() < 2) break;
+        const size_t from = rng() % buf.size();
+        const size_t n = 1 + rng() % (buf.size() - from);
+        const size_t to = rng() % buf.size();
+        std::vector<uint8_t> slice(buf.begin() + static_cast<ptrdiff_t>(from),
+                                   buf.begin() +
+                                       static_cast<ptrdiff_t>(from + n));
+        buf.insert(buf.begin() + static_cast<ptrdiff_t>(to), slice.begin(),
+                   slice.end());
+        break;
+      }
+    }
+  }
+  if (buf.size() > max_len) buf.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 0;
+  size_t max_len = 4096;
+  uint64_t seed = 0x6d61726974696d65ULL;  // stable across invocations
+  std::vector<std::vector<uint8_t>> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (long long v = FlagValue(arg, "-runs"); v >= 0) {
+      runs = v;
+    } else if (long long v = FlagValue(arg, "-max_len"); v >= 0) {
+      max_len = static_cast<size_t>(v);
+    } else if (long long v = FlagValue(arg, "-seed"); v >= 0) {
+      seed = static_cast<uint64_t>(v);
+    } else if (arg[0] == '-') {
+      // Ignore other libFuzzer-style flags so CI scripts can pass one
+      // command line to either driver.
+    } else {
+      std::error_code ec;
+      if (std::filesystem::is_directory(arg, ec)) {
+        for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+          if (entry.is_regular_file()) corpus.push_back(ReadFile(entry.path()));
+        }
+      } else {
+        corpus.push_back(ReadFile(arg));
+      }
+    }
+  }
+
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("driver: replayed %zu corpus inputs\n", corpus.size());
+
+  std::mt19937_64 rng(seed);
+  for (long long r = 0; r < runs; ++r) {
+    std::vector<uint8_t> buf;
+    if (!corpus.empty()) buf = corpus[rng() % corpus.size()];
+    Mutate(buf, rng, max_len);
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+  }
+  std::printf("driver: completed %lld mutation runs (seed %llu)\n", runs,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fuzz target for the CSV stream reader (the IMIS-dataset interchange
+// layout). Arbitrary documents must parse to valid tuples or be skipped;
+// accepted rows must round-trip through the writer.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+#include "geo/geo_point.h"
+#include "stream/csv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  size_t skipped = 0;
+  const auto parsed = maritime::stream::ParsePositionsCsv(
+      text, maritime::stream::CsvFormat{}, &skipped);
+  if (parsed.ok()) {
+    for (const auto& t : parsed.value()) {
+      MARITIME_DCHECK(maritime::geo::IsValidPosition(t.pos));
+    }
+    // Writer output is canonical: re-parsing it keeps every tuple.
+    const std::string out = maritime::stream::WritePositionsCsv(parsed.value());
+    const auto reparsed = maritime::stream::ParsePositionsCsv(out);
+    if (!parsed.value().empty()) {
+      MARITIME_DCHECK_OK(reparsed);
+      MARITIME_DCHECK(reparsed.value().size() == parsed.value().size());
+    }
+  }
+
+  // Alternate layout: headerless, semicolon-separated, shuffled columns.
+  maritime::stream::CsvFormat alt;
+  alt.separator = ';';
+  alt.has_header = false;
+  alt.mmsi_column = 3;
+  alt.tau_column = 2;
+  alt.lon_column = 1;
+  alt.lat_column = 0;
+  (void)maritime::stream::ParsePositionsCsv(text, alt);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Seed-corpus generator: renders realistic inputs for each fuzz target out
+// of the deterministic fleet simulator, so the fuzzers start from the
+// grammar of real traffic instead of random bytes.
+//
+//   fuzz_make_corpus <output-root>
+//
+// writes <output-root>/{scanner,sixbit,csv}/seed-*.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ais/messages.h"
+#include "ais/sixbit.h"
+#include "sim/generator.h"
+#include "sim/nmea_feed.h"
+#include "sim/world.h"
+#include "stream/csv.h"
+
+namespace {
+
+void WriteSeed(const std::filesystem::path& dir, int index,
+               const std::string& content) {
+  std::ofstream f(dir / ("seed-" + std::to_string(index)), std::ios::binary);
+  f << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+  const auto scanner_dir = root / "scanner";
+  const auto sixbit_dir = root / "sixbit";
+  const auto csv_dir = root / "csv";
+  for (const auto& dir : {scanner_dir, sixbit_dir, csv_dir}) {
+    std::filesystem::create_directories(dir);
+  }
+
+  maritime::sim::World world = maritime::sim::BuildWorld(7);
+  maritime::sim::FleetConfig cfg;
+  cfg.vessels = 12;
+  cfg.duration = 2 * maritime::kHour;
+  cfg.outlier_prob = 0.01;
+  maritime::sim::FleetSimulator sim(&world, cfg);
+  const auto tuples = sim.Generate();
+
+  // Scanner seeds: tagged NMEA feed chunks — one clean, one with corrupted
+  // checksums and extended two-fragment class-B messages.
+  maritime::sim::NmeaFeedOptions clean;
+  const std::string clean_feed =
+      maritime::sim::EncodeTaggedNmeaFeed(tuples, sim.fleet(), clean);
+  maritime::sim::NmeaFeedOptions noisy;
+  noisy.corrupt_prob = 0.1;
+  noisy.extended_class_b_prob = 0.5;
+  noisy.static_report_every = 10;
+  const std::string noisy_feed =
+      maritime::sim::EncodeTaggedNmeaFeed(tuples, sim.fleet(), noisy);
+  const size_t kChunk = 4096;
+  int scanner_seeds = 0;
+  for (const std::string* feed : {&clean_feed, &noisy_feed}) {
+    for (size_t at = 0; at < feed->size() && scanner_seeds < 12;
+         at += kChunk) {
+      WriteSeed(scanner_dir, scanner_seeds++, feed->substr(at, kChunk));
+    }
+  }
+
+  // Sixbit seeds: armored payloads of real encoded messages, prefixed with
+  // the fill-bits byte the fuzz target expects.
+  int sixbit_seeds = 0;
+  for (size_t i = 0; i < tuples.size() && sixbit_seeds < 12; i += 97) {
+    maritime::ais::PositionReport r;
+    r.type = (i % 2 == 0)
+                 ? maritime::ais::MessageType::kPositionReportScheduled
+                 : maritime::ais::MessageType::kExtendedClassB;
+    r.mmsi = tuples[i].mmsi;
+    r.lon_deg = tuples[i].pos.lon;
+    r.lat_deg = tuples[i].pos.lat;
+    r.sog_knots = 7.5;
+    r.cog_deg = 123.4;
+    r.ship_name = "FUZZ SEED";
+    int fill = 0;
+    const std::string payload = maritime::ais::ArmorPayload(
+        maritime::ais::EncodePositionReport(r), &fill);
+    WriteSeed(sixbit_dir, sixbit_seeds++,
+              std::string(1, static_cast<char>(fill)) + payload);
+  }
+  maritime::ais::StaticVoyageData voyage;
+  voyage.mmsi = 237000999;
+  voyage.ship_name = "SEED VESSEL";
+  voyage.destination = "PIRAEUS";
+  voyage.ship_type = 70;
+  voyage.draught_m = 7.5;
+  int fill = 0;
+  const std::string voyage_payload = maritime::ais::ArmorPayload(
+      maritime::ais::EncodeStaticVoyageData(voyage), &fill);
+  WriteSeed(sixbit_dir, sixbit_seeds++,
+            std::string(1, static_cast<char>(fill)) + voyage_payload);
+
+  // CSV seeds: written positional chunks, plus a headerless variant.
+  int csv_seeds = 0;
+  for (size_t at = 0; at < tuples.size() && csv_seeds < 8; at += 512) {
+    const std::vector<maritime::stream::PositionTuple> chunk(
+        tuples.begin() + static_cast<ptrdiff_t>(at),
+        tuples.begin() +
+            static_cast<ptrdiff_t>(std::min(tuples.size(), at + 512)));
+    WriteSeed(csv_dir, csv_seeds++, maritime::stream::WritePositionsCsv(chunk));
+  }
+
+  std::printf("corpus: %d scanner, %d sixbit, %d csv seeds under %s\n",
+              scanner_seeds, sixbit_seeds, csv_seeds, root.c_str());
+  return 0;
+}

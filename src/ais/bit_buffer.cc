@@ -1,6 +1,6 @@
 #include "ais/bit_buffer.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace maritime::ais {
 namespace {
@@ -21,7 +21,7 @@ int SixbitFromChar(char c) {
 }  // namespace
 
 void BitWriter::WriteUnsigned(uint64_t value, int width) {
-  assert(width > 0 && width <= 64);
+  MARITIME_DCHECK_MSG(width > 0 && width <= 64, "field width out of range");
   for (int i = width - 1; i >= 0; --i) {
     bits_.push_back(static_cast<uint8_t>((value >> i) & 1u));
   }
@@ -41,7 +41,7 @@ void BitWriter::WriteSixbitString(const std::string& s, int chars) {
 }
 
 uint64_t BitReader::ReadUnsigned(int width) {
-  assert(width > 0 && width <= 64);
+  MARITIME_DCHECK_MSG(width > 0 && width <= 64, "field width out of range");
   uint64_t v = 0;
   for (int i = 0; i < width; ++i) {
     uint8_t bit = 0;
@@ -53,6 +53,9 @@ uint64_t BitReader::ReadUnsigned(int width) {
     v = (v << 1) | bit;
     ++pos_;
   }
+  // Reads stay in range unless the overflow flag says otherwise — the
+  // contract the scanner relies on to flag truncated payloads.
+  MARITIME_DCHECK(overflow_ || pos_ <= bits_.size());
   return v;
 }
 
@@ -82,6 +85,7 @@ std::string BitReader::ReadSixbitString(int chars) {
 }
 
 void BitReader::Skip(int width) {
+  MARITIME_DCHECK_MSG(width >= 0, "cannot skip backwards");
   pos_ += static_cast<size_t>(width);
   if (pos_ > bits_.size()) overflow_ = true;
 }

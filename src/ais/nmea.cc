@@ -66,6 +66,10 @@ Result<NmeaSentence> ParseSentence(std::string_view line) {
     int v = 0;
     for (char c : f) {
       if (c < '0' || c > '9') return fallback;
+      // Every numeric AIVDM field is tiny (fragment counts, sequence ids,
+      // fill bits); a value this large is corrupt, and accumulating further
+      // would overflow `int` — undefined behavior on a hostile feed.
+      if (v > 999999) return fallback;
       v = v * 10 + (c - '0');
     }
     return v;
@@ -79,6 +83,14 @@ Result<NmeaSentence> ParseSentence(std::string_view line) {
   if (s.fragment_count < 1 || s.fragment_index < 1 ||
       s.fragment_index > s.fragment_count) {
     return Status::Corruption("inconsistent fragment numbering");
+  }
+  // The NMEA fragment-count field is a single digit, so 9 bounds any valid
+  // sentence. Without this cap a hostile count (e.g. 999999) makes the
+  // FragmentAssembler pre-size its fragment table to match.
+  if (s.fragment_count > kMaxFragments) {
+    return Status::Corruption(
+        StrPrintf("fragment count %d exceeds NMEA limit of %d",
+                  s.fragment_count, kMaxFragments));
   }
   if (s.fill_bits < 0 || s.fill_bits > 5) {
     return Status::Corruption("fill bits outside [0,5]");

@@ -9,6 +9,11 @@
 
 namespace maritime::ais {
 
+/// Largest fragment count a valid AIVDM group can declare: the NMEA 0183
+/// fragment-count field is a single digit. ParseSentence rejects larger
+/// values so the FragmentAssembler's per-group buffer stays bounded.
+inline constexpr int kMaxFragments = 9;
+
 /// One parsed NMEA 0183 AIVDM/AIVDO sentence:
 /// `!AIVDM,<total>,<num>,<seq>,<chan>,<payload>,<fill>*<checksum>`
 struct NmeaSentence {

@@ -1,5 +1,7 @@
 #include "ais/scanner.h"
 
+#include <limits>
+
 #include "ais/sixbit.h"
 #include "common/strings.h"
 
@@ -82,6 +84,7 @@ Result<stream::PositionTuple> DataScanner::FeedTagged(
     ++stats_.framing_errors;
     return Status::Corruption("empty timestamp tag");
   }
+  constexpr Timestamp kMax = std::numeric_limits<Timestamp>::max();
   for (; i < tau_field.size(); ++i) {
     const char c = tau_field[i];
     if (c < '0' || c > '9') {
@@ -89,7 +92,15 @@ Result<stream::PositionTuple> DataScanner::FeedTagged(
       ++stats_.framing_errors;
       return Status::Corruption("non-numeric timestamp tag");
     }
-    tau = tau * 10 + (c - '0');
+    // A tag too long for int64 would make the accumulation below overflow —
+    // undefined behavior on a hostile or corrupt feed.
+    const Timestamp digit = c - '0';
+    if (tau > kMax / 10 || (tau == kMax / 10 && digit > kMax % 10)) {
+      ++stats_.lines;
+      ++stats_.framing_errors;
+      return Status::Corruption("timestamp tag out of range");
+    }
+    tau = tau * 10 + digit;
   }
   if (negative) tau = -tau;
   return FeedLine(tagged_line.substr(tab + 1), tau);

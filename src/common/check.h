@@ -1,0 +1,101 @@
+#ifndef MARITIME_COMMON_CHECK_H_
+#define MARITIME_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// Debug-checked invariants. `MARITIME_DCHECK(cond)` aborts with a source
+/// location when `cond` is false; in Release builds the condition is not
+/// evaluated at all, so invariant checks may be O(n) without taxing the hot
+/// path. Sanitizer builds force the checks on (see MARITIME_ENABLE_DCHECKS in
+/// the top-level CMakeLists.txt) so the ASan/TSan/UBSan matrix also exercises
+/// every structural invariant.
+///
+/// These are for *internal consistency* only — conditions that are
+/// unconditionally true unless the code itself is wrong (sorted merge output,
+/// normalized interval lists, bit widths within the codec's contract). Input
+/// validation must use Status/Result: malformed AIS traffic is expected, not
+/// a programming error.
+
+#if !defined(NDEBUG) || defined(MARITIME_ENABLE_DCHECKS)
+#define MARITIME_DCHECKS_ENABLED 1
+#else
+#define MARITIME_DCHECKS_ENABLED 0
+#endif
+
+namespace maritime::common::internal {
+
+[[noreturn]] inline void DcheckFail(const char* file, int line,
+                                    const char* expr, const char* note) {
+  std::fprintf(stderr, "%s:%d: MARITIME_DCHECK failed: %s%s%s\n", file, line,
+               expr, note[0] != '\0' ? " — " : "", note);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Renders the carried error of a `Status` or a `Result<T>` without this
+/// header depending on either type.
+template <typename T>
+std::string DcheckStatusString(const T& v) {
+  if constexpr (requires { v.status(); }) {
+    return v.status().ToString();
+  } else {
+    return v.ToString();
+  }
+}
+
+}  // namespace maritime::common::internal
+
+#if MARITIME_DCHECKS_ENABLED
+
+#define MARITIME_DCHECK(cond)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::maritime::common::internal::DcheckFail(__FILE__, __LINE__, #cond,  \
+                                               "");                        \
+    }                                                                      \
+  } while (0)
+
+#define MARITIME_DCHECK_MSG(cond, note)                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::maritime::common::internal::DcheckFail(__FILE__, __LINE__, #cond,  \
+                                               note);                      \
+    }                                                                      \
+  } while (0)
+
+/// For Status / Result expressions: DCHECKs `.ok()` and prints the carried
+/// error message on failure.
+#define MARITIME_DCHECK_OK(expr)                                           \
+  do {                                                                     \
+    const auto& maritime_dcheck_ok_v = (expr);                             \
+    if (!maritime_dcheck_ok_v.ok()) {                                      \
+      ::maritime::common::internal::DcheckFail(                            \
+          __FILE__, __LINE__, #expr " is OK",                              \
+          ::maritime::common::internal::DcheckStatusString(                \
+              maritime_dcheck_ok_v)                                        \
+              .c_str());                                                   \
+    }                                                                      \
+  } while (0)
+
+#else  // !MARITIME_DCHECKS_ENABLED
+
+// sizeof keeps the condition syntactically checked without evaluating it.
+#define MARITIME_DCHECK(cond) \
+  do {                        \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+#define MARITIME_DCHECK_MSG(cond, note) \
+  do {                                  \
+    (void)sizeof((cond) ? 1 : 0);       \
+    (void)sizeof(note);                 \
+  } while (0)
+#define MARITIME_DCHECK_OK(expr)      \
+  do {                                \
+    (void)sizeof((expr).ok() ? 1 : 0); \
+  } while (0)
+
+#endif  // MARITIME_DCHECKS_ENABLED
+
+#endif  // MARITIME_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#ifndef MARITIME_COMMON_THREAD_ANNOTATIONS_H_
+#define MARITIME_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotations (-Wthread-safety), following the standard
+/// macro set from the Clang documentation. Under GCC (which has no
+/// counterpart analysis) every macro expands to nothing, so annotated headers
+/// stay portable; under Clang the analysis statically proves that every
+/// access to a `MARITIME_GUARDED_BY(mu)` member happens with `mu` held.
+
+#if defined(__clang__) && !defined(SWIG)
+#define MARITIME_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MARITIME_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define MARITIME_CAPABILITY(x) MARITIME_THREAD_ANNOTATION(capability(x))
+
+#define MARITIME_GUARDED_BY(x) MARITIME_THREAD_ANNOTATION(guarded_by(x))
+
+#define MARITIME_PT_GUARDED_BY(x) MARITIME_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define MARITIME_ACQUIRED_BEFORE(...) \
+  MARITIME_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define MARITIME_ACQUIRED_AFTER(...) \
+  MARITIME_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define MARITIME_REQUIRES(...) \
+  MARITIME_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define MARITIME_ACQUIRE(...) \
+  MARITIME_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define MARITIME_RELEASE(...) \
+  MARITIME_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define MARITIME_EXCLUDES(...) \
+  MARITIME_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define MARITIME_RETURN_CAPABILITY(x) \
+  MARITIME_THREAD_ANNOTATION(lock_returned(x))
+
+#define MARITIME_SCOPED_CAPABILITY \
+  MARITIME_THREAD_ANNOTATION(scoped_lockable)
+
+#define MARITIME_NO_THREAD_SAFETY_ANALYSIS \
+  MARITIME_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // MARITIME_COMMON_THREAD_ANNOTATIONS_H_

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <utility>
+
+#include "common/check.h"
 
 namespace maritime::common {
 namespace {
@@ -52,13 +55,28 @@ ThreadPool::ThreadPool(int workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Stop(); }
+
+void ThreadPool::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
+  // Exactly one caller joins; the others wait here until it has finished, so
+  // every Stop() returns only once the workers are really gone.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_) return;
   for (auto& w : workers_) w.join();
+  joined_ = true;
+  // Anything still queued was submitted concurrently with the stop flag and
+  // never claimed by a worker; run it here so no task is silently dropped.
+  std::deque<std::function<void()>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(tasks_);
+  }
+  for (auto& task : leftovers) task();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -66,7 +84,9 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      cv_.wait(lock, [this]() MARITIME_REQUIRES(mu_) {
+        return stop_ || !tasks_.empty();
+      });
       if (tasks_.empty()) return;  // stop_ and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -76,9 +96,19 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  MARITIME_DCHECK(task != nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
+    if (!stop_) {
+      tasks_.push_back(std::move(task));
+      task = nullptr;
+    }
+  }
+  if (task != nullptr) {
+    // Stopped pool: execute inline so fire-and-forget work still happens and
+    // a racing ParallelFor still terminates (its helpers drain serially).
+    task();
+    return;
   }
   cv_.notify_one();
 }

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace maritime::common {
 
 /// A fixed-size pool of worker threads shared by every parallel stage of the
@@ -35,12 +37,20 @@ class ThreadPool {
   /// Runs `body(i)` for every i in [0, n) across the workers plus the
   /// calling thread; returns once all n indices have completed. Indices are
   /// claimed dynamically, so uneven per-index cost balances itself.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body)
+      MARITIME_EXCLUDES(mu_);
 
   /// Enqueues one fire-and-forget task. Used for work whose completion is
   /// observed through some other channel; `ParallelFor` is the right API for
-  /// join-style fan-out.
-  void Submit(std::function<void()> task);
+  /// join-style fan-out. After `Stop()` the task runs inline on the calling
+  /// thread instead of being enqueued (no task is ever silently dropped).
+  void Submit(std::function<void()> task) MARITIME_EXCLUDES(mu_);
+
+  /// Drains the queue and joins the workers. Idempotent and safe to call
+  /// from several threads concurrently (the destructor calls it too); every
+  /// task submitted before the stop flag is observed still runs. After
+  /// Stop(), `ParallelFor` degrades to serial execution on the caller.
+  void Stop() MARITIME_EXCLUDES(mu_, join_mu_);
 
   /// The process-wide shared pool. Sized to the hardware concurrency minus
   /// one (caller participation restores full width); the MARITIME_THREADS
@@ -49,13 +59,18 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MARITIME_EXCLUDES(mu_);
+  bool StoppedLocked() const MARITIME_REQUIRES(mu_) { return stop_; }
 
+  /// Only started in the constructor; joined exactly once under join_mu_.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  std::mutex mu_ MARITIME_ACQUIRED_BEFORE(join_mu_);
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> tasks_ MARITIME_GUARDED_BY(mu_);
+  bool stop_ MARITIME_GUARDED_BY(mu_) = false;
+  /// Serializes the join phase of concurrent Stop()/destructor calls.
+  std::mutex join_mu_;
+  bool joined_ MARITIME_GUARDED_BY(join_mu_) = false;
 };
 
 }  // namespace maritime::common

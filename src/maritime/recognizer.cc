@@ -108,8 +108,20 @@ std::vector<rtec::RecognitionResult> PartitionedRecognizer::Recognize(
   // std::threads every slide used to dominate recognition at small slides.
   pool_->ParallelFor(parts_.size(), [this, q, &results](size_t i) {
     results[i] = parts_[i].rec->Recognize(q);
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    totals_.recognized_items += results[i].RecognizedCount();
+    totals_.input_events += results[i].input_events_in_window;
   });
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    ++totals_.recognize_calls;
+  }
   return results;
+}
+
+PartitionedRecognizer::RecognizeTotals PartitionedRecognizer::totals() const {
+  std::lock_guard<std::mutex> lock(totals_mu_);
+  return totals_;
 }
 
 }  // namespace maritime::surveillance

@@ -2,9 +2,11 @@
 #define MARITIME_MARITIME_RECOGNIZER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "maritime/ce_definitions.h"
 #include "maritime/knowledge.h"
@@ -78,7 +80,16 @@ class PartitionedRecognizer {
 
   /// Recognizes on all partitions in parallel; returns one result per
   /// partition.
-  std::vector<rtec::RecognitionResult> Recognize(Timestamp q);
+  std::vector<rtec::RecognitionResult> Recognize(Timestamp q)
+      MARITIME_EXCLUDES(totals_mu_);
+
+  /// Lifetime recognition totals, summed over partitions and query times.
+  struct RecognizeTotals {
+    size_t recognize_calls = 0;   ///< Recognize() invocations.
+    size_t recognized_items = 0;  ///< CE instances/intervals produced.
+    size_t input_events = 0;      ///< MEs (and SFs) considered in-window.
+  };
+  RecognizeTotals totals() const MARITIME_EXCLUDES(totals_mu_);
 
   int partition_count() const { return static_cast<int>(parts_.size()); }
   CERecognizer& partition(int i) { return *parts_[static_cast<size_t>(i)].rec; }
@@ -92,6 +103,10 @@ class PartitionedRecognizer {
   size_t PartitionFor(const geo::GeoPoint& p) const;
   common::ThreadPool* pool_;
   std::vector<Partition> parts_;  // sorted by min_lon ascending
+  /// Guards the cumulative counters: each partition's recognition task adds
+  /// its contribution from a pool worker thread.
+  mutable std::mutex totals_mu_;
+  RecognizeTotals totals_ MARITIME_GUARDED_BY(totals_mu_);
 };
 
 }  // namespace maritime::surveillance

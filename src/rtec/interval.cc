@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace maritime::rtec {
 
 void NormalizeIntervals(IntervalList* list) {
@@ -23,6 +25,7 @@ void NormalizeIntervals(IntervalList* list) {
     }
   }
   v.resize(out);
+  MARITIME_DCHECK(IsNormalized(v));
 }
 
 bool IsNormalized(const IntervalList& list) {
@@ -79,6 +82,7 @@ IntervalList IntersectAll(const std::vector<IntervalList>& lists) {
     acc = std::move(next);
     if (acc.empty()) break;
   }
+  MARITIME_DCHECK(IsNormalized(acc));
   return acc;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.h"
+
 namespace maritime::rtec {
 namespace {
 
@@ -153,16 +155,35 @@ FluentTimeline ComputeSimpleFluent(const FluentEvidence& evidence,
   }
 
   FluentTimeline out;
+  Timestamp prev_till = window_start;
   for (const RawEpisode& e : merged) {
     if (e.ongoing) {
       out.open_value = e.value;
     }
     if (e.since >= e.till) continue;  // An initiation exactly at the query
                                       // time has no in-window points yet.
+    // Amalgamation invariant: episodes advance monotonically, so a fluent
+    // never holds two values at one time-point (broken rules (1)–(2)).
+    MARITIME_DCHECK_MSG(e.since >= prev_till,
+                        "overlapping episodes after amalgamation");
+    prev_till = e.till;
     out.intervals[e.value].push_back(Interval{e.since, e.till});
     if (!e.carried) out.starts[e.value].push_back(e.since);
     if (!e.ongoing) out.ends[e.value].push_back(e.till);
   }
+#if MARITIME_DCHECKS_ENABLED
+  // Per value: maximal intervals sorted, disjoint, non-adjacent, and the
+  // start/end point lists sorted — the properties every downstream interval
+  // operation (union/intersect/complement) assumes.
+  for (const auto& [value, list] : out.intervals) {
+    MARITIME_DCHECK_MSG(IsNormalized(list),
+                        "fluent interval list not sorted/disjoint/maximal");
+    MARITIME_DCHECK(std::is_sorted(out.StartsFor(value).begin(),
+                                   out.StartsFor(value).end()));
+    MARITIME_DCHECK(std::is_sorted(out.EndsFor(value).begin(),
+                                   out.EndsFor(value).end()));
+  }
+#endif
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "common/check.h"
+
 namespace maritime::tracker {
 namespace {
 
@@ -20,6 +22,16 @@ double NowSeconds() {
 bool StreamOrder(const CriticalPoint& a, const CriticalPoint& b) {
   if (a.tau != b.tau) return a.tau < b.tau;
   return a.mmsi < b.mmsi;
+}
+
+/// The ProcessSlide contract: merged output strictly increasing by
+/// (tau, mmsi) — duplicate keys would mean a vessel leaked into two shards
+/// or a shard emitted uncoalesced points.
+bool StrictlyStreamOrdered(const std::vector<CriticalPoint>& points) {
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (!StreamOrder(points[i - 1], points[i])) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -57,11 +69,18 @@ std::vector<CriticalPoint> ShardedMobilityTracker::ProcessSlide(
     for (const auto& tuple : s.inbox) s.tracker.Process(tuple, &raw);
     s.tracker.AdvanceTo(query_time, &raw);
     s.slide_out = s.compressor.Compress(std::move(raw), s.inbox.size());
+    const double seconds = NowSeconds() - t0;
     if (per_shard != nullptr) {
       ShardSlideStats& st = (*per_shard)[i];
-      st.seconds = NowSeconds() - t0;
+      st.seconds = seconds;
       st.tuples = s.inbox.size();
       st.critical_points = s.slide_out.size();
+    }
+    {
+      std::lock_guard<std::mutex> lock(totals_mu_);
+      totals_.busy_seconds += seconds;
+      totals_.tuples += s.inbox.size();
+      totals_.critical_points += s.slide_out.size();
     }
     s.inbox.clear();
   };
@@ -70,10 +89,17 @@ std::vector<CriticalPoint> ShardedMobilityTracker::ProcessSlide(
   } else {
     for (size_t i = 0; i < n; ++i) run_shard(i);
   }
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    ++totals_.slides;
+  }
 
   // Merge barrier: per-shard outputs are already in stream order; a single
   // sort over the concatenation yields the canonical sequence.
-  if (n == 1) return std::move(shards_[0].slide_out);
+  if (n == 1) {
+    MARITIME_DCHECK(StrictlyStreamOrdered(shards_[0].slide_out));
+    return std::move(shards_[0].slide_out);
+  }
   std::vector<CriticalPoint> merged;
   size_t total = 0;
   for (const Shard& s : shards_) total += s.slide_out.size();
@@ -83,7 +109,13 @@ std::vector<CriticalPoint> ShardedMobilityTracker::ProcessSlide(
     s.slide_out.clear();
   }
   std::sort(merged.begin(), merged.end(), StreamOrder);
+  MARITIME_DCHECK(StrictlyStreamOrdered(merged));
   return merged;
+}
+
+SlideTotals ShardedMobilityTracker::slide_totals() const {
+  std::lock_guard<std::mutex> lock(totals_mu_);
+  return totals_;
 }
 
 void ShardedMobilityTracker::Process(const stream::PositionTuple& tuple,

@@ -1,9 +1,11 @@
 #ifndef MARITIME_TRACKER_SHARDED_TRACKER_H_
 #define MARITIME_TRACKER_SHARDED_TRACKER_H_
 
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "stream/position.h"
 #include "tracker/compressor.h"
@@ -19,6 +21,16 @@ struct ShardSlideStats {
   double seconds = 0.0;         ///< Wall time the shard's task took.
   size_t tuples = 0;            ///< Fresh positions routed to the shard.
   size_t critical_points = 0;   ///< Critical points the shard emitted.
+};
+
+/// Lifetime totals over every ProcessSlide call, summed across shards.
+/// Accumulated concurrently by the shard tasks, so reads go through
+/// `slide_totals()` under the tracker's stats mutex.
+struct SlideTotals {
+  size_t slides = 0;            ///< ProcessSlide calls completed.
+  double busy_seconds = 0.0;    ///< Sum of per-shard task wall time.
+  size_t tuples = 0;            ///< Positions processed by all shards.
+  size_t critical_points = 0;   ///< Critical points emitted by all shards.
 };
 
 /// Parallel mobility tracking by MMSI sharding. Per-vessel tracker state is
@@ -67,6 +79,9 @@ class ShardedMobilityTracker {
   /// count (or on unordered_map iteration order).
   void Finish(std::vector<CriticalPoint>* out);
 
+  /// Lifetime totals across all ProcessSlide calls (thread-safe snapshot).
+  SlideTotals slide_totals() const MARITIME_EXCLUDES(totals_mu_);
+
   /// Tracker counters summed over all shards.
   TrackerStats stats() const;
   /// Compression counters summed over all shards.
@@ -92,6 +107,10 @@ class ShardedMobilityTracker {
 
   common::ThreadPool* pool_;
   std::vector<Shard> shards_;
+  /// Guards the cumulative counters: every shard task of a slide adds its
+  /// own contribution, so the accumulation itself is cross-thread.
+  mutable std::mutex totals_mu_;
+  SlideTotals totals_ MARITIME_GUARDED_BY(totals_mu_);
 };
 
 }  // namespace maritime::tracker

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "ais/bit_buffer.h"
 #include "ais/messages.h"
 #include "ais/nmea.h"
@@ -445,7 +448,8 @@ TEST(MessageTest, DecodeRejectsTruncatedPayload) {
 TEST(MessageTest, DecodeRejectsUnsupportedType) {
   BitWriter w;
   w.WriteUnsigned(5, 6);  // type 5: static voyage data, unsupported
-  w.WriteUnsigned(0, 162);
+  // Pad to a plausible body length; fields are at most 64 bits wide.
+  for (int padded = 0; padded < 162; padded += 54) w.WriteUnsigned(0, 54);
   const auto out = DecodePositionReport(w.bits());
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kUnimplemented);
@@ -547,6 +551,89 @@ TEST(ScannerTest, ScanTaggedLogFiltersNoise) {
   ASSERT_EQ(tuples.size(), 2u);
   EXPECT_EQ(tuples[0].tau, 100);
   EXPECT_EQ(tuples[1].tau, 200);
+}
+
+// --- Regression tests for defects surfaced by the fuzzers / UBSan ---------
+
+TEST(NmeaRegressionTest, HugeFragmentCountIsRejected) {
+  // A hostile fragment count used to pre-size the FragmentAssembler's
+  // fragment table to match (memory blow-up); counts beyond the one-digit
+  // NMEA field are now rejected at parse time.
+  const std::string body = "AIVDM,999999,1,3,B,177KQJ5000G?tO`K>RA1wUbN0TKH,0";
+  const std::string line = "!" + body + "*" + NmeaChecksum(body);
+  const auto parsed = ParseSentence(line);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+
+  FragmentAssembler assembler;
+  EXPECT_EQ(assembler.pending_groups(), 0u);
+}
+
+TEST(NmeaRegressionTest, NumericFieldOverflowFallsBackInsteadOfUB) {
+  // Numeric fields longer than int used to accumulate into signed overflow
+  // (undefined behavior); they now fall back to the field's invalid value
+  // and the sentence is rejected by validation.
+  const std::string body =
+      "AIVDM,99999999999999999999,1,3,B,177KQJ5000G?tO`K>RA1wUbN0TKH,0";
+  const std::string line = "!" + body + "*" + NmeaChecksum(body);
+  EXPECT_FALSE(ParseSentence(line).ok());
+}
+
+TEST(NmeaRegressionTest, MaxFragmentsBoundaryStillAssembles) {
+  // The cap must not break the largest legal group (9 fragments).
+  FragmentAssembler assembler;
+  Result<FragmentAssembler::Assembled> last =
+      Status::NotFound("no fragment yet");
+  for (int i = 1; i <= kMaxFragments; ++i) {
+    NmeaSentence s;
+    s.fragment_count = kMaxFragments;
+    s.fragment_index = i;
+    s.sequence_id = 5;
+    s.payload = std::string(4, static_cast<char>('0' + i));
+    s.fill_bits = i == kMaxFragments ? 2 : 0;
+    last = assembler.Add(s);
+    if (i < kMaxFragments) {
+      EXPECT_FALSE(last.ok());
+    }
+  }
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value().payload.size(), 4u * kMaxFragments);
+  EXPECT_EQ(last.value().fill_bits, 2);
+}
+
+TEST(ScannerRegressionTest, OverlongTimestampTagIsRejectedNotOverflowed) {
+  // 25 digits exceed int64; accumulation used to be UB. The line must be
+  // cleanly rejected and counted as a framing error.
+  DataScanner scanner;
+  const auto r = scanner.FeedTagged(
+      "9999999999999999999999999\t!AIVDM,1,1,,B,177KQJ5000G?tO`K>RA1wUbN0TKH,0*5C");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(scanner.stats().framing_errors, 1u);
+
+  // The largest representable tag still parses.
+  DataScanner ok_scanner;
+  const auto max_tag = std::to_string(std::numeric_limits<int64_t>::max());
+  const auto r2 = ok_scanner.FeedTagged(max_tag + "\tgarbage");
+  // Rejected for the sentence, not for the timestamp: no framing error on
+  // the tag itself means the number parsed.
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().message(), "sentence does not start with '!'");
+}
+
+TEST(SixbitRegressionTest, TruncatedMultipartPayloadSetsOverflowNotCrash) {
+  // A type 19 payload cut mid-field (as when the second fragment of a group
+  // is lost and a stale group is mis-assembled) must surface as Corruption.
+  PositionReport r;
+  r.type = MessageType::kExtendedClassB;
+  r.mmsi = 237001000;
+  r.lon_deg = 23.6;
+  r.lat_deg = 37.9;
+  std::vector<uint8_t> bits = EncodePositionReport(r);
+  bits.resize(bits.size() / 2);
+  const auto decoded = DecodePositionReport(bits);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace

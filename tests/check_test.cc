@@ -1,0 +1,57 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace maritime {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  MARITIME_DCHECK(1 + 1 == 2);
+  MARITIME_DCHECK_MSG(true, "never shown");
+  MARITIME_DCHECK_OK(Status::OK());
+  MARITIME_DCHECK_OK(Result<int>(42));
+}
+
+#if MARITIME_DCHECKS_ENABLED
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailingDcheckAbortsWithExpression) {
+  EXPECT_DEATH(MARITIME_DCHECK(2 + 2 == 5), "MARITIME_DCHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailingDcheckMsgIncludesNote) {
+  EXPECT_DEATH(MARITIME_DCHECK_MSG(false, "broken invariant"),
+               "broken invariant");
+}
+
+TEST(CheckDeathTest, DcheckOkPrintsCarriedStatus) {
+  EXPECT_DEATH(MARITIME_DCHECK_OK(Status::Corruption("bad payload")),
+               "bad payload");
+}
+
+TEST(CheckDeathTest, DcheckOkPrintsResultStatus) {
+  const Result<int> r = Status::Corruption("truncated field");
+  EXPECT_DEATH(MARITIME_DCHECK_OK(r), "truncated field");
+}
+
+#else  // !MARITIME_DCHECKS_ENABLED
+
+TEST(CheckTest, DisabledChecksDoNotEvaluateTheCondition) {
+  int calls = 0;
+  const auto observed = [&calls]() {
+    ++calls;
+    return false;
+  };
+  MARITIME_DCHECK(observed());
+  MARITIME_DCHECK_MSG(observed(), "note");
+  EXPECT_EQ(calls, 0);
+}
+
+#endif  // MARITIME_DCHECKS_ENABLED
+
+}  // namespace
+}  // namespace maritime

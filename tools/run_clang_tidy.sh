@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit under src/, using the compile_commands.json of an existing
+# build tree. Exits non-zero on any diagnostic (WarningsAsErrors: '*').
+#
+# Usage:
+#   tools/run_clang_tidy.sh [-p BUILD_DIR] [--strict] [extra clang-tidy args]
+#
+#   -p BUILD_DIR  build tree with compile_commands.json (default: build)
+#   --strict      fail (exit 2) when clang-tidy is not installed, instead of
+#                 skipping with a warning. CI passes --strict; developer
+#                 machines without LLVM get a clean skip.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${ROOT}/build"
+STRICT=0
+EXTRA_ARGS=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -p) BUILD_DIR="$2"; shift 2 ;;
+    --strict) STRICT=1; shift ;;
+    *) EXTRA_ARGS+=("$1"); shift ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for candidate in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+                   clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+
+if [[ -z "${TIDY}" ]]; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH" >&2
+  if [[ "${STRICT}" -eq 1 ]]; then
+    exit 2
+  fi
+  echo "run_clang_tidy.sh: SKIPPED (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: ${BUILD_DIR}/compile_commands.json missing;" \
+       "configure first: cmake --preset default" >&2
+  exit 2
+fi
+
+mapfile -t SOURCES < <(find "${ROOT}/src" -name '*.cc' | sort)
+echo "run_clang_tidy.sh: ${TIDY} over ${#SOURCES[@]} files (build: ${BUILD_DIR})"
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+FAIL=0
+printf '%s\n' "${SOURCES[@]}" \
+  | xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet \
+      "${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}" || FAIL=1
+
+if [[ "${FAIL}" -ne 0 ]]; then
+  echo "run_clang_tidy.sh: FAILED — diagnostics above" >&2
+  exit 1
+fi
+echo "run_clang_tidy.sh: clean"
