@@ -30,29 +30,38 @@ inline Fig11Workload MakeFig11Workload(int base_vessels, Duration duration) {
 }
 
 struct Fig11Row {
+  double fleet_scale;
+  int vessels;
   Duration range;
   int processors;
+  bool incremental;
   double avg_recognition_seconds;
   double avg_input_facts;   ///< MEs (+ spatial facts in 11(b)) per window.
   double avg_ces;           ///< Recognized CE items per query.
   size_t queries;
+  double cache_hit_rate;    ///< 0 under the naive engine.
+  double speedup_vs_naive;  ///< 0 when the naive pairing was not run.
 };
 
 /// Runs CE recognition over the ME stream at slide β=1h for the given
-/// window range and partition count, measuring only the Recognize() calls
-/// (feeding — which in the paper happens upstream — is excluded, as are the
-/// precomputation of spatial facts in the 11(b) setting).
+/// window range, partition count, and engine, measuring only the
+/// Recognize() calls (feeding — which in the paper happens upstream — is
+/// excluded, as are the precomputation of spatial facts in the 11(b)
+/// setting).
 inline Fig11Row RunFig11Config(const Fig11Workload& w, Duration range,
-                               int processors, bool spatial_facts) {
+                               int processors, bool spatial_facts,
+                               bool incremental) {
   surveillance::RecognizerConfig cfg;
   cfg.window = stream::WindowSpec{range, kHour};
   cfg.ce.use_spatial_facts = spatial_facts;
   // Reproduce the paper's exact CE set (the adrift extension is vessel-keyed
   // and would skew counts between the 1- and 2-processor settings).
   cfg.ce.enable_adrift = false;
+  cfg.incremental = incremental;
   surveillance::PartitionedRecognizer rec(w.data.world.knowledge, cfg,
                                           processors);
-  Fig11Row row{range, processors, 0.0, 0.0, 0.0, 0};
+  Fig11Row row{0.0, 0,   range, processors, incremental, 0.0,
+               0.0, 0.0, 0,     0.0,        0.0};
   size_t cursor = 0;
   for (Timestamp q = kHour; q <= w.horizon; q += kHour) {
     while (cursor < w.criticals.size() && w.criticals[cursor].tau <= q) {
@@ -74,26 +83,104 @@ inline Fig11Row RunFig11Config(const Fig11Workload& w, Duration range,
     row.avg_input_facts /= n;
     row.avg_ces /= n;
   }
+  const auto totals = rec.totals();
+  const size_t lookups = totals.cache_hits + totals.cache_misses;
+  row.cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(totals.cache_hits) /
+                         static_cast<double>(lookups);
   return row;
 }
 
-inline void RunFig11(bool spatial_facts) {
-  const Fig11Workload w =
-      MakeFig11Workload(/*base_vessels=*/250, /*duration=*/24 * kHour);
-  std::printf("workload: %zu raw positions -> %zu critical MEs, 24h, "
-              "%zu areas\n\n",
-              w.data.tuples.size(), w.criticals.size(),
-              w.data.world.knowledge.areas().size());
-  std::printf("  %-10s %-12s %-16s %-18s %-10s\n", "omega", "processors",
-              "avg time/query", "avg input facts", "avg CEs");
-  for (const Duration range : {kHour, 2 * kHour, 6 * kHour, 9 * kHour}) {
-    for (const int processors : {1, 2}) {
-      const Fig11Row r = RunFig11Config(w, range, processors, spatial_facts);
-      std::printf("  %-10lld %-12d %13.2f ms %-18.0f %-10.1f\n",
-                  static_cast<long long>(r.range / kHour), r.processors,
-                  r.avg_recognition_seconds * 1e3, r.avg_input_facts,
-                  r.avg_ces);
+/// How RunFig11 drives the experiment; defaults reproduce the paper figure
+/// with both engine variants and record the perf trajectory in
+/// BENCH_rtec.json.
+struct Fig11Options {
+  bool run_naive = true;
+  bool run_incremental = true;
+  std::vector<double> fleet_scales = {1.0};
+  std::string json_path;  ///< Empty disables the JSON artifact.
+};
+
+inline void WriteFig11Json(const std::string& path, const char* bench_name,
+                           bool spatial_facts,
+                           const std::vector<Fig11Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"spatial_facts\": %s,\n",
+               bench_name, spatial_facts ? "true" : "false");
+  std::fprintf(f, "  \"slide_hours\": 1,\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Fig11Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"fleet_scale\": %g, \"vessels\": %d, \"omega_hours\": %lld, "
+        "\"processors\": %d, \"engine\": \"%s\", \"avg_ms_per_query\": %.4f, "
+        "\"avg_input_facts\": %.1f, \"avg_ces\": %.2f, \"queries\": %zu, "
+        "\"cache_hit_rate\": %.4f, \"speedup_vs_naive\": %.3f}%s\n",
+        r.fleet_scale, r.vessels, static_cast<long long>(r.range / kHour),
+        r.processors, r.incremental ? "incremental" : "naive",
+        r.avg_recognition_seconds * 1e3, r.avg_input_facts, r.avg_ces,
+        r.queries, r.cache_hit_rate, r.speedup_vs_naive,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+inline void RunFig11(bool spatial_facts, const Fig11Options& opts = {}) {
+  std::vector<Fig11Row> all;
+  for (const double scale : opts.fleet_scales) {
+    const int vessels = static_cast<int>(250 * scale);
+    const Fig11Workload w =
+        MakeFig11Workload(/*base_vessels=*/vessels, /*duration=*/24 * kHour);
+    std::printf("fleet scale %gx: %zu raw positions -> %zu critical MEs, "
+                "24h, %zu areas\n\n",
+                scale, w.data.tuples.size(), w.criticals.size(),
+                w.data.world.knowledge.areas().size());
+    std::printf("  %-10s %-12s %-13s %-16s %-16s %-9s %-10s %-8s\n", "omega",
+                "processors", "engine", "avg time/query", "avg input facts",
+                "avg CEs", "hit rate", "speedup");
+    for (const Duration range : {kHour, 2 * kHour, 6 * kHour, 9 * kHour}) {
+      for (const int processors : {1, 2}) {
+        double naive_seconds = 0.0;
+        for (const bool incremental : {false, true}) {
+          if (incremental ? !opts.run_incremental : !opts.run_naive) continue;
+          Fig11Row r =
+              RunFig11Config(w, range, processors, spatial_facts, incremental);
+          r.fleet_scale = scale;
+          r.vessels = static_cast<int>(w.data.fleet.size());
+          if (!incremental) {
+            naive_seconds = r.avg_recognition_seconds;
+          } else if (naive_seconds > 0.0 && r.avg_recognition_seconds > 0.0) {
+            r.speedup_vs_naive = naive_seconds / r.avg_recognition_seconds;
+          }
+          std::printf("  %-10lld %-12d %-13s %10.2f ms %-16.0f %-9.1f",
+                      static_cast<long long>(r.range / kHour), r.processors,
+                      r.incremental ? "incremental" : "naive",
+                      r.avg_recognition_seconds * 1e3, r.avg_input_facts,
+                      r.avg_ces);
+          if (r.incremental) {
+            std::printf(" %8.1f%% %7.2fx\n", r.cache_hit_rate * 100.0,
+                        r.speedup_vs_naive);
+          } else {
+            std::printf(" %-9s %-8s\n", "-", "-");
+          }
+          all.push_back(r);
+        }
+      }
     }
+    std::printf("\n");
+  }
+  if (!opts.json_path.empty()) {
+    WriteFig11Json(opts.json_path,
+                   spatial_facts ? "fig11b_ce_spatial_facts"
+                                 : "fig11a_ce_recognition",
+                   spatial_facts, all);
   }
 }
 

@@ -1,0 +1,119 @@
+#ifndef MARITIME_COMMON_SPSC_QUEUE_H_
+#define MARITIME_COMMON_SPSC_QUEUE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace maritime::common {
+
+/// Unbounded lock-free single-producer/single-consumer queue, built from a
+/// linked list of fixed-size segments. The producer appends to the tail
+/// segment and publishes with a release store of the segment's element
+/// count; the consumer acquires the count, drains, and frees segments it has
+/// fully consumed. Neither side ever blocks or spins on the other.
+///
+/// Used as the per-shard inbox of the sharded mobility tracker: the stream
+/// thread routes each position tuple to its shard's queue as it arrives, and
+/// the shard's slide task drains its own queue — so a window slide no longer
+/// starts with a serial MMSI scatter on the caller thread.
+///
+/// Contract: exactly one producer thread (Push) and one consumer thread
+/// (DrainInto) at a time. Distinct threads may take either role over the
+/// queue's lifetime when an external happens-before edge orders the
+/// role hand-off (the tracker gets this edge from the thread-pool barrier
+/// between slides).
+template <typename T, size_t kSegmentCapacity = 512>
+class SpscQueue {
+  static_assert(kSegmentCapacity > 0);
+
+ public:
+  SpscQueue() : head_(new Segment), tail_(head_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Segment* seg = head_;
+    while (seg != nullptr) {
+      Segment* next = seg->next.load(std::memory_order_relaxed);
+      delete seg;
+      seg = next;
+    }
+  }
+
+  /// Producer side. Wait-free except for segment allocation every
+  /// kSegmentCapacity pushes.
+  void Push(T value) {
+    Segment* seg = tail_;
+    const size_t idx = tail_size_;
+    if (idx == kSegmentCapacity) {
+      Segment* fresh = new Segment;
+      fresh->items[0] = std::move(value);
+      // Publish the element before linking the segment: a consumer that
+      // observes `next` must also observe the element count.
+      fresh->published.store(1, std::memory_order_release);
+      seg->next.store(fresh, std::memory_order_release);
+      tail_ = fresh;
+      tail_size_ = 1;
+      return;
+    }
+    seg->items[idx] = std::move(value);
+    seg->published.store(idx + 1, std::memory_order_release);
+    tail_size_ = idx + 1;
+  }
+
+  /// Consumer side: moves every element published so far to the back of
+  /// `out` in FIFO order and returns how many were taken.
+  size_t DrainInto(std::vector<T>* out) {
+    size_t taken = 0;
+    while (true) {
+      Segment* seg = head_;
+      const size_t published = seg->published.load(std::memory_order_acquire);
+      while (head_read_ < published) {
+        out->push_back(std::move(seg->items[head_read_]));
+        ++head_read_;
+        ++taken;
+      }
+      if (head_read_ < kSegmentCapacity) return taken;
+      // The segment is fully consumed; advance once the producer has linked
+      // a successor (it never touches a segment again after linking).
+      Segment* next = seg->next.load(std::memory_order_acquire);
+      if (next == nullptr) return taken;
+      delete seg;
+      head_ = next;
+      head_read_ = 0;
+    }
+  }
+
+  /// Consumer-side view: true when every published element was consumed.
+  /// Racy by nature with a live producer; exact once the producer quiesced.
+  bool Empty() const {
+    const Segment* seg = head_;
+    if (head_read_ < seg->published.load(std::memory_order_acquire)) {
+      return false;
+    }
+    return seg->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Segment {
+    std::array<T, kSegmentCapacity> items;
+    std::atomic<size_t> published{0};
+    std::atomic<Segment*> next{nullptr};
+  };
+
+  // Consumer-owned cursor.
+  Segment* head_;
+  size_t head_read_ = 0;
+  // Producer-owned cursor (tail_size_ mirrors tail_->published without the
+  // atomic round-trip).
+  Segment* tail_;
+  size_t tail_size_ = 0;
+};
+
+}  // namespace maritime::common
+
+#endif  // MARITIME_COMMON_SPSC_QUEUE_H_

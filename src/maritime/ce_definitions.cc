@@ -143,13 +143,20 @@ void RegisterInputDurativeMe(rtec::Engine& engine, rtec::FluentId fluent,
                    std::vector<rtec::ValuedPoint>* initiated,
                    std::vector<rtec::ValuedPoint>* terminated) {
     for (const rtec::EventInstance& e : ctx.Events(start_marker)) {
-      if (e.subject == key) initiated->push_back({rtec::kTrue, e.t});
+      if (e.subject == key && ctx.NeedsEval(e.t)) {
+        initiated->push_back({rtec::kTrue, e.t});
+      }
     }
     for (const rtec::EventInstance& e : ctx.Events(end_marker)) {
-      if (e.subject == key) terminated->push_back({rtec::kTrue, e.t});
+      if (e.subject == key && ctx.NeedsEval(e.t)) {
+        terminated->push_back({rtec::kTrue, e.t});
+      }
     }
   };
   spec.output = false;
+  // Points fall exactly at the key's own marker occurrences.
+  spec.deps = rtec::DependencySpec{{start_marker, end_marker}, {}, false,
+                                   false};
   engine.AddSimpleFluent(std::move(spec));
 }
 
@@ -187,6 +194,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       for (const rtec::Term& v : ctx.FluentKeys(env.schema.stopped)) {
         const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, v);
         for (const Timestamp t : tl.StartsFor(rtec::kTrue)) {
+          if (!ctx.NeedsEval(t)) continue;
           if (env.IsClose(ctx, v, area, t) &&
               env.CountStoppedClose(ctx, area, t) >=
                   env.options.suspicious_min_vessels) {
@@ -194,6 +202,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
           }
         }
         for (const Timestamp t : tl.EndsFor(rtec::kTrue)) {
+          if (!ctx.NeedsEval(t)) continue;
           if (env.IsClose(ctx, v, area, t) &&
               env.CountStoppedClose(ctx, area, t) <
                   env.options.suspicious_min_vessels) {
@@ -203,6 +212,9 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       }
     };
     spec.output = true;
+    // Reads every vessel's stopped timeline and position (the loitering
+    // count scans the fleet), so any stopped/coord change dirties all areas.
+    spec.deps = rtec::DependencySpec{{}, {schema.stopped}, true, true};
     engine.AddSimpleFluent(std::move(spec));
   }
 
@@ -222,6 +234,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
         if (!env.kb->IsFishing(MmsiOf(v))) continue;
         const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, v);
         for (const Timestamp t : tl.StartsFor(rtec::kTrue)) {
+          if (!ctx.NeedsEval(t)) continue;
           if (env.IsClose(ctx, v, area, t)) {
             initiated->push_back({rtec::kTrue, t});
           }
@@ -229,6 +242,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       }
       // Initiation (b): a fishing vessel moves "too" slowly close to it.
       for (const rtec::EventInstance& e : ctx.Events(env.schema.slow_motion)) {
+        if (!ctx.NeedsEval(e.t)) continue;
         if (!env.kb->IsFishing(MmsiOf(e.subject))) continue;
         if (env.IsClose(ctx, e.subject, area, e.t)) {
           initiated->push_back({rtec::kTrue, e.t});
@@ -239,6 +253,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       // remains engaged close to the area (the paper describes these
       // conditions but omits the rules to save space).
       const auto try_terminate = [&](rtec::Term v, Timestamp t) {
+        if (!ctx.NeedsEval(t)) return;
         if (!env.kb->IsFishing(MmsiOf(v))) return;
         if (env.IsClose(ctx, v, area, t) &&
             env.CountFishingEngaged(ctx, area, t) == 0) {
@@ -259,6 +274,8 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       }
     };
     spec.output = true;
+    spec.deps = rtec::DependencySpec{
+        {schema.slow_motion}, {schema.stopped, schema.low_speed}, true, true};
     engine.AddSimpleFluent(std::move(spec));
   }
 
@@ -269,6 +286,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
     spec.compute = [env](const rtec::EvalContext& ctx,
                          std::vector<rtec::EventInstance>* out) {
       for (const rtec::EventInstance& e : ctx.Events(env.schema.gap)) {
+        if (!ctx.NeedsEval(e.t)) continue;
         for (const int32_t area :
              env.AreasClose(ctx, e.subject, e.t, AreaKind::kProtected)) {
           out->push_back(
@@ -277,6 +295,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       }
     };
     spec.output = true;
+    spec.deps = rtec::DependencySpec{{schema.gap}, {}, true, true};
     engine.AddDerivedEvent(std::move(spec));
   }
 
@@ -294,15 +313,20 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
                        std::vector<rtec::ValuedPoint>* terminated) {
       const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, key);
       for (const Timestamp t : tl.StartsFor(rtec::kTrue)) {
+        if (!ctx.NeedsEval(t)) continue;
         if (env.AwayFromPorts(ctx, key, t)) {
           initiated->push_back({rtec::kTrue, t});
         }
       }
       for (const Timestamp t : tl.EndsFor(rtec::kTrue)) {
+        if (!ctx.NeedsEval(t)) continue;
         terminated->push_back({rtec::kTrue, t});
       }
     };
     spec.output = true;
+    // Only the key's own stopped episodes and own position are read.
+    spec.deps =
+        rtec::DependencySpec{{}, {schema.stopped}, true, false};
     engine.AddSimpleFluent(std::move(spec));
   }
 
@@ -314,6 +338,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
                          std::vector<rtec::EventInstance>* out) {
       for (const rtec::EventInstance& e :
            ctx.Events(env.schema.slow_motion)) {
+        if (!ctx.NeedsEval(e.t)) continue;
         for (const int32_t area :
              env.AreasClose(ctx, e.subject, e.t, AreaKind::kShallow)) {
           if (env.kb->IsShallowFor(area, MmsiOf(e.subject))) {
@@ -324,6 +349,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       }
     };
     spec.output = true;
+    spec.deps = rtec::DependencySpec{{schema.slow_motion}, {}, true, true};
     engine.AddDerivedEvent(std::move(spec));
   }
 }

@@ -94,18 +94,20 @@ bool SpatialFactTable::IsCloseAt(stream::Mmsi mmsi, int32_t area,
 }
 
 void SpatialFactTable::PurgeBefore(Timestamp cutoff) {
-  for (auto it = groups_.begin(); it != groups_.end();) {
-    auto& vec = it->second;
+  // Retain the latest group at or before the cutoff as the vessel's boundary
+  // fact group, mirroring the engine's last-known-position inertia for
+  // coords: older groups are shadowed by it for every query at t > cutoff,
+  // so purging never changes AreasCloseAt/IsCloseAt answers inside the
+  // window (which keeps incremental caches valid across slides).
+  for (auto& [mmsi, vec] : groups_) {
     const auto pos = std::partition_point(
         vec.begin(), vec.end(),
         [cutoff](const Group& g) { return g.t <= cutoff; });
-    for (auto g = vec.begin(); g != pos; ++g) fact_count_ -= g->areas.size();
-    vec.erase(vec.begin(), pos);
-    if (vec.empty()) {
-      it = groups_.erase(it);
-    } else {
-      ++it;
+    if (pos - vec.begin() <= 1) continue;
+    for (auto g = vec.begin(); g != pos - 1; ++g) {
+      fact_count_ -= g->areas.size();
     }
+    vec.erase(vec.begin(), pos - 1);
   }
 }
 

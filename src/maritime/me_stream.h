@@ -99,13 +99,15 @@ class SpatialFactTable {
                     std::vector<int32_t> areas);
 
   /// Areas the vessel was close to according to its latest fact group at or
-  /// before `t` (empty when none in window).
+  /// before `t` (empty when the vessel has never reported).
   std::vector<int32_t> AreasCloseAt(stream::Mmsi mmsi, Timestamp t) const;
 
   /// True iff `area` is among AreasCloseAt(mmsi, t).
   bool IsCloseAt(stream::Mmsi mmsi, int32_t area, Timestamp t) const;
 
-  /// Drops fact groups at or before `cutoff` (window management).
+  /// Drops fact groups older than the vessel's latest group at or before
+  /// `cutoff` (window management with last-known-state inertia; answers for
+  /// t > cutoff are unaffected).
   void PurgeBefore(Timestamp cutoff);
 
   size_t fact_count() const { return fact_count_; }

@@ -25,6 +25,8 @@ SurveillancePipeline::SurveillancePipeline(const KnowledgeBase* kb,
   RecognizerConfig rc;
   rc.window = config_.window;
   rc.ce = config_.ce;
+  rc.incremental = config_.incremental_recognition;
+  rc.parallel_keys = config_.parallel_recognition_keys;
   recognizer_ = std::make_unique<PartitionedRecognizer>(
       *kb_, rc, config_.partitions, &common::ThreadPool::Shared());
   if (config_.archive) {
@@ -39,11 +41,14 @@ SlideReport SurveillancePipeline::RunSlide(
   report.raw_positions = batch.size();
 
   // --- online tracking: fresh positions -> trajectory events ---------------
-  // Sharded by MMSI; each shard tracks, gap-detects, and compresses its
-  // vessels concurrently, then the outputs merge in stream order.
+  // Sharded by MMSI; tuples are routed into per-shard lock-free ring
+  // inboxes as they arrive, then each shard tracks, gap-detects, and
+  // compresses its vessels concurrently and the outputs merge in stream
+  // order.
+  for (const auto& tuple : batch) tracker_.Ingest(tuple);
   const double t0 = NowSeconds();
   std::vector<tracker::CriticalPoint> criticals =
-      tracker_.ProcessSlide(batch, q, &report.shard_stats);
+      tracker_.ProcessSlide(q, &report.shard_stats);
   report.tracking_seconds = NowSeconds() - t0;
   report.critical_points = criticals.size();
 

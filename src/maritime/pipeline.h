@@ -33,6 +33,12 @@ struct PipelineConfig {
   /// Enable the offline archival path (staging → reconstruction → loading
   /// into the trajectory store).
   bool archive = true;
+  /// Incremental RTEC evaluation (dirty-key caching across slides); results
+  /// are bit-identical to full recomputation.
+  bool incremental_recognition = false;
+  /// Fan the keys of one definition layer out over the shared thread pool
+  /// (incremental engine only).
+  bool parallel_recognition_keys = false;
 };
 
 /// What happened during one window slide.

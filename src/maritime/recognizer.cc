@@ -10,7 +10,11 @@ namespace maritime::surveillance {
 CERecognizer::CERecognizer(const KnowledgeBase* kb, RecognizerConfig config)
     : kb_(kb), config_(config) {
   assert(kb_ != nullptr);
-  engine_ = std::make_unique<rtec::Engine>(config_.window, kb_);
+  rtec::EngineOptions opts;
+  opts.incremental = config_.incremental;
+  opts.pool = config_.parallel_keys ? &common::ThreadPool::Shared() : nullptr;
+  opts.min_parallel_keys = config_.min_parallel_keys;
+  engine_ = std::make_unique<rtec::Engine>(config_.window, kb_, opts);
   schema_ = MaritimeSchema::Declare(*engine_);
   RegisterMaritimeCes(*engine_, schema_, kb_,
                       config_.ce.use_spatial_facts ? &facts_ : nullptr,
@@ -120,8 +124,20 @@ std::vector<rtec::RecognitionResult> PartitionedRecognizer::Recognize(
 }
 
 PartitionedRecognizer::RecognizeTotals PartitionedRecognizer::totals() const {
-  std::lock_guard<std::mutex> lock(totals_mu_);
-  return totals_;
+  RecognizeTotals out;
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    out = totals_;
+  }
+  // Cache counters live in the per-partition engines; they only move during
+  // Recognize, so summing at read time needs no extra locking.
+  for (const Partition& p : parts_) {
+    const rtec::EngineCacheStats& cs = p.rec->engine().cache_stats();
+    out.cache_hits += cs.hits;
+    out.cache_misses += cs.misses;
+    out.cache_evictions += cs.evictions;
+  }
+  return out;
 }
 
 }  // namespace maritime::surveillance

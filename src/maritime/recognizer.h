@@ -21,6 +21,15 @@ namespace maritime::surveillance {
 struct RecognizerConfig {
   stream::WindowSpec window{kHour, kHour};  ///< RTEC working memory ω / slide.
   CeOptions ce;
+  /// Incremental RTEC evaluation: cache per-(definition, key) evidence
+  /// across window slides and re-run rules only for dirty window regions.
+  /// Results are bit-identical to the naive engine.
+  bool incremental = false;
+  /// Evaluate the keys of one definition layer in parallel on the shared
+  /// thread pool (incremental engine only; merge order is deterministic).
+  bool parallel_keys = false;
+  /// Layers smaller than this stay serial when parallel_keys is set.
+  size_t min_parallel_keys = 8;
 };
 
 /// The Complex Event Recognition module of Figure 1: wraps an RTEC engine
@@ -88,6 +97,9 @@ class PartitionedRecognizer {
     size_t recognize_calls = 0;   ///< Recognize() invocations.
     size_t recognized_items = 0;  ///< CE instances/intervals produced.
     size_t input_events = 0;      ///< MEs (and SFs) considered in-window.
+    size_t cache_hits = 0;        ///< Incremental-engine key reuses.
+    size_t cache_misses = 0;      ///< Keys whose rules were (re-)run.
+    size_t cache_evictions = 0;   ///< Cache entries dropped with their key.
   };
   RecognizeTotals totals() const MARITIME_EXCLUDES(totals_mu_);
 

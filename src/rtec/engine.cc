@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.h"
+
 namespace maritime::rtec {
 namespace {
 
@@ -12,6 +14,107 @@ bool EventOrder(const EventInstance& a, const EventInstance& b) {
   return a.object < b.object;
 }
 
+const std::vector<ValuedPoint> kNoPoints;
+
+void PrunePoints(std::vector<ValuedPoint>* v, Timestamp window_start) {
+  v->erase(std::remove_if(
+               v->begin(), v->end(),
+               [&](const ValuedPoint& p) { return p.t <= window_start; }),
+           v->end());
+}
+
+/// Drops raw static intervals that can never intersect this or any future
+/// window again (each hit re-prunes, so an always-clean key stays bounded).
+void PruneRawIntervals(std::map<Value, IntervalList>* raw,
+                       Timestamp window_start) {
+  for (auto it = raw->begin(); it != raw->end();) {
+    IntervalList& list = it->second;
+    list.erase(std::remove_if(
+                   list.begin(), list.end(),
+                   [&](const Interval& i) { return i.till <= window_start; }),
+               list.end());
+    if (list.empty()) {
+      it = raw->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+/// Restriction of a raw static interval map to (wstart, until], dropping
+/// values that vanish; used to compare a fresh computation against the cached
+/// one on the region both windows cover.
+std::map<Value, IntervalList> ClipRawTo(const std::map<Value, IntervalList>& raw,
+                                        Timestamp wstart, Timestamp until) {
+  std::map<Value, IntervalList> out;
+  for (const auto& [value, list] : raw) {
+    IntervalList clipped = ClipToWindow(list, wstart, until);
+    if (!clipped.empty()) out[value] = std::move(clipped);
+  }
+  return out;
+}
+
+/// True iff the sorted point list contains a point at exactly `t`; used to
+/// detect evidence touching the window's leading edge (see edge_fluents_).
+bool HasPointAtTime(const std::vector<ValuedPoint>& pts, Timestamp t) {
+  for (auto it = pts.rbegin(); it != pts.rend() && it->t >= t; ++it) {
+    if (it->t == t) return true;
+  }
+  return false;
+}
+
+/// True iff any interval of the raw map starts or ends at exactly `t`.
+bool TouchesTime(const std::map<Value, IntervalList>& raw, Timestamp t) {
+  for (const auto& [value, list] : raw) {
+    if (!list.empty() && (list.back().till == t || list.back().since == t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Builds a static-fluent timeline from a normalized raw interval map exactly
+/// as the naive evaluation does (clip, boundary-artifact starts suppressed,
+/// open value at the query time).
+FluentTimeline BuildStaticTimeline(const std::map<Value, IntervalList>& raw,
+                                   Timestamp wstart, Timestamp q) {
+  FluentTimeline timeline;
+  for (const auto& [value, list] : raw) {
+    IntervalList clipped = ClipToWindow(list, wstart, q);
+    for (const Interval& i : clipped) {
+      if (i.since > wstart) {
+        timeline.starts[value].push_back(i.since);
+      }
+      if (i.till < q) {
+        timeline.ends[value].push_back(i.till);
+      } else {
+        timeline.open_value = value;
+      }
+    }
+    if (!clipped.empty()) {
+      timeline.intervals[value] = std::move(clipped);
+    }
+  }
+  return timeline;
+}
+
+/// Per-key result of one (possibly parallel) simple-fluent evaluation; kept
+/// aside so the commit — cache writes, result rows, dirty marks — happens in
+/// deterministic key order after the layer barrier.
+struct SimpleOutcome {
+  FluentEvidence evidence;
+  FluentTimeline timeline;
+  bool hit = false;
+  std::optional<Timestamp> change_at;
+};
+
+struct StaticOutcome {
+  std::map<Value, IntervalList> raw;
+  FluentTimeline timeline;
+  bool hit = false;
+  bool changed = false;
+};
+
 }  // namespace
 
 // --- EvalContext -----------------------------------------------------------
@@ -20,8 +123,8 @@ const std::vector<EventInstance>& EvalContext::Events(EventId e) const {
   return engine_->EventsOf(e);
 }
 
-std::vector<Term> EvalContext::FluentKeys(FluentId f) const {
-  return engine_->KeysOf(f);
+const std::vector<Term>& EvalContext::FluentKeys(FluentId f) const {
+  return engine_->fluent_keys_[static_cast<size_t>(f)];
 }
 
 const FluentTimeline& EvalContext::Timeline(FluentId f, Term key) const {
@@ -35,8 +138,9 @@ std::optional<geo::GeoPoint> EvalContext::CoordAt(Term vessel,
 
 // --- Engine ------------------------------------------------------------------
 
-Engine::Engine(stream::WindowSpec window, const void* user_data)
-    : window_(window), user_data_(user_data) {
+Engine::Engine(stream::WindowSpec window, const void* user_data,
+               EngineOptions options)
+    : window_(window), user_data_(user_data), options_(options) {
   assert(window_.Validate().ok());
 }
 
@@ -45,6 +149,9 @@ EventId Engine::DeclareEvent(std::string name) {
   event_names_.push_back(std::move(name));
   input_events_.emplace_back();
   derived_events_.emplace_back();
+  dirty_events_.emplace_back();
+  changed_derived_.push_back(kTimestampNever);
+  edge_derived_.push_back(0);
   return id;
 }
 
@@ -52,6 +159,9 @@ FluentId Engine::DeclareFluent(std::string name) {
   const FluentId id = static_cast<FluentId>(fluent_names_.size());
   fluent_names_.push_back(std::move(name));
   timelines_.emplace_back();
+  fluent_keys_.emplace_back();
+  changed_fluents_.emplace_back();
+  edge_fluents_.emplace_back();
   return id;
 }
 
@@ -60,6 +170,7 @@ void Engine::AddSimpleFluent(SimpleFluentSpec spec) {
          static_cast<size_t>(spec.fluent) < fluent_names_.size());
   assert(spec.domain && spec.rules);
   definitions_.emplace_back(std::move(spec));
+  def_caches_.emplace_back(SimpleDefCache{});
 }
 
 void Engine::AddStaticFluent(StaticFluentSpec spec) {
@@ -67,6 +178,7 @@ void Engine::AddStaticFluent(StaticFluentSpec spec) {
          static_cast<size_t>(spec.fluent) < fluent_names_.size());
   assert(spec.domain && spec.compute);
   definitions_.emplace_back(std::move(spec));
+  def_caches_.emplace_back(StaticDefCache{});
 }
 
 void Engine::AddDerivedEvent(DerivedEventSpec spec) {
@@ -74,6 +186,7 @@ void Engine::AddDerivedEvent(DerivedEventSpec spec) {
          static_cast<size_t>(spec.event) < event_names_.size());
   assert(spec.compute);
   definitions_.emplace_back(std::move(spec));
+  def_caches_.emplace_back(DerivedDefCache{});
 }
 
 void Engine::AssertEvent(EventId e, Term subject, Timestamp t, Term object) {
@@ -81,11 +194,17 @@ void Engine::AssertEvent(EventId e, Term subject, Timestamp t, Term object) {
   input_events_[static_cast<size_t>(e)].push_back(
       EventInstance{subject, object, t});
   input_dirty_ = true;
+  if (options_.incremental) {
+    dirty_events_[static_cast<size_t>(e)].Mark(subject, t);
+  }
 }
 
 void Engine::AssertCoord(Term vessel, Timestamp t, geo::GeoPoint pos) {
   coords_[vessel].emplace_back(t, pos);
   coords_dirty_ = true;
+  if (options_.incremental) {
+    dirty_coords_.Mark(vessel, t);
+  }
 }
 
 void Engine::PurgeBefore(Timestamp inclusive_cutoff) {
@@ -96,17 +215,22 @@ void Engine::PurgeBefore(Timestamp inclusive_cutoff) {
                                }),
                 store.end());
   }
-  for (auto it = coords_.begin(); it != coords_.end();) {
-    auto& vec = it->second;
-    vec.erase(std::remove_if(vec.begin(), vec.end(),
-                             [&](const auto& p) {
-                               return p.first <= inclusive_cutoff;
-                             }),
-              vec.end());
-    if (vec.empty()) {
-      it = coords_.erase(it);
-    } else {
-      ++it;
+  // Last-known-position inertia: retain the latest fix at or before the
+  // cutoff as the vessel's boundary position (the coordinate analogue of the
+  // fluent boundary values). For every in-window time t >= cutoff, CoordOf(t)
+  // then answers identically before and after the purge — older fixes are
+  // shadowed by the boundary fix anyway — so purging never invalidates
+  // cached incremental evaluations, and a moored vessel that emits no
+  // critical point for longer than the window keeps a position (which is how
+  // the maritime surveillance rules expect `close` to behave). Memory cost:
+  // one retained fix per vessel ever seen. Requires `vec` sorted by time
+  // (Recognize sorts pending input before purging).
+  for (auto& [vessel, vec] : coords_) {
+    const auto keep_from = std::partition_point(
+        vec.begin(), vec.end(),
+        [&](const auto& p) { return p.first <= inclusive_cutoff; });
+    if (keep_from - vec.begin() > 1) {
+      vec.erase(vec.begin(), keep_from - 1);
     }
   }
 }
@@ -133,6 +257,20 @@ size_t Engine::buffered_events() const {
   return n;
 }
 
+size_t Engine::cache_entry_count() const {
+  size_t n = 0;
+  for (const auto& cache : def_caches_) {
+    if (const auto* simple = std::get_if<SimpleDefCache>(&cache)) {
+      n += simple->evidence.size();
+    } else if (const auto* st = std::get_if<StaticDefCache>(&cache)) {
+      n += st->raw.size();
+    } else if (std::get<DerivedDefCache>(cache).valid) {
+      n += 1;
+    }
+  }
+  return n;
+}
+
 const std::vector<EventInstance>& Engine::EventsOf(EventId e) const {
   assert(e >= 0 && static_cast<size_t>(e) < event_names_.size());
   // Derived events shadow-extend the input store; during recognition the
@@ -151,12 +289,7 @@ const FluentTimeline& Engine::TimelineOf(FluentId f, Term key) const {
 }
 
 std::vector<Term> Engine::KeysOf(FluentId f) const {
-  const auto& map = timelines_[static_cast<size_t>(f)];
-  std::vector<Term> keys;
-  keys.reserve(map.size());
-  for (const auto& [k, v] : map) keys.push_back(k);
-  std::sort(keys.begin(), keys.end());
-  return keys;
+  return fluent_keys_[static_cast<size_t>(f)];
 }
 
 std::optional<geo::GeoPoint> Engine::CoordOf(Term vessel, Timestamp t) const {
@@ -170,12 +303,508 @@ std::optional<geo::GeoPoint> Engine::CoordOf(Term vessel, Timestamp t) const {
   return (pos - 1)->second;
 }
 
+void Engine::RebuildKeyMemo(size_t fidx) {
+  auto& memo = fluent_keys_[fidx];
+  memo.clear();
+  memo.reserve(timelines_[fidx].size());
+  for (const auto& [k, timeline] : timelines_[fidx]) memo.push_back(k);
+  std::sort(memo.begin(), memo.end());
+}
+
+void Engine::ForEachKey(size_t n,
+                        const std::function<void(size_t)>& body) const {
+  common::ThreadPool* pool = options_.pool;
+  if (pool != nullptr && pool->worker_count() > 0 &&
+      n >= options_.min_parallel_keys) {
+    pool->ParallelFor(n, body);
+  } else {
+    for (size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+std::vector<Term> Engine::EvalKeys(
+    const std::function<std::vector<Term>(const EvalContext&)>& domain,
+    const EvalContext& ctx, const FluentId fluent, bool have_boundary) const {
+  std::vector<Term> keys = domain(ctx);
+  if (have_boundary && fluent >= 0) {
+    // Inertia: keys whose value persists from before this window must be
+    // evaluated even without fresh evidence.
+    for (const auto& [key, value] :
+         boundary_.values[static_cast<size_t>(fluent)]) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+Engine::RegenRegion Engine::DirtyRegionFor(const DependencySpec& deps,
+                                           Term key, bool cross_key,
+                                           Timestamp wstart) const {
+  const bool cross = cross_key || deps.cross_key;
+  Timestamp from = kTimestampNever;
+  for (const EventId e : deps.events) {
+    const auto& dm = dirty_events_[static_cast<size_t>(e)];
+    from = std::min(from, cross ? dm.any : dm.For(key));
+    from = std::min(from, changed_derived_[static_cast<size_t>(e)]);
+  }
+  for (const FluentId f : deps.fluents) {
+    const auto& dm = changed_fluents_[static_cast<size_t>(f)];
+    from = std::min(from, cross ? dm.any : dm.For(key));
+  }
+  if (deps.coords) {
+    from = std::min(from, cross ? dirty_coords_.any : dirty_coords_.For(key));
+  }
+  if (from <= wstart) {
+    return RegenRegion{wstart};  // Canonical full recomputation.
+  }
+  return RegenRegion{from};
+}
+
+// --- simple fluents ----------------------------------------------------------
+
+void Engine::EvaluateSimpleNaive(const SimpleFluentSpec& spec,
+                                 const EvalContext& ctx, bool have_boundary,
+                                 RecognitionResult* result) {
+  const size_t fidx = static_cast<size_t>(spec.fluent);
+  const Timestamp wstart = ctx.window_start();
+  const Timestamp q = ctx.query_time();
+  const std::vector<Term> keys =
+      EvalKeys(spec.domain, ctx, spec.fluent, have_boundary);
+  for (const Term& key : keys) {
+    FluentEvidence ev;
+    spec.rules(ctx, key, &ev.initiations, &ev.terminations);
+    if (have_boundary) {
+      const auto& bmap = boundary_.values[fidx];
+      const auto bit = bmap.find(key);
+      if (bit != bmap.end()) ev.carried_value = bit->second;
+    }
+    FluentTimeline timeline = ComputeSimpleFluent(ev, wstart, q);
+    if (spec.output) {
+      for (const auto& [value, list] : timeline.intervals) {
+        if (!list.empty()) {
+          result->fluents.push_back(
+              RecognizedFluent{spec.fluent, key, value, list});
+        }
+      }
+    }
+    timelines_[fidx][key] = std::move(timeline);
+  }
+  RebuildKeyMemo(fidx);
+}
+
+void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
+                                       SimpleDefCache& cache,
+                                       const EvalContext& ctx,
+                                       bool have_boundary,
+                                       RecognitionResult* result) {
+  const size_t fidx = static_cast<size_t>(spec.fluent);
+  const Timestamp wstart = ctx.window_start();
+  const Timestamp q = ctx.query_time();
+  const std::vector<Term> keys =
+      EvalKeys(spec.domain, ctx, spec.fluent, have_boundary);
+
+  // Evaluation phase: engine state is read-only, each index writes only its
+  // own outcome slot, so keys can fan out over the pool.
+  std::vector<SimpleOutcome> outcomes(keys.size());
+  ForEachKey(keys.size(), [&](size_t i) {
+    const Term key = keys[i];
+    SimpleOutcome& out = outcomes[i];
+    const auto entry_it = cache.evidence.find(key);
+    const FluentEvidence* entry =
+        entry_it == cache.evidence.end() ? nullptr : &entry_it->second;
+    RegenRegion region{wstart};
+    if (entry != nullptr && !dirty_all_ && spec.deps.has_value()) {
+      region = DirtyRegionFor(*spec.deps, key, /*cross_key=*/false, wstart);
+    }
+    if (entry != nullptr && region.clean()) {
+      out.hit = true;
+      out.evidence.initiations = entry->initiations;
+      out.evidence.terminations = entry->terminations;
+      PrunePoints(&out.evidence.initiations, wstart);
+      PrunePoints(&out.evidence.terminations, wstart);
+    } else {
+      const EvalContext rctx = ctx.WithRegenRegion(region.from);
+      std::vector<ValuedPoint> fresh_init;
+      std::vector<ValuedPoint> fresh_term;
+      spec.rules(rctx, key, &fresh_init, &fresh_term);
+      const std::vector<ValuedPoint>& old_init =
+          entry != nullptr ? entry->initiations : kNoPoints;
+      const std::vector<ValuedPoint>& old_term =
+          entry != nullptr ? entry->terminations : kNoPoints;
+      // Cached evidence must stop at the query time: a point generated from
+      // input asserted ahead of q is invisible to this window's timeline,
+      // and caching it would make it diff as "unchanged" when it slides
+      // into view. The input's own dirty mark (kept by RetainAfter, which
+      // preserves marks at or after q) re-generates it then, and the diff
+      // below turns into a change mark for downstream readers.
+      const auto beyond_q = [q](const ValuedPoint& p) { return p.t > q; };
+      fresh_init.erase(
+          std::remove_if(fresh_init.begin(), fresh_init.end(), beyond_q),
+          fresh_init.end());
+      fresh_term.erase(
+          std::remove_if(fresh_term.begin(), fresh_term.end(), beyond_q),
+          fresh_term.end());
+      out.evidence.initiations = MergeCachedPoints(
+          old_init, std::move(fresh_init), wstart, region.from);
+      out.evidence.terminations = MergeCachedPoints(
+          old_term, std::move(fresh_term), wstart, region.from);
+      const auto init_diff =
+          EarliestPointDiff(old_init, out.evidence.initiations, wstart);
+      const auto term_diff =
+          EarliestPointDiff(old_term, out.evidence.terminations, wstart);
+      if (init_diff.has_value() && term_diff.has_value()) {
+        out.change_at = std::min(*init_diff, *term_diff);
+      } else if (init_diff.has_value()) {
+        out.change_at = init_diff;
+      } else {
+        out.change_at = term_diff;
+      }
+    }
+    if (have_boundary) {
+      const auto& bmap = boundary_.values[fidx];
+      const auto bit = bmap.find(key);
+      if (bit != bmap.end()) out.evidence.carried_value = bit->second;
+    }
+    out.timeline = ComputeSimpleFluent(out.evidence, wstart, q);
+  });
+
+  // Commit phase, in key order: deterministic regardless of pool width.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    SimpleOutcome& out = outcomes[i];
+    if (out.hit) {
+      ++cache_stats_.hits;
+    } else {
+      ++cache_stats_.misses;
+    }
+    if (out.change_at.has_value()) {
+      changed_fluents_[fidx].Mark(keys[i], *out.change_at);
+    }
+    if (HasPointAtTime(out.evidence.initiations, q) ||
+        HasPointAtTime(out.evidence.terminations, q)) {
+      edge_fluents_[fidx].push_back(keys[i]);
+    }
+    if (spec.output) {
+      for (const auto& [value, list] : out.timeline.intervals) {
+        if (!list.empty()) {
+          result->fluents.push_back(
+              RecognizedFluent{spec.fluent, keys[i], value, list});
+        }
+      }
+    }
+    cache.evidence[keys[i]] = std::move(out.evidence);
+    timelines_[fidx][keys[i]] = std::move(out.timeline);
+  }
+
+  // Keys that left the evaluated set: under the dependency contract their
+  // timelines were already empty, so dropping them cannot affect downstream
+  // definitions — no dirty mark needed.
+  for (const Term& old_key : cache.keys) {
+    if (!std::binary_search(keys.begin(), keys.end(), old_key)) {
+      cache.evidence.erase(old_key);
+      timelines_[fidx].erase(old_key);
+      ++cache_stats_.evictions;
+    }
+  }
+  cache.keys = keys;
+  MARITIME_DCHECK_MSG(cache.evidence.size() == keys.size(),
+                      "simple-fluent cache out of sync with evaluated keys");
+  RebuildKeyMemo(fidx);
+}
+
+// --- statically determined fluents ------------------------------------------
+
+void Engine::EvaluateStaticNaive(const StaticFluentSpec& spec,
+                                 const EvalContext& ctx,
+                                 RecognitionResult* result) {
+  const size_t fidx = static_cast<size_t>(spec.fluent);
+  const Timestamp wstart = ctx.window_start();
+  const Timestamp q = ctx.query_time();
+  const std::vector<Term> keys =
+      EvalKeys(spec.domain, ctx, spec.fluent, /*have_boundary=*/false);
+  for (const Term& key : keys) {
+    std::map<Value, IntervalList> computed;
+    spec.compute(ctx, key, &computed);
+    FluentTimeline timeline;
+    for (auto& [value, list] : computed) {
+      NormalizeIntervals(&list);
+      IntervalList clipped = ClipToWindow(list, wstart, q);
+      for (const Interval& i : clipped) {
+        // A boundary-touching since is a clipping artifact, not a real
+        // initiation; an interval reaching q may still be ongoing.
+        if (i.since > wstart) {
+          timeline.starts[value].push_back(i.since);
+        }
+        if (i.till < q) {
+          timeline.ends[value].push_back(i.till);
+        } else {
+          timeline.open_value = value;
+        }
+      }
+      if (!clipped.empty()) {
+        if (spec.output) {
+          result->fluents.push_back(
+              RecognizedFluent{spec.fluent, key, value, clipped});
+        }
+        timeline.intervals[value] = std::move(clipped);
+      }
+    }
+    timelines_[fidx][key] = std::move(timeline);
+  }
+  RebuildKeyMemo(fidx);
+}
+
+void Engine::EvaluateStaticIncremental(const StaticFluentSpec& spec,
+                                       StaticDefCache& cache,
+                                       const EvalContext& ctx,
+                                       RecognitionResult* result) {
+  const size_t fidx = static_cast<size_t>(spec.fluent);
+  const Timestamp wstart = ctx.window_start();
+  const Timestamp q = ctx.query_time();
+  const std::vector<Term> keys =
+      EvalKeys(spec.domain, ctx, spec.fluent, /*have_boundary=*/false);
+
+  const Timestamp prev_q = prev_query_;
+  std::vector<StaticOutcome> outcomes(keys.size());
+  ForEachKey(keys.size(), [&](size_t i) {
+    const Term key = keys[i];
+    StaticOutcome& out = outcomes[i];
+    const auto entry_it = cache.raw.find(key);
+    const std::map<Value, IntervalList>* entry =
+        entry_it == cache.raw.end() ? nullptr : &entry_it->second;
+    RegenRegion region{wstart};
+    if (entry != nullptr && !dirty_all_ && spec.deps.has_value()) {
+      region = DirtyRegionFor(*spec.deps, key, /*cross_key=*/false, wstart);
+    }
+    // Interval algebra is pointwise over its inputs, so with no in-window
+    // input change the result is unchanged on the *overlap* with the
+    // previous window. The leading edge (prev_q, q] is new territory: an
+    // upstream open interval extends to the new query time each slide, so a
+    // cached interval that reached prev_q is ambiguous (clip artifact or
+    // genuine end). Reuse therefore additionally requires that no cached
+    // interval touches prev_q and no declared upstream fluent has a value
+    // discontinuity exactly there — then the suffix is provably empty and
+    // the cached raw map is the full answer.
+    bool reusable =
+        entry != nullptr && region.clean() && prev_q != kInvalidTimestamp;
+    if (reusable) {
+      for (const auto& [value, list] : *entry) {
+        if (!list.empty() && list.back().till >= prev_q) {
+          reusable = false;
+          break;
+        }
+      }
+    }
+    if (reusable && spec.deps.has_value()) {
+      for (const FluentId f : spec.deps->fluents) {
+        const bool cross = spec.deps->cross_key;
+        const std::vector<Term> own{key};
+        const std::vector<Term>& dep_keys = cross ? ctx.FluentKeys(f) : own;
+        for (const Term& k : dep_keys) {
+          const FluentTimeline& tl = ctx.Timeline(f, k);
+          if (tl.ValueAt(prev_q) != tl.ValueRightOf(prev_q)) {
+            reusable = false;
+            break;
+          }
+        }
+        if (!reusable) break;
+      }
+    }
+    if (reusable) {
+      out.hit = true;
+      out.raw = *entry;
+      PruneRawIntervals(&out.raw, wstart);
+    } else {
+      // Full recompute under a full-regeneration context: interval output
+      // has no per-point delta to merge, so a partial NeedsEval hint could
+      // not be honored anyway. The cached raw still provides change damping
+      // for downstream readers.
+      std::map<Value, IntervalList> computed;
+      spec.compute(ctx, key, &computed);
+      for (auto& [value, list] : computed) NormalizeIntervals(&list);
+      if (entry == nullptr) {
+        out.changed = !computed.empty();
+      } else if (prev_q == kInvalidTimestamp) {
+        out.changed = !(computed == *entry);
+      } else {
+        // Equal on the overlap with the previous window means downstream
+        // conditions at surviving times see identical values; differences
+        // confined to (prev_q, q] are covered by the readers' own dirty
+        // marks (their new points require new inputs at those times).
+        out.changed = ClipRawTo(computed, wstart, prev_q) !=
+                      ClipRawTo(*entry, wstart, prev_q);
+      }
+      out.raw = std::move(computed);
+    }
+    out.timeline = BuildStaticTimeline(out.raw, wstart, q);
+  });
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    StaticOutcome& out = outcomes[i];
+    if (out.hit) {
+      ++cache_stats_.hits;
+    } else {
+      ++cache_stats_.misses;
+    }
+    if (out.changed) {
+      // Conservative: interval output has no cheap earliest-diff, so a
+      // changed static key invalidates its downstream readers' full window.
+      changed_fluents_[fidx].Mark(keys[i], wstart);
+    }
+    if (TouchesTime(out.raw, q)) edge_fluents_[fidx].push_back(keys[i]);
+    if (spec.output) {
+      for (const auto& [value, list] : out.timeline.intervals) {
+        if (!list.empty()) {
+          result->fluents.push_back(
+              RecognizedFluent{spec.fluent, keys[i], value, list});
+        }
+      }
+    }
+    cache.raw[keys[i]] = std::move(out.raw);
+    timelines_[fidx][keys[i]] = std::move(out.timeline);
+  }
+
+  for (const Term& old_key : cache.keys) {
+    if (!std::binary_search(keys.begin(), keys.end(), old_key)) {
+      cache.raw.erase(old_key);
+      timelines_[fidx].erase(old_key);
+      ++cache_stats_.evictions;
+    }
+  }
+  cache.keys = keys;
+  MARITIME_DCHECK_MSG(cache.raw.size() == keys.size(),
+                      "static-fluent cache out of sync with evaluated keys");
+  RebuildKeyMemo(fidx);
+}
+
+// --- derived events ----------------------------------------------------------
+
+void Engine::EvaluateDerivedNaive(const DerivedEventSpec& spec,
+                                  const EvalContext& ctx,
+                                  RecognitionResult* result) {
+  const Timestamp wstart = ctx.window_start();
+  const Timestamp q = ctx.query_time();
+  std::vector<EventInstance> instances;
+  spec.compute(ctx, &instances);
+  auto& store = derived_events_[static_cast<size_t>(spec.event)];
+  for (const EventInstance& i : instances) {
+    if (i.t > wstart && i.t <= q) store.push_back(i);
+  }
+  std::sort(store.begin(), store.end(), EventOrder);
+  store.erase(std::unique(store.begin(), store.end()), store.end());
+  if (spec.output) {
+    for (const EventInstance& i : store) {
+      result->events.push_back(RecognizedEvent{spec.event, i});
+    }
+  }
+}
+
+void Engine::EvaluateDerivedIncremental(const DerivedEventSpec& spec,
+                                        DerivedDefCache& cache,
+                                        const EvalContext& ctx,
+                                        RecognitionResult* result) {
+  const size_t eidx = static_cast<size_t>(spec.event);
+  const Timestamp wstart = ctx.window_start();
+  const Timestamp q = ctx.query_time();
+  auto& store = derived_events_[eidx];
+
+  // The previous slide's store is the cache (EventOrder-sorted, unique);
+  // restrict it to the new window.
+  std::vector<EventInstance> old = std::move(store);
+  store.clear();
+  old.erase(std::remove_if(old.begin(), old.end(),
+                           [&](const EventInstance& i) {
+                             return i.t <= wstart;
+                           }),
+            old.end());
+
+  RegenRegion region{wstart};
+  if (cache.valid && !dirty_all_ && spec.deps.has_value()) {
+    // Derived events carry no key: any change to a declared input re-derives
+    // (cross-key forced).
+    region = DirtyRegionFor(*spec.deps, Term::None(), /*cross_key=*/true,
+                            wstart);
+  }
+  if (cache.valid && region.clean()) {
+    ++cache_stats_.hits;
+    store = std::move(old);
+  } else {
+    ++cache_stats_.misses;
+    std::vector<EventInstance> instances;
+    spec.compute(ctx.WithRegenRegion(region.from), &instances);
+    const auto needs_eval = [&](Timestamp t) { return t >= region.from; };
+    std::vector<EventInstance> merged;
+    merged.reserve(old.size() + instances.size());
+    for (const EventInstance& i : old) {
+      if (!needs_eval(i.t)) merged.push_back(i);
+    }
+    for (const EventInstance& i : instances) {
+      if (i.t > wstart && i.t <= q && needs_eval(i.t)) merged.push_back(i);
+    }
+    std::sort(merged.begin(), merged.end(), EventOrder);
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    // Downstream readers of this derived event re-evaluate from the first
+    // in-window occurrence difference.
+    Timestamp change_at = kTimestampNever;
+    const size_t n = std::min(old.size(), merged.size());
+    size_t i = 0;
+    while (i < n && old[i] == merged[i]) ++i;
+    if (i < old.size() && i < merged.size()) {
+      change_at = std::min(old[i].t, merged[i].t);
+    } else if (i < old.size()) {
+      change_at = old[i].t;
+    } else if (i < merged.size()) {
+      change_at = merged[i].t;
+    }
+    changed_derived_[eidx] = std::min(changed_derived_[eidx], change_at);
+    store = std::move(merged);
+  }
+  cache.valid = true;
+  if (!store.empty() && store.back().t == q) edge_derived_[eidx] = 1;
+  if (spec.output) {
+    for (const EventInstance& i : store) {
+      result->events.push_back(RecognizedEvent{spec.event, i});
+    }
+  }
+}
+
+// --- recognition -------------------------------------------------------------
+
 RecognitionResult Engine::Recognize(Timestamp q) {
   const Timestamp wstart = q - window_.range;
-  PurgeBefore(wstart);
+  // Sort before purging: coord purging keeps the latest boundary fix per
+  // vessel and needs time-sorted vectors to find it.
   SortPendingInput();
-  for (auto& d : derived_events_) d.clear();
-  for (auto& t : timelines_) t.clear();
+  PurgeBefore(wstart);
+  if (options_.incremental) {
+    for (auto& m : changed_fluents_) m.Clear();
+    std::fill(changed_derived_.begin(), changed_derived_.end(),
+              kTimestampNever);
+    // Right-edge re-evaluation: output committed last slide with a feature
+    // at exactly prev_query_ was produced before its continuation past the
+    // window edge was visible (HoldsRightOf at the edge is false for an
+    // ongoing interval), so readers re-evaluate from there this slide. The
+    // matching rule for *input* at exactly prev_query_ is RetainAfter's.
+    if (prev_query_ != kInvalidTimestamp && !dirty_all_) {
+      for (size_t f = 0; f < edge_fluents_.size(); ++f) {
+        for (const Term& k : edge_fluents_[f]) {
+          changed_fluents_[f].Mark(k, prev_query_);
+        }
+      }
+      for (size_t e = 0; e < edge_derived_.size(); ++e) {
+        if (edge_derived_[e]) {
+          changed_derived_[e] = std::min(changed_derived_[e], prev_query_);
+        }
+      }
+    }
+    for (auto& v : edge_fluents_) v.clear();
+    std::fill(edge_derived_.begin(), edge_derived_.end(), 0);
+  } else {
+    for (auto& d : derived_events_) d.clear();
+    for (auto& t : timelines_) t.clear();
+    for (auto& k : fluent_keys_) k.clear();
+  }
 
   RecognitionResult result;
   result.query_time = q;
@@ -187,86 +816,32 @@ RecognitionResult Engine::Recognize(Timestamp q) {
   const bool have_boundary = boundary_.at == wstart &&
                              boundary_.values.size() == fluent_names_.size();
 
-  for (const auto& def : definitions_) {
+  for (size_t di = 0; di < definitions_.size(); ++di) {
+    const auto& def = definitions_[di];
     if (const auto* simple = std::get_if<SimpleFluentSpec>(&def)) {
-      const size_t fidx = static_cast<size_t>(simple->fluent);
-      std::vector<Term> keys = simple->domain(ctx);
-      if (have_boundary) {
-        // Inertia: keys whose value persists from before this window must be
-        // evaluated even without fresh evidence.
-        for (const auto& [key, value] : boundary_.values[fidx]) {
-          keys.push_back(key);
-        }
-      }
-      std::sort(keys.begin(), keys.end());
-      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-      for (const Term& key : keys) {
-        FluentEvidence ev;
-        simple->rules(ctx, key, &ev.initiations, &ev.terminations);
-        if (have_boundary) {
-          const auto& bmap = boundary_.values[fidx];
-          const auto bit = bmap.find(key);
-          if (bit != bmap.end()) ev.carried_value = bit->second;
-        }
-        FluentTimeline timeline = ComputeSimpleFluent(ev, wstart, q);
-        if (simple->output) {
-          for (const auto& [value, list] : timeline.intervals) {
-            if (!list.empty()) {
-              result.fluents.push_back(
-                  RecognizedFluent{simple->fluent, key, value, list});
-            }
-          }
-        }
-        timelines_[fidx][key] = std::move(timeline);
+      if (options_.incremental) {
+        EvaluateSimpleIncremental(*simple,
+                                  std::get<SimpleDefCache>(def_caches_[di]),
+                                  ctx, have_boundary, &result);
+      } else {
+        EvaluateSimpleNaive(*simple, ctx, have_boundary, &result);
       }
     } else if (const auto* st = std::get_if<StaticFluentSpec>(&def)) {
-      const size_t fidx = static_cast<size_t>(st->fluent);
-      std::vector<Term> keys = st->domain(ctx);
-      std::sort(keys.begin(), keys.end());
-      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-      for (const Term& key : keys) {
-        std::map<Value, IntervalList> computed;
-        st->compute(ctx, key, &computed);
-        FluentTimeline timeline;
-        for (auto& [value, list] : computed) {
-          NormalizeIntervals(&list);
-          IntervalList clipped = ClipToWindow(list, wstart, q);
-          for (const Interval& i : clipped) {
-            // A boundary-touching since is a clipping artifact, not a real
-            // initiation; an interval reaching q may still be ongoing.
-            if (i.since > wstart) {
-              timeline.starts[value].push_back(i.since);
-            }
-            if (i.till < q) {
-              timeline.ends[value].push_back(i.till);
-            } else {
-              timeline.open_value = value;
-            }
-          }
-          if (!clipped.empty()) {
-            if (st->output) {
-              result.fluents.push_back(
-                  RecognizedFluent{st->fluent, key, value, clipped});
-            }
-            timeline.intervals[value] = std::move(clipped);
-          }
-        }
-        timelines_[fidx][key] = std::move(timeline);
+      if (options_.incremental) {
+        EvaluateStaticIncremental(*st,
+                                  std::get<StaticDefCache>(def_caches_[di]),
+                                  ctx, &result);
+      } else {
+        EvaluateStaticNaive(*st, ctx, &result);
       }
     } else {
       const auto& de = std::get<DerivedEventSpec>(def);
-      std::vector<EventInstance> instances;
-      de.compute(ctx, &instances);
-      auto& store = derived_events_[static_cast<size_t>(de.event)];
-      for (const EventInstance& i : instances) {
-        if (i.t > wstart && i.t <= q) store.push_back(i);
-      }
-      std::sort(store.begin(), store.end(), EventOrder);
-      store.erase(std::unique(store.begin(), store.end()), store.end());
-      if (de.output) {
-        for (const EventInstance& i : store) {
-          result.events.push_back(RecognizedEvent{de.event, i});
-        }
+      if (options_.incremental) {
+        EvaluateDerivedIncremental(de,
+                                   std::get<DerivedDefCache>(def_caches_[di]),
+                                   ctx, &result);
+      } else {
+        EvaluateDerivedNaive(de, ctx, &result);
       }
     }
   }
@@ -289,6 +864,38 @@ RecognitionResult Engine::Recognize(Timestamp q) {
       }
       if (v.has_value()) boundary_.values[fidx][key] = *v;
     }
+  }
+
+  if (options_.incremental) {
+    // Marks at or before q took effect this step; marks after q belong to
+    // input asserted ahead of the query time and must survive the slide.
+    for (auto& m : dirty_events_) m.RetainAfter(q);
+    dirty_coords_.RetainAfter(q);
+    dirty_all_ = false;
+    prev_query_ = q;
+#if MARITIME_DCHECKS_ENABLED
+    // Purge/evict accounting: every cache entry must belong to a live
+    // (evaluated this step) key, or the cache would grow with vessel churn.
+    for (size_t di = 0; di < definitions_.size(); ++di) {
+      if (const auto* simple = std::get_if<SimpleFluentSpec>(
+              &definitions_[di])) {
+        const auto& cache = std::get<SimpleDefCache>(def_caches_[di]);
+        const auto& live = timelines_[static_cast<size_t>(simple->fluent)];
+        for (const auto& [k, ev] : cache.evidence) {
+          MARITIME_DCHECK_MSG(live.count(k) == 1,
+                              "cached simple-fluent key not live");
+        }
+      } else if (const auto* st = std::get_if<StaticFluentSpec>(
+                     &definitions_[di])) {
+        const auto& cache = std::get<StaticDefCache>(def_caches_[di]);
+        const auto& live = timelines_[static_cast<size_t>(st->fluent)];
+        for (const auto& [k, raw] : cache.raw) {
+          MARITIME_DCHECK_MSG(live.count(k) == 1,
+                              "cached static-fluent key not live");
+        }
+      }
+    }
+#endif
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "geo/geo_point.h"
 #include "rtec/terms.h"
 #include "rtec/timeline.h"
@@ -30,8 +31,10 @@ class EvalContext {
   /// All occurrences of `e` in the window, sorted by time.
   const std::vector<EventInstance>& Events(EventId e) const;
 
-  /// Keys (ground terms) for which `f` was evaluated at this query time.
-  std::vector<Term> FluentKeys(FluentId f) const;
+  /// Keys (ground terms) for which `f` was evaluated at this query time,
+  /// sorted ascending. The reference stays valid for the duration of the
+  /// rule invocation.
+  const std::vector<Term>& FluentKeys(FluentId f) const;
 
   /// Timeline of `f` on `key`; empty timeline when not evaluated.
   const FluentTimeline& Timeline(FluentId f, Term key) const;
@@ -54,6 +57,16 @@ class EvalContext {
   Timestamp window_start() const { return window_start_; }
   Timestamp query_time() const { return query_time_; }
 
+  /// Incremental-evaluation hint: when the engine re-runs a rule for a key
+  /// whose cached evidence is partially reusable, only points at times `t`
+  /// with NeedsEval(t) true have to be regenerated — the rest will be taken
+  /// from the cache. Rules may use this to skip expensive per-point
+  /// conditions; ignoring the hint is equally correct (points generated
+  /// outside the region are discarded), it is purely an optimization.
+  /// Under full (non-incremental) evaluation NeedsEval is true everywhere
+  /// in the window.
+  bool NeedsEval(Timestamp t) const { return t >= regen_from_; }
+
   /// Application knowledge (e.g. the maritime KnowledgeBase). Not owned.
   const void* user_data() const { return user_data_; }
 
@@ -64,12 +77,66 @@ class EvalContext {
       : engine_(engine),
         window_start_(window_start),
         query_time_(query_time),
-        user_data_(user_data) {}
+        user_data_(user_data),
+        regen_from_(window_start) {}
+
+  EvalContext WithRegenRegion(Timestamp from) const {
+    EvalContext ctx = *this;
+    ctx.regen_from_ = from;
+    return ctx;
+  }
 
   const Engine* engine_;
   Timestamp window_start_;
   Timestamp query_time_;
   const void* user_data_;
+  /// Regeneration region: points at t >= regen_from_ must be (re)generated.
+  /// The default (window_start) regenerates the whole window. No prefix side
+  /// exists: window-front information loss is confined to falling-off points
+  /// (coords keep last-known-position inertia across purges, see
+  /// Engine::PurgeBefore), so surviving cached points never go stale from
+  /// the front.
+  Timestamp regen_from_;
+};
+
+/// Declared inputs of a definition, enabling the incremental engine to skip
+/// re-evaluating keys whose inputs did not change since the previous slide
+/// (and, for partially changed keys, to reuse the unaffected slice of the
+/// cached evidence).
+///
+/// Declaring dependencies is a *contract* the rules must honor; the engine
+/// cannot check it. A definition with declared deps must satisfy:
+///  - Rules read nothing beyond the declared events/fluents/coords (plus
+///    immutable state such as static application knowledge).
+///  - Every generated point's time equals the time of some declared
+///    in-window input (an event occurrence, an upstream start/end, a coord
+///    time) — no time arithmetic. This makes the output restricted to any
+///    subrange of the window a function of the inputs in that subrange.
+///  - Conditions evaluated at a generated point's time `t` look only
+///    backwards in time (HoldsAt/HoldsRightOf at t, CoordAt at or before t),
+///    which holds automatically for Event Calculus rules.
+///  - A rule never reads its own fluent (registration-order hierarchy).
+///  - The domain contains every key whose rules would produce in-window
+///    points and every key carried across the boundary by inertia, so a key
+///    leaving the domain necessarily has an empty timeline (its cache entry
+///    is then evicted without dirtying downstream definitions).
+/// Definitions without deps (the default) are always fully re-evaluated —
+/// arbitrary closures remain exactly as correct as under the naive engine.
+struct DependencySpec {
+  /// Event ids (input or derived) the rules read.
+  std::vector<EventId> events;
+  /// Previously registered fluents the rules read.
+  std::vector<FluentId> fluents;
+  /// True when the rules call EvalContext::CoordAt — or consult external
+  /// per-vessel state that is updated and purged in lockstep with the coord
+  /// store (e.g. the maritime spatial-fact table, which receives a fact
+  /// group exactly when the engine receives the vessel's coord).
+  bool coords = false;
+  /// False (default): the rules for key K touch only K's slice of the
+  /// declared inputs (events with subject K, fluent timelines of key K, K's
+  /// coords). True: the rules may read any key's slice (e.g. an area-keyed
+  /// CE scanning every vessel), so any change invalidates every key.
+  bool cross_key = false;
 };
 
 /// Definition of a simple fluent: domain + initiatedAt/terminatedAt rules.
@@ -88,6 +155,8 @@ struct SimpleFluentSpec {
       rules;
   /// Include this fluent's intervals in RecognitionResult.
   bool output = false;
+  /// Declared inputs (see DependencySpec); nullopt = always re-evaluate.
+  std::optional<DependencySpec> deps;
 };
 
 /// Definition of a statically determined fluent: its intervals are computed
@@ -100,6 +169,12 @@ struct StaticFluentSpec {
                      std::map<Value, IntervalList>* out)>
       compute;
   bool output = false;
+  /// Declared inputs; a clean key whose cached intervals stay clear of the
+  /// window's leading edge reuses its cached interval map, any other key is
+  /// fully recomputed under a full-regeneration context (interval output has
+  /// no per-point delta, so the NeedsEval hint is never partial here) with
+  /// cached-vs-fresh change damping for downstream readers.
+  std::optional<DependencySpec> deps;
 };
 
 /// Definition of a derived (output) event: happensAt rules producing event
@@ -109,6 +184,9 @@ struct DerivedEventSpec {
   std::function<void(const EvalContext&, std::vector<EventInstance>* out)>
       compute;
   bool output = false;
+  /// Declared inputs; derived events have no key, so `cross_key` is
+  /// implied — any change to a declared input re-derives the event.
+  std::optional<DependencySpec> deps;
 };
 
 /// One recognized durative CE: fluent=value over maximal intervals.
@@ -117,12 +195,21 @@ struct RecognizedFluent {
   Term key;
   Value value = kTrue;
   IntervalList intervals;
+
+  friend bool operator==(const RecognizedFluent& a, const RecognizedFluent& b) {
+    return a.fluent == b.fluent && a.key == b.key && a.value == b.value &&
+           a.intervals == b.intervals;
+  }
 };
 
 /// One recognized instantaneous CE occurrence.
 struct RecognizedEvent {
   EventId event = -1;
   EventInstance instance;
+
+  friend bool operator==(const RecognizedEvent& a, const RecognizedEvent& b) {
+    return a.event == b.event && a.instance == b.instance;
+  }
 };
 
 /// Result of one recognition step at query time Q.
@@ -139,6 +226,47 @@ struct RecognitionResult {
     size_t n = events.size();
     for (const auto& f : fluents) n += f.intervals.size();
     return n;
+  }
+
+  friend bool operator==(const RecognitionResult& a,
+                         const RecognitionResult& b) {
+    return a.query_time == b.query_time && a.window_start == b.window_start &&
+           a.fluents == b.fluents && a.events == b.events &&
+           a.input_events_in_window == b.input_events_in_window;
+  }
+};
+
+/// Evaluation-mode knobs of the engine. The default is the naive engine:
+/// full serial recomputation of every definition at every query time.
+struct EngineOptions {
+  /// Cache evidence across slides and re-evaluate only dirty keys (and only
+  /// the dirty region of the window for partially dirty keys). Results are
+  /// bit-identical to the naive engine for definitions honoring their
+  /// DependencySpec contract; definitions without deps are always fully
+  /// re-evaluated.
+  bool incremental = false;
+  /// When set, the keys of one definition layer are evaluated concurrently
+  /// on this pool (deterministic: outcomes are committed in key order after
+  /// a per-layer barrier). Must outlive the engine. nullptr = serial.
+  common::ThreadPool* pool = nullptr;
+  /// Definitions with fewer keys than this stay serial (fan-out overhead
+  /// exceeds the win for tiny layers).
+  size_t min_parallel_keys = 8;
+};
+
+/// Cumulative cache counters of the incremental engine (all zero under the
+/// naive engine). A "hit" is a (definition, key) whose cached evidence was
+/// reused without running its rules; a partially reusable key counts as a
+/// miss. Derived-event definitions count one hit or miss per slide.
+struct EngineCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;  ///< Cache entries dropped with their key.
+
+  double HitRate() const {
+    const size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
   }
 };
 
@@ -160,7 +288,8 @@ struct RecognitionResult {
 ///   RecognitionResult r = eng.Recognize(q);
 class Engine {
  public:
-  explicit Engine(stream::WindowSpec window, const void* user_data = nullptr);
+  explicit Engine(stream::WindowSpec window, const void* user_data = nullptr,
+                  EngineOptions options = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -202,16 +331,143 @@ class Engine {
   std::vector<Term> KeysOf(FluentId f) const;
   std::optional<geo::GeoPoint> CoordOf(Term vessel, Timestamp t) const;
 
+  const EngineOptions& options() const { return options_; }
+  /// Cumulative cache counters (zeros under the naive engine).
+  const EngineCacheStats& cache_stats() const { return cache_stats_; }
+  /// Number of per-key cache entries currently held across all definitions.
+  /// Bounded by the live key sets: eviction removes an entry as soon as its
+  /// key leaves the definition's evaluated set (vessel churn cannot grow the
+  /// cache without bound).
+  size_t cache_entry_count() const;
+
  private:
   friend class EvalContext;
   using FluentKeyMap =
       std::unordered_map<Term, FluentTimeline, TermHash>;
 
+  /// Dirty marks per key: the earliest marked time drives regeneration (a
+  /// regen region starting there covers every later mark), the latest marked
+  /// time decides what survives a window slide. `any` is the min over all
+  /// keys (for cross-key definitions).
+  struct DirtyMap {
+    struct MarkRange {
+      Timestamp min;
+      Timestamp max;
+    };
+    std::unordered_map<Term, MarkRange, TermHash> at;
+    Timestamp any = kTimestampNever;
+
+    void Mark(Term k, Timestamp t) {
+      auto [it, inserted] = at.try_emplace(k, MarkRange{t, t});
+      if (!inserted) {
+        if (t < it->second.min) it->second.min = t;
+        if (t > it->second.max) it->second.max = t;
+      }
+      if (t < any) any = t;
+    }
+    Timestamp For(Term k) const {
+      const auto it = at.find(k);
+      return it == at.end() ? kTimestampNever : it->second.min;
+    }
+    void Clear() {
+      at.clear();
+      any = kTimestampNever;
+    }
+    /// Slides the map past a recognition at query time `q`. Marks wholly
+    /// before `q` took effect and are dropped. A key with a mark at or after
+    /// `q` stays dirty: later marks are input asserted ahead of the query
+    /// time (it enters the window only at a later slide), and a mark at
+    /// exactly `q` is input at the window's leading edge — right-limit
+    /// conditions (HoldsRightOf and friends) at t == q cannot see an
+    /// interval's continuation past the edge, so points generated at q must
+    /// be re-evaluated once more next slide, when q has become interior. The
+    /// retained earliest time is clamped up to `q` (everything below is
+    /// absorbed; the exact distribution of marks in [q, max] is not kept, so
+    /// q is the sound lower bound).
+    void RetainAfter(Timestamp q) {
+      for (auto it = at.begin(); it != at.end();) {
+        if (it->second.max < q) {
+          it = at.erase(it);
+        } else {
+          if (it->second.min < q) it->second.min = q;
+          ++it;
+        }
+      }
+      any = kTimestampNever;
+      for (const auto& [k, r] : at) {
+        if (r.min < any) any = r.min;
+      }
+    }
+  };
+
+  /// The region of the window a (definition, key) must regenerate:
+  /// t >= from (suffix invalidated by new/delayed input). Canonical forms:
+  /// clean = {kTimestampNever}, full = {window_start}. There is no prefix
+  /// side: purging never changes in-window answers (events falling off the
+  /// front only remove points that fall off with them, and coords retain a
+  /// boundary fix, see PurgeBefore).
+  struct RegenRegion {
+    Timestamp from;
+    bool clean() const { return from == kTimestampNever; }
+  };
+
+  /// Per-definition evidence caches (incremental engine only).
+  struct SimpleDefCache {
+    std::unordered_map<Term, FluentEvidence, TermHash> evidence;
+    std::vector<Term> keys;  ///< Sorted key set of the previous evaluation.
+  };
+  struct StaticDefCache {
+    std::unordered_map<Term, std::map<Value, IntervalList>, TermHash> raw;
+    std::vector<Term> keys;
+  };
+  struct DerivedDefCache {
+    /// The derived store itself persists across slides under the incremental
+    /// engine and is the cache; this flag marks it populated at least once.
+    bool valid = false;
+  };
+  using AnyCache =
+      std::variant<SimpleDefCache, StaticDefCache, DerivedDefCache>;
+
   void PurgeBefore(Timestamp inclusive_cutoff);
   void SortPendingInput();
 
+  RegenRegion DirtyRegionFor(const DependencySpec& deps, Term key,
+                             bool cross_key, Timestamp wstart) const;
+
+  std::vector<Term> EvalKeys(
+      const std::function<std::vector<Term>(const EvalContext&)>& domain,
+      const EvalContext& ctx, const FluentId fluent, bool have_boundary) const;
+
+  void EvaluateSimpleNaive(const SimpleFluentSpec& spec,
+                           const EvalContext& ctx, bool have_boundary,
+                           RecognitionResult* result);
+  void EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
+                                 SimpleDefCache& cache, const EvalContext& ctx,
+                                 bool have_boundary,
+                                 RecognitionResult* result);
+  void EvaluateStaticNaive(const StaticFluentSpec& spec,
+                           const EvalContext& ctx, RecognitionResult* result);
+  void EvaluateStaticIncremental(const StaticFluentSpec& spec,
+                                 StaticDefCache& cache, const EvalContext& ctx,
+                                 RecognitionResult* result);
+  void EvaluateDerivedNaive(const DerivedEventSpec& spec,
+                            const EvalContext& ctx, RecognitionResult* result);
+  void EvaluateDerivedIncremental(const DerivedEventSpec& spec,
+                                  DerivedDefCache& cache,
+                                  const EvalContext& ctx,
+                                  RecognitionResult* result);
+
+  /// Runs `body(i)` for i in [0, n), on the configured pool when the layer
+  /// is large enough, serially otherwise.
+  void ForEachKey(size_t n, const std::function<void(size_t)>& body) const;
+
+  /// Refreshes fluent_keys_[fidx] from the timeline map after a definition
+  /// commit.
+  void RebuildKeyMemo(size_t fidx);
+
   stream::WindowSpec window_;
   const void* user_data_;
+  EngineOptions options_;
 
   std::vector<std::string> event_names_;
   std::vector<std::string> fluent_names_;
@@ -224,7 +480,8 @@ class Engine {
   std::vector<std::vector<EventInstance>> input_events_;
   bool input_dirty_ = false;
 
-  // Derived event instances of the current recognition step.
+  // Derived event instances of the current recognition step (incremental:
+  // kept across steps and refreshed at each derived definition's commit).
   std::vector<std::vector<EventInstance>> derived_events_;
 
   // coord fluent: per vessel, (t, pos) sorted by t.
@@ -235,6 +492,39 @@ class Engine {
 
   // Computed timelines of the current recognition step.
   std::vector<FluentKeyMap> timelines_;
+  // Sorted key set per fluent, mirroring timelines_; rebuilt at each
+  // definition commit so FluentKeys() is O(1) instead of a sort per call.
+  std::vector<std::vector<Term>> fluent_keys_;
+
+  // --- incremental-engine dirty state --------------------------------------
+  // Accumulated between Recognize calls by AssertEvent/AssertCoord; cleared
+  // at the end of each Recognize.
+  std::vector<DirtyMap> dirty_events_;  ///< Per event id, by subject.
+  DirtyMap dirty_coords_;               ///< By vessel.
+  bool dirty_all_ = true;               ///< Until the first recognition.
+  // Per-slide change propagation, reset at each Recognize: earliest
+  // in-window change per (fluent, key) committed this step, and per derived
+  // event id.
+  std::vector<DirtyMap> changed_fluents_;
+  std::vector<Timestamp> changed_derived_;
+  // Right-edge instability bookkeeping: fluent keys whose committed evidence
+  // or interval endpoints touched the query time exactly, and derived events
+  // with an instance at exactly the query time. Such output was produced
+  // before its continuation past the window edge was visible (HoldsRightOf
+  // at t == q is false for an ongoing interval clipped at q), so readers
+  // must re-evaluate from there at the next slide. Recorded at each commit,
+  // injected into changed_fluents_/changed_derived_ at the start of the next
+  // incremental Recognize, then cleared.
+  std::vector<std::vector<Term>> edge_fluents_;  ///< Per fluent id.
+  std::vector<char> edge_derived_;               ///< Per event id.
+  // Query time of the previous Recognize call (kInvalidTimestamp before the
+  // first): the window's leading edge (prev_query_, q] is new territory that
+  // static-fluent reuse and change damping must treat specially.
+  Timestamp prev_query_ = kInvalidTimestamp;
+  // Per-definition caches, parallel to definitions_.
+  std::vector<AnyCache> def_caches_;
+
+  EngineCacheStats cache_stats_;
 
   // Inertia across window slides: for each fluent key, the value holding at
   // the *next* window start, recorded at the end of each recognition step.
@@ -246,6 +536,7 @@ class Engine {
 
   FluentTimeline empty_timeline_;
   std::vector<EventInstance> empty_events_;
+  std::vector<Term> empty_keys_;
 };
 
 }  // namespace maritime::rtec

@@ -59,10 +59,22 @@ struct EventInstance {
   }
 };
 
+/// Sentinel for "no time-point" in min-over-timestamps computations (the
+/// incremental engine uses it as "never dirty").
+inline constexpr Timestamp kTimestampNever = INT64_MAX;
+
 /// A (value, time-point) pair produced by initiatedAt / terminatedAt rules.
 struct ValuedPoint {
   Value value = kTrue;
   Timestamp t = 0;
+
+  friend bool operator==(const ValuedPoint& a, const ValuedPoint& b) {
+    return a.value == b.value && a.t == b.t;
+  }
+  friend bool operator<(const ValuedPoint& a, const ValuedPoint& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.value < b.value;
+  }
 };
 
 struct TermHash {

@@ -187,4 +187,44 @@ FluentTimeline ComputeSimpleFluent(const FluentEvidence& evidence,
   return out;
 }
 
+std::vector<ValuedPoint> MergeCachedPoints(
+    const std::vector<ValuedPoint>& cached, std::vector<ValuedPoint> fresh,
+    Timestamp window_start, Timestamp regen_from) {
+  const auto needs_eval = [&](Timestamp t) { return t >= regen_from; };
+  std::vector<ValuedPoint> out;
+  out.reserve(cached.size() + fresh.size());
+  for (const ValuedPoint& p : cached) {
+    if (p.t > window_start && !needs_eval(p.t)) out.push_back(p);
+  }
+  for (ValuedPoint& p : fresh) {
+    // Points a rule generated outside its regeneration region are duplicates
+    // of the cached slice (rules are deterministic); dropping them instead of
+    // deduplicating keeps hint-ignoring rules exactly correct.
+    if (p.t > window_start && needs_eval(p.t)) out.push_back(p);
+  }
+  return out;
+}
+
+std::optional<Timestamp> EarliestPointDiff(std::vector<ValuedPoint> a,
+                                           std::vector<ValuedPoint> b,
+                                           Timestamp window_start) {
+  const auto prune = [&](std::vector<ValuedPoint>* v) {
+    v->erase(std::remove_if(v->begin(), v->end(),
+                            [&](const ValuedPoint& p) {
+                              return p.t <= window_start;
+                            }),
+             v->end());
+    std::sort(v->begin(), v->end());
+  };
+  prune(&a);
+  prune(&b);
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) return std::min(a[i].t, b[i].t);
+  }
+  if (a.size() > n) return a[n].t;
+  if (b.size() > n) return b[n].t;
+  return std::nullopt;
+}
+
 }  // namespace maritime::rtec

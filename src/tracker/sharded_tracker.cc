@@ -48,23 +48,22 @@ ShardedMobilityTracker::ShardedMobilityTracker(TrackerParams params,
 std::vector<CriticalPoint> ShardedMobilityTracker::ProcessSlide(
     std::span<const stream::PositionTuple> batch, Timestamp query_time,
     std::vector<ShardSlideStats>* per_shard) {
-  const size_t n = shards_.size();
-  // Route by MMSI on the calling thread; routing is a trivial fraction of
-  // the per-tuple tracking cost.
-  if (n == 1) {
-    shards_[0].inbox.assign(batch.begin(), batch.end());
-  } else {
-    for (const auto& tuple : batch) {
-      shards_[ShardOf(tuple.mmsi)].inbox.push_back(tuple);
-    }
-  }
+  for (const auto& tuple : batch) Ingest(tuple);
+  return ProcessSlide(query_time, per_shard);
+}
 
+std::vector<CriticalPoint> ShardedMobilityTracker::ProcessSlide(
+    Timestamp query_time, std::vector<ShardSlideStats>* per_shard) {
+  const size_t n = shards_.size();
   if (per_shard != nullptr) {
     per_shard->assign(n, ShardSlideStats{});
   }
   const auto run_shard = [&](size_t i) {
     Shard& s = shards_[i];
     const double t0 = NowSeconds();
+    // Drain this shard's ring inbox on the shard's own task: the scatter
+    // happens ring-by-ring in parallel instead of serially on the caller.
+    s.ring->DrainInto(&s.inbox);
     std::vector<CriticalPoint> raw;
     for (const auto& tuple : s.inbox) s.tracker.Process(tuple, &raw);
     s.tracker.AdvanceTo(query_time, &raw);
@@ -130,7 +129,16 @@ void ShardedMobilityTracker::AdvanceTo(Timestamp now,
 
 void ShardedMobilityTracker::Finish(std::vector<CriticalPoint>* out) {
   std::vector<CriticalPoint> tail;
-  for (Shard& s : shards_) s.tracker.Finish(&tail);
+  for (Shard& s : shards_) {
+    // Tuples ingested after the last slide still count: process them before
+    // flushing so end-of-stream never silently drops ring contents.
+    s.inbox.clear();
+    if (s.ring->DrainInto(&s.inbox) > 0) {
+      for (const auto& tuple : s.inbox) s.tracker.Process(tuple, &tail);
+      s.inbox.clear();
+    }
+    s.tracker.Finish(&tail);
+  }
   // A vessel's closing points (stop end, last anchor) share its final tau;
   // stable_sort keeps their per-vessel emission order while making the
   // cross-vessel order independent of shard count and map iteration.

@@ -1,10 +1,12 @@
 #ifndef MARITIME_TRACKER_SHARDED_TRACKER_H_
 #define MARITIME_TRACKER_SHARDED_TRACKER_H_
 
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/spsc_queue.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "stream/position.h"
@@ -60,10 +62,24 @@ class ShardedMobilityTracker {
     return static_cast<size_t>(mmsi) % shards_.size();
   }
 
-  /// Processes one slide: routes `batch` by MMSI, runs every shard's
-  /// Process + AdvanceTo(query_time) + Compress concurrently, and returns
-  /// the merged critical points in stream order. `per_shard` (optional)
-  /// receives one timing entry per shard.
+  /// Routes one fresh position into its shard's lock-free ring inbox as it
+  /// arrives (single producer: one stream thread at a time). The tuple is
+  /// processed by the next ProcessSlide / Finish call.
+  void Ingest(const stream::PositionTuple& tuple) {
+    shards_[ShardOf(tuple.mmsi)].ring->Push(tuple);
+  }
+
+  /// Processes one slide over everything Ingested since the previous slide:
+  /// every shard's task drains its own ring inbox (no serial MMSI scatter on
+  /// the caller thread), runs Process + AdvanceTo(query_time) + Compress
+  /// concurrently, and returns the merged critical points in stream order.
+  /// `per_shard` (optional) receives one timing entry per shard.
+  std::vector<CriticalPoint> ProcessSlide(
+      Timestamp query_time, std::vector<ShardSlideStats>* per_shard = nullptr);
+
+  /// Convenience overload: Ingests `batch`, then runs the slide. Produces
+  /// the identical critical-point sequence (ring order preserves the batch
+  /// order within each shard).
   std::vector<CriticalPoint> ProcessSlide(
       std::span<const stream::PositionTuple> batch, Timestamp query_time,
       std::vector<ShardSlideStats>* per_shard = nullptr);
@@ -98,10 +114,15 @@ class ShardedMobilityTracker {
 
  private:
   struct Shard {
-    explicit Shard(const TrackerParams& params) : tracker(params) {}
+    explicit Shard(const TrackerParams& params)
+        : tracker(params),
+          ring(std::make_unique<common::SpscQueue<stream::PositionTuple>>()) {}
     MobilityTracker tracker;
     Compressor compressor;
-    std::vector<stream::PositionTuple> inbox;  ///< Routed slide batch.
+    /// Lock-free inbox filled by Ingest, drained by the shard's slide task
+    /// (the pool barrier orders the hand-off between slides).
+    std::unique_ptr<common::SpscQueue<stream::PositionTuple>> ring;
+    std::vector<stream::PositionTuple> inbox;  ///< Drained slide batch.
     std::vector<CriticalPoint> slide_out;      ///< Compressed slide output.
   };
 

@@ -1,0 +1,500 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "geo/geo_point.h"
+#include "maritime/recognizer.h"
+#include "rtec/engine.h"
+#include "rtec/interval.h"
+#include "sim/generator.h"
+#include "sim/world.h"
+#include "stream/sliding_window.h"
+#include "tracker/compressor.h"
+#include "tracker/mobility_tracker.h"
+
+namespace maritime::rtec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic randomized differential: a contract-honoring definition hierarchy
+// (multi-valued simple fluent -> static fluent -> conditioned simple fluent
+// -> derived event, plus a cross-key fluent) fed an adversarial stream of
+// fresh, delayed, and future-dated events, recognized side by side on the
+// naive engine, the incremental engine, and the incremental engine with
+// parallel per-key evaluation. Every slide must be bit-identical.
+// ---------------------------------------------------------------------------
+
+struct Schema {
+  EventId move = -1;
+  EventId stop = -1;
+  EventId ping = -1;
+  FluentId moving = -1;  // multi-valued: gear 1..3
+  FluentId busy = -1;    // static: moving=1 union moving=2
+  FluentId alert = -1;   // conditioned on moving + coords
+  FluentId crowded = -1; // cross-key: >= 3 distinct vessels pinged
+  EventId alarm = -1;    // derived from ping + alert
+};
+
+const Term kArea{1, 99};
+
+Schema Register(Engine* eng) {
+  Schema s;
+  s.move = eng->DeclareEvent("move");
+  s.stop = eng->DeclareEvent("stop");
+  s.ping = eng->DeclareEvent("ping");
+  s.moving = eng->DeclareFluent("moving");
+  s.busy = eng->DeclareFluent("busy");
+  s.alert = eng->DeclareFluent("alert");
+  s.crowded = eng->DeclareFluent("crowded");
+  s.alarm = eng->DeclareEvent("alarm");
+
+  // moving(V)=gear: initiated by move (gear from the object term), terminated
+  // by stop. Uses the NeedsEval hint (the engine must merge the cached
+  // complement back in).
+  {
+    SimpleFluentSpec spec;
+    spec.fluent = s.moving;
+    spec.output = true;
+    spec.deps = DependencySpec{{s.move, s.stop}, {}, false, false};
+    const Schema sc = s;
+    spec.domain = [sc](const EvalContext& ctx) {
+      std::vector<Term> keys;
+      for (const auto& e : ctx.Events(sc.move)) keys.push_back(e.subject);
+      for (const auto& e : ctx.Events(sc.stop)) keys.push_back(e.subject);
+      return keys;
+    };
+    spec.rules = [sc](const EvalContext& ctx, Term key,
+                      std::vector<ValuedPoint>* initiated,
+                      std::vector<ValuedPoint>* terminated) {
+      for (const auto& e : ctx.Events(sc.move)) {
+        if (e.subject != key || !ctx.NeedsEval(e.t)) continue;
+        initiated->push_back({1 + (e.object.id % 3), e.t});
+      }
+      for (const auto& e : ctx.Events(sc.stop)) {
+        if (e.subject != key || !ctx.NeedsEval(e.t)) continue;
+        for (Value v = 1; v <= 3; ++v) terminated->push_back({v, e.t});
+      }
+    };
+    eng->AddSimpleFluent(std::move(spec));
+  }
+
+  // busy(V): statically determined from moving's timeline.
+  {
+    StaticFluentSpec spec;
+    spec.fluent = s.busy;
+    spec.output = true;
+    spec.deps = DependencySpec{{}, {s.moving}, false, false};
+    const Schema sc = s;
+    spec.domain = [sc](const EvalContext& ctx) {
+      return ctx.FluentKeys(sc.moving);
+    };
+    spec.compute = [sc](const EvalContext& ctx, Term key,
+                        std::map<Value, IntervalList>* out) {
+      const FluentTimeline& tl = ctx.Timeline(sc.moving, key);
+      const IntervalList u =
+          UnionAll({tl.IntervalsFor(1), tl.IntervalsFor(2)});
+      if (!u.empty()) (*out)[kTrue] = u;
+    };
+    eng->AddStaticFluent(std::move(spec));
+  }
+
+  // alert(V): initiated at ping(V) while moving(V)=3 holds or V sits in the
+  // northern half (coords), terminated by stop(V). Ignores the NeedsEval
+  // hint on purpose: the engine must discard regenerated points outside the
+  // dirty region rather than double-count them.
+  {
+    SimpleFluentSpec spec;
+    spec.fluent = s.alert;
+    spec.output = true;
+    spec.deps = DependencySpec{{s.ping, s.stop}, {s.moving}, true, false};
+    const Schema sc = s;
+    spec.domain = [sc](const EvalContext& ctx) {
+      std::vector<Term> keys;
+      for (const auto& e : ctx.Events(sc.ping)) keys.push_back(e.subject);
+      for (const auto& e : ctx.Events(sc.stop)) keys.push_back(e.subject);
+      return keys;
+    };
+    spec.rules = [sc](const EvalContext& ctx, Term key,
+                      std::vector<ValuedPoint>* initiated,
+                      std::vector<ValuedPoint>* terminated) {
+      for (const auto& e : ctx.Events(sc.ping)) {
+        if (e.subject != key) continue;
+        const bool fast = ctx.HoldsRightOf(sc.moving, key, 3, e.t);
+        const auto pos = ctx.CoordAt(key, e.t);
+        if (fast || (pos.has_value() && pos->lat > 0.5)) {
+          initiated->push_back({kTrue, e.t});
+        }
+      }
+      for (const auto& e : ctx.Events(sc.stop)) {
+        if (e.subject == key) terminated->push_back({kTrue, e.t});
+      }
+    };
+    eng->AddSimpleFluent(std::move(spec));
+  }
+
+  // crowded(area): cross-key — (re)checked at every ping: initiated while
+  // >= 2 vessels are moving (any gear) at that instant, terminated while
+  // fewer are. Conditions read only declared fluent timelines at the
+  // generated time, per the DependencySpec contract (aggregating over the
+  // raw event stream at *other* times would be window-front-dependent and
+  // out of contract).
+  {
+    SimpleFluentSpec spec;
+    spec.fluent = s.crowded;
+    spec.output = true;
+    spec.deps = DependencySpec{{s.ping}, {s.moving}, false, true};
+    const Schema sc = s;
+    spec.domain = [](const EvalContext&) {
+      return std::vector<Term>{kArea};
+    };
+    spec.rules = [sc](const EvalContext& ctx, Term /*key*/,
+                      std::vector<ValuedPoint>* initiated,
+                      std::vector<ValuedPoint>* terminated) {
+      for (const auto& e : ctx.Events(sc.ping)) {
+        if (!ctx.NeedsEval(e.t)) continue;
+        size_t count = 0;
+        for (const Term& v : ctx.FluentKeys(sc.moving)) {
+          for (Value g = 1; g <= 3; ++g) {
+            if (ctx.HoldsRightOf(sc.moving, v, g, e.t)) {
+              ++count;
+              break;
+            }
+          }
+        }
+        if (count >= 2) {
+          initiated->push_back({kTrue, e.t});
+        } else {
+          terminated->push_back({kTrue, e.t});
+        }
+      }
+    };
+    eng->AddSimpleFluent(std::move(spec));
+  }
+
+  // alarm(V): derived at ping occurrences while alert(V) holds (right limit,
+  // so a ping that just initiated the alert already fires).
+  {
+    DerivedEventSpec spec;
+    spec.event = s.alarm;
+    spec.output = true;
+    spec.deps = DependencySpec{{s.ping}, {s.alert}, false, true};
+    const Schema sc = s;
+    spec.compute = [sc](const EvalContext& ctx,
+                        std::vector<EventInstance>* out) {
+      for (const auto& e : ctx.Events(sc.ping)) {
+        if (!ctx.NeedsEval(e.t)) continue;
+        if (ctx.HoldsRightOf(sc.alert, e.subject, kTrue, e.t)) {
+          out->push_back({e.subject, Term::None(), e.t});
+        }
+      }
+    };
+    eng->AddDerivedEvent(std::move(spec));
+  }
+  return s;
+}
+
+/// Renders a result compactly for divergence diagnostics.
+std::string Dump(const RecognitionResult& r) {
+  std::ostringstream os;
+  for (const auto& f : r.fluents) {
+    os << "  fluent " << f.fluent << " key " << f.key << " = " << f.value
+       << " over";
+    for (const auto& iv : f.intervals) os << " (" << iv.since << "," << iv.till
+                                          << "]";
+    os << "\n";
+  }
+  for (const auto& e : r.events) {
+    os << "  event " << e.event << " subj " << e.instance.subject << " @ "
+       << e.instance.t << "\n";
+  }
+  return os.str();
+}
+
+/// Dumps the state feeding the crowded fluent (diagnostics only).
+std::string DumpState(Engine& eng, const Schema& s) {
+  std::ostringstream os;
+  for (const Term& k : eng.KeysOf(s.moving)) {
+    const FluentTimeline& tl = eng.TimelineOf(s.moving, k);
+    os << "  moving " << k << ":";
+    for (const auto& [v, list] : tl.intervals) {
+      for (const auto& iv : list) {
+        os << " v" << v << "(" << iv.since << "," << iv.till << "]";
+      }
+    }
+    if (tl.open_value.has_value()) os << " open=" << *tl.open_value;
+    os << "\n";
+  }
+  os << "  pings:";
+  for (const auto& e : eng.EventsOf(s.ping)) {
+    os << " " << e.subject << "@" << e.t;
+  }
+  os << "\n";
+  return os.str();
+}
+
+/// One randomly generated assertion, applied identically to every engine.
+struct Assertion {
+  enum Kind { kEvent, kCoord } kind = kEvent;
+  EventId event = -1;
+  Term subject;
+  Term object;
+  Timestamp t = 0;
+  geo::GeoPoint pos;
+};
+
+TEST(EngineIncrementalDifferentialTest, RandomizedStreamBitIdentical) {
+  const stream::WindowSpec window{50, 10};
+  Engine naive(window);
+  EngineOptions incr_opts;
+  incr_opts.incremental = true;
+  Engine incr(window, nullptr, incr_opts);
+  common::ThreadPool pool(3);
+  EngineOptions par_opts;
+  par_opts.incremental = true;
+  par_opts.pool = &pool;
+  par_opts.min_parallel_keys = 1;  // force the parallel path on tiny layers
+  Engine par(window, nullptr, par_opts);
+
+  const Schema sn = Register(&naive);
+  const Schema si = Register(&incr);
+  const Schema sp = Register(&par);
+  ASSERT_EQ(sn.alarm, si.alarm);
+  ASSERT_EQ(sn.alarm, sp.alarm);
+
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> vessel_dist(1, 12);
+  std::uniform_int_distribution<int> gear_dist(0, 8);
+  std::uniform_int_distribution<int> kind_dist(0, 99);
+  std::uniform_real_distribution<double> lat_dist(-1.0, 1.0);
+
+  constexpr int kSlides = 1200;
+  size_t slides_with_hits = 0;
+  for (int slide = 1; slide <= kSlides; ++slide) {
+    const Timestamp q = static_cast<Timestamp>(slide) * window.slide;
+    std::uniform_int_distribution<int> burst(0, 6);
+    const int n = burst(rng);
+    for (int i = 0; i < n; ++i) {
+      Assertion a;
+      const Term vessel{0, vessel_dist(rng)};
+      a.subject = vessel;
+      // 80% fresh (within the new slide), 15% delayed (older in-window
+      // times, dirtying past window slices), 5% future-dated (arrives ahead
+      // of the query time; must take effect only at the next slide).
+      const int when = kind_dist(rng);
+      if (when < 80) {
+        a.t = q - window.slide + 1 +
+              std::uniform_int_distribution<Timestamp>(0, window.slide - 1)(rng);
+      } else if (when < 95) {
+        const Timestamp wstart = q > window.range ? q - window.range : 0;
+        a.t = wstart + 1 +
+              std::uniform_int_distribution<Timestamp>(
+                  0, std::max<Timestamp>(0, q - wstart - 1))(rng);
+      } else {
+        a.t = q + 1 +
+              std::uniform_int_distribution<Timestamp>(0, window.slide)(rng);
+      }
+      const int what = kind_dist(rng);
+      if (what < 15) {
+        a.kind = Assertion::kCoord;
+        a.pos = geo::GeoPoint{0.0, lat_dist(rng)};
+      } else if (what < 40) {
+        a.event = sn.move;
+        a.object = Term{2, gear_dist(rng)};
+      } else if (what < 55) {
+        a.event = sn.stop;
+        a.object = Term::None();
+      } else {
+        a.event = sn.ping;
+        a.object = Term::None();
+      }
+      for (Engine* eng : {&naive, &incr, &par}) {
+        if (a.kind == Assertion::kCoord) {
+          eng->AssertCoord(a.subject, a.t, a.pos);
+        } else {
+          eng->AssertEvent(a.event, a.subject, a.t, a.object);
+        }
+      }
+    }
+
+    const EngineCacheStats before = incr.cache_stats();
+    const RecognitionResult rn = naive.Recognize(q);
+    const RecognitionResult ri = incr.Recognize(q);
+    const RecognitionResult rp = par.Recognize(q);
+    ASSERT_TRUE(rn == ri) << "incremental diverged at q=" << q << "\nnaive:\n"
+                          << Dump(rn) << "incremental:\n" << Dump(ri)
+                          << "naive state:\n" << DumpState(naive, sn)
+                          << "incremental state:\n" << DumpState(incr, si);
+    ASSERT_TRUE(rn == rp) << "parallel incremental diverged at q=" << q
+                          << "\nnaive:\n" << Dump(rn) << "parallel:\n"
+                          << Dump(rp);
+    if (incr.cache_stats().hits > before.hits) ++slides_with_hits;
+  }
+
+  // The whole point: most slides reuse cached work for most keys.
+  EXPECT_GT(incr.cache_stats().hits, incr.cache_stats().misses);
+  EXPECT_GT(slides_with_hits, static_cast<size_t>(kSlides / 2));
+  EXPECT_GT(incr.cache_stats().evictions, 0u);
+  // The naive engine never touches the cache.
+  EXPECT_EQ(naive.cache_stats().hits, 0u);
+  EXPECT_EQ(naive.cache_stats().misses, 0u);
+  EXPECT_EQ(naive.cache_entry_count(), 0u);
+}
+
+TEST(EngineIncrementalDifferentialTest, CacheEvictionFollowsKeyChurn) {
+  const stream::WindowSpec window{50, 10};
+  EngineOptions opts;
+  opts.incremental = true;
+  Engine eng(window, nullptr, opts);
+  const Schema s = Register(&eng);
+
+  const Term v1{0, 1};
+  eng.AssertEvent(s.move, v1, 5, Term{2, 0});
+  eng.AssertEvent(s.stop, v1, 8);
+  eng.Recognize(10);
+  // moving cached for v1 (busy has no intervals: moving=1 only 5..8 — it
+  // does, actually; either way entries exist for the touched definitions).
+  EXPECT_GT(eng.cache_entry_count(), 0u);
+  const size_t evictions_before = eng.cache_stats().evictions;
+
+  // Slide until (0, 10] leaves the window entirely: v1 has no in-window
+  // input and no carried value, so all of its entries (moving, busy, alert)
+  // must be evicted. What remains is key-churn-independent: the
+  // constant-domain crowded(area) entry and the derived-event cache marker.
+  for (Timestamp q = 20; q <= 80; q += 10) eng.Recognize(q);
+  EXPECT_EQ(eng.cache_entry_count(), 2u);
+  EXPECT_EQ(eng.KeysOf(s.moving).size(), 0u);
+  EXPECT_GE(eng.cache_stats().evictions, evictions_before + 3);
+}
+
+TEST(EngineIncrementalDifferentialTest, UndeclaredDepsAlwaysRecompute) {
+  // A definition without deps must behave exactly as under the naive engine
+  // (full recompute each slide) and never count cache hits.
+  const stream::WindowSpec window{50, 10};
+  EngineOptions opts;
+  opts.incremental = true;
+  Engine eng(window, nullptr, opts);
+  const EventId on = eng.DeclareEvent("on");
+  const FluentId f = eng.DeclareFluent("f");
+  SimpleFluentSpec spec;
+  spec.fluent = f;
+  spec.output = true;
+  spec.domain = [on](const EvalContext& ctx) {
+    std::vector<Term> keys;
+    for (const auto& e : ctx.Events(on)) keys.push_back(e.subject);
+    return keys;
+  };
+  spec.rules = [on](const EvalContext& ctx, Term key,
+                    std::vector<ValuedPoint>* initiated,
+                    std::vector<ValuedPoint>* /*terminated*/) {
+    for (const auto& e : ctx.Events(on)) {
+      if (e.subject == key) initiated->push_back({kTrue, e.t});
+    }
+  };
+  eng.AddSimpleFluent(std::move(spec));
+
+  eng.AssertEvent(on, Term{0, 1}, 5);
+  eng.Recognize(10);
+  eng.Recognize(20);  // no new input; still a miss (no declared deps)
+  EXPECT_EQ(eng.cache_stats().hits, 0u);
+  EXPECT_GE(eng.cache_stats().misses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Maritime differential: the full CE definition set over a simulated fleet,
+// recognized slide by slide on a naive and an incremental recognizer, with a
+// fraction of the critical points held back one slide (delayed MEs dirtying
+// past window slices). Thousands of slides, bit-identical results required.
+// ---------------------------------------------------------------------------
+
+struct MaritimeWorkload {
+  sim::World world;
+  std::vector<tracker::CriticalPoint> criticals;
+  Timestamp horizon = 0;
+};
+
+MaritimeWorkload MakeWorkload(int vessels, Duration duration, uint64_t seed) {
+  MaritimeWorkload w{sim::BuildWorld(seed), {}, duration};
+  sim::FleetConfig cfg;
+  cfg.vessels = vessels;
+  cfg.duration = duration;
+  cfg.seed = seed + 1;
+  sim::FleetSimulator fleet(&w.world, cfg);
+  const std::vector<stream::PositionTuple> tuples = fleet.Generate();
+  tracker::MobilityTracker tracker;
+  tracker::Compressor compressor;
+  std::vector<tracker::CriticalPoint> raw;
+  for (const auto& t : tuples) tracker.Process(t, &raw);
+  tracker.Finish(&raw);
+  w.criticals = compressor.Compress(std::move(raw), tuples.size());
+  return w;
+}
+
+void RunMaritimeDifferential(const MaritimeWorkload& w,
+                             stream::WindowSpec window, bool spatial_facts) {
+  surveillance::RecognizerConfig cn;
+  cn.window = window;
+  cn.ce.use_spatial_facts = spatial_facts;
+  surveillance::RecognizerConfig ci = cn;
+  ci.incremental = true;
+  surveillance::RecognizerConfig cp = ci;
+  cp.parallel_keys = true;
+  cp.min_parallel_keys = 1;
+
+  surveillance::CERecognizer naive(&w.world.knowledge, cn);
+  surveillance::CERecognizer incr(&w.world.knowledge, ci);
+  surveillance::CERecognizer par(&w.world.knowledge, cp);
+
+  size_t cursor = 0;
+  std::vector<tracker::CriticalPoint> held;
+  size_t slides = 0;
+  for (Timestamp q = window.slide; q <= w.horizon; q += window.slide) {
+    // Delayed MEs: everything held back last slide arrives now, out of
+    // stream order relative to the fresh batch.
+    std::vector<tracker::CriticalPoint> batch = std::move(held);
+    held.clear();
+    while (cursor < w.criticals.size() && w.criticals[cursor].tau <= q) {
+      if (cursor % 5 == 4) {
+        held.push_back(w.criticals[cursor]);  // arrives at the next slide
+      } else {
+        batch.push_back(w.criticals[cursor]);
+      }
+      ++cursor;
+    }
+    for (const auto& cp_ : batch) {
+      naive.Feed(cp_);
+      incr.Feed(cp_);
+      par.Feed(cp_);
+    }
+    const rtec::RecognitionResult rn = naive.Recognize(q);
+    const rtec::RecognitionResult ri = incr.Recognize(q);
+    const rtec::RecognitionResult rp = par.Recognize(q);
+    ASSERT_TRUE(rn == ri) << "incremental diverged at q=" << q
+                          << " (spatial_facts=" << spatial_facts << ")";
+    ASSERT_TRUE(rn == rp) << "parallel diverged at q=" << q;
+    ++slides;
+  }
+  EXPECT_GT(slides, 90u);
+  EXPECT_GT(incr.engine().cache_stats().hits, 0u);
+  EXPECT_EQ(naive.engine().cache_stats().misses, 0u);
+}
+
+TEST(MaritimeIncrementalDifferentialTest, FleetStreamBitIdentical) {
+  const MaritimeWorkload w = MakeWorkload(/*vessels=*/60, 8 * kHour, 7);
+  ASSERT_GT(w.criticals.size(), 500u);
+  RunMaritimeDifferential(w, stream::WindowSpec{kHour, 2 * kMinute},
+                          /*spatial_facts=*/false);
+}
+
+TEST(MaritimeIncrementalDifferentialTest, SpatialFactsModeBitIdentical) {
+  const MaritimeWorkload w = MakeWorkload(/*vessels=*/60, 8 * kHour, 21);
+  RunMaritimeDifferential(w, stream::WindowSpec{2 * kHour, 5 * kMinute},
+                          /*spatial_facts=*/true);
+}
+
+}  // namespace
+}  // namespace maritime::rtec

@@ -159,16 +159,24 @@ TEST(SpatialFactTableTest, DelayedGroupInsertedInOrder) {
   EXPECT_TRUE(t.IsCloseAt(100, 2, 60));
 }
 
-TEST(SpatialFactTableTest, PurgeDropsOldGroups) {
+TEST(SpatialFactTableTest, PurgeKeepsLatestBoundaryGroup) {
   SpatialFactTable t;
+  t.AddFactGroup(100, 5, {3});
   t.AddFactGroup(100, 10, {1});
   t.AddFactGroup(100, 50, {2});
+  // The group at t=5 is shadowed by the boundary group at t=10 for every
+  // query after the cutoff, so only it is dropped; answers at t > 10 are
+  // unchanged by the purge (last-known-state inertia).
   t.PurgeBefore(10);
-  EXPECT_EQ(t.fact_count(), 1u);
-  EXPECT_FALSE(t.IsCloseAt(100, 1, 20));
+  EXPECT_EQ(t.fact_count(), 2u);
+  EXPECT_FALSE(t.IsCloseAt(100, 3, 20));
+  EXPECT_TRUE(t.IsCloseAt(100, 1, 20));
+  EXPECT_TRUE(t.IsCloseAt(100, 2, 60));
+  // Purging past every group retains the single latest one: the vessel's
+  // last known spatial state stays in force.
   t.PurgeBefore(100);
-  EXPECT_EQ(t.fact_count(), 0u);
-  EXPECT_TRUE(t.AreasCloseAt(100, 200).empty());
+  EXPECT_EQ(t.fact_count(), 1u);
+  EXPECT_EQ(t.AreasCloseAt(100, 200), std::vector<int32_t>{2});
 }
 
 }  // namespace
