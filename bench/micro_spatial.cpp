@@ -1,8 +1,14 @@
-// Microbenchmark (ablation): the grid spatial index behind the `close`
-// predicate. DESIGN.md calls the grid our equivalent of RTEC's
+// Microbenchmark (ablation): the spatial engines behind the `close`
+// predicate. DESIGN.md calls the spatial index our equivalent of RTEC's
 // "declarations" facility — it restricts spatial reasoning to candidate
-// areas near a point. This bench quantifies the win against the naive
-// all-areas scan, across area counts.
+// areas near a point. Axes:
+//   - engine: brute (all-areas scan) / grid (candidate lists + exact
+//     re-check) / tiered (tri-state cell labels + edge buckets);
+//   - area count: 35 (the paper's world) up to 2240;
+//   - tiered cell size, for the cell-granularity trade-off;
+// plus the batched AreasCloseToAll lookup and PortContaining across
+// engines. All engines return identical results (asserted in
+// tests/spatial_index_test.cc); only speed differs.
 
 #include <benchmark/benchmark.h>
 
@@ -13,8 +19,23 @@
 namespace maritime::surveillance {
 namespace {
 
-KnowledgeBase MakeKbWithAreas(int areas, uint64_t seed) {
-  KnowledgeBase kb(1000.0);
+SpatialEngine EngineOf(int64_t axis) {
+  switch (axis) {
+    case 0:
+      return SpatialEngine::kBrute;
+    case 1:
+      return SpatialEngine::kGrid;
+    default:
+      return SpatialEngine::kTiered;
+  }
+}
+
+KnowledgeBase MakeKbWithAreas(int areas, uint64_t seed, SpatialEngine engine,
+                              double tiered_cell_deg = 0.02) {
+  SpatialOptions spatial;
+  spatial.engine = engine;
+  spatial.tiered_cell_deg = tiered_cell_deg;
+  KnowledgeBase kb(1000.0, spatial);
   Rng rng(seed);
   for (int i = 0; i < areas; ++i) {
     AreaInfo a;
@@ -39,9 +60,47 @@ std::vector<geo::GeoPoint> QueryPoints(int n, uint64_t seed) {
   return out;
 }
 
-void BM_AreasCloseTo_Grid(benchmark::State& state) {
-  const KnowledgeBase kb = MakeKbWithAreas(static_cast<int>(state.range(0)),
-                                           11);
+/// A vessel-like query trace: spatially coherent runs instead of uniform
+/// jumps, the access pattern the one-entry locality cache is built for.
+std::vector<geo::GeoPoint> TrackQueryPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::GeoPoint> out;
+  geo::GeoPoint p{rng.NextDouble(22.5, 27.5), rng.NextDouble(35.0, 41.0)};
+  for (int i = 0; i < n; ++i) {
+    if (i % 64 == 0) {
+      p = geo::GeoPoint{rng.NextDouble(22.5, 27.5),
+                        rng.NextDouble(35.0, 41.0)};
+    }
+    p.lon += rng.NextDouble(-0.002, 0.002);
+    p.lat += rng.NextDouble(-0.002, 0.002);
+    out.push_back(p);
+  }
+  return out;
+}
+
+// --- engine x area-count ----------------------------------------------------
+
+void BM_AreasCloseTo(benchmark::State& state) {
+  const KnowledgeBase kb = MakeKbWithAreas(static_cast<int>(state.range(1)),
+                                           11, EngineOf(state.range(0)));
+  const auto points = QueryPoints(1024, 12);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.AreasCloseTo(points[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(SpatialEngineName(kb.spatial_options().engine)));
+}
+BENCHMARK(BM_AreasCloseTo)
+    ->ArgsProduct({{0, 1, 2}, {35, 140, 560, 2240}});
+
+// --- tiered cell-size axis --------------------------------------------------
+
+void BM_AreasCloseTo_TieredCellDeg(benchmark::State& state) {
+  // range(0) is the cell size in millidegrees.
+  const double cell_deg = static_cast<double>(state.range(0)) / 1000.0;
+  const KnowledgeBase kb =
+      MakeKbWithAreas(560, 11, SpatialEngine::kTiered, cell_deg);
   const auto points = QueryPoints(1024, 12);
   size_t i = 0;
   for (auto _ : state) {
@@ -49,38 +108,41 @@ void BM_AreasCloseTo_Grid(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_AreasCloseTo_Grid)->Arg(35)->Arg(140)->Arg(560);
+BENCHMARK(BM_AreasCloseTo_TieredCellDeg)->Arg(5)->Arg(10)->Arg(20)->Arg(50)
+    ->Arg(100);
 
-void BM_AreasCloseTo_LinearScan(benchmark::State& state) {
-  // The ablation: distance check against every area, no index.
-  const KnowledgeBase kb = MakeKbWithAreas(static_cast<int>(state.range(0)),
-                                           11);
-  const auto points = QueryPoints(1024, 12);
-  size_t i = 0;
+// --- batched lookup (vessel-track access pattern) ---------------------------
+
+void BM_AreasCloseToAll(benchmark::State& state) {
+  const KnowledgeBase kb = MakeKbWithAreas(static_cast<int>(state.range(1)),
+                                           11, EngineOf(state.range(0)));
+  const auto points = TrackQueryPoints(1024, 12);
   for (auto _ : state) {
-    const geo::GeoPoint& p = points[i++ & 1023];
-    std::vector<int32_t> close;
-    for (const AreaInfo& a : kb.areas()) {
-      if (a.polygon.DistanceMeters(p) < kb.close_threshold_m()) {
-        close.push_back(a.id);
-      }
-    }
-    benchmark::DoNotOptimize(close);
+    benchmark::DoNotOptimize(kb.AreasCloseToAll(points));
   }
-  state.SetItemsProcessed(state.iterations());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+  state.SetLabel(std::string(SpatialEngineName(kb.spatial_options().engine)));
 }
-BENCHMARK(BM_AreasCloseTo_LinearScan)->Arg(35)->Arg(140)->Arg(560);
+BENCHMARK(BM_AreasCloseToAll)->ArgsProduct({{0, 1, 2}, {35, 560}});
+
+// --- PortContaining across engines ------------------------------------------
 
 void BM_PortContaining(benchmark::State& state) {
-  sim::World world = sim::BuildWorld(13);
+  sim::WorldParams params;
+  sim::World world = sim::BuildWorld(13, params);
+  SpatialOptions spatial;
+  spatial.engine = EngineOf(state.range(0));
+  KnowledgeBase kb(params.close_threshold_m, spatial);
+  for (const AreaInfo& a : world.knowledge.areas()) kb.AddArea(a);
   const auto points = QueryPoints(1024, 14);
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        world.knowledge.PortContaining(points[i++ & 1023]));
+    benchmark::DoNotOptimize(kb.PortContaining(points[i++ & 1023]));
   }
+  state.SetLabel(std::string(SpatialEngineName(kb.spatial_options().engine)));
 }
-BENCHMARK(BM_PortContaining);
+BENCHMARK(BM_PortContaining)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace maritime::surveillance

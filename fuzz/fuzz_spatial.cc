@@ -1,0 +1,156 @@
+// Fuzz target for the two-tier SpatialIndex: a byte-driven op stream of
+// interleaved Insert() and query calls, differentially checked against the
+// brute-force predicates the index claims to be exactly equivalent to
+// (`Polygon::DistanceMeters(p) < threshold`, `Polygon::Contains(p)`).
+// The generator biases toward the regimes where the conservative bounds
+// are easiest to get wrong: degenerate polygons (empty / point / segment),
+// antimeridian-adjacent longitudes, high latitudes, out-of-domain extremes
+// (NaN / inf / |lon| > 180), zero and non-finite thresholds, and tiny
+// max_cells_per_polygon values that force the overflow fallback.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "geo/polygon.h"
+#include "geo/spatial_index.h"
+
+namespace {
+
+using maritime::geo::GeoPoint;
+using maritime::geo::Polygon;
+using maritime::geo::SpatialIndex;
+
+/// Exhausted input yields zeros, so every stream is well-defined.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8() { return pos_ < size_ ? data_[pos_++] : 0; }
+  uint16_t U16() {
+    const uint16_t lo = U8();
+    return static_cast<uint16_t>(lo | (static_cast<uint16_t>(U8()) << 8));
+  }
+  double Unit() { return U16() / 65535.0; }  // in [0, 1]
+  bool done() const { return pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+GeoPoint NextPoint(ByteReader& in, double base_lon, double base_lat) {
+  const uint8_t mode = in.U8() % 16;
+  if (mode < 9) {  // dense cluster around the run's base point
+    return GeoPoint{base_lon + (in.Unit() - 0.5) * 0.8,
+                    base_lat + (in.Unit() - 0.5) * 0.8};
+  }
+  if (mode < 12) {  // antimeridian-adjacent, wrapped into [-180, 180]
+    double lon = 179.8 + in.Unit() * 0.4;
+    if (lon > 180.0) lon -= 360.0;
+    return GeoPoint{lon, -60.0 + in.Unit() * 120.0};
+  }
+  if (mode < 14) {  // high latitude (longitude margin saturation)
+    return GeoPoint{-180.0 + in.Unit() * 360.0, 83.0 + in.Unit() * 7.0};
+  }
+  if (mode == 14) {  // anywhere in the valid domain
+    return GeoPoint{-180.0 + in.Unit() * 360.0, -90.0 + in.Unit() * 180.0};
+  }
+  // Out-of-domain extremes (brute-fallback paths).
+  static constexpr double kWeird[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      1e9,
+      -1e9,
+      200.0,
+      -200.0,
+      91.0,
+  };
+  GeoPoint p{kWeird[in.U8() % 8], kWeird[in.U8() % 8]};
+  if (in.U8() % 2 == 0) p.lat = base_lat;  // only one coordinate weird
+  return p;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ByteReader in(data, size);
+
+  const double cell_deg = 1e-3 + in.Unit() * 0.5;
+  double threshold = in.Unit() * 20000.0;
+  switch (in.U8() % 16) {
+    case 0:
+      threshold = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case 1:
+      threshold = std::numeric_limits<double>::infinity();
+      break;
+    case 2:
+      threshold = 0.0;
+      break;
+    default:
+      break;
+  }
+  const double base_lon = -170.0 + in.Unit() * 340.0;
+  const double base_lat = -80.0 + in.Unit() * 160.0;
+
+  SpatialIndex::Options options;
+  options.cell_deg = cell_deg;
+  // Small enough that inserts stay cheap, small values force overflow.
+  options.max_cells_per_polygon = 64 + in.U16() % 4096;
+  SpatialIndex index(threshold, options);
+  SpatialIndex::Cache cache;
+
+  std::vector<std::pair<int32_t, Polygon>> polys;  // brute-force oracle
+  std::vector<int32_t> got;
+  std::vector<int32_t> want;
+  int32_t next_id = 0;
+
+  for (int ops = 0; !in.done() && ops < 48; ++ops) {
+    const uint8_t op = in.U8();
+    if (op % 16 == 0) {
+      // Copy + move-assign round trip: cells must survive, and the
+      // generation stamp must change so `cache` can never alias freed cells.
+      SpatialIndex copy = index;
+      index = std::move(copy);
+      continue;
+    }
+    if (polys.size() < 12 && (polys.empty() || op % 3 != 0)) {
+      const int n = in.U8() % 9;  // 0..8 vertices, degenerate included
+      std::vector<GeoPoint> vs;
+      vs.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) vs.push_back(NextPoint(in, base_lon, base_lat));
+      Polygon poly(std::move(vs));
+      index.Insert(next_id, poly);
+      polys.emplace_back(next_id, std::move(poly));
+      ++next_id;
+      continue;
+    }
+    const GeoPoint p = NextPoint(in, base_lon, base_lat);
+    want.clear();
+    for (const auto& [id, poly] : polys) {
+      if (poly.DistanceMeters(p) < threshold) want.push_back(id);
+    }
+    index.AreasCloseTo(p, &got, &cache);
+    MARITIME_DCHECK(got == want);  // same ids, same (sorted) order
+    MARITIME_DCHECK(index.AnyClose(p, &cache) == !want.empty());
+    want.clear();
+    for (const auto& [id, poly] : polys) {
+      if (poly.Contains(p)) want.push_back(id);
+    }
+    index.AreasContaining(p, &got, &cache);
+    MARITIME_DCHECK(got == want);
+    for (const auto& [id, poly] : polys) {
+      MARITIME_DCHECK(index.Close(p, id, &cache) ==
+                      (poly.DistanceMeters(p) < threshold));
+      MARITIME_DCHECK(index.Contains(p, id, &cache) == poly.Contains(p));
+    }
+  }
+  return 0;
+}

@@ -4,7 +4,7 @@
 //
 //   fuzz_make_corpus <output-root>
 //
-// writes <output-root>/{scanner,sixbit,csv}/seed-*.
+// writes <output-root>/{scanner,sixbit,csv,spatial}/seed-*.
 
 #include <algorithm>
 #include <cstdio>
@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
   const auto scanner_dir = root / "scanner";
   const auto sixbit_dir = root / "sixbit";
   const auto csv_dir = root / "csv";
-  for (const auto& dir : {scanner_dir, sixbit_dir, csv_dir}) {
+  const auto spatial_dir = root / "spatial";
+  for (const auto& dir : {scanner_dir, sixbit_dir, csv_dir, spatial_dir}) {
     std::filesystem::create_directories(dir);
   }
 
@@ -113,7 +114,29 @@ int main(int argc, char** argv) {
     WriteSeed(csv_dir, csv_seeds++, maritime::stream::WritePositionsCsv(chunk));
   }
 
-  std::printf("corpus: %d scanner, %d sixbit, %d csv seeds under %s\n",
-              scanner_seeds, sixbit_seeds, csv_seeds, root.c_str());
+  // Spatial seeds: the fuzz_spatial grammar is a self-describing byte
+  // stream (header picks cell size / threshold / base point, then an
+  // interleaved insert/query op stream), so deterministic pseudo-random
+  // buffers with distinct seeds already cover distinct regimes; the
+  // boundary buffers pin the all-zeros and all-ones header decodings.
+  int spatial_seeds = 0;
+  for (uint64_t s = 1; s <= 6; ++s) {
+    std::string bytes(512, '\0');
+    uint64_t x = s * 0x9e3779b97f4a7c15ull;
+    for (char& b : bytes) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      b = static_cast<char>(x);
+    }
+    WriteSeed(spatial_dir, spatial_seeds++, bytes);
+  }
+  WriteSeed(spatial_dir, spatial_seeds++, std::string(64, '\0'));
+  WriteSeed(spatial_dir, spatial_seeds++, std::string(64, '\xff'));
+
+  std::printf("corpus: %d scanner, %d sixbit, %d csv, %d spatial seeds "
+              "under %s\n",
+              scanner_seeds, sixbit_seeds, csv_seeds, spatial_seeds,
+              root.c_str());
   return 0;
 }

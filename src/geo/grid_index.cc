@@ -1,22 +1,65 @@
 #include "geo/grid_index.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace maritime::geo {
 
 GridIndex::CellKey GridIndex::KeyFor(double lon, double lat) const {
-  const int32_t cx = static_cast<int32_t>(std::floor((lon + 180.0) / cell_deg_));
-  const int32_t cy = static_cast<int32_t>(std::floor((lat + 90.0) / cell_deg_));
-  return (static_cast<int64_t>(cx) << 32) | static_cast<uint32_t>(cy);
+  const int64_t cx = static_cast<int64_t>(std::floor((lon + 180.0) /
+                                                     cell_deg_));
+  const int64_t cy = static_cast<int64_t>(std::floor((lat + 90.0) /
+                                                     cell_deg_));
+  return (cx << 32) | static_cast<uint32_t>(static_cast<int32_t>(cy));
 }
 
-void GridIndex::Insert(int32_t id, const Polygon& poly, double margin_deg) {
-  const BoundingBox box = poly.bbox().Expanded(margin_deg);
-  for (double lon = box.min_lon; lon <= box.max_lon + cell_deg_;
-       lon += cell_deg_) {
-    for (double lat = box.min_lat; lat <= box.max_lat + cell_deg_;
-         lat += cell_deg_) {
-      cells_[KeyFor(lon, lat)].push_back(id);
+void GridIndex::Insert(int32_t id, const Polygon& poly, double lon_margin_deg,
+                       double lat_margin_deg) {
+  const BoundingBox box = poly.bbox();
+  const double lat_lo = std::max(-90.0, box.min_lat - lat_margin_deg);
+  const double lat_hi = std::min(90.0, box.max_lat + lat_margin_deg);
+  const double lon_lo = box.min_lon - lon_margin_deg;
+  const double lon_hi = box.max_lon + lon_margin_deg;
+  const double eps = cell_deg_ * 1e-9;
+  const int64_t iy0 =
+      static_cast<int64_t>(std::floor((lat_lo - eps + 90.0) / cell_deg_));
+  const int64_t iy1 =
+      static_cast<int64_t>(std::floor((lat_hi + eps + 90.0) / cell_deg_));
+
+  // Candidate longitude intervals: the expanded interval and its +-360
+  // images (Haversine wraps longitude), clipped to the valid domain and
+  // merged so no cell is registered twice.
+  std::vector<std::pair<int64_t, int64_t>> spans;
+  const auto cell_x = [this](double lon) {
+    return static_cast<int64_t>(std::floor((lon + 180.0) / cell_deg_));
+  };
+  if (lon_hi - lon_lo >= 360.0) {
+    spans.emplace_back(cell_x(-180.0 - eps), cell_x(180.0 + eps));
+  } else {
+    for (int k = -1; k <= 1; ++k) {
+      const double lo = std::max(-180.0, lon_lo + 360.0 * k);
+      const double hi = std::min(180.0, lon_hi + 360.0 * k);
+      if (lo <= hi) spans.emplace_back(cell_x(lo - eps), cell_x(hi + eps));
+    }
+    std::sort(spans.begin(), spans.end());
+    size_t w = 0;
+    for (size_t r = 1; r < spans.size(); ++r) {
+      if (spans[r].first <= spans[w].second + 1) {
+        spans[w].second = std::max(spans[w].second, spans[r].second);
+      } else {
+        spans[++w] = spans[r];
+      }
+    }
+    spans.resize(w + 1);
+  }
+
+  for (const auto& [x0, x1] : spans) {
+    for (int64_t ix = x0; ix <= x1; ++ix) {
+      for (int64_t iy = iy0; iy <= iy1; ++iy) {
+        cells_[(ix << 32) | static_cast<uint32_t>(static_cast<int32_t>(iy))]
+            .push_back(id);
+      }
     }
   }
 }

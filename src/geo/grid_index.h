@@ -19,10 +19,15 @@ class GridIndex {
   /// `cell_deg` is the cell edge length in degrees (default ~0.25° ≈ 25 km).
   explicit GridIndex(double cell_deg = 0.25) : cell_deg_(cell_deg) {}
 
-  /// Registers polygon `id` covering `poly`'s bbox expanded by `margin_deg`
-  /// (use the `close` threshold converted to degrees so proximity queries
-  /// still find the polygon).
-  void Insert(int32_t id, const Polygon& poly, double margin_deg);
+  /// Registers polygon `id` covering `poly`'s bbox expanded by
+  /// `lon_margin_deg` / `lat_margin_deg` (derive them from the `close`
+  /// threshold via CloseLonMarginDeg/CloseLatMarginDeg so proximity queries
+  /// still find the polygon — longitude degrees shrink by cos(lat), so the
+  /// two margins differ away from the equator). Expansions crossing the
+  /// antimeridian are mirrored to the other side, matching the wrap of the
+  /// Haversine distance.
+  void Insert(int32_t id, const Polygon& poly, double lon_margin_deg,
+              double lat_margin_deg);
 
   /// Ids whose expanded bbox covers the cell containing `p`. May contain
   /// false positives (caller re-checks exact distance); never false

@@ -5,11 +5,7 @@
 #include <limits>
 
 namespace maritime::geo {
-namespace {
 
-// Distance from point p to the segment (a,b), computed in a local planar
-// approximation (degrees scaled by cos(lat) in longitude), then converted to
-// meters via Haversine on the closest point.
 double DistanceToSegmentMeters(const GeoPoint& p, const GeoPoint& a,
                                const GeoPoint& b) {
   const double coslat = std::cos(DegToRad(p.lat));
@@ -27,8 +23,6 @@ double DistanceToSegmentMeters(const GeoPoint& p, const GeoPoint& a,
   const GeoPoint closest = Interpolate(a, b, t);
   return HaversineMeters(p, closest);
 }
-
-}  // namespace
 
 Polygon::Polygon(std::vector<GeoPoint> vertices)
     : vertices_(std::move(vertices)) {

@@ -7,6 +7,14 @@
 
 namespace maritime::geo {
 
+/// Distance from point `p` to the segment (a, b), computed in a local planar
+/// approximation (degrees scaled by cos(lat) in longitude), then converted to
+/// meters via Haversine on the closest point. This is the per-edge step of
+/// Polygon::DistanceMeters, exposed so spatial indexes that prune edges can
+/// reproduce the full scan bit for bit.
+double DistanceToSegmentMeters(const GeoPoint& p, const GeoPoint& a,
+                               const GeoPoint& b);
+
 /// Axis-aligned bounding box in lon/lat degrees.
 struct BoundingBox {
   double min_lon = 0.0;

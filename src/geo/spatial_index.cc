@@ -1,0 +1,535 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <utility>
+
+namespace maritime::geo {
+namespace {
+
+/// Source of globally unique generation stamps: a cache can only hit when
+/// its stamp equals the index's current stamp, and no two (index, build
+/// state) pairs ever share one — so a stale cache can never alias a pointer
+/// into a different or rebuilt index.
+std::atomic<uint64_t> g_spatial_generation{1};
+
+/// The conservative bounds below are proved for the valid geographic
+/// domain; anything outside it is answered by brute force instead.
+bool InDomain(const GeoPoint& p) {
+  // NaN and +/-inf both fail the range comparisons, so no isfinite needed.
+  return p.lon >= -180.0 && p.lon <= 180.0 && p.lat >= -90.0 && p.lat <= 90.0;
+}
+
+bool InDomain(const Polygon& poly) {
+  for (const GeoPoint& v : poly.vertices()) {
+    if (!InDomain(v)) return false;
+  }
+  return true;
+}
+
+double IntervalSepDeg(double a_lo, double a_hi, double b_lo, double b_hi) {
+  return std::max({0.0, b_lo - a_hi, a_lo - b_hi});
+}
+
+double MaxAbsLatDeg(const BoundingBox& box) {
+  return std::clamp(std::max(std::fabs(box.min_lat), std::fabs(box.max_lat)),
+                    0.0, 90.0);
+}
+
+/// Lower bound on HaversineMeters(p, q) over all p in `a`, q in `b` (both
+/// within the valid domain, up to the small cell-rect epsilon): the
+/// latitude term uses d >= R * |dphi|; the longitude term uses
+/// d >= 2R asin(sqrt(cos(phi_a) cos(phi_b)) * sin(dlambda/2)) with the
+/// wrapped interval separation, both read off the Haversine formula itself.
+double BoxLowerBoundMeters(const BoundingBox& a, const BoundingBox& b) {
+  const double lat_sep =
+      IntervalSepDeg(a.min_lat, a.max_lat, b.min_lat, b.max_lat);
+  const double lb_lat = kEarthRadiusMeters * DegToRad(lat_sep);
+  double dlon = std::min(
+      IntervalSepDeg(a.min_lon, a.max_lon, b.min_lon, b.max_lon),
+      std::min(IntervalSepDeg(a.min_lon, a.max_lon, b.min_lon + 360.0,
+                              b.max_lon + 360.0),
+               IntervalSepDeg(a.min_lon, a.max_lon, b.min_lon - 360.0,
+                              b.max_lon - 360.0)));
+  dlon = std::min(dlon, 180.0);
+  const double scale = std::sqrt(
+      std::max(0.0, std::cos(DegToRad(MaxAbsLatDeg(a))) *
+                        std::cos(DegToRad(MaxAbsLatDeg(b)))));
+  const double lb_lon =
+      2.0 * kEarthRadiusMeters *
+      std::asin(std::clamp(scale * std::sin(DegToRad(dlon) / 2.0), 0.0, 1.0));
+  return std::max(lb_lat, lb_lon);
+}
+
+bool Overlaps(const BoundingBox& a, const BoundingBox& b) {
+  return a.min_lon <= b.max_lon && b.min_lon <= a.max_lon &&
+         a.min_lat <= b.max_lat && b.min_lat <= a.max_lat;
+}
+
+/// Relative + absolute slack absorbing floating-point error in the bound
+/// computations: misclassifying by the slack only turns a cell/edge into a
+/// "boundary" case (re-checked exactly at query time), never the reverse.
+double IncludeBound(double threshold_m) {
+  return threshold_m * (1.0 + 1e-9) + 1e-6;
+}
+
+}  // namespace
+
+double CloseLatMarginDeg(double threshold_m) {
+  if (!(threshold_m > 0.0)) return 0.0;
+  return RadToDeg(std::min(threshold_m / kEarthRadiusMeters, kPi));
+}
+
+double CloseLonMarginDeg(double threshold_m, double max_abs_lat_deg) {
+  if (!(threshold_m > 0.0)) return 0.0;
+  const double s =
+      std::sin(std::min(threshold_m / kEarthRadiusMeters, kPi) / 2.0);
+  const double c = std::cos(DegToRad(std::clamp(max_abs_lat_deg, 0.0, 90.0)));
+  if (c <= s) return 180.0;  // polar saturation: no longitude pruning
+  return RadToDeg(2.0 * std::asin(std::min(1.0, s / c)));
+}
+
+SpatialIndex::SpatialIndex(double close_threshold_m)
+    : SpatialIndex(close_threshold_m, Options()) {}
+
+SpatialIndex::SpatialIndex(double close_threshold_m, Options options)
+    : threshold_m_(close_threshold_m) {
+  const double cd = options.cell_deg;
+  cell_deg_ = std::isfinite(cd) && cd > 0.0 ? std::clamp(cd, 1e-3, 45.0)
+                                            : Options().cell_deg;
+  inv_cell_deg_ = 1.0 / cell_deg_;
+  max_cells_ = options.max_cells_per_polygon;
+  BumpGeneration();
+}
+
+SpatialIndex::SpatialIndex(const SpatialIndex& other)
+    : threshold_m_(other.threshold_m_),
+      cell_deg_(other.cell_deg_),
+      inv_cell_deg_(other.inv_cell_deg_),
+      max_cells_(other.max_cells_),
+      slots_(other.slots_),
+      slot_of_(other.slot_of_),
+      overflow_(other.overflow_),
+      table_(other.table_),
+      cell_storage_(other.cell_storage_),
+      edge_pool_(other.edge_pool_) {
+  BumpGeneration();
+}
+
+SpatialIndex& SpatialIndex::operator=(const SpatialIndex& other) {
+  if (this == &other) return *this;
+  threshold_m_ = other.threshold_m_;
+  cell_deg_ = other.cell_deg_;
+  inv_cell_deg_ = other.inv_cell_deg_;
+  max_cells_ = other.max_cells_;
+  slots_ = other.slots_;
+  slot_of_ = other.slot_of_;
+  overflow_ = other.overflow_;
+  table_ = other.table_;
+  cell_storage_ = other.cell_storage_;
+  edge_pool_ = other.edge_pool_;
+  BumpGeneration();
+  return *this;
+}
+
+SpatialIndex::SpatialIndex(SpatialIndex&& other) noexcept
+    : threshold_m_(other.threshold_m_),
+      cell_deg_(other.cell_deg_),
+      inv_cell_deg_(other.inv_cell_deg_),
+      max_cells_(other.max_cells_),
+      slots_(std::move(other.slots_)),
+      slot_of_(std::move(other.slot_of_)),
+      overflow_(std::move(other.overflow_)),
+      table_(std::move(other.table_)),
+      cell_storage_(std::move(other.cell_storage_)),
+      edge_pool_(std::move(other.edge_pool_)) {
+  BumpGeneration();
+  other.BumpGeneration();  // its cells moved away; kill stale cache hits
+}
+
+SpatialIndex& SpatialIndex::operator=(SpatialIndex&& other) noexcept {
+  if (this == &other) return *this;
+  threshold_m_ = other.threshold_m_;
+  cell_deg_ = other.cell_deg_;
+  inv_cell_deg_ = other.inv_cell_deg_;
+  max_cells_ = other.max_cells_;
+  slots_ = std::move(other.slots_);
+  slot_of_ = std::move(other.slot_of_);
+  overflow_ = std::move(other.overflow_);
+  table_ = std::move(other.table_);
+  cell_storage_ = std::move(other.cell_storage_);
+  edge_pool_ = std::move(other.edge_pool_);
+  BumpGeneration();
+  other.BumpGeneration();
+  return *this;
+}
+
+void SpatialIndex::BumpGeneration() {
+  generation_ = g_spatial_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t SpatialIndex::MixKey(int64_t key) {
+  // SplitMix64 finalizer: cell keys are highly regular ((ix<<32)|iy), so
+  // the bits must be mixed before masking to a power-of-two bucket count.
+  uint64_t x = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+const SpatialIndex::Cell* SpatialIndex::FindCell(int64_t key) const {
+  if (table_.keys.empty()) return nullptr;
+  const size_t mask = table_.keys.size() - 1;
+  for (size_t i = MixKey(key) & mask;; i = (i + 1) & mask) {
+    const int64_t k = table_.keys[i];
+    if (k == key) return &cell_storage_[table_.vals[i]];
+    if (k == CellTable::kEmptyKey) return nullptr;
+  }
+}
+
+void SpatialIndex::RehashCells(size_t new_capacity) {
+  CellTable next;
+  next.keys.assign(new_capacity, CellTable::kEmptyKey);
+  next.vals.resize(new_capacity);
+  next.size = table_.size;
+  const size_t mask = new_capacity - 1;
+  for (size_t i = 0; i < table_.keys.size(); ++i) {
+    if (table_.keys[i] == CellTable::kEmptyKey) continue;
+    size_t j = MixKey(table_.keys[i]) & mask;
+    while (next.keys[j] != CellTable::kEmptyKey) j = (j + 1) & mask;
+    next.keys[j] = table_.keys[i];
+    next.vals[j] = table_.vals[i];
+  }
+  table_ = std::move(next);
+}
+
+SpatialIndex::Cell& SpatialIndex::CellForInsert(int64_t key) {
+  // Grow at 70% load; capacity stays a power of two.
+  if (table_.keys.empty() ||
+      (table_.size + 1) * 10 > table_.keys.size() * 7) {
+    RehashCells(table_.keys.empty() ? 64 : table_.keys.size() * 2);
+  }
+  const size_t mask = table_.keys.size() - 1;
+  size_t i = MixKey(key) & mask;
+  while (table_.keys[i] != CellTable::kEmptyKey) {
+    if (table_.keys[i] == key) return cell_storage_[table_.vals[i]];
+    i = (i + 1) & mask;
+  }
+  table_.keys[i] = key;
+  table_.vals[i] = static_cast<uint32_t>(cell_storage_.size());
+  ++table_.size;
+  cell_storage_.emplace_back();
+  return cell_storage_.back();
+}
+
+int64_t SpatialIndex::CellX(double lon) const {
+  // Multiply by the reciprocal instead of dividing: both the insert-time
+  // enumeration and the query path use this same function, and floor of a
+  // monotone map keeps the coverage argument intact; the insert-time cell
+  // epsilons absorb the sub-ulp difference from a true division.
+  return static_cast<int64_t>(std::floor((lon + 180.0) * inv_cell_deg_));
+}
+
+int64_t SpatialIndex::CellY(double lat) const {
+  return static_cast<int64_t>(std::floor((lat + 90.0) * inv_cell_deg_));
+}
+
+void SpatialIndex::Insert(int32_t id, const Polygon& poly) {
+  BumpGeneration();
+  const uint32_t slot = static_cast<uint32_t>(slots_.size());
+  slots_.push_back(Slot{id, poly, false});
+  slot_of_[id] = slot;
+  // An empty polygon contains nothing and has infinite distance: no cells.
+  if (poly.empty()) return;
+  if (!InDomain(poly) || !std::isfinite(threshold_m_)) {
+    slots_[slot].overflow = true;
+    overflow_.push_back(slot);
+    return;
+  }
+
+  // Edge set mirroring Polygon::DistanceMeters: the n closing edges for
+  // n >= 2; for n == 1 a single degenerate edge (a == b), whose segment
+  // distance is exactly the Haversine distance to the vertex.
+  const std::vector<GeoPoint>& vs = poly.vertices();
+  std::vector<Edge> edges;
+  if (vs.size() == 1) {
+    edges.push_back(Edge{vs[0], vs[0]});
+  } else {
+    for (size_t i = 0, j = vs.size() - 1; i < vs.size(); j = i++) {
+      edges.push_back(Edge{vs[j], vs[i]});
+    }
+  }
+  std::vector<BoundingBox> edge_boxes;
+  edge_boxes.reserve(edges.size());
+  for (const Edge& e : edges) {
+    edge_boxes.push_back(BoundingBox{
+        std::min(e.a.lon, e.b.lon), std::min(e.a.lat, e.b.lat),
+        std::max(e.a.lon, e.b.lon), std::max(e.a.lat, e.b.lat)});
+  }
+
+  // Neighborhood of the polygon that can be anything other than all-far:
+  // the bbox expanded by the latitude margin, then by the longitude margin
+  // at the worst latitude of the expanded band. Any point outside it is
+  // provably at distance >= threshold (and outside the polygon).
+  const BoundingBox box = poly.bbox();
+  const double theta = std::max(threshold_m_, 0.0);
+  const double mlat = CloseLatMarginDeg(theta) * 1.0000001 + 1e-9;
+  const double lat_lo = std::max(-90.0, box.min_lat - mlat);
+  const double lat_hi = std::min(90.0, box.max_lat + mlat);
+  const double phim = std::max(std::fabs(lat_lo), std::fabs(lat_hi));
+  const double mlon = CloseLonMarginDeg(theta, phim) * 1.0000001 + 1e-9;
+  const double eps = cell_deg_ * 1e-9;
+  const int64_t iy0 = CellY(lat_lo - eps);
+  const int64_t iy1 = CellY(lat_hi + eps);
+
+  // Candidate longitude intervals: the expanded interval and its +-360
+  // images (the Haversine formula wraps longitude, so a polygon hugging one
+  // side of the antimeridian is close to query points on the other side),
+  // clipped to the valid domain and merged as integer cell spans.
+  std::vector<std::pair<int64_t, int64_t>> spans;
+  const double lon_lo = box.min_lon - mlon;
+  const double lon_hi = box.max_lon + mlon;
+  if (lon_hi - lon_lo >= 360.0) {
+    spans.emplace_back(CellX(-180.0 - eps), CellX(180.0 + eps));
+  } else {
+    for (int k = -1; k <= 1; ++k) {
+      const double lo = std::max(-180.0, lon_lo + 360.0 * k);
+      const double hi = std::min(180.0, lon_hi + 360.0 * k);
+      if (lo <= hi) spans.emplace_back(CellX(lo - eps), CellX(hi + eps));
+    }
+    std::sort(spans.begin(), spans.end());
+    size_t w = 0;
+    for (size_t r = 1; r < spans.size(); ++r) {
+      if (spans[r].first <= spans[w].second + 1) {
+        spans[w].second = std::max(spans[w].second, spans[r].second);
+      } else {
+        spans[++w] = spans[r];
+      }
+    }
+    spans.resize(w + 1);
+  }
+
+  int64_t total_cells = 0;
+  for (const auto& [x0, x1] : spans) total_cells += x1 - x0 + 1;
+  total_cells *= iy1 - iy0 + 1;
+  if (total_cells < 0 ||
+      static_cast<uint64_t>(total_cells) > static_cast<uint64_t>(max_cells_)) {
+    slots_[slot].overflow = true;
+    overflow_.push_back(slot);
+    return;
+  }
+
+  for (const auto& [x0, x1] : spans) {
+    InsertCells(slot, x0, x1, iy0, iy1, edges, edge_boxes);
+  }
+}
+
+void SpatialIndex::InsertCells(uint32_t slot, int64_t ix0, int64_t ix1,
+                               int64_t iy0, int64_t iy1,
+                               const std::vector<Edge>& edges,
+                               const std::vector<BoundingBox>& edge_boxes) {
+  const Polygon& poly = slots_[slot].poly;
+  const int32_t id = slots_[slot].id;
+  // Expand the cell rectangle a hair so every point KeyFor maps into the
+  // cell is covered despite floor() rounding at the cell boundaries.
+  const double eps = cell_deg_ * 1e-9;
+  const double include_bound = IncludeBound(std::max(threshold_m_, 0.0));
+  for (int64_t ix = ix0; ix <= ix1; ++ix) {
+    for (int64_t iy = iy0; iy <= iy1; ++iy) {
+      const BoundingBox rect{
+          static_cast<double>(ix) * cell_deg_ - 180.0 - eps,
+          static_cast<double>(iy) * cell_deg_ - 90.0 - eps,
+          static_cast<double>(ix + 1) * cell_deg_ - 180.0 + eps,
+          static_cast<double>(iy + 1) * cell_deg_ - 90.0 + eps};
+      // Tier 2: the bucket of edges that could be within the threshold of
+      // some cell point; excluded edges provably cannot flip the answer.
+      const uint32_t edges_begin = static_cast<uint32_t>(edge_pool_.size());
+      bool edge_may_cross = false;
+      for (size_t e = 0; e < edges.size(); ++e) {
+        if (Overlaps(rect, edge_boxes[e])) edge_may_cross = true;
+        if (BoxLowerBoundMeters(rect, edge_boxes[e]) < include_bound) {
+          edge_pool_.push_back(edges[e]);
+        }
+      }
+      // Containment tri-state: if no edge's bbox overlaps the cell, no edge
+      // crosses it, so ray-cast parity is constant across the cell and one
+      // representative test decides it for every query point.
+      ContainLabel contain;
+      if (edge_may_cross) {
+        contain = ContainLabel::kBoundary;
+      } else {
+        const GeoPoint center{
+            (static_cast<double>(ix) + 0.5) * cell_deg_ - 180.0,
+            (static_cast<double>(iy) + 0.5) * cell_deg_ - 90.0};
+        contain = poly.Contains(center) ? ContainLabel::kInside
+                                        : ContainLabel::kOutside;
+      }
+      CellEntry entry;
+      entry.id = id;
+      entry.slot = slot;
+      entry.contain = contain;
+      if (contain == ContainLabel::kInside) {
+        // Every cell point is inside: distance 0, no tier-2 bucket needed.
+        entry.close = CloseLabel::kAllClose;
+        edge_pool_.resize(edges_begin);
+        entry.edges_begin = entry.edges_end = edges_begin;
+      } else {
+        entry.close = CloseLabel::kBoundary;
+        entry.edges_begin = edges_begin;
+        entry.edges_end = static_cast<uint32_t>(edge_pool_.size());
+        if (contain == ContainLabel::kOutside &&
+            entry.edges_begin == entry.edges_end) {
+          continue;  // all-far: provably never close, never containing
+        }
+      }
+      std::vector<CellEntry>& entries = CellForInsert(KeyOf(ix, iy)).entries;
+      const auto pos = std::lower_bound(
+          entries.begin(), entries.end(), id,
+          [](const CellEntry& e, int32_t want) { return e.id < want; });
+      entries.insert(pos, entry);
+    }
+  }
+}
+
+const SpatialIndex::Cell* SpatialIndex::LookupCell(const GeoPoint& p,
+                                                   Cache* cache) const {
+  const int64_t key = KeyOf(CellX(p.lon), CellY(p.lat));
+  if (cache != nullptr && cache->generation_ == generation_ &&
+      cache->key_ == key) {
+    return static_cast<const Cell*>(cache->cell_);
+  }
+  const Cell* cell = FindCell(key);
+  if (cache != nullptr) {
+    cache->generation_ = generation_;
+    cache->key_ = key;
+    cache->cell_ = cell;
+  }
+  return cell;
+}
+
+bool SpatialIndex::EntryContains(const CellEntry& e, const GeoPoint& p) const {
+  switch (e.contain) {
+    case ContainLabel::kInside:
+      return true;
+    case ContainLabel::kOutside:
+      return false;
+    case ContainLabel::kBoundary:
+      return slots_[e.slot].poly.Contains(p);
+  }
+  return false;
+}
+
+bool SpatialIndex::EntryClose(const CellEntry& e, const GeoPoint& p) const {
+  const bool close_when_inside = threshold_m_ > 0.0;
+  if (e.close == CloseLabel::kAllClose) return close_when_inside;
+  if (EntryContains(e, p)) return close_when_inside;
+  for (uint32_t i = e.edges_begin; i < e.edges_end; ++i) {
+    if (DistanceToSegmentMeters(p, edge_pool_[i].a, edge_pool_[i].b) <
+        threshold_m_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SpatialIndex::Close(const GeoPoint& p, int32_t id, Cache* cache) const {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  const Slot& slot = slots_[it->second];
+  if (slot.overflow || !InDomain(p)) {
+    return slot.poly.DistanceMeters(p) < threshold_m_;
+  }
+  const Cell* cell = LookupCell(p, cache);
+  if (cell == nullptr) return false;
+  const auto pos = std::lower_bound(
+      cell->entries.begin(), cell->entries.end(), id,
+      [](const CellEntry& e, int32_t want) { return e.id < want; });
+  if (pos == cell->entries.end() || pos->id != id) return false;
+  return EntryClose(*pos, p);
+}
+
+bool SpatialIndex::Contains(const GeoPoint& p, int32_t id, Cache* cache) const {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  const Slot& slot = slots_[it->second];
+  if (slot.overflow || !InDomain(p)) return slot.poly.Contains(p);
+  const Cell* cell = LookupCell(p, cache);
+  if (cell == nullptr) return false;
+  const auto pos = std::lower_bound(
+      cell->entries.begin(), cell->entries.end(), id,
+      [](const CellEntry& e, int32_t want) { return e.id < want; });
+  if (pos == cell->entries.end() || pos->id != id) return false;
+  return EntryContains(*pos, p);
+}
+
+void SpatialIndex::AreasCloseTo(const GeoPoint& p, std::vector<int32_t>* out,
+                                Cache* cache) const {
+  out->clear();
+  if (!InDomain(p)) {
+    for (const Slot& s : slots_) {
+      if (s.poly.DistanceMeters(p) < threshold_m_) out->push_back(s.id);
+    }
+    std::sort(out->begin(), out->end());
+    return;
+  }
+  const Cell* cell = LookupCell(p, cache);
+  if (cell != nullptr) {
+    for (const CellEntry& e : cell->entries) {
+      if (EntryClose(e, p)) out->push_back(e.id);
+    }
+  }
+  if (!overflow_.empty()) {
+    for (const uint32_t s : overflow_) {
+      if (slots_[s].poly.DistanceMeters(p) < threshold_m_) {
+        out->push_back(slots_[s].id);
+      }
+    }
+    std::sort(out->begin(), out->end());
+  }
+}
+
+bool SpatialIndex::AnyClose(const GeoPoint& p, Cache* cache) const {
+  if (!InDomain(p)) {
+    for (const Slot& s : slots_) {
+      if (s.poly.DistanceMeters(p) < threshold_m_) return true;
+    }
+    return false;
+  }
+  const Cell* cell = LookupCell(p, cache);
+  if (cell != nullptr) {
+    for (const CellEntry& e : cell->entries) {
+      if (EntryClose(e, p)) return true;
+    }
+  }
+  for (const uint32_t s : overflow_) {
+    if (slots_[s].poly.DistanceMeters(p) < threshold_m_) return true;
+  }
+  return false;
+}
+
+void SpatialIndex::AreasContaining(const GeoPoint& p, std::vector<int32_t>* out,
+                                   Cache* cache) const {
+  out->clear();
+  if (!InDomain(p)) {
+    for (const Slot& s : slots_) {
+      if (s.poly.Contains(p)) out->push_back(s.id);
+    }
+    std::sort(out->begin(), out->end());
+    return;
+  }
+  const Cell* cell = LookupCell(p, cache);
+  if (cell != nullptr) {
+    for (const CellEntry& e : cell->entries) {
+      if (EntryContains(e, p)) out->push_back(e.id);
+    }
+  }
+  if (!overflow_.empty()) {
+    for (const uint32_t s : overflow_) {
+      if (slots_[s].poly.Contains(p)) out->push_back(slots_[s].id);
+    }
+    std::sort(out->begin(), out->end());
+  }
+}
+
+}  // namespace maritime::geo

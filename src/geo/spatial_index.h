@@ -1,0 +1,187 @@
+#ifndef MARITIME_GEO_SPATIAL_INDEX_H_
+#define MARITIME_GEO_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/polygon.h"
+
+namespace maritime::geo {
+
+/// Grid-cell margin (degrees of latitude) guaranteeing that any point whose
+/// Haversine distance to a lon/lat box is below `threshold_m` lies within
+/// the margin of the box's latitude interval (d >= R * |delta phi|).
+double CloseLatMarginDeg(double threshold_m);
+
+/// Grid-cell margin (degrees of longitude) with the same guarantee for the
+/// longitude interval, at worst-case latitude `max_abs_lat_deg` (longitude
+/// degrees shrink by cos(lat); near the poles the margin saturates at 180,
+/// meaning no longitude-based pruning is possible).
+double CloseLonMarginDeg(double threshold_m, double max_abs_lat_deg);
+
+/// Two-tier spatial acceleration structure for the `close(Lon,Lat,Area)`
+/// predicate and for point-in-polygon lookups, exact with respect to the
+/// brute-force implementation (`Polygon::DistanceMeters(p) < threshold` and
+/// `Polygon::Contains(p)`).
+///
+/// Tier 1 — at Insert() time every grid cell overlapping a polygon's
+/// threshold neighborhood is classified per polygon:
+///   - all-close: the cell lies wholly inside the polygon (distance 0);
+///   - all-far:   conservative lower bounds prove every cell point is at
+///                distance >= threshold (such cells carry no entry at all);
+///   - boundary:  everything else — the exact predicate is re-evaluated at
+///                query time, but only against tier 2.
+/// Containment gets the same treatment: when no polygon edge can intersect
+/// the cell, the even-odd ray-cast parity is constant across the cell, so a
+/// single representative test at build time decides inside/outside for the
+/// whole cell; only cells the boundary may cross re-run the full test.
+///
+/// Tier 2 — each boundary cell stores the bucket of polygon edges whose
+/// conservative lower-bound distance to the cell is below the threshold.
+/// Edges excluded from the bucket can never satisfy `distance < threshold`
+/// for any point of the cell, so the boolean answer of the min-over-bucket
+/// scan equals the min-over-all-edges scan bit for bit (DESIGN.md section 8
+/// has the full exactness argument).
+///
+/// Inputs outside the valid geographic domain (non-finite coordinates, or
+/// |lon| > 180 / |lat| > 90, where the conservative bounds do not hold) and
+/// polygons whose neighborhood would need more than
+/// `Options::max_cells_per_polygon` cells fall back to the brute-force scan
+/// for exactly those polygons/queries, preserving exactness in all cases.
+class SpatialIndex {
+ public:
+  struct Options {
+    /// Cell edge length in degrees. Clamped to [1e-3, 45].
+    double cell_deg = 0.02;
+    /// Insertions needing more cells than this are kept un-indexed and
+    /// answered by brute force (guards degenerate/huge polygons).
+    size_t max_cells_per_polygon = 262144;
+  };
+
+  /// One-entry locality cache: consecutive queries from the same caller
+  /// almost always land in the same cell, so the cell lookup is skipped.
+  /// A cache may be reused across SpatialIndex instances; a generation
+  /// stamp (unique per index build state) invalidates it automatically.
+  class Cache {
+   public:
+    Cache() = default;
+
+   private:
+    friend class SpatialIndex;
+    uint64_t generation_ = 0;
+    int64_t key_ = 0;
+    const void* cell_ = nullptr;
+  };
+
+  explicit SpatialIndex(double close_threshold_m);
+  SpatialIndex(double close_threshold_m, Options options);
+
+  SpatialIndex(const SpatialIndex& other);
+  SpatialIndex& operator=(const SpatialIndex& other);
+  SpatialIndex(SpatialIndex&& other) noexcept;
+  SpatialIndex& operator=(SpatialIndex&& other) noexcept;
+
+  /// Registers `poly` under `id` (ids must be unique across insertions).
+  void Insert(int32_t id, const Polygon& poly);
+
+  /// Exact equivalent of `poly(id).DistanceMeters(p) < threshold`; false for
+  /// unknown ids.
+  bool Close(const GeoPoint& p, int32_t id, Cache* cache = nullptr) const;
+
+  /// Ids of all registered polygons close to `p`, sorted ascending.
+  void AreasCloseTo(const GeoPoint& p, std::vector<int32_t>* out,
+                    Cache* cache = nullptr) const;
+
+  /// True iff at least one registered polygon is close to `p`.
+  bool AnyClose(const GeoPoint& p, Cache* cache = nullptr) const;
+
+  /// Ids of all registered polygons containing `p` (exact equivalent of
+  /// `poly.Contains(p)`), sorted ascending.
+  void AreasContaining(const GeoPoint& p, std::vector<int32_t>* out,
+                       Cache* cache = nullptr) const;
+
+  /// Exact equivalent of `poly(id).Contains(p)`; false for unknown ids.
+  bool Contains(const GeoPoint& p, int32_t id, Cache* cache = nullptr) const;
+
+  double close_threshold_m() const { return threshold_m_; }
+  size_t polygon_count() const { return slots_.size(); }
+  size_t cell_count() const { return cell_storage_.size(); }
+  /// Polygons answered by brute force (domain/size fallback).
+  size_t overflow_count() const { return overflow_.size(); }
+
+ private:
+  enum class CloseLabel : uint8_t { kAllClose, kBoundary };
+  enum class ContainLabel : uint8_t { kInside, kOutside, kBoundary };
+
+  struct Edge {
+    GeoPoint a;
+    GeoPoint b;
+  };
+
+  struct CellEntry {
+    int32_t id = -1;
+    uint32_t slot = 0;
+    CloseLabel close = CloseLabel::kBoundary;
+    ContainLabel contain = ContainLabel::kOutside;
+    uint32_t edges_begin = 0;  ///< Tier-2 bucket range in edge_pool_.
+    uint32_t edges_end = 0;
+  };
+
+  struct Cell {
+    std::vector<CellEntry> entries;  ///< Sorted by id ascending.
+  };
+
+  struct Slot {
+    int32_t id = -1;
+    Polygon poly;
+    bool overflow = false;
+  };
+
+  /// Open-addressing hash table from cell key to an index into
+  /// `cell_storage_`. Power-of-two capacity so the lookup uses a mask
+  /// instead of std::unordered_map's prime-modulo division — the cell
+  /// lookup is the single hottest instruction sequence of every query.
+  struct CellTable {
+    /// Impossible key: |ix| is bounded by 540/cell_deg_min << 2^31, so the
+    /// high half of a real key never reaches INT32_MIN.
+    static constexpr int64_t kEmptyKey = std::numeric_limits<int64_t>::min();
+    std::vector<int64_t> keys;   ///< kEmptyKey marks a free bucket.
+    std::vector<uint32_t> vals;  ///< Parallel: index into cell_storage_.
+    size_t size = 0;             ///< Occupied buckets.
+  };
+
+  static int64_t KeyOf(int64_t ix, int64_t iy) {
+    return (ix << 32) | static_cast<uint32_t>(static_cast<int32_t>(iy));
+  }
+  static uint64_t MixKey(int64_t key);
+  int64_t CellX(double lon) const;
+  int64_t CellY(double lat) const;
+  const Cell* FindCell(int64_t key) const;
+  Cell& CellForInsert(int64_t key);
+  void RehashCells(size_t new_capacity);
+  const Cell* LookupCell(const GeoPoint& p, Cache* cache) const;
+  bool EntryClose(const CellEntry& e, const GeoPoint& p) const;
+  bool EntryContains(const CellEntry& e, const GeoPoint& p) const;
+  void InsertCells(uint32_t slot, int64_t ix0, int64_t ix1, int64_t iy0,
+                   int64_t iy1, const std::vector<Edge>& edges,
+                   const std::vector<BoundingBox>& edge_boxes);
+  void BumpGeneration();
+
+  double threshold_m_;
+  double cell_deg_;
+  double inv_cell_deg_;  ///< 1/cell_deg_, so hot lookups multiply, not divide.
+  size_t max_cells_;
+  uint64_t generation_ = 0;
+  std::vector<Slot> slots_;
+  std::unordered_map<int32_t, uint32_t> slot_of_;
+  std::vector<uint32_t> overflow_;  ///< Slot indices answered by brute force.
+  CellTable table_;
+  std::vector<Cell> cell_storage_;
+  std::vector<Edge> edge_pool_;
+};
+
+}  // namespace maritime::geo
+
+#endif  // MARITIME_GEO_SPATIAL_INDEX_H_

@@ -43,7 +43,7 @@ struct CeEnv {
     }
     const auto coord = ctx.CoordAt(vessel, t);
     if (!coord.has_value()) return false;  // unknown position: stay silent
-    return kb->AreasCloseTo(*coord, AreaKind::kPort).empty();
+    return !kb->AnyAreaCloseTo(*coord, AreaKind::kPort);
   }
 
   /// Areas of `kind` close to the vessel at `t`.

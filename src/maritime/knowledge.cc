@@ -1,8 +1,38 @@
 #include "maritime/knowledge.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace maritime::surveillance {
+
+namespace {
+
+/// Per-thread one-entry locality cache shared by all KnowledgeBase spatial
+/// queries on that thread. The rule closures of the recognizer run
+/// concurrently across keys, so the cache must not live in the (shared)
+/// KnowledgeBase itself; a generation stamp keeps it safe to reuse across
+/// different SpatialIndex instances on the same thread.
+geo::SpatialIndex::Cache& TlsSpatialCache() {
+  static thread_local geo::SpatialIndex::Cache cache;
+  return cache;
+}
+
+/// Scratch id buffer for tiered queries whose result is not returned to the
+/// caller (PortContaining, AnyAreaCloseTo): reusing it avoids an allocation
+/// per call. Never held across calls into other KnowledgeBase methods.
+std::vector<int32_t>& TlsIdScratch() {
+  static thread_local std::vector<int32_t> ids;
+  return ids;
+}
+
+bool FiniteVertices(const geo::Polygon& poly) {
+  for (const geo::GeoPoint& v : poly.vertices()) {
+    if (!std::isfinite(v.lon) || !std::isfinite(v.lat)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string_view AreaKindName(AreaKind kind) {
   switch (kind) {
@@ -36,15 +66,55 @@ std::string_view VesselTypeName(VesselType type) {
   return "unknown";
 }
 
-KnowledgeBase::KnowledgeBase(double close_threshold_m)
-    : close_threshold_m_(close_threshold_m) {}
+std::string_view SpatialEngineName(SpatialEngine engine) {
+  switch (engine) {
+    case SpatialEngine::kBrute:
+      return "brute";
+    case SpatialEngine::kGrid:
+      return "grid";
+    case SpatialEngine::kTiered:
+      return "tiered";
+  }
+  return "unknown";
+}
+
+KnowledgeBase::KnowledgeBase(double close_threshold_m, SpatialOptions spatial)
+    : close_threshold_m_(close_threshold_m),
+      spatial_options_(spatial),
+      grid_(spatial.grid_cell_deg),
+      spatial_(close_threshold_m,
+               geo::SpatialIndex::Options{.cell_deg = spatial.tiered_cell_deg}) {
+}
 
 void KnowledgeBase::AddArea(AreaInfo area) {
-  // Margin in degrees generous enough to cover the close threshold at
-  // mid-latitudes (1 degree of latitude ~ 111 km).
-  const double margin_deg = close_threshold_m_ / 111000.0 * 2.0 + 0.01;
   area_index_[area.id] = areas_.size();
-  grid_.Insert(area.id, area.polygon, margin_deg);
+  switch (spatial_options_.engine) {
+    case SpatialEngine::kBrute:
+      break;
+    case SpatialEngine::kGrid: {
+      if (!FiniteVertices(area.polygon)) {
+        grid_unindexed_.push_back(area.id);
+        break;
+      }
+      // The margins must cover the close threshold everywhere on the
+      // expanded bbox: latitude degrees have fixed metric length, but
+      // longitude degrees shrink by cos(lat), so the longitude margin is
+      // derived from the worst-case |latitude| of the threshold-expanded
+      // band rather than a fixed mid-latitude constant.
+      const geo::BoundingBox& box = area.polygon.bbox();
+      const double lat_margin = geo::CloseLatMarginDeg(close_threshold_m_);
+      const double band_lat = std::min(
+          90.0,
+          std::max(std::abs(box.min_lat), std::abs(box.max_lat)) + lat_margin);
+      const double lon_margin =
+          geo::CloseLonMarginDeg(close_threshold_m_, band_lat);
+      grid_.Insert(area.id, area.polygon, lon_margin, lat_margin);
+      break;
+    }
+    case SpatialEngine::kTiered:
+      spatial_.Insert(area.id, area.polygon);
+      break;
+  }
   areas_.push_back(std::move(area));
 }
 
@@ -83,6 +153,9 @@ const VesselInfo* KnowledgeBase::FindVessel(stream::Mmsi mmsi) const {
 }
 
 bool KnowledgeBase::Close(const geo::GeoPoint& p, int32_t area_id) const {
+  if (spatial_options_.engine == SpatialEngine::kTiered) {
+    return spatial_.Close(p, area_id, &TlsSpatialCache());
+  }
   const AreaInfo* area = FindArea(area_id);
   if (area == nullptr) return false;
   return area->polygon.DistanceMeters(p) < close_threshold_m_;
@@ -90,22 +163,125 @@ bool KnowledgeBase::Close(const geo::GeoPoint& p, int32_t area_id) const {
 
 std::vector<int32_t> KnowledgeBase::AreasCloseTo(const geo::GeoPoint& p) const {
   std::vector<int32_t> out;
-  for (const int32_t id : grid_.Candidates(p)) {
-    if (Close(p, id)) out.push_back(id);
+  switch (spatial_options_.engine) {
+    case SpatialEngine::kBrute:
+      for (const AreaInfo& area : areas_) {
+        if (area.polygon.DistanceMeters(p) < close_threshold_m_) {
+          out.push_back(area.id);
+        }
+      }
+      break;
+    case SpatialEngine::kGrid:
+      for (const int32_t id : grid_.Candidates(p)) {
+        if (Close(p, id)) out.push_back(id);
+      }
+      for (const int32_t id : grid_unindexed_) {
+        if (Close(p, id)) out.push_back(id);
+      }
+      break;
+    case SpatialEngine::kTiered:
+      spatial_.AreasCloseTo(p, &out, &TlsSpatialCache());
+      return out;  // Already sorted by the index.
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<int32_t> KnowledgeBase::AreasCloseTo(const geo::GeoPoint& p,
                                                  AreaKind kind) const {
   std::vector<int32_t> out;
-  for (const int32_t id : grid_.Candidates(p)) {
-    const AreaInfo* area = FindArea(id);
-    if (area != nullptr && area->kind == kind && Close(p, id)) {
-      out.push_back(id);
+  switch (spatial_options_.engine) {
+    case SpatialEngine::kBrute:
+      for (const AreaInfo& area : areas_) {
+        if (area.kind == kind &&
+            area.polygon.DistanceMeters(p) < close_threshold_m_) {
+          out.push_back(area.id);
+        }
+      }
+      break;
+    case SpatialEngine::kGrid: {
+      const auto check = [&](int32_t id) {
+        const AreaInfo* area = FindArea(id);
+        if (area != nullptr && area->kind == kind && Close(p, id)) {
+          out.push_back(id);
+        }
+      };
+      for (const int32_t id : grid_.Candidates(p)) check(id);
+      for (const int32_t id : grid_unindexed_) check(id);
+      break;
+    }
+    case SpatialEngine::kTiered: {
+      spatial_.AreasCloseTo(p, &out, &TlsSpatialCache());
+      std::erase_if(out, [&](int32_t id) {
+        const AreaInfo* area = FindArea(id);
+        return area == nullptr || area->kind != kind;
+      });
+      return out;
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+bool KnowledgeBase::AnyAreaCloseTo(const geo::GeoPoint& p,
+                                   AreaKind kind) const {
+  switch (spatial_options_.engine) {
+    case SpatialEngine::kBrute:
+      for (const AreaInfo& area : areas_) {
+        if (area.kind == kind &&
+            area.polygon.DistanceMeters(p) < close_threshold_m_) {
+          return true;
+        }
+      }
+      return false;
+    case SpatialEngine::kGrid: {
+      const auto check = [&](int32_t id) {
+        const AreaInfo* area = FindArea(id);
+        return area != nullptr && area->kind == kind && Close(p, id);
+      };
+      for (const int32_t id : grid_.Candidates(p)) {
+        if (check(id)) return true;
+      }
+      for (const int32_t id : grid_unindexed_) {
+        if (check(id)) return true;
+      }
+      return false;
+    }
+    case SpatialEngine::kTiered: {
+      std::vector<int32_t>& close = TlsIdScratch();
+      spatial_.AreasCloseTo(p, &close, &TlsSpatialCache());
+      for (const int32_t id : close) {
+        const AreaInfo* area = FindArea(id);
+        if (area != nullptr && area->kind == kind) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<int32_t>> KnowledgeBase::AreasCloseToAll(
+    std::span<const geo::GeoPoint> pts) const {
+  std::vector<std::vector<int32_t>> out(pts.size());
+  if (spatial_options_.engine == SpatialEngine::kTiered) {
+    // One batch-local cache: consecutive points in a batch come from the
+    // same vessel track and almost always share a cell.
+    geo::SpatialIndex::Cache cache;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      spatial_.AreasCloseTo(pts[i], &out[i], &cache);
+    }
+  } else {
+    for (size_t i = 0; i < pts.size(); ++i) out[i] = AreasCloseTo(pts[i]);
+  }
+  return out;
+}
+
+bool KnowledgeBase::InsideArea(const geo::GeoPoint& p, int32_t area_id) const {
+  if (spatial_options_.engine == SpatialEngine::kTiered) {
+    return spatial_.Contains(p, area_id, &TlsSpatialCache());
+  }
+  const AreaInfo* area = FindArea(area_id);
+  return area != nullptr && area->polygon.Contains(p);
 }
 
 bool KnowledgeBase::IsFishing(stream::Mmsi mmsi) const {
@@ -124,11 +300,41 @@ bool KnowledgeBase::IsShallowFor(int32_t area_id, stream::Mmsi mmsi) const {
 }
 
 const AreaInfo* KnowledgeBase::PortContaining(const geo::GeoPoint& p) const {
-  for (const int32_t id : grid_.Candidates(p)) {
-    const AreaInfo* area = FindArea(id);
-    if (area != nullptr && area->kind == AreaKind::kPort &&
-        area->polygon.Contains(p)) {
-      return area;
+  // All engines return the lowest-id containing port so trip segmentation is
+  // deterministic even when port polygons overlap.
+  switch (spatial_options_.engine) {
+    case SpatialEngine::kBrute: {
+      const AreaInfo* best = nullptr;
+      for (const AreaInfo& area : areas_) {
+        if (area.kind == AreaKind::kPort && area.polygon.Contains(p) &&
+            (best == nullptr || area.id < best->id)) {
+          best = &area;
+        }
+      }
+      return best;
+    }
+    case SpatialEngine::kGrid: {
+      const AreaInfo* best = nullptr;
+      const auto check = [&](int32_t id) {
+        const AreaInfo* area = FindArea(id);
+        if (area != nullptr && area->kind == AreaKind::kPort &&
+            area->polygon.Contains(p) &&
+            (best == nullptr || area->id < best->id)) {
+          best = area;
+        }
+      };
+      for (const int32_t id : grid_.Candidates(p)) check(id);
+      for (const int32_t id : grid_unindexed_) check(id);
+      return best;
+    }
+    case SpatialEngine::kTiered: {
+      std::vector<int32_t>& inside = TlsIdScratch();
+      spatial_.AreasContaining(p, &inside, &TlsSpatialCache());
+      for (const int32_t id : inside) {  // Sorted ascending: first port wins.
+        const AreaInfo* area = FindArea(id);
+        if (area != nullptr && area->kind == AreaKind::kPort) return area;
+      }
+      return nullptr;
     }
   }
   return nullptr;
@@ -136,7 +342,7 @@ const AreaInfo* KnowledgeBase::PortContaining(const geo::GeoPoint& p) const {
 
 KnowledgeBase KnowledgeBase::Restricted(
     const std::vector<int32_t>& area_ids) const {
-  KnowledgeBase out(close_threshold_m_);
+  KnowledgeBase out(close_threshold_m_, spatial_options_);
   for (const int32_t id : area_ids) {
     const AreaInfo* area = FindArea(id);
     if (area != nullptr) out.AddArea(*area);

@@ -2,12 +2,14 @@
 #define MARITIME_MARITIME_KNOWLEDGE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/grid_index.h"
 #include "geo/polygon.h"
+#include "geo/spatial_index.h"
 #include "stream/position.h"
 
 namespace maritime::surveillance {
@@ -61,16 +63,35 @@ struct VesselInfo {
   bool fishing_gear = false;  ///< Registered fishing vessel.
 };
 
+/// Which acceleration structure answers the spatial predicates. All three
+/// engines return bit-identical results in a deterministic order (ids
+/// sorted ascending); they differ only in speed.
+enum class SpatialEngine : uint8_t {
+  kBrute,   ///< Full scan over every area (the differential-test oracle).
+  kGrid,    ///< Uniform grid of candidate ids; exact re-check per candidate.
+  kTiered,  ///< Two-tier SpatialIndex: label lookups + edge buckets.
+};
+
+std::string_view SpatialEngineName(SpatialEngine engine);
+
+/// Spatial-acceleration configuration of a KnowledgeBase.
+struct SpatialOptions {
+  SpatialEngine engine = SpatialEngine::kTiered;
+  double tiered_cell_deg = 0.02;  ///< SpatialIndex cell size (~2.2 km).
+  double grid_cell_deg = 0.25;    ///< Legacy grid cell size (~25 km).
+};
+
 /// The static geographical and vessel knowledge the CE recognition module
 /// correlates with the ME stream. Lookup of areas near a point goes through
-/// a uniform grid index (our equivalent of RTEC's "declarations" facility
-/// that restricts CE computation to relevant areas).
+/// a spatial index (our equivalent of RTEC's "declarations" facility that
+/// restricts CE computation to relevant areas).
 class KnowledgeBase {
  public:
   /// `close_threshold_m` is the distance bound of the `close(Lon,Lat,Area)`
   /// predicate: a point is close to an area when its Haversine distance to
   /// the polygon is below the threshold (0 inside the polygon).
-  explicit KnowledgeBase(double close_threshold_m = 1000.0);
+  explicit KnowledgeBase(double close_threshold_m = 1000.0,
+                         SpatialOptions spatial = {});
 
   void AddArea(AreaInfo area);
   void AddVessel(VesselInfo vessel);
@@ -88,14 +109,31 @@ class KnowledgeBase {
   const VesselInfo* FindVessel(stream::Mmsi mmsi) const;
   size_t vessel_count() const { return vessels_.size(); }
   double close_threshold_m() const { return close_threshold_m_; }
+  const SpatialOptions& spatial_options() const { return spatial_options_; }
 
   /// The atemporal `close` predicate of the paper's rule-sets.
   bool Close(const geo::GeoPoint& p, int32_t area_id) const;
 
-  /// Ids of all areas (optionally restricted to `kind`) close to `p`.
+  /// Ids of all areas (optionally restricted to `kind`) close to `p`,
+  /// sorted ascending regardless of engine.
   std::vector<int32_t> AreasCloseTo(const geo::GeoPoint& p) const;
   std::vector<int32_t> AreasCloseTo(const geo::GeoPoint& p,
                                     AreaKind kind) const;
+
+  /// True iff at least one area of `kind` is close to `p` (the
+  /// "away from every port" test of the rule-sets, without materializing
+  /// the id list).
+  bool AnyAreaCloseTo(const geo::GeoPoint& p, AreaKind kind) const;
+
+  /// Batched AreasCloseTo over a run of positions, sharing one spatial
+  /// locality cache across the batch: consecutive fixes of a vessel almost
+  /// always land in the same cell. Used by the recognizer's spatial-fact
+  /// precomputation (Figure 11(b)) and suffix regeneration.
+  std::vector<std::vector<int32_t>> AreasCloseToAll(
+      std::span<const geo::GeoPoint> pts) const;
+
+  /// Point-in-polygon test for one area (false for unknown ids).
+  bool InsideArea(const geo::GeoPoint& p, int32_t area_id) const;
 
   /// The `fishing` predicate: database fact, or inferred from vessel type
   /// when the vessel is not registered (paper Scenario 2).
@@ -106,7 +144,8 @@ class KnowledgeBase {
   /// (paper Scenario 4).
   bool IsShallowFor(int32_t area_id, stream::Mmsi mmsi) const;
 
-  /// Ids of port areas whose polygon contains `p` (for trip segmentation).
+  /// The lowest-id port area whose polygon contains `p` (for trip
+  /// segmentation); deterministic across engines.
   const AreaInfo* PortContaining(const geo::GeoPoint& p) const;
 
   /// Builds a copy containing only the given areas (all vessels retained);
@@ -118,10 +157,15 @@ class KnowledgeBase {
 
  private:
   double close_threshold_m_;
+  SpatialOptions spatial_options_;
   std::vector<AreaInfo> areas_;
   std::unordered_map<int32_t, size_t> area_index_;
   std::unordered_map<stream::Mmsi, VesselInfo> vessels_;
-  geo::GridIndex grid_;
+  geo::GridIndex grid_;        ///< Populated under SpatialEngine::kGrid.
+  geo::SpatialIndex spatial_;  ///< Populated under SpatialEngine::kTiered.
+  /// Areas the grid cannot enumerate cells for (non-finite vertices); the
+  /// grid engine scans these on every query so it stays exact.
+  std::vector<int32_t> grid_unindexed_;
 };
 
 }  // namespace maritime::surveillance

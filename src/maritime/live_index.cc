@@ -188,6 +188,22 @@ std::vector<const LiveVessel*> LiveVesselIndex::Inside(
   return out;
 }
 
+std::vector<const LiveVessel*> LiveVesselIndex::Inside(
+    const KnowledgeBase& kb, int32_t area_id) const {
+  const AreaInfo* area = kb.FindArea(area_id);
+  if (area == nullptr) return {};
+  const geo::GeoPoint center = area->polygon.VertexCentroid();
+  double radius_m = 0.0;
+  for (const geo::GeoPoint& v : area->polygon.vertices()) {
+    radius_m = std::max(radius_m, geo::HaversineMeters(center, v));
+  }
+  std::vector<const LiveVessel*> out;
+  for (const LiveVessel* v : Within(center, radius_m + 500.0)) {
+    if (kb.InsideArea(v->pos, area_id)) out.push_back(v);
+  }
+  return out;
+}
+
 std::vector<const LiveVessel*> LiveVesselIndex::Approaching(
     const geo::GeoPoint& port_center, double within_m,
     double min_speed_knots, double bearing_tolerance_deg) const {

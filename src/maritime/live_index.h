@@ -79,6 +79,12 @@ class LiveVesselIndex {
   /// Vessels inside the polygon of `area`.
   std::vector<const LiveVessel*> Inside(const AreaInfo& area) const;
 
+  /// Same query answered through `kb`'s spatial engine (label lookups under
+  /// the tiered engine instead of per-vessel ray casts); bit-identical to
+  /// the polygon overload. Empty for unknown ids.
+  std::vector<const LiveVessel*> Inside(const KnowledgeBase& kb,
+                                        int32_t area_id) const;
+
   /// Vessels within `within_m` of `port_center` that are moving toward it
   /// (course within `bearing_tolerance_deg` of the bearing to the port) —
   /// the "ship approaching a port" continuous query of Section 2.

@@ -53,7 +53,7 @@ SlideReport SurveillancePipeline::RunSlide(
   report.critical_points = criticals.size();
 
   // --- feed CE recognition ---------------------------------------------------
-  for (const auto& cp : criticals) recognizer_->Feed(cp);
+  recognizer_->Feed(std::span<const tracker::CriticalPoint>(criticals));
   for (const auto& cp : criticals) {
     window_criticals_.push_back(cp);
     all_criticals_.push_back(cp);
@@ -119,7 +119,7 @@ SlideReport SurveillancePipeline::Finish() {
     // query time Q_{i+1}, per the paper's windowing semantics. Without this
     // recognition pass, complex events completing in the last partial
     // window were silently dropped.
-    for (const auto& cp : tail) recognizer_->Feed(cp);
+    recognizer_->Feed(std::span<const tracker::CriticalPoint>(tail));
     Timestamp tail_end = tail.front().tau;
     for (const auto& cp : tail) tail_end = std::max(tail_end, cp.tau);
     const Timestamp q_final = last_query_ == kInvalidTimestamp

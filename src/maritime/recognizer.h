@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,11 @@ class CERecognizer {
   /// Feeds one critical point (possibly delayed) into the working memory.
   void Feed(const tracker::CriticalPoint& cp);
 
+  /// Batched feed: identical to feeding each point in order, but in the
+  /// Figure 11(b) mode the spatial facts for the whole run are computed by
+  /// one KnowledgeBase::AreasCloseToAll call sharing a locality cache.
+  void Feed(std::span<const tracker::CriticalPoint> cps);
+
   /// Runs recognition at query time `q`.
   rtec::RecognitionResult Recognize(Timestamp q);
 
@@ -86,6 +92,10 @@ class PartitionedRecognizer {
 
   /// Routes a critical point to the partition covering its position.
   void Feed(const tracker::CriticalPoint& cp);
+
+  /// Routes a run of critical points (order preserved per partition) and
+  /// feeds every partition its slice through the batched overload.
+  void Feed(std::span<const tracker::CriticalPoint> cps);
 
   /// Recognizes on all partitions in parallel; returns one result per
   /// partition.

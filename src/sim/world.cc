@@ -1,6 +1,7 @@
 #include "sim/world.h"
 
 #include "common/strings.h"
+#include "geo/spatial_index.h"
 
 namespace maritime::sim {
 namespace {
@@ -10,12 +11,15 @@ geo::GeoPoint RandomPointIn(Rng& rng, const geo::BoundingBox& box) {
                        rng.NextDouble(box.min_lat, box.max_lat)};
 }
 
-bool FarFromAll(const geo::GeoPoint& p, const std::vector<Port>& ports,
-                double min_distance_m) {
-  for (const Port& port : ports) {
-    if (geo::HaversineMeters(p, port.center) < min_distance_m) return false;
-  }
-  return true;
+/// A clearance index over already-placed port centers. A single-vertex
+/// polygon's DistanceMeters is exactly the Haversine distance to that
+/// vertex, so `!AnyClose(p)` with threshold `min_distance_m` reproduces the
+/// old linear scan over `HaversineMeters(p, center) < min_distance_m` bit
+/// for bit — same accept/reject decisions, same RNG consumption order.
+geo::SpatialIndex MakeClearanceIndex(double min_distance_m) {
+  geo::SpatialIndex::Options options;
+  options.cell_deg = 0.25;  // Clearances are tens of km; coarse cells fit.
+  return geo::SpatialIndex(min_distance_m, options);
 }
 
 }  // namespace
@@ -34,6 +38,8 @@ World BuildWorld(uint64_t seed, const WorldParams& params) {
   Rng rng(seed);
 
   // --- ports -----------------------------------------------------------------
+  geo::SpatialIndex port_separation =
+      MakeClearanceIndex(params.port_separation_m);
   for (int i = 0; i < params.ports; ++i) {
     Port port;
     port.id = 1000 + i;
@@ -43,10 +49,11 @@ World BuildWorld(uint64_t seed, const WorldParams& params) {
     // degrade gracefully if the region gets crowded.
     for (int attempt = 0; attempt < 200; ++attempt) {
       port.center = RandomPointIn(rng, params.extent);
-      if (FarFromAll(port.center, world.ports, params.port_separation_m)) {
-        break;
-      }
+      if (!port_separation.AnyClose(port.center)) break;
     }
+    port_separation.Insert(port.id,
+                           geo::Polygon(std::vector<geo::GeoPoint>{
+                               port.center}));
     surveillance::AreaInfo area;
     area.id = port.id;
     area.name = port.name;
@@ -58,6 +65,12 @@ World BuildWorld(uint64_t seed, const WorldParams& params) {
   }
 
   // --- the 35 special areas ---------------------------------------------------
+  geo::SpatialIndex port_clearance =
+      MakeClearanceIndex(params.area_port_clearance_m);
+  for (const Port& port : world.ports) {
+    port_clearance.Insert(port.id, geo::Polygon(std::vector<geo::GeoPoint>{
+                                       port.center}));
+  }
   int32_t next_id = 1;
   const auto add_special = [&](surveillance::AreaKind kind, int count,
                                const char* prefix) {
@@ -69,9 +82,7 @@ World BuildWorld(uint64_t seed, const WorldParams& params) {
       geo::GeoPoint center;
       for (int attempt = 0; attempt < 200; ++attempt) {
         center = RandomPointIn(rng, params.extent);
-        if (FarFromAll(center, world.ports, params.area_port_clearance_m)) {
-          break;
-        }
+        if (!port_clearance.AnyClose(center)) break;
       }
       const double radius = rng.NextDouble(2000.0, 8000.0);
       const int sides = static_cast<int>(rng.NextInt(5, 9));
