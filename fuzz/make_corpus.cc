@@ -15,10 +15,19 @@
 
 #include "ais/messages.h"
 #include "ais/sixbit.h"
+#include "maritime/live_index.h"
+#include "maritime/me_stream.h"
+#include "maritime/pipeline.h"
+#include "mod/hermes.h"
+#include "rtec/engine.h"
 #include "sim/generator.h"
 #include "sim/nmea_feed.h"
 #include "sim/world.h"
+#include "snapshot/codec.h"
+#include "snapshot/snapshot.h"
 #include "stream/csv.h"
+#include "stream/replayer.h"
+#include "tracker/sharded_tracker.h"
 
 namespace {
 
@@ -40,7 +49,9 @@ int main(int argc, char** argv) {
   const auto sixbit_dir = root / "sixbit";
   const auto csv_dir = root / "csv";
   const auto spatial_dir = root / "spatial";
-  for (const auto& dir : {scanner_dir, sixbit_dir, csv_dir, spatial_dir}) {
+  const auto snapshot_dir = root / "snapshot";
+  for (const auto& dir :
+       {scanner_dir, sixbit_dir, csv_dir, spatial_dir, snapshot_dir}) {
     std::filesystem::create_directories(dir);
   }
 
@@ -134,9 +145,118 @@ int main(int argc, char** argv) {
   WriteSeed(spatial_dir, spatial_seeds++, std::string(64, '\0'));
   WriteSeed(spatial_dir, spatial_seeds++, std::string(64, '\xff'));
 
-  std::printf("corpus: %d scanner, %d sixbit, %d csv, %d spatial seeds "
-              "under %s\n",
+  // Snapshot seeds: valid checkpoints of each component, prefixed with the
+  // fuzz_snapshot target selector byte, so mutation starts from bytes that
+  // pass the outer framing and reach the deep per-field validation paths.
+  int snapshot_seeds = 0;
+  {
+    // A pipeline checkpoint a few slides into the simulated stream.
+    maritime::surveillance::PipelineConfig pcfg;
+    pcfg.window =
+        maritime::stream::WindowSpec{maritime::kHour, 10 * maritime::kMinute};
+    pcfg.partitions = 1;
+    pcfg.archive = true;
+    maritime::surveillance::SurveillancePipeline pipeline(&world.knowledge,
+                                                          pcfg);
+    maritime::stream::StreamReplayer replayer(tuples);
+    maritime::stream::QueryTimeSequence q(pcfg.window,
+                                          replayer.first_timestamp());
+    for (int i = 0; i < 4; ++i) {
+      const maritime::Timestamp qt = q.Fire();
+      pipeline.RunSlide(qt, replayer.NextBatch(qt));
+    }
+    maritime::snapshot::Writer w;
+    pipeline.SaveTo(w);
+    WriteSeed(snapshot_dir, snapshot_seeds++,
+              std::string(1, '\x00') +
+                  maritime::snapshot::EncodeSnapshotFile(w.bytes()));
+    WriteSeed(snapshot_dir, snapshot_seeds++,
+              std::string(1, '\x07') + w.bytes());
+
+    maritime::tracker::ShardedMobilityTracker tracker(
+        maritime::tracker::TrackerParams{}, 2);
+    tracker.ProcessSlide(tuples, tuples.back().tau);
+    maritime::snapshot::Writer tw;
+    tracker.SaveTo(tw);
+    WriteSeed(snapshot_dir, snapshot_seeds++,
+              std::string(1, '\x03') + tw.bytes());
+  }
+  {
+    maritime::surveillance::SpatialFactTable facts;
+    facts.AddFactGroup(7, 100, {1, 2, 3});
+    facts.AddFactGroup(9, 150, {2});
+    maritime::snapshot::Writer w;
+    facts.SaveTo(w);
+    WriteSeed(snapshot_dir, snapshot_seeds++,
+              std::string(1, '\x01') + w.bytes());
+  }
+  {
+    maritime::surveillance::LiveVesselIndex index(0.1);
+    for (size_t i = 0; i < tuples.size() && i < 400; i += 13) {
+      index.Update(tuples[i]);
+    }
+    maritime::snapshot::Writer w;
+    index.SaveTo(w);
+    WriteSeed(snapshot_dir, snapshot_seeds++,
+              std::string(1, '\x02') + w.bytes());
+  }
+  {
+    // Archival path with a little staged + reconstructed traffic.
+    maritime::mod::HermesArchiver archiver(&world.knowledge);
+    maritime::tracker::ShardedMobilityTracker tracker(
+        maritime::tracker::TrackerParams{}, 1);
+    const auto criticals = tracker.ProcessSlide(tuples, tuples.back().tau);
+    archiver.StageBatch(criticals);
+    archiver.Reconstruct();
+    maritime::snapshot::Writer w;
+    archiver.SaveTo(w);
+    WriteSeed(snapshot_dir, snapshot_seeds++,
+              std::string(1, '\x05') + w.bytes());
+
+    maritime::snapshot::Writer sw;
+    archiver.store().SaveTo(sw);
+    WriteSeed(snapshot_dir, snapshot_seeds++,
+              std::string(1, '\x04') + sw.bytes());
+  }
+  {
+    // The tiny on/off/active schema fuzz_snapshot restores against.
+    maritime::rtec::Engine engine(maritime::stream::WindowSpec{120, 60});
+    const maritime::rtec::EventId on = engine.DeclareEvent("on");
+    const maritime::rtec::EventId off = engine.DeclareEvent("off");
+    const maritime::rtec::FluentId active = engine.DeclareFluent("active");
+    maritime::rtec::SimpleFluentSpec spec;
+    spec.fluent = active;
+    spec.output = true;
+    spec.domain = [on, off](const maritime::rtec::EvalContext& ctx) {
+      std::vector<maritime::rtec::Term> keys;
+      for (const auto& e : ctx.Events(on)) keys.push_back(e.subject);
+      for (const auto& e : ctx.Events(off)) keys.push_back(e.subject);
+      return keys;
+    };
+    spec.rules = [on, off](const maritime::rtec::EvalContext& ctx,
+                           maritime::rtec::Term key,
+                           std::vector<maritime::rtec::ValuedPoint>* init,
+                           std::vector<maritime::rtec::ValuedPoint>* term) {
+      for (const auto& e : ctx.Events(on)) {
+        if (e.subject == key) init->push_back({maritime::rtec::kTrue, e.t});
+      }
+      for (const auto& e : ctx.Events(off)) {
+        if (e.subject == key) term->push_back({maritime::rtec::kTrue, e.t});
+      }
+    };
+    engine.AddSimpleFluent(std::move(spec));
+    engine.AssertEvent(on, maritime::rtec::Term{0, 1}, 30);
+    engine.AssertEvent(off, maritime::rtec::Term{0, 1}, 70);
+    engine.Recognize(60);
+    maritime::snapshot::Writer w;
+    engine.SaveTo(w);
+    WriteSeed(snapshot_dir, snapshot_seeds++,
+              std::string(1, '\x06') + w.bytes());
+  }
+
+  std::printf("corpus: %d scanner, %d sixbit, %d csv, %d spatial, "
+              "%d snapshot seeds under %s\n",
               scanner_seeds, sixbit_seeds, csv_seeds, spatial_seeds,
-              root.c_str());
+              snapshot_seeds, root.c_str());
   return 0;
 }

@@ -6,29 +6,37 @@ namespace maritime {
 
 std::string FormatDuration(Duration d) {
   const char* sign = "";
+  // Work on the unsigned magnitude: negating INT64_MIN as a signed value is
+  // undefined behavior, while two's-complement negation of its unsigned
+  // image yields the correct magnitude 2^63.
+  uint64_t u = static_cast<uint64_t>(d);
   if (d < 0) {
     sign = "-";
-    d = -d;
+    u = ~u + 1;
   }
-  const int64_t days = d / kDay;
-  const int64_t hours = (d % kDay) / kHour;
-  const int64_t minutes = (d % kHour) / kMinute;
-  const int64_t seconds = d % kMinute;
+  const uint64_t days = u / kDay;
+  const uint64_t hours = (u % kDay) / kHour;
+  const uint64_t minutes = (u % kHour) / kMinute;
+  const uint64_t seconds = u % kMinute;
   char buf[64];
   if (days > 0) {
-    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld", sign,
-                  static_cast<long long>(days), static_cast<long long>(hours),
-                  static_cast<long long>(minutes),
-                  static_cast<long long>(seconds));
+    std::snprintf(buf, sizeof(buf), "%s%llud %02llu:%02llu:%02llu", sign,
+                  static_cast<unsigned long long>(days),
+                  static_cast<unsigned long long>(hours),
+                  static_cast<unsigned long long>(minutes),
+                  static_cast<unsigned long long>(seconds));
   } else {
-    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", sign,
-                  static_cast<long long>(hours),
-                  static_cast<long long>(minutes),
-                  static_cast<long long>(seconds));
+    std::snprintf(buf, sizeof(buf), "%s%02llu:%02llu:%02llu", sign,
+                  static_cast<unsigned long long>(hours),
+                  static_cast<unsigned long long>(minutes),
+                  static_cast<unsigned long long>(seconds));
   }
   return buf;
 }
 
-std::string FormatTimestamp(Timestamp t) { return FormatDuration(t); }
+std::string FormatTimestamp(Timestamp t) {
+  if (t == kInvalidTimestamp) return "invalid";
+  return FormatDuration(t);
+}
 
 }  // namespace maritime

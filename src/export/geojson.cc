@@ -68,8 +68,12 @@ void GeoJsonWriter::AddCriticalPoints(
 void GeoJsonWriter::AddPolygon(const std::string& name,
                                const std::string& kind,
                                const std::vector<geo::GeoPoint>& ring) {
+  // GeoJSON linear rings must end where they start; close the ring only when
+  // the input is open, so an already-closed ring is not double-closed.
   std::vector<geo::GeoPoint> closed = ring;
-  if (!closed.empty()) closed.push_back(closed.front());
+  if (!closed.empty() && !(closed.back() == closed.front())) {
+    closed.push_back(closed.front());
+  }
   features_.push_back(StrPrintf(
       "{\"type\":\"Feature\",\"properties\":{\"name\":\"%s\",\"kind\":\"%s\"},"
       "\"geometry\":{\"type\":\"Polygon\",\"coordinates\":[%s]}}",

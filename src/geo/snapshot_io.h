@@ -1,0 +1,33 @@
+#ifndef MARITIME_GEO_SNAPSHOT_IO_H_
+#define MARITIME_GEO_SNAPSHOT_IO_H_
+
+#include "geo/geo_point.h"
+#include "geo/velocity.h"
+#include "snapshot/codec.h"
+
+namespace maritime::geo {
+
+/// Snapshot field codecs for the plain geo value types. Kept header-only so
+/// every layer serializing positions shares one wire layout.
+
+inline void SaveGeoPoint(const GeoPoint& p, snapshot::Writer& w) {
+  w.F64(p.lon);
+  w.F64(p.lat);
+}
+
+inline bool LoadGeoPoint(snapshot::Reader& r, GeoPoint* p) {
+  return r.F64(&p->lon) && r.F64(&p->lat);
+}
+
+inline void SaveVelocity(const Velocity& v, snapshot::Writer& w) {
+  w.F64(v.speed_knots);
+  w.F64(v.heading_deg);
+}
+
+inline bool LoadVelocity(snapshot::Reader& r, Velocity* v) {
+  return r.F64(&v->speed_knots) && r.F64(&v->heading_deg);
+}
+
+}  // namespace maritime::geo
+
+#endif  // MARITIME_GEO_SNAPSHOT_IO_H_

@@ -7,9 +7,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "geo/velocity.h"
 #include "maritime/knowledge.h"
 #include "tracker/critical_point.h"
+
+namespace maritime::snapshot {
+class Reader;
+class Writer;
+}  // namespace maritime::snapshot
 
 namespace maritime::surveillance {
 
@@ -101,6 +107,15 @@ class LiveVesselIndex {
                                          Duration horizon_s,
                                          double screen_radius_m = 20000.0)
       const;
+
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes the live fleet state (format v1): vessels in ascending MMSI
+  /// order plus the grid cells verbatim, preserving each cell's insertion
+  /// order so spatial query results stay bit-identical after a restore.
+  void SaveTo(snapshot::Writer& w) const;
+  /// Restores into an index constructed with the same cell resolution
+  /// (InvalidArgument otherwise). On error the index is left empty.
+  Status RestoreFrom(snapshot::Reader& r);
 
  private:
   using CellKey = int64_t;

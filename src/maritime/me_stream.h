@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/strings.h"
 #include "common/time.h"
 #include "rtec/engine.h"
@@ -111,6 +112,14 @@ class SpatialFactTable {
   void PurgeBefore(Timestamp cutoff);
 
   size_t fact_count() const { return fact_count_; }
+
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes every fact group (format v1). groups_ is an ordered map, so
+  /// identical state yields identical bytes.
+  void SaveTo(snapshot::Writer& w) const;
+  /// Restores a saved table, replacing the current contents. On error the
+  /// table is left empty, never half-filled.
+  Status RestoreFrom(snapshot::Reader& r);
 
  private:
   struct Group {

@@ -5,8 +5,11 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/result.h"
 #include "maritime/knowledge.h"
 #include "maritime/recognizer.h"
 #include "mod/hermes.h"
@@ -58,6 +61,26 @@ struct SlideReport {
   bool final_flush = false;
 };
 
+/// Inspectable summary at the head of every pipeline snapshot: the config
+/// fingerprint the restore will be checked against, where the run stood, and
+/// rough size indicators. Readable without a KnowledgeBase (see
+/// ReadSnapshotManifest), so a checkpoint CLI can describe a snapshot file
+/// cheaply.
+struct SnapshotManifest {
+  Timestamp last_query = kInvalidTimestamp;
+  stream::WindowSpec window{0, 0};
+  int32_t partitions = 0;
+  int32_t tracker_shards = 0;
+  bool archive = false;
+  bool incremental_recognition = false;
+  uint64_t window_critical_points = 0;  ///< Awaiting archival.
+  uint64_t archived_trips = 0;          ///< In the trajectory store.
+};
+
+/// Decodes only the manifest section of a snapshot payload (the bytes after
+/// the file header, i.e. what DecodeSnapshotFile returns).
+Result<SnapshotManifest> ReadSnapshotManifest(std::string_view payload);
+
 /// The complete processing scheme of Figure 1: Data-Scanner output (a
 /// positional stream) flows through the Mobility Tracker and Compressor into
 /// critical points, which feed both the Complex Event Recognition module and
@@ -97,11 +120,40 @@ class SurveillancePipeline {
   const PipelineConfig& config() const { return config_; }
 
   /// Every critical point emitted so far (kept for RMSE / export use; cleared
-  /// with TakeCriticalPoints).
+  /// with TakeCriticalPoints). Diagnostic only: not part of a snapshot, so a
+  /// restored pipeline starts this log empty.
   const std::vector<tracker::CriticalPoint>& critical_points() const {
     return all_criticals_;
   }
   std::vector<tracker::CriticalPoint> TakeCriticalPoints();
+
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes the full pipeline state at a slide boundary (call only
+  /// between RunSlide calls, never mid-slide): manifest, tracker shards, the
+  /// recognizer partitions with their RTEC engines, the window of critical
+  /// points awaiting archival, and the archival path. A pipeline restored
+  /// from this state produces bit-identical SlideReports for every
+  /// subsequent slide.
+  void SaveTo(snapshot::Writer& w) const;
+  /// Restores into a pipeline built with the same KnowledgeBase and an
+  /// equivalent PipelineConfig (window, partitions, tracker shards, archive
+  /// and incremental flags are verified — InvalidArgument on mismatch;
+  /// malformed input yields Corruption and newer formats Unimplemented).
+  Status RestoreFrom(snapshot::Reader& r);
+
+  /// Writes the state to `path` as a checksummed snapshot file.
+  Status SaveSnapshot(const std::string& path) const;
+  /// Restores from a snapshot file written by SaveSnapshot.
+  Status LoadSnapshot(const std::string& path);
+
+  /// Continues a replay from the restored position: skips the stream prefix
+  /// already consumed before the snapshot (tuples at or before the saved
+  /// query time) and processes the remaining slides exactly as Run would
+  /// have. On a pipeline that has not restored (or run) anything, this is
+  /// identical to Run.
+  void Resume(stream::StreamReplayer& replayer,
+              const std::function<void(const SlideReport&)>& on_slide =
+                  nullptr);
 
  private:
   void ArchiveEvicted(Timestamp q);

@@ -68,6 +68,15 @@ class CERecognizer {
   std::string Describe(const rtec::RecognizedEvent& e) const;
   std::string Describe(const rtec::RecognizedFluent& f) const;
 
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes the recognizer's cross-slide state: the spatial-fact table,
+  /// the full RTEC engine state (see rtec::Engine::SaveTo), and the feed
+  /// counters. Call between slides.
+  void SaveTo(snapshot::Writer& w) const;
+  /// Restores into a recognizer built with the same knowledge base and
+  /// config; the engine's schema fingerprint guards against mismatches.
+  Status RestoreFrom(snapshot::Reader& r);
+
  private:
   const KnowledgeBase* kb_;
   RecognizerConfig config_;
@@ -115,6 +124,15 @@ class PartitionedRecognizer {
 
   int partition_count() const { return static_cast<int>(parts_.size()); }
   CERecognizer& partition(int i) { return *parts_[static_cast<size_t>(i)].rec; }
+
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes every partition (band bound + recognizer state) and the
+  /// cumulative totals. Call between slides, never during Recognize.
+  void SaveTo(snapshot::Writer& w) const MARITIME_EXCLUDES(totals_mu_);
+  /// Restores into a recognizer partitioned the same way over the same
+  /// knowledge base (partition count and band bounds are verified;
+  /// InvalidArgument on mismatch).
+  Status RestoreFrom(snapshot::Reader& r) MARITIME_EXCLUDES(totals_mu_);
 
  private:
   struct Partition {

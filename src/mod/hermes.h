@@ -58,6 +58,15 @@ class HermesArchiver {
   /// Table 4 statistics over the current archive.
   TripStatistics Statistics() const;
 
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes the whole archival path: open trip segments, the staging
+  /// area, reconstructed trips awaiting Load(), the trajectory store, and
+  /// the phase timings (format v1).
+  void SaveTo(snapshot::Writer& w) const;
+  /// Restores into an archiver over the same knowledge base. On error the
+  /// archiver is left empty.
+  Status RestoreFrom(snapshot::Reader& r);
+
  private:
   const surveillance::KnowledgeBase* kb_;
   TripBuilder builder_;

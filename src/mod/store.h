@@ -2,6 +2,7 @@
 #define MARITIME_MOD_STORE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -48,7 +49,7 @@ class TrajectoryStore {
  public:
   void AddTrip(Trip trip);
 
-  const std::vector<Trip>& trips() const { return trips_; }
+  const std::deque<Trip>& trips() const { return trips_; }
   size_t trip_count() const { return trips_.size(); }
 
   /// Indices into trips() for one vessel, in insertion (time) order.
@@ -68,8 +69,18 @@ class TrajectoryStore {
   /// Table 4 statistics; `staged_points` comes from the staging area.
   TripStatistics ComputeStatistics(uint64_t staged_points) const;
 
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes the trips in insertion order (format v1); the per-vessel and
+  /// per-destination indexes are rebuilt on restore.
+  void SaveTo(snapshot::Writer& w) const;
+  /// Replaces the store contents. On error the store is left empty.
+  Status RestoreFrom(snapshot::Reader& r);
+
  private:
-  std::vector<Trip> trips_;
+  /// Deque, not vector: TripsOfVessel/TripsTo/TripsOverlapping hand out
+  /// pointers into this container, which must survive later AddTrip calls
+  /// (std::deque never relocates existing elements on push_back).
+  std::deque<Trip> trips_;
   std::unordered_map<stream::Mmsi, std::vector<size_t>> by_vessel_;
   std::unordered_map<int32_t, std::vector<size_t>> by_destination_;
 };

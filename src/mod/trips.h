@@ -5,8 +5,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "maritime/knowledge.h"
 #include "tracker/critical_point.h"
+
+namespace maritime::snapshot {
+class Reader;
+class Writer;
+}  // namespace maritime::snapshot
 
 namespace maritime::mod {
 
@@ -52,6 +58,13 @@ class TripBuilder {
 
   /// Number of vessels with an open segment.
   size_t open_segments() const { return segments_.size(); }
+
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes every open segment, in ascending MMSI order (format v1).
+  void SaveTo(snapshot::Writer& w) const;
+  /// Restores into a builder with the same trip-distance threshold
+  /// (InvalidArgument otherwise). On error the builder is left empty.
+  Status RestoreFrom(snapshot::Reader& r);
 
  private:
   struct OpenSegment {

@@ -17,6 +17,11 @@
 #include "rtec/timeline.h"
 #include "stream/sliding_window.h"
 
+namespace maritime::snapshot {
+class Reader;
+class Writer;
+}  // namespace maritime::snapshot
+
 namespace maritime::rtec {
 
 class Engine;
@@ -339,6 +344,24 @@ class Engine {
   /// key leaves the definition's evaluated set (vessel churn cannot grow the
   /// cache without bound).
   size_t cache_entry_count() const;
+
+  // --- checkpointing -------------------------------------------------------
+  /// Serializes the engine's complete cross-slide state (format v1): a
+  /// schema fingerprint, the buffered input events and coords, the committed
+  /// timelines and derived events, the boundary inertia record, and — under
+  /// the incremental engine — the per-definition evidence caches, dirty
+  /// marks and edge bookkeeping. All hash maps are written in sorted key
+  /// order, so identical state yields identical bytes. Call between
+  /// Recognize steps (the per-slide scratch state is empty then).
+  void SaveTo(snapshot::Writer& w) const;
+  /// Restores into an engine constructed with the same window, the same
+  /// incremental flag, and the same declarations in the same order (the
+  /// rules themselves are code, not data). The fingerprint guards against
+  /// mismatches (InvalidArgument); malformed bytes yield Corruption and
+  /// snapshots from a newer format Unimplemented. After a successful
+  /// restore, subsequent Recognize calls produce bit-identical results to
+  /// the engine that was saved.
+  Status RestoreFrom(snapshot::Reader& r);
 
  private:
   friend class EvalContext;

@@ -1,0 +1,588 @@
+// Checkpoint serialization of the RTEC engine. The engine's cross-slide
+// state is everything AssertEvent/AssertCoord accumulated plus everything a
+// previous Recognize left behind for the next one: input stores, coords,
+// committed timelines and derived events, the boundary inertia record,
+// per-definition evidence caches, dirty maps and right-edge bookkeeping.
+// Serializing all of it makes the post-restore execution byte-for-byte
+// identical to the uninterrupted process (the bit-identical-recovery
+// argument is spelled out in DESIGN.md §9).
+
+#include <algorithm>
+#include <map>
+#include <variant>
+#include <vector>
+
+#include "rtec/engine.h"
+#include "rtec/interval.h"
+#include "snapshot/codec.h"
+
+namespace maritime::rtec {
+namespace {
+
+constexpr uint8_t kEngineFormatVersion = 1;
+constexpr const char* kWhat = "rtec engine";
+
+// Definition kind tags in the schema fingerprint.
+constexpr uint8_t kKindSimple = 0;
+constexpr uint8_t kKindStatic = 1;
+constexpr uint8_t kKindDerived = 2;
+
+void SaveTerm(const Term& t, snapshot::Writer& w) {
+  w.I32(t.kind);
+  w.I32(t.id);
+}
+
+bool LoadTerm(snapshot::Reader& r, Term* t) {
+  return r.I32(&t->kind) && r.I32(&t->id);
+}
+
+void SaveEventInstance(const EventInstance& e, snapshot::Writer& w) {
+  SaveTerm(e.subject, w);
+  SaveTerm(e.object, w);
+  w.I64(e.t);
+}
+
+bool LoadEventInstance(snapshot::Reader& r, EventInstance* e) {
+  return LoadTerm(r, &e->subject) && LoadTerm(r, &e->object) && r.I64(&e->t);
+}
+
+void SavePoints(const std::vector<ValuedPoint>& pts, snapshot::Writer& w) {
+  w.U64(pts.size());
+  for (const ValuedPoint& p : pts) {
+    w.I32(p.value);
+    w.I64(p.t);
+  }
+}
+
+bool LoadPoints(snapshot::Reader& r, std::vector<ValuedPoint>* pts) {
+  uint64_t n = 0;
+  if (!r.Count(&n, sizeof(int32_t) + sizeof(int64_t))) return false;
+  pts->clear();
+  pts->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ValuedPoint p;
+    if (!r.I32(&p.value) || !r.I64(&p.t)) return false;
+    pts->push_back(p);
+  }
+  return true;
+}
+
+void SaveIntervals(const IntervalList& list, snapshot::Writer& w) {
+  w.U64(list.size());
+  for (const Interval& i : list) {
+    w.I64(i.since);
+    w.I64(i.till);
+  }
+}
+
+bool LoadIntervals(snapshot::Reader& r, IntervalList* list) {
+  uint64_t n = 0;
+  if (!r.Count(&n, 2 * sizeof(int64_t))) return false;
+  list->clear();
+  list->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Interval iv;
+    if (!r.I64(&iv.since) || !r.I64(&iv.till)) return false;
+    list->push_back(iv);
+  }
+  // The engine's interval algebra assumes the normalized-list invariant;
+  // reject input that does not satisfy it instead of importing it.
+  return IsNormalized(*list);
+}
+
+void SaveTimeline(const FluentTimeline& tl, snapshot::Writer& w) {
+  w.U64(tl.intervals.size());
+  for (const auto& [value, list] : tl.intervals) {
+    w.I32(value);
+    SaveIntervals(list, w);
+  }
+  w.U64(tl.starts.size());
+  for (const auto& [value, times] : tl.starts) {
+    w.I32(value);
+    w.U64(times.size());
+    for (const Timestamp t : times) w.I64(t);
+  }
+  w.U64(tl.ends.size());
+  for (const auto& [value, times] : tl.ends) {
+    w.I32(value);
+    w.U64(times.size());
+    for (const Timestamp t : times) w.I64(t);
+  }
+  w.Bool(tl.open_value.has_value());
+  w.I32(tl.open_value.value_or(0));
+}
+
+bool LoadTimeline(snapshot::Reader& r, FluentTimeline* tl) {
+  *tl = FluentTimeline{};
+  uint64_t n = 0;
+  if (!r.Count(&n, sizeof(int32_t) + sizeof(uint64_t))) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    Value value = 0;
+    IntervalList list;
+    if (!r.I32(&value) || !LoadIntervals(r, &list)) return false;
+    tl->intervals[value] = std::move(list);
+  }
+  for (auto* field : {&tl->starts, &tl->ends}) {
+    if (!r.Count(&n, sizeof(int32_t) + sizeof(uint64_t))) return false;
+    for (uint64_t i = 0; i < n; ++i) {
+      Value value = 0;
+      uint64_t m = 0;
+      if (!r.I32(&value) || !r.Count(&m, sizeof(int64_t))) return false;
+      std::vector<Timestamp>& times = (*field)[value];
+      times.reserve(m);
+      for (uint64_t j = 0; j < m; ++j) {
+        Timestamp t = 0;
+        if (!r.I64(&t)) return false;
+        times.push_back(t);
+      }
+    }
+  }
+  bool has_open = false;
+  Value open = 0;
+  if (!r.Bool(&has_open) || !r.I32(&open)) return false;
+  if (has_open) tl->open_value = open;
+  return true;
+}
+
+void SaveEvidence(const FluentEvidence& ev, snapshot::Writer& w) {
+  SavePoints(ev.initiations, w);
+  SavePoints(ev.terminations, w);
+  w.Bool(ev.carried_value.has_value());
+  w.I32(ev.carried_value.value_or(0));
+}
+
+bool LoadEvidence(snapshot::Reader& r, FluentEvidence* ev) {
+  *ev = FluentEvidence{};
+  bool has_carried = false;
+  Value carried = 0;
+  if (!LoadPoints(r, &ev->initiations) || !LoadPoints(r, &ev->terminations) ||
+      !r.Bool(&has_carried) || !r.I32(&carried)) {
+    return false;
+  }
+  if (has_carried) ev->carried_value = carried;
+  return true;
+}
+
+/// Sorted key view of an unordered Term-keyed map, for deterministic bytes.
+template <typename Map>
+std::vector<Term> SortedTermKeys(const Map& map) {
+  std::vector<Term> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, v] : map) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void SaveTermVector(const std::vector<Term>& terms, snapshot::Writer& w) {
+  w.U64(terms.size());
+  for (const Term& t : terms) SaveTerm(t, w);
+}
+
+bool LoadTermVector(snapshot::Reader& r, std::vector<Term>* terms) {
+  uint64_t n = 0;
+  if (!r.Count(&n, 2 * sizeof(int32_t))) return false;
+  terms->clear();
+  terms->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Term t;
+    if (!LoadTerm(r, &t)) return false;
+    terms->push_back(t);
+  }
+  return true;
+}
+
+}  // namespace
+
+void Engine::SaveTo(snapshot::Writer& w) const {
+  w.U8(kEngineFormatVersion);
+
+  // --- schema fingerprint --------------------------------------------------
+  w.I64(window_.range);
+  w.I64(window_.slide);
+  w.Bool(options_.incremental);
+  w.U64(event_names_.size());
+  for (const auto& name : event_names_) w.Str(name);
+  w.U64(fluent_names_.size());
+  for (const auto& name : fluent_names_) w.Str(name);
+  w.U64(definitions_.size());
+  for (const auto& def : definitions_) {
+    if (const auto* s = std::get_if<SimpleFluentSpec>(&def)) {
+      w.U8(kKindSimple);
+      w.I32(s->fluent);
+      w.Bool(s->output);
+      w.Bool(s->deps.has_value());
+    } else if (const auto* s = std::get_if<StaticFluentSpec>(&def)) {
+      w.U8(kKindStatic);
+      w.I32(s->fluent);
+      w.Bool(s->output);
+      w.Bool(s->deps.has_value());
+    } else {
+      const auto& d = std::get<DerivedEventSpec>(def);
+      w.U8(kKindDerived);
+      w.I32(d.event);
+      w.Bool(d.output);
+      w.Bool(d.deps.has_value());
+    }
+  }
+
+  // --- input stores --------------------------------------------------------
+  for (const auto& store : input_events_) {
+    w.U64(store.size());
+    for (const EventInstance& e : store) SaveEventInstance(e, w);
+  }
+  w.Bool(input_dirty_);
+  for (const auto& store : derived_events_) {
+    w.U64(store.size());
+    for (const EventInstance& e : store) SaveEventInstance(e, w);
+  }
+  w.U64(coords_.size());
+  for (const Term& vessel : SortedTermKeys(coords_)) {
+    SaveTerm(vessel, w);
+    const auto& vec = coords_.at(vessel);
+    w.U64(vec.size());
+    for (const auto& [t, pos] : vec) {
+      w.I64(t);
+      w.F64(pos.lon);
+      w.F64(pos.lat);
+    }
+  }
+  w.Bool(coords_dirty_);
+
+  // --- committed timelines -------------------------------------------------
+  for (const auto& map : timelines_) {
+    w.U64(map.size());
+    for (const Term& key : SortedTermKeys(map)) {
+      SaveTerm(key, w);
+      SaveTimeline(map.at(key), w);
+    }
+  }
+
+  // --- incremental dirty + edge state --------------------------------------
+  const auto save_dirty = [&w](const DirtyMap& dm) {
+    w.U64(dm.at.size());
+    for (const Term& key : SortedTermKeys(dm.at)) {
+      SaveTerm(key, w);
+      const auto& range = dm.at.at(key);
+      w.I64(range.min);
+      w.I64(range.max);
+    }
+  };
+  for (const auto& dm : dirty_events_) save_dirty(dm);
+  save_dirty(dirty_coords_);
+  w.Bool(dirty_all_);
+  for (const auto& edge : edge_fluents_) {
+    std::vector<Term> sorted = edge;
+    std::sort(sorted.begin(), sorted.end());
+    SaveTermVector(sorted, w);
+  }
+  for (const char e : edge_derived_) w.U8(static_cast<uint8_t>(e));
+  w.I64(prev_query_);
+
+  // --- boundary inertia record ---------------------------------------------
+  w.I64(boundary_.at);
+  w.U64(boundary_.values.size());
+  for (const auto& bmap : boundary_.values) {
+    w.U64(bmap.size());
+    for (const Term& key : SortedTermKeys(bmap)) {
+      SaveTerm(key, w);
+      w.I32(bmap.at(key));
+    }
+  }
+
+  // --- per-definition caches -----------------------------------------------
+  for (const auto& cache : def_caches_) {
+    if (const auto* simple = std::get_if<SimpleDefCache>(&cache)) {
+      w.U64(simple->evidence.size());
+      for (const Term& key : SortedTermKeys(simple->evidence)) {
+        SaveTerm(key, w);
+        SaveEvidence(simple->evidence.at(key), w);
+      }
+      SaveTermVector(simple->keys, w);
+    } else if (const auto* st = std::get_if<StaticDefCache>(&cache)) {
+      w.U64(st->raw.size());
+      for (const Term& key : SortedTermKeys(st->raw)) {
+        SaveTerm(key, w);
+        const auto& by_value = st->raw.at(key);
+        w.U64(by_value.size());
+        for (const auto& [value, list] : by_value) {
+          w.I32(value);
+          SaveIntervals(list, w);
+        }
+      }
+      SaveTermVector(st->keys, w);
+    } else {
+      w.Bool(std::get<DerivedDefCache>(cache).valid);
+    }
+  }
+
+  w.U64(cache_stats_.hits);
+  w.U64(cache_stats_.misses);
+  w.U64(cache_stats_.evictions);
+}
+
+Status Engine::RestoreFrom(snapshot::Reader& r) {
+  uint8_t version = 0;
+  if (!r.U8(&version)) return snapshot::CorruptionIn(kWhat);
+  if (version > kEngineFormatVersion) return snapshot::VersionError(kWhat);
+
+  // --- schema fingerprint: declarations are code, so they must match -------
+  stream::WindowSpec window;
+  bool incremental = false;
+  if (!r.I64(&window.range) || !r.I64(&window.slide) || !r.Bool(&incremental)) {
+    return snapshot::CorruptionIn(kWhat);
+  }
+  if (window.range != window_.range || window.slide != window_.slide) {
+    return Status::InvalidArgument("snapshot: engine window spec mismatch");
+  }
+  if (incremental != options_.incremental) {
+    return Status::InvalidArgument(
+        "snapshot: engine evaluation mode mismatch (incremental vs naive)");
+  }
+  uint64_t n = 0;
+  if (!r.Count(&n, 1) || n != event_names_.size()) {
+    return Status::InvalidArgument("snapshot: engine event count mismatch");
+  }
+  for (const auto& name : event_names_) {
+    std::string stored;
+    if (!r.Str(&stored)) return snapshot::CorruptionIn(kWhat);
+    if (stored != name) {
+      return Status::InvalidArgument("snapshot: engine event '" + name +
+                                     "' mismatch (stored '" + stored + "')");
+    }
+  }
+  if (!r.Count(&n, 1) || n != fluent_names_.size()) {
+    return Status::InvalidArgument("snapshot: engine fluent count mismatch");
+  }
+  for (const auto& name : fluent_names_) {
+    std::string stored;
+    if (!r.Str(&stored)) return snapshot::CorruptionIn(kWhat);
+    if (stored != name) {
+      return Status::InvalidArgument("snapshot: engine fluent '" + name +
+                                     "' mismatch (stored '" + stored + "')");
+    }
+  }
+  if (!r.Count(&n, 1) || n != definitions_.size()) {
+    return Status::InvalidArgument("snapshot: engine definition count mismatch");
+  }
+  for (const auto& def : definitions_) {
+    uint8_t kind = 0;
+    int32_t target = -1;
+    bool output = false;
+    bool has_deps = false;
+    if (!r.U8(&kind) || !r.I32(&target) || !r.Bool(&output) ||
+        !r.Bool(&has_deps)) {
+      return snapshot::CorruptionIn(kWhat);
+    }
+    uint8_t want_kind = 0;
+    int32_t want_target = -1;
+    bool want_output = false;
+    bool want_deps = false;
+    if (const auto* s = std::get_if<SimpleFluentSpec>(&def)) {
+      want_kind = kKindSimple;
+      want_target = s->fluent;
+      want_output = s->output;
+      want_deps = s->deps.has_value();
+    } else if (const auto* s = std::get_if<StaticFluentSpec>(&def)) {
+      want_kind = kKindStatic;
+      want_target = s->fluent;
+      want_output = s->output;
+      want_deps = s->deps.has_value();
+    } else {
+      const auto& d = std::get<DerivedEventSpec>(def);
+      want_kind = kKindDerived;
+      want_target = d.event;
+      want_output = d.output;
+      want_deps = d.deps.has_value();
+    }
+    if (kind != want_kind || target != want_target || output != want_output ||
+        has_deps != want_deps) {
+      return Status::InvalidArgument("snapshot: engine definition mismatch");
+    }
+  }
+
+  // --- input stores --------------------------------------------------------
+  for (auto& store : input_events_) {
+    if (!r.Count(&n, 2 * 2 * sizeof(int32_t) + sizeof(int64_t))) {
+      return snapshot::CorruptionIn(kWhat);
+    }
+    store.clear();
+    store.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      EventInstance e;
+      if (!LoadEventInstance(r, &e)) return snapshot::CorruptionIn(kWhat);
+      store.push_back(e);
+    }
+  }
+  if (!r.Bool(&input_dirty_)) return snapshot::CorruptionIn(kWhat);
+  for (auto& store : derived_events_) {
+    if (!r.Count(&n, 2 * 2 * sizeof(int32_t) + sizeof(int64_t))) {
+      return snapshot::CorruptionIn(kWhat);
+    }
+    store.clear();
+    store.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      EventInstance e;
+      if (!LoadEventInstance(r, &e)) return snapshot::CorruptionIn(kWhat);
+      store.push_back(e);
+    }
+  }
+  coords_.clear();
+  if (!r.Count(&n, 2 * sizeof(int32_t) + sizeof(uint64_t))) {
+    return snapshot::CorruptionIn(kWhat);
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    Term vessel;
+    uint64_t m = 0;
+    if (!LoadTerm(r, &vessel) ||
+        !r.Count(&m, sizeof(int64_t) + 2 * sizeof(double))) {
+      return snapshot::CorruptionIn(kWhat);
+    }
+    auto& vec = coords_[vessel];
+    vec.reserve(m);
+    for (uint64_t j = 0; j < m; ++j) {
+      Timestamp t = 0;
+      geo::GeoPoint pos;
+      if (!r.I64(&t) || !r.F64(&pos.lon) || !r.F64(&pos.lat)) {
+        return snapshot::CorruptionIn(kWhat);
+      }
+      vec.emplace_back(t, pos);
+    }
+  }
+  if (!r.Bool(&coords_dirty_)) return snapshot::CorruptionIn(kWhat);
+
+  // --- committed timelines -------------------------------------------------
+  for (size_t fidx = 0; fidx < timelines_.size(); ++fidx) {
+    auto& map = timelines_[fidx];
+    map.clear();
+    if (!r.Count(&n, 2 * sizeof(int32_t) + 1)) {
+      return snapshot::CorruptionIn(kWhat);
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      Term key;
+      FluentTimeline tl;
+      if (!LoadTerm(r, &key) || !LoadTimeline(r, &tl)) {
+        return snapshot::CorruptionIn(kWhat);
+      }
+      map[key] = std::move(tl);
+    }
+    RebuildKeyMemo(fidx);
+  }
+
+  // --- incremental dirty + edge state --------------------------------------
+  const auto load_dirty = [&r](DirtyMap* dm) {
+    dm->Clear();
+    uint64_t count = 0;
+    if (!r.Count(&count, 2 * sizeof(int32_t) + 2 * sizeof(int64_t))) {
+      return false;
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      Term key;
+      DirtyMap::MarkRange range{};
+      if (!LoadTerm(r, &key) || !r.I64(&range.min) || !r.I64(&range.max) ||
+          range.min > range.max) {
+        return false;
+      }
+      dm->at[key] = range;
+      if (range.min < dm->any) dm->any = range.min;
+    }
+    return true;
+  };
+  for (auto& dm : dirty_events_) {
+    if (!load_dirty(&dm)) return snapshot::CorruptionIn(kWhat);
+  }
+  if (!load_dirty(&dirty_coords_)) return snapshot::CorruptionIn(kWhat);
+  if (!r.Bool(&dirty_all_)) return snapshot::CorruptionIn(kWhat);
+  for (auto& edge : edge_fluents_) {
+    if (!LoadTermVector(r, &edge)) return snapshot::CorruptionIn(kWhat);
+  }
+  for (auto& e : edge_derived_) {
+    uint8_t b = 0;
+    if (!r.U8(&b)) return snapshot::CorruptionIn(kWhat);
+    e = static_cast<char>(b != 0);
+  }
+  if (!r.I64(&prev_query_)) return snapshot::CorruptionIn(kWhat);
+
+  // --- boundary inertia record ---------------------------------------------
+  if (!r.I64(&boundary_.at)) return snapshot::CorruptionIn(kWhat);
+  if (!r.Count(&n, sizeof(uint64_t))) return snapshot::CorruptionIn(kWhat);
+  if (n != 0 && n != fluent_names_.size()) {
+    return snapshot::CorruptionIn(kWhat);
+  }
+  boundary_.values.assign(n, {});
+  for (auto& bmap : boundary_.values) {
+    uint64_t m = 0;
+    if (!r.Count(&m, 3 * sizeof(int32_t))) return snapshot::CorruptionIn(kWhat);
+    for (uint64_t i = 0; i < m; ++i) {
+      Term key;
+      Value value = 0;
+      if (!LoadTerm(r, &key) || !r.I32(&value)) {
+        return snapshot::CorruptionIn(kWhat);
+      }
+      bmap[key] = value;
+    }
+  }
+
+  // --- per-definition caches -----------------------------------------------
+  for (auto& cache : def_caches_) {
+    if (auto* simple = std::get_if<SimpleDefCache>(&cache)) {
+      simple->evidence.clear();
+      if (!r.Count(&n, 2 * sizeof(int32_t) + 1)) {
+        return snapshot::CorruptionIn(kWhat);
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        Term key;
+        FluentEvidence ev;
+        if (!LoadTerm(r, &key) || !LoadEvidence(r, &ev)) {
+          return snapshot::CorruptionIn(kWhat);
+        }
+        simple->evidence[key] = std::move(ev);
+      }
+      if (!LoadTermVector(r, &simple->keys)) {
+        return snapshot::CorruptionIn(kWhat);
+      }
+    } else if (auto* st = std::get_if<StaticDefCache>(&cache)) {
+      st->raw.clear();
+      if (!r.Count(&n, 2 * sizeof(int32_t) + 1)) {
+        return snapshot::CorruptionIn(kWhat);
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        Term key;
+        uint64_t vals = 0;
+        if (!LoadTerm(r, &key) ||
+            !r.Count(&vals, sizeof(int32_t) + sizeof(uint64_t))) {
+          return snapshot::CorruptionIn(kWhat);
+        }
+        auto& by_value = st->raw[key];
+        for (uint64_t j = 0; j < vals; ++j) {
+          Value value = 0;
+          IntervalList list;
+          if (!r.I32(&value) || !LoadIntervals(r, &list)) {
+            return snapshot::CorruptionIn(kWhat);
+          }
+          by_value[value] = std::move(list);
+        }
+      }
+      if (!LoadTermVector(r, &st->keys)) return snapshot::CorruptionIn(kWhat);
+    } else {
+      bool valid = false;
+      if (!r.Bool(&valid)) return snapshot::CorruptionIn(kWhat);
+      std::get<DerivedDefCache>(cache).valid = valid;
+    }
+  }
+
+  uint64_t hits = 0, misses = 0, evictions = 0;
+  if (!r.U64(&hits) || !r.U64(&misses) || !r.U64(&evictions)) {
+    return snapshot::CorruptionIn(kWhat);
+  }
+  cache_stats_.hits = static_cast<size_t>(hits);
+  cache_stats_.misses = static_cast<size_t>(misses);
+  cache_stats_.evictions = static_cast<size_t>(evictions);
+
+  // Per-slide scratch state is reset, exactly as a finished Recognize leaves
+  // it (changed_* are recomputed from the edge records at the next step).
+  for (auto& dm : changed_fluents_) dm.Clear();
+  std::fill(changed_derived_.begin(), changed_derived_.end(), kTimestampNever);
+  return Status::OK();
+}
+
+}  // namespace maritime::rtec

@@ -1,0 +1,58 @@
+#include "snapshot/codec.h"
+
+#include <array>
+
+namespace maritime::snapshot {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = kTable[(c ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+size_t Writer::BeginSection(uint32_t tag, uint8_t version) {
+  U32(tag);
+  U8(version);
+  const size_t handle = buf_.size();
+  U64(0);  // Length placeholder, backpatched by EndSection.
+  return handle;
+}
+
+void Writer::EndSection(size_t handle) {
+  const uint64_t length = buf_.size() - (handle + sizeof(uint64_t));
+  std::memcpy(buf_.data() + handle, &length, sizeof(length));
+}
+
+bool Reader::BeginSection(uint32_t expected_tag, uint8_t max_version,
+                          uint8_t* version, size_t* end_offset) {
+  uint32_t tag = 0;
+  uint64_t length = 0;
+  if (!U32(&tag) || !U8(version) || !Count(&length, 1)) return false;
+  if (tag != expected_tag) return Fail();
+  if (*version > max_version) {
+    version_rejected_ = true;
+    return Fail();
+  }
+  *end_offset = pos_ + length;
+  return true;
+}
+
+}  // namespace maritime::snapshot

@@ -1,0 +1,158 @@
+#ifndef MARITIME_SNAPSHOT_CODEC_H_
+#define MARITIME_SNAPSHOT_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace maritime::snapshot {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+/// Guards every snapshot payload against torn writes and bit rot.
+uint32_t Crc32(std::string_view bytes);
+
+/// Append-only little-endian encoder for snapshot payloads. All multi-byte
+/// integers are fixed-width little-endian so snapshots are portable across
+/// hosts of the same endianness class (the only class we target).
+///
+/// Sections give the payload a self-describing skeleton: BeginSection writes
+/// a 4-byte tag, a one-byte format version and a length placeholder that
+/// EndSection backpatches, so a reader can verify it consumed exactly the
+/// bytes a component wrote (catching format skew between writer and reader).
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void I32(int32_t v) { AppendRaw(&v, sizeof(v)); }
+  void I64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void F64(double v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed string (u64 byte count + raw bytes).
+  void Str(std::string_view s) {
+    U64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Opens a framed section; returns a handle for EndSection.
+  size_t BeginSection(uint32_t tag, uint8_t version);
+  /// Closes the section opened by the matching BeginSection, backpatching
+  /// its byte length. Sections nest like parentheses.
+  void EndSection(size_t handle);
+
+  size_t size() const { return buf_.size(); }
+  const std::string& bytes() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void AppendRaw(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder. Every read returns false (and
+/// latches the failure) when the buffer is exhausted, so decoding corrupt or
+/// truncated input degrades to a clean error instead of reading out of
+/// bounds. Callers translate a failed reader into Status::Corruption.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : data_(bytes) {}
+
+  bool U8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool Bool(bool* v) {
+    uint8_t b = 0;
+    if (!U8(&b)) return false;
+    *v = b != 0;
+    return true;
+  }
+  bool U32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool I32(int32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool F64(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+  bool Str(std::string* s) {
+    uint64_t n = 0;
+    if (!Count(&n, 1)) return false;
+    s->assign(data_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
+  /// Reads an element count and validates it against the bytes remaining
+  /// (each element needs at least `min_element_size` bytes), so a hostile
+  /// count cannot drive a multi-gigabyte allocation before the truncation
+  /// is noticed.
+  bool Count(uint64_t* n, size_t min_element_size) {
+    if (!U64(n)) return false;
+    if (min_element_size == 0) min_element_size = 1;
+    if (*n > remaining() / min_element_size) return Fail();
+    return true;
+  }
+
+  /// Opens a framed section written by Writer::BeginSection: checks the tag,
+  /// rejects versions newer than `max_version`, and returns the section's
+  /// end offset for EndSection. `version` receives the stored version.
+  bool BeginSection(uint32_t expected_tag, uint8_t max_version,
+                    uint8_t* version, size_t* end_offset);
+  /// Verifies the section was consumed exactly to its recorded end.
+  bool EndSection(size_t end_offset) {
+    if (failed_ || pos_ != end_offset) return Fail();
+    return true;
+  }
+
+  /// True when the last BeginSection failed specifically because the stored
+  /// version was newer than this build supports (for Unimplemented vs.
+  /// Corruption error classification).
+  bool version_rejected() const { return version_rejected_; }
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return !failed_ && pos_ == data_.size(); }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+  bool ReadRaw(void* v, size_t n) {
+    if (failed_ || remaining() < n) return Fail();
+    std::memcpy(v, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  bool version_rejected_ = false;
+};
+
+/// Standard error for a reader that failed while decoding `what`.
+inline Status CorruptionIn(std::string_view what) {
+  return Status::Corruption("snapshot: malformed or truncated " +
+                            std::string(what));
+}
+
+/// Error for a section whose stored version is newer than this build.
+inline Status VersionError(std::string_view what) {
+  return Status::Unimplemented("snapshot: " + std::string(what) +
+                               " was written by a newer format version");
+}
+
+/// Dispatches between the two failure modes after a BeginSection.
+inline Status SectionError(const Reader& r, std::string_view what) {
+  return r.version_rejected() ? VersionError(what) : CorruptionIn(what);
+}
+
+}  // namespace maritime::snapshot
+
+#endif  // MARITIME_SNAPSHOT_CODEC_H_

@@ -1,0 +1,71 @@
+#include "snapshot/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace maritime::snapshot {
+
+std::string EncodeSnapshotFile(std::string_view payload) {
+  Writer w;
+  w.U32(kFileMagic);
+  w.U32(kFileVersion);
+  w.U64(payload.size());
+  w.U32(Crc32(payload));
+  std::string out = w.Take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Result<std::string_view> DecodeSnapshotFile(std::string_view file) {
+  Reader r(file);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint32_t crc = 0;
+  if (!r.U32(&magic) || !r.U32(&version) || !r.U64(&payload_size) ||
+      !r.U32(&crc)) {
+    return Status::Corruption("snapshot: truncated file header");
+  }
+  if (magic != kFileMagic) {
+    return Status::InvalidArgument("snapshot: bad magic (not a snapshot file)");
+  }
+  if (version > kFileVersion) {
+    return VersionError("file container");
+  }
+  if (payload_size != r.remaining()) {
+    return Status::Corruption(
+        payload_size > r.remaining()
+            ? "snapshot: truncated payload"
+            : "snapshot: trailing bytes after payload");
+  }
+  const std::string_view payload = file.substr(kFileHeaderSize);
+  if (Crc32(payload) != crc) {
+    return Status::Corruption("snapshot: payload checksum mismatch");
+  }
+  return payload;
+}
+
+Status WriteSnapshotFile(const std::string& path, std::string_view payload) {
+  const std::string image = EncodeSnapshotFile(payload);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IoError("snapshot: cannot open " + path);
+  f.write(image.data(), static_cast<std::streamsize>(image.size()));
+  f.flush();
+  if (!f) return Status::IoError("snapshot: write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadSnapshotFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("snapshot: cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) return Status::IoError("snapshot: read failed for " + path);
+  const std::string image = buf.str();
+  Result<std::string_view> payload = DecodeSnapshotFile(image);
+  if (!payload.ok()) return payload.status();
+  return std::string(payload.value());
+}
+
+}  // namespace maritime::snapshot

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+#include "snapshot/codec.h"
 #include "tracker/critical_point.h"
 
 namespace maritime::tracker {
@@ -38,6 +40,10 @@ class Compressor {
 
   const CompressionStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CompressionStats{}; }
+
+  // --- checkpointing ------------------------------------------------------
+  void SaveTo(snapshot::Writer& w) const;
+  Status RestoreFrom(snapshot::Reader& r);
 
  private:
   CompressionStats stats_;

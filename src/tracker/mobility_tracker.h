@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+#include "snapshot/codec.h"
 #include "stream/position.h"
 #include "tracker/critical_point.h"
 #include "tracker/params.h"
@@ -84,6 +86,15 @@ class MobilityTracker {
     const VesselState* vs = FindVessel(mmsi);
     return vs == nullptr ? 0.0 : vs->odometer_m;
   }
+
+  // --- checkpointing ------------------------------------------------------
+  /// Serializes every vessel's state plus the counters (format v1). Vessels
+  /// are written in ascending MMSI order so identical state yields identical
+  /// bytes regardless of hash-map iteration order.
+  void SaveTo(snapshot::Writer& w) const;
+  /// Replaces the dynamic state (vessels + counters); the construction-time
+  /// params are kept. On error the tracker is left empty, never half-filled.
+  Status RestoreFrom(snapshot::Reader& r);
 
  private:
   void Emit(const CriticalPoint& cp, std::vector<CriticalPoint>* out);

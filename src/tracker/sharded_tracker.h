@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "common/spsc_queue.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "snapshot/codec.h"
 #include "stream/position.h"
 #include "tracker/compressor.h"
 #include "tracker/critical_point.h"
@@ -111,6 +113,18 @@ class ShardedMobilityTracker {
   const MobilityTracker& shard(int i) const {
     return shards_[static_cast<size_t>(i)].tracker;
   }
+
+  // --- checkpointing ------------------------------------------------------
+  /// Serializes every shard's tracker + compressor plus the slide totals
+  /// (format v1). Precondition: called at a slide boundary — after
+  /// ProcessSlide and before the next Ingest — so the ring inboxes are
+  /// empty; positions ingested past the boundary belong to the next slide
+  /// and are re-ingested by the replay driver.
+  void SaveTo(snapshot::Writer& w) const MARITIME_EXCLUDES(totals_mu_);
+  /// Restores into a tracker constructed with the same params and shard
+  /// count (shard-count mismatch is InvalidArgument: MMSI routing would
+  /// scatter restored vessels to the wrong shards).
+  Status RestoreFrom(snapshot::Reader& r) MARITIME_EXCLUDES(totals_mu_);
 
  private:
   struct Shard {

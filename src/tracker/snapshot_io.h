@@ -1,0 +1,28 @@
+#ifndef MARITIME_TRACKER_SNAPSHOT_IO_H_
+#define MARITIME_TRACKER_SNAPSHOT_IO_H_
+
+#include "geo/snapshot_io.h"
+#include "snapshot/codec.h"
+#include "tracker/critical_point.h"
+
+namespace maritime::tracker {
+
+inline void SaveCriticalPoint(const CriticalPoint& cp, snapshot::Writer& w) {
+  w.U32(cp.mmsi);
+  geo::SaveGeoPoint(cp.pos, w);
+  w.I64(cp.tau);
+  w.U32(cp.flags);
+  w.F64(cp.speed_knots);
+  w.F64(cp.heading_deg);
+  w.I64(cp.duration);
+}
+
+inline bool LoadCriticalPoint(snapshot::Reader& r, CriticalPoint* cp) {
+  return r.U32(&cp->mmsi) && geo::LoadGeoPoint(r, &cp->pos) &&
+         r.I64(&cp->tau) && r.U32(&cp->flags) && r.F64(&cp->speed_knots) &&
+         r.F64(&cp->heading_deg) && r.I64(&cp->duration);
+}
+
+}  // namespace maritime::tracker
+
+#endif  // MARITIME_TRACKER_SNAPSHOT_IO_H_

@@ -1,0 +1,147 @@
+// Checkpoint serialization of the tracking layer: MobilityTracker,
+// Compressor, and ShardedMobilityTracker. Kept out of the hot-path
+// translation units; the wire layout notes live in DESIGN.md §9.
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "tracker/compressor.h"
+#include "tracker/mobility_tracker.h"
+#include "tracker/sharded_tracker.h"
+
+namespace maritime::tracker {
+namespace {
+
+constexpr uint8_t kTrackerFormatVersion = 1;
+constexpr uint8_t kCompressorFormatVersion = 1;
+constexpr uint8_t kShardedFormatVersion = 1;
+
+}  // namespace
+
+void MobilityTracker::SaveTo(snapshot::Writer& w) const {
+  w.U8(kTrackerFormatVersion);
+  std::vector<stream::Mmsi> keys;
+  keys.reserve(vessels_.size());
+  for (const auto& [mmsi, vs] : vessels_) keys.push_back(mmsi);
+  std::sort(keys.begin(), keys.end());
+  w.U64(keys.size());
+  for (const stream::Mmsi mmsi : keys) {
+    w.U32(mmsi);
+    vessels_.at(mmsi).SaveTo(w);
+  }
+  w.U64(stats_.processed);
+  w.U64(stats_.accepted);
+  w.U64(stats_.stale_discarded);
+  w.U64(stats_.outliers_discarded);
+  w.U64(stats_.outlier_resets);
+  w.U64(stats_.critical_points);
+}
+
+Status MobilityTracker::RestoreFrom(snapshot::Reader& r) {
+  vessels_.clear();
+  stats_ = TrackerStats{};
+  uint8_t version = 0;
+  if (!r.U8(&version)) return snapshot::CorruptionIn("mobility tracker");
+  if (version > kTrackerFormatVersion) {
+    return snapshot::VersionError("mobility tracker");
+  }
+  uint64_t n = 0;
+  if (!r.Count(&n, sizeof(uint32_t))) {
+    return snapshot::CorruptionIn("mobility tracker");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    stream::Mmsi mmsi = 0;
+    if (!r.U32(&mmsi)) {
+      vessels_.clear();
+      return snapshot::CorruptionIn("mobility tracker");
+    }
+    VesselState vs;
+    if (const Status s = vs.RestoreFrom(r); !s.ok()) {
+      vessels_.clear();
+      return s;
+    }
+    vessels_[mmsi] = std::move(vs);
+  }
+  const bool ok = r.U64(&stats_.processed) && r.U64(&stats_.accepted) &&
+                  r.U64(&stats_.stale_discarded) &&
+                  r.U64(&stats_.outliers_discarded) &&
+                  r.U64(&stats_.outlier_resets) &&
+                  r.U64(&stats_.critical_points);
+  if (!ok) {
+    vessels_.clear();
+    stats_ = TrackerStats{};
+    return snapshot::CorruptionIn("mobility tracker");
+  }
+  return Status::OK();
+}
+
+void Compressor::SaveTo(snapshot::Writer& w) const {
+  w.U8(kCompressorFormatVersion);
+  w.U64(stats_.raw_positions);
+  w.U64(stats_.critical_points);
+}
+
+Status Compressor::RestoreFrom(snapshot::Reader& r) {
+  stats_ = CompressionStats{};
+  uint8_t version = 0;
+  if (!r.U8(&version)) return snapshot::CorruptionIn("compressor");
+  if (version > kCompressorFormatVersion) {
+    return snapshot::VersionError("compressor");
+  }
+  if (!r.U64(&stats_.raw_positions) || !r.U64(&stats_.critical_points)) {
+    stats_ = CompressionStats{};
+    return snapshot::CorruptionIn("compressor");
+  }
+  return Status::OK();
+}
+
+void ShardedMobilityTracker::SaveTo(snapshot::Writer& w) const {
+  w.U8(kShardedFormatVersion);
+  w.U32(static_cast<uint32_t>(shards_.size()));
+  for (const Shard& s : shards_) {
+    s.tracker.SaveTo(w);
+    s.compressor.SaveTo(w);
+  }
+  SlideTotals totals;
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    totals = totals_;
+  }
+  w.U64(totals.slides);
+  w.F64(totals.busy_seconds);
+  w.U64(totals.tuples);
+  w.U64(totals.critical_points);
+}
+
+Status ShardedMobilityTracker::RestoreFrom(snapshot::Reader& r) {
+  uint8_t version = 0;
+  if (!r.U8(&version)) return snapshot::CorruptionIn("sharded tracker");
+  if (version > kShardedFormatVersion) {
+    return snapshot::VersionError("sharded tracker");
+  }
+  uint32_t count = 0;
+  if (!r.U32(&count)) return snapshot::CorruptionIn("sharded tracker");
+  if (count != shards_.size()) {
+    return Status::InvalidArgument(
+        "snapshot: shard count mismatch (MMSI routing would change)");
+  }
+  for (Shard& s : shards_) {
+    if (const Status st = s.tracker.RestoreFrom(r); !st.ok()) return st;
+    if (const Status st = s.compressor.RestoreFrom(r); !st.ok()) return st;
+    s.inbox.clear();
+    s.slide_out.clear();
+  }
+  SlideTotals totals;
+  if (!r.U64(&totals.slides) || !r.F64(&totals.busy_seconds) ||
+      !r.U64(&totals.tuples) || !r.U64(&totals.critical_points)) {
+    return snapshot::CorruptionIn("sharded tracker");
+  }
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    totals_ = totals;
+  }
+  return Status::OK();
+}
+
+}  // namespace maritime::tracker

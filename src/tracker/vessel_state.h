@@ -4,7 +4,9 @@
 #include <deque>
 #include <vector>
 
+#include "common/status.h"
 #include "geo/velocity.h"
+#include "snapshot/codec.h"
 #include "stream/position.h"
 
 namespace maritime::tracker {
@@ -60,6 +62,13 @@ struct VesselState {
   /// Drops velocity history and open episodes (used after gaps and outlier
   /// resets, when the recent course is no longer trustworthy). Keeps `last`.
   void ResetMotionState();
+
+  // --- checkpointing ------------------------------------------------------
+  /// Serializes every field (format v1, framed by the owning tracker).
+  void SaveTo(snapshot::Writer& w) const;
+  /// Overwrites this state from `r`. Corruption on malformed input; the
+  /// state is unspecified after an error (the owning tracker discards it).
+  Status RestoreFrom(snapshot::Reader& r);
 };
 
 }  // namespace maritime::tracker

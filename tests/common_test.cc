@@ -82,6 +82,20 @@ TEST(TimeTest, FormatDurationNegative) {
   EXPECT_EQ(FormatDuration(-61), "-00:01:01");
 }
 
+TEST(TimeTest, FormatDurationInt64MinHasNoOverflow) {
+  // -INT64_MIN is undefined for signed arithmetic; the formatter must work
+  // on the unsigned magnitude. 2^63 s = 106751991167300 days + 15:30:08.
+  EXPECT_EQ(FormatDuration(INT64_MIN), "-106751991167300d 15:30:08");
+  EXPECT_EQ(FormatDuration(INT64_MAX), "106751991167300d 15:30:07");
+}
+
+TEST(TimeTest, FormatTimestampInvalidSentinel) {
+  // kInvalidTimestamp is a sentinel, not a time; rendering it as a huge
+  // negative duration in logs was misleading (and hit the same overflow).
+  EXPECT_EQ(FormatTimestamp(kInvalidTimestamp), "invalid");
+  EXPECT_EQ(FormatTimestamp(61), "00:01:01");
+}
+
 TEST(RngTest, Deterministic) {
   Rng a(123);
   Rng b(123);

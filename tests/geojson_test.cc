@@ -57,6 +57,26 @@ TEST(GeoJsonTest, PolygonRingClosed) {
   EXPECT_NE(doc.find("\"kind\":\"protected\""), std::string::npos);
 }
 
+TEST(GeoJsonTest, AlreadyClosedRingNotDoubleClosed) {
+  // Knowledge-base polygons often arrive pre-closed (GeoJSON convention);
+  // blindly appending the first vertex again produced an invalid ring with a
+  // duplicate consecutive coordinate.
+  GeoJsonWriter w;
+  w.AddPolygon("park", "protected",
+               {{24.0, 37.0}, {24.1, 37.0}, {24.1, 37.1}, {24.0, 37.0}});
+  const std::string doc = w.Finish();
+  size_t occurrences = 0;
+  for (size_t pos = doc.find("[24.000000,37.000000]");
+       pos != std::string::npos;
+       pos = doc.find("[24.000000,37.000000]", pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 2u) << "closing vertex must appear exactly twice";
+  EXPECT_EQ(doc.find("[24.000000,37.000000],[24.000000,37.000000]"),
+            std::string::npos)
+      << "no duplicate consecutive coordinate";
+}
+
 TEST(GeoJsonTest, EscapesStrings) {
   GeoJsonWriter w;
   w.AddTrajectory("he said \"hi\"\\\n", {{24.0, 37.0}});

@@ -150,6 +150,39 @@ TEST(TrajectoryStoreTest, IndexesAndQueries) {
   EXPECT_EQ(store.TripsOverlapping(10 * kHour, 20 * kHour).size(), 0u);
 }
 
+TEST(TrajectoryStoreTest, TripPointersSurviveLaterInsertions) {
+  // Regression: trips_ was a std::vector, so pointers handed out by
+  // TripsOfVessel/TripsTo dangled as soon as a later AddTrip reallocated the
+  // backing storage (ASan catches the stale read). The deque-backed store
+  // must keep them valid for the lifetime of the store.
+  const auto kb = MakeKb();
+  TripBuilder builder(&kb);
+  TrajectoryStore store;
+  std::vector<Trip> trips;
+  for (const auto& cp : VoyageAtoB(7, 0)) builder.Add(cp, &trips);
+  for (auto& t : trips) store.AddTrip(std::move(t));
+  trips.clear();
+
+  const std::vector<const Trip*> early = store.TripsOfVessel(7);
+  ASSERT_EQ(early.size(), 1u);
+  const Trip* held = early[0];
+  const Timestamp held_end = held->end_tau;
+
+  // Enough insertions to force any vector-backed store through several
+  // reallocations.
+  for (stream::Mmsi m = 100; m < 200; ++m) {
+    for (const auto& cp : VoyageAtoB(m, static_cast<Timestamp>(m) * kHour)) {
+      builder.Add(cp, &trips);
+    }
+  }
+  for (auto& t : trips) store.AddTrip(std::move(t));
+  ASSERT_GT(store.trip_count(), 100u);
+
+  EXPECT_EQ(held->mmsi, 7u);
+  EXPECT_EQ(held->end_tau, held_end);
+  EXPECT_EQ(held, store.TripsOfVessel(7)[0]);
+}
+
 TEST(TrajectoryStoreTest, OriginDestinationMatrix) {
   const auto kb = MakeKb();
   TripBuilder builder(&kb);
