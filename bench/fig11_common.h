@@ -43,6 +43,10 @@ struct Fig11Row {
   size_t queries;
   double cache_hit_rate;    ///< 0 under the naive engine.
   double speedup_vs_naive;  ///< 0 when the naive pairing was not run.
+  // Slide-arena telemetry, summed over partitions (RecognizeTotals).
+  double arena_kb_per_query = 0.0;   ///< Arena KiB bumped per Recognize().
+  uint64_t arena_chunks = 0;         ///< Arena chunks reserved at the end.
+  uint64_t arena_fallback_allocs = 0;  ///< Large-object heap fallbacks.
 };
 
 /// Runs CE recognition over the ME stream at slide β=1h for the given
@@ -95,6 +99,12 @@ inline Fig11Row RunFig11Config(const Fig11Workload& w, Duration range,
       lookups == 0 ? 0.0
                    : static_cast<double>(totals.cache_hits) /
                          static_cast<double>(lookups);
+  if (row.queries > 0) {
+    row.arena_kb_per_query = static_cast<double>(totals.arena_bytes) / 1024.0 /
+                             static_cast<double>(row.queries);
+  }
+  row.arena_chunks = totals.arena_chunks;
+  row.arena_fallback_allocs = totals.fallback_allocs;
   return row;
 }
 
@@ -126,11 +136,15 @@ inline void WriteFig11Json(const std::string& path, const char* bench_name,
         "    {\"fleet_scale\": %g, \"vessels\": %d, \"omega_hours\": %lld, "
         "\"processors\": %d, \"engine\": \"%s\", \"avg_ms_per_query\": %.4f, "
         "\"avg_input_facts\": %.1f, \"avg_ces\": %.2f, \"queries\": %zu, "
-        "\"cache_hit_rate\": %.4f, \"speedup_vs_naive\": %.3f}%s\n",
+        "\"cache_hit_rate\": %.4f, \"speedup_vs_naive\": %.3f, "
+        "\"arena_kb_per_query\": %.1f, \"arena_chunks\": %llu, "
+        "\"arena_fallback_allocs\": %llu}%s\n",
         r.fleet_scale, r.vessels, static_cast<long long>(r.range / kHour),
         r.processors, r.incremental ? "incremental" : "naive",
         r.avg_recognition_seconds * 1e3, r.avg_input_facts, r.avg_ces,
-        r.queries, r.cache_hit_rate, r.speedup_vs_naive,
+        r.queries, r.cache_hit_rate, r.speedup_vs_naive, r.arena_kb_per_query,
+        static_cast<unsigned long long>(r.arena_chunks),
+        static_cast<unsigned long long>(r.arena_fallback_allocs),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -148,9 +162,9 @@ inline void RunFig11(bool spatial_facts, const Fig11Options& opts = {}) {
                 "24h, %zu areas\n\n",
                 scale, w.data.tuples.size(), w.criticals.size(),
                 w.data.world.knowledge.areas().size());
-    std::printf("  %-10s %-12s %-13s %-16s %-16s %-9s %-10s %-8s\n", "omega",
-                "processors", "engine", "avg time/query", "avg input facts",
-                "avg CEs", "hit rate", "speedup");
+    std::printf("  %-10s %-12s %-13s %-16s %-16s %-9s %-9s %-10s %-8s\n",
+                "omega", "processors", "engine", "avg time/query",
+                "avg input facts", "avg CEs", "arena/q", "hit rate", "speedup");
     for (const Duration range : {kHour, 2 * kHour, 6 * kHour, 9 * kHour}) {
       for (const int processors : {1, 2}) {
         double naive_seconds = 0.0;
@@ -165,11 +179,11 @@ inline void RunFig11(bool spatial_facts, const Fig11Options& opts = {}) {
           } else if (naive_seconds > 0.0 && r.avg_recognition_seconds > 0.0) {
             r.speedup_vs_naive = naive_seconds / r.avg_recognition_seconds;
           }
-          std::printf("  %-10lld %-12d %-13s %10.2f ms %-16.0f %-9.1f",
+          std::printf("  %-10lld %-12d %-13s %10.2f ms %-16.0f %-9.1f %6.0fKiB",
                       static_cast<long long>(r.range / kHour), r.processors,
                       r.incremental ? "incremental" : "naive",
                       r.avg_recognition_seconds * 1e3, r.avg_input_facts,
-                      r.avg_ces);
+                      r.avg_ces, r.arena_kb_per_query);
           if (r.incremental) {
             std::printf(" %8.1f%% %7.2fx\n", r.cache_hit_rate * 100.0,
                         r.speedup_vs_naive);

@@ -7,10 +7,68 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "common/rng.h"
 #include "fig11_common.h"
 #include "rtec/interval.h"
 #include "rtec/timeline.h"
+
+// Heap-allocation counting: the arena/SoA work is judged not only on time but
+// on per-slide allocator traffic, so this binary replaces global operator
+// new/delete with counting wrappers. Sanitizer builds provide their own
+// operator new; keep the counters but report zero there (the interposition is
+// skipped, see kAllocCountingActive).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MARITIME_BENCH_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define MARITIME_BENCH_COUNT_ALLOCS 0
+#else
+#define MARITIME_BENCH_COUNT_ALLOCS 1
+#endif
+#else
+#define MARITIME_BENCH_COUNT_ALLOCS 1
+#endif
+
+namespace maritime::bench {
+std::atomic<uint64_t> g_heap_allocs{0};
+inline constexpr bool kAllocCountingActive = MARITIME_BENCH_COUNT_ALLOCS != 0;
+}  // namespace maritime::bench
+
+#if MARITIME_BENCH_COUNT_ALLOCS
+// The replaced operators pair new->malloc with delete->free by construction;
+// GCC's mismatched-new-delete heuristic cannot see that pairing.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  maritime::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  maritime::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align), size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#endif  // MARITIME_BENCH_COUNT_ALLOCS
 
 namespace maritime::rtec {
 namespace {
@@ -124,6 +182,11 @@ void BM_CERecognitionWindow(benchmark::State& state) {
   double hits = 0.0;
   double lookups = 0.0;
   size_t queries = 0;
+  uint64_t recognize_allocs = 0;
+  uint64_t arena_bytes = 0;
+  uint64_t arena_slides = 0;
+  uint64_t arena_chunks = 0;
+  uint64_t fallback_allocs = 0;
   for (auto _ : state) {
     surveillance::RecognizerConfig cfg;
     cfg.window = stream::WindowSpec{6 * kHour, kHour};
@@ -137,7 +200,11 @@ void BM_CERecognitionWindow(benchmark::State& state) {
         rec.Feed(w.criticals[cursor]);
         ++cursor;
       }
+      const uint64_t allocs_before =
+          bench::g_heap_allocs.load(std::memory_order_relaxed);
       const RecognitionResult r = rec.Recognize(q);
+      recognize_allocs += bench::g_heap_allocs.load(std::memory_order_relaxed) -
+                          allocs_before;
       recognized += r.events.size() + r.fluents.size();
       ++queries;
     }
@@ -145,9 +212,30 @@ void BM_CERecognitionWindow(benchmark::State& state) {
     const EngineCacheStats& stats = rec.engine().cache_stats();
     hits += static_cast<double>(stats.hits);
     lookups += static_cast<double>(stats.hits + stats.misses);
+    const EngineAllocStats& alloc = rec.engine().alloc_stats();
+    arena_bytes += alloc.arena_bytes;
+    arena_slides += alloc.slides;
+    arena_chunks = std::max(arena_chunks, alloc.arena_chunks);
+    fallback_allocs += alloc.fallback_allocs;
   }
   state.SetItemsProcessed(static_cast<int64_t>(queries));
   state.counters["hit_rate"] = lookups > 0.0 ? hits / lookups : 0.0;
+  // Slide-arena telemetry (EngineAllocStats): how much scratch each slide
+  // bumps, how many chunks the reserve holds, and how often a large object
+  // fell back to the general heap.
+  state.counters["arena_bytes_per_slide"] =
+      arena_slides > 0 ? static_cast<double>(arena_bytes) /
+                             static_cast<double>(arena_slides)
+                       : 0.0;
+  state.counters["arena_chunks"] = static_cast<double>(arena_chunks);
+  state.counters["arena_fallback_allocs"] = static_cast<double>(fallback_allocs);
+  // Heap allocator traffic (operator-new calls) per Recognize, including the
+  // RecognitionResult rows handed back to the caller. Zero when the counting
+  // interposition is disabled (sanitizer builds).
+  state.counters["allocs_per_slide"] =
+      bench::kAllocCountingActive && queries > 0
+          ? static_cast<double>(recognize_allocs) / static_cast<double>(queries)
+          : 0.0;
 }
 BENCHMARK(BM_CERecognitionWindow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 

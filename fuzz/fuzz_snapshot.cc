@@ -77,8 +77,8 @@ struct TinyEngine {
     };
     spec.rules = [on, off](const maritime::rtec::EvalContext& ctx,
                            maritime::rtec::Term key,
-                           std::vector<maritime::rtec::ValuedPoint>* initiated,
-                           std::vector<maritime::rtec::ValuedPoint>*
+                           maritime::rtec::PointVec* initiated,
+                           maritime::rtec::PointVec*
                                terminated) {
       for (const auto& e : ctx.Events(on)) {
         if (e.subject == key) initiated->push_back({maritime::rtec::kTrue, e.t});

@@ -235,8 +235,8 @@ int main(int argc, char** argv) {
     };
     spec.rules = [on, off](const maritime::rtec::EvalContext& ctx,
                            maritime::rtec::Term key,
-                           std::vector<maritime::rtec::ValuedPoint>* init,
-                           std::vector<maritime::rtec::ValuedPoint>* term) {
+                           maritime::rtec::PointVec* init,
+                           maritime::rtec::PointVec* term) {
       for (const auto& e : ctx.Events(on)) {
         if (e.subject == key) init->push_back({maritime::rtec::kTrue, e.t});
       }

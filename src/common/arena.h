@@ -1,0 +1,221 @@
+#ifndef MARITIME_COMMON_ARENA_H_
+#define MARITIME_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+// Poison arena memory on Reset() under AddressSanitizer so a dangling
+// pointer into a previous slide's scratch faults instead of reading stale
+// bytes (the bump allocator would otherwise happily hand the region out
+// again and mask the bug).
+#if defined(__SANITIZE_ADDRESS__)
+#define MARITIME_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MARITIME_ARENA_ASAN 1
+#endif
+#endif
+#ifndef MARITIME_ARENA_ASAN
+#define MARITIME_ARENA_ASAN 0
+#endif
+#if MARITIME_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace maritime::common {
+
+/// A slide-scoped bump-pointer allocator: allocation is a pointer increment
+/// within the current chunk, deallocation is a no-op, and `Reset()` at the
+/// end of a window slide recycles every chunk in O(chunks). The RTEC engine
+/// owns one arena per evaluation thread; all per-slide scratch (evidence
+/// points, episode buffers, flat timelines under construction) lives here,
+/// and only the commit phase copies surviving data out to long-lived heap
+/// storage — see DESIGN.md §10.
+///
+/// Not thread-safe: one arena belongs to exactly one evaluation slot.
+class Arena {
+ public:
+  /// Allocation counters; `fallback_allocs` counts requests larger than
+  /// `kMaxChunkSize/2` that were served by the general heap instead (they
+  /// are still owned and freed by the arena).
+  struct Stats {
+    uint64_t bytes_used = 0;      ///< Live bytes since the last Reset().
+    uint64_t bytes_reserved = 0;  ///< Sum of chunk capacities (kept on Reset).
+    uint64_t chunks = 0;          ///< Chunks ever created (kept on Reset).
+    uint64_t fallback_allocs = 0;  ///< Large-object heap allocations, ever.
+  };
+
+  static constexpr size_t kMinChunkSize = 64 << 10;
+  static constexpr size_t kMaxChunkSize = 1 << 20;
+
+  Arena() = default;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+#if MARITIME_ARENA_ASAN
+    // Unpoison before handing the chunks back to the system allocator.
+    for (const Chunk& c : chunks_) ASAN_UNPOISON_MEMORY_REGION(c.data, c.size);
+#endif
+  }
+
+  /// Returns `size` bytes aligned to `align` (a power of two). Lifetime ends
+  /// at the next Reset(). Zero-size requests get a unique non-null pointer.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    if (size == 0) size = 1;
+    if (size > kMaxChunkSize / 2) {
+      ++stats_.fallback_allocs;
+      stats_.bytes_used += size;
+      large_.push_back(AlignedBuffer(size, align));
+      return large_.back().get();
+    }
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + size > limit_) {
+      NextChunk(size + align);
+      p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    }
+#if MARITIME_ARENA_ASAN
+    ASAN_UNPOISON_MEMORY_REGION(reinterpret_cast<void*>(p), size);
+#endif
+    stats_.bytes_used += size;
+    cursor_ = p + size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Recycles every chunk: all memory handed out since the previous Reset()
+  /// is invalidated at once (poisoned under ASan), large-object fallbacks are
+  /// freed, and the chunks stay reserved for the next slide.
+  void Reset() {
+    large_.clear();
+#if MARITIME_ARENA_ASAN
+    for (const Chunk& c : chunks_) ASAN_POISON_MEMORY_REGION(c.data, c.size);
+#endif
+    active_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = reinterpret_cast<uintptr_t>(chunks_[0].data);
+      limit_ = cursor_ + chunks_[0].size;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+    stats_.bytes_used = 0;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    void* data;
+    size_t size;
+  };
+  struct FreeDeleter {
+    void operator()(void* p) const { std::free(p); }
+  };
+  using Buffer = std::unique_ptr<void, FreeDeleter>;
+
+  static Buffer AlignedBuffer(size_t size, size_t align) {
+    if (align < alignof(std::max_align_t)) align = alignof(std::max_align_t);
+    void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+    if (p == nullptr) throw std::bad_alloc();
+    return Buffer(p);
+  }
+
+  /// Advances to the next chunk able to hold `need` bytes, creating one with
+  /// geometrically growing capacity when the reserve is exhausted.
+  void NextChunk(size_t need) {
+    while (active_ + 1 < chunks_.size()) {
+      const Chunk& c = chunks_[++active_];
+      if (c.size >= need) {
+        cursor_ = reinterpret_cast<uintptr_t>(c.data);
+        limit_ = cursor_ + c.size;
+        return;
+      }
+    }
+    size_t size = chunks_.empty() ? kMinChunkSize
+                                  : std::min(chunks_.back().size * 2,
+                                             kMaxChunkSize);
+    if (size < need) size = need;
+    owned_.push_back(AlignedBuffer(size, alignof(std::max_align_t)));
+    chunks_.push_back(Chunk{owned_.back().get(), size});
+    ++stats_.chunks;
+    stats_.bytes_reserved += size;
+    active_ = chunks_.size() - 1;
+    cursor_ = reinterpret_cast<uintptr_t>(chunks_.back().data);
+    limit_ = cursor_ + size;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::vector<Buffer> owned_;   ///< Backing storage of chunks_, same order.
+  std::vector<Buffer> large_;   ///< Large-object fallbacks, freed on Reset.
+  size_t active_ = 0;           ///< Index of the chunk being bumped.
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  Stats stats_;
+};
+
+/// STL-compatible allocator over an Arena. Default-constructed (or with a
+/// null arena) it degrades to the general heap, so one container type serves
+/// both the per-slide scratch (arena-backed) and the long-lived committed
+/// state (heap-backed). The allocator deliberately does NOT propagate on
+/// copy/move assignment and compares unequal across distinct backings:
+/// assigning an arena-built container into a heap-backed cache slot copies
+/// the elements into the destination's existing capacity — the copy-out-at-
+/// commit rule — instead of adopting doomed arena memory.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is reclaimed wholesale by Arena::Reset().
+  }
+
+  /// Containers copied wholesale (e.g. an outcome snapshot) stay on the same
+  /// backing as their source.
+  ArenaAllocator select_on_container_copy_construction() const {
+    return *this;
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator<U>& b) {
+    return a.arena_ == b.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// A vector whose backing is chosen at construction:
+/// `ArenaVector<T> v{ArenaAllocator<T>(&arena)}` bumps the arena, a
+/// default-constructed one uses the heap. Cross-backing copy assignment
+/// reuses the destination's capacity (see ArenaAllocator).
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace maritime::common
+
+#endif  // MARITIME_COMMON_ARENA_H_

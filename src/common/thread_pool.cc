@@ -34,6 +34,19 @@ void DrainIndices(ForState& state, const std::function<void(size_t)>& body) {
   }
 }
 
+void DrainIndicesSlot(ForState& state, size_t slot,
+                      const std::function<void(size_t, size_t)>& body) {
+  while (true) {
+    const size_t i = state.next.fetch_add(1);
+    if (i >= state.n) break;
+    body(i, slot);
+    if (state.done.fetch_add(1) + 1 == state.n) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.cv.notify_all();
+    }
+  }
+}
+
 int SharedPoolWorkers() {
   int width = 0;
   if (const char* env = std::getenv("MARITIME_THREADS")) {
@@ -129,6 +142,25 @@ void ThreadPool::ParallelFor(size_t n,
     Submit([state, &body] { DrainIndices(*state, body); });
   }
   DrainIndices(*state, body);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  auto state = std::make_shared<ForState>(n);
+  const size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t h = 0; h < helpers; ++h) {
+    // Slot h + 1 belongs to exactly this task closure; a closure runs on one
+    // thread, so the slot is never bumped concurrently. Slot 0 is the caller.
+    Submit([state, &body, h] { DrainIndicesSlot(*state, h + 1, body); });
+  }
+  DrainIndicesSlot(*state, 0, body);
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] { return state->done.load() == n; });
 }

@@ -40,6 +40,14 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& body)
       MARITIME_EXCLUDES(mu_);
 
+  /// Like ParallelFor, but `body(i, slot)` additionally receives a dense
+  /// execution-slot id in [0, worker_count() + 1): the caller drains as slot
+  /// 0 and the k-th helper task as slot k + 1. Each slot runs on at most one
+  /// thread at a time, so callers may index per-thread scratch (e.g. one
+  /// arena per slot) without synchronization.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body)
+      MARITIME_EXCLUDES(mu_);
+
   /// Enqueues one fire-and-forget task. Used for work whose completion is
   /// observed through some other channel; `ParallelFor` is the right API for
   /// join-style fan-out. After `Stop()` the task runs inline on the calling

@@ -11,15 +11,28 @@ bool IsValidPosition(const GeoPoint& p) {
 }
 
 double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
-  const double phi1 = DegToRad(a.lat);
-  const double phi2 = DegToRad(b.lat);
-  const double dphi = DegToRad(b.lat - a.lat);
-  const double dlambda = DegToRad(b.lon - a.lon);
-  const double sin_dphi = std::sin(dphi / 2.0);
-  const double sin_dlambda = std::sin(dlambda / 2.0);
-  const double h = sin_dphi * sin_dphi +
-                   std::cos(phi1) * std::cos(phi2) * sin_dlambda * sin_dlambda;
-  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+  // Delegating to the batch kernel keeps scalar and batched distances
+  // bit-identical by construction (one formula, one evaluation order).
+  return HaversineRef(a).MetersTo(b);
+}
+
+void HaversineMetersMany(const GeoPoint& ref, std::span<const double> lons,
+                         std::span<const double> lats,
+                         std::span<double> out_m) {
+  assert(lons.size() == lats.size() && lons.size() == out_m.size());
+  const HaversineRef r(ref);
+  for (size_t i = 0; i < lons.size(); ++i) {
+    out_m[i] = r.MetersTo(GeoPoint{lons[i], lats[i]});
+  }
+}
+
+void HaversineMetersMany(const GeoPoint& ref, std::span<const GeoPoint> pts,
+                         std::span<double> out_m) {
+  assert(pts.size() == out_m.size());
+  const HaversineRef r(ref);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    out_m[i] = r.MetersTo(pts[i]);
+  }
 }
 
 double InitialBearingDeg(const GeoPoint& a, const GeoPoint& b) {

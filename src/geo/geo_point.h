@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <ostream>
+#include <span>
 #include <vector>
 
 namespace maritime::geo {
@@ -41,6 +42,44 @@ bool IsValidPosition(const GeoPoint& p);
 /// the distance the paper uses both in the tracker and in RTEC's `close`
 /// predicate).
 double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// One endpoint of a Haversine batch with its latitude trig hoisted: every
+/// distance against the same reference point reuses cos(lat_ref) instead of
+/// recomputing it, which is the dominant shared subexpression of the formula
+/// (and of the planar projection in segment distances). MetersTo evaluates
+/// the exact expression HaversineMeters does, in the same order, so batched
+/// and scalar distances are bit-identical.
+struct HaversineRef {
+  double lon = 0.0;
+  double lat = 0.0;
+  double cos_phi = 1.0;  ///< cos(DegToRad(lat)).
+
+  HaversineRef() = default;
+  explicit HaversineRef(const GeoPoint& p)
+      : lon(p.lon), lat(p.lat), cos_phi(std::cos(DegToRad(p.lat))) {}
+
+  double MetersTo(const GeoPoint& q) const {
+    const double phi2 = DegToRad(q.lat);
+    const double dphi = DegToRad(q.lat - lat);
+    const double dlambda = DegToRad(q.lon - lon);
+    const double sin_dphi = std::sin(dphi / 2.0);
+    const double sin_dlambda = std::sin(dlambda / 2.0);
+    const double h =
+        sin_dphi * sin_dphi +
+        cos_phi * std::cos(phi2) * sin_dlambda * sin_dlambda;
+    return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+  }
+};
+
+/// Batched Haversine over a struct-of-arrays coordinate batch:
+/// out_m[i] = HaversineMeters(ref, {lons[i], lats[i]}), with the reference
+/// trig hoisted out of the loop. lons, lats and out_m must have equal sizes.
+void HaversineMetersMany(const GeoPoint& ref, std::span<const double> lons,
+                         std::span<const double> lats, std::span<double> out_m);
+
+/// Batched Haversine over a contiguous point array (array-of-structs form).
+void HaversineMetersMany(const GeoPoint& ref, std::span<const GeoPoint> pts,
+                         std::span<double> out_m);
 
 /// Initial bearing from `a` to `b` in degrees clockwise from true north,
 /// normalized to [0, 360).

@@ -8,7 +8,12 @@ namespace maritime::geo {
 
 double DistanceToSegmentMeters(const GeoPoint& p, const GeoPoint& a,
                                const GeoPoint& b) {
-  const double coslat = std::cos(DegToRad(p.lat));
+  return DistanceToSegmentMeters(HaversineRef(p), a, b);
+}
+
+double DistanceToSegmentMeters(const HaversineRef& p, const GeoPoint& a,
+                               const GeoPoint& b) {
+  const double coslat = p.cos_phi;
   const double ax = (a.lon - p.lon) * coslat;
   const double ay = a.lat - p.lat;
   const double bx = (b.lon - p.lon) * coslat;
@@ -21,7 +26,19 @@ double DistanceToSegmentMeters(const GeoPoint& p, const GeoPoint& a,
     t = std::clamp(-(ax * dx + ay * dy) / len2, 0.0, 1.0);
   }
   const GeoPoint closest = Interpolate(a, b, t);
-  return HaversineMeters(p, closest);
+  return p.MetersTo(closest);
+}
+
+double MinEdgeDistanceMeters(const GeoPoint& p,
+                             std::span<const GeoPoint> ring) {
+  assert(ring.size() >= 2);
+  const HaversineRef ref(p);
+  double best = std::numeric_limits<double>::infinity();
+  const size_t n = ring.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    best = std::min(best, DistanceToSegmentMeters(ref, ring[j], ring[i]));
+  }
+  return best;
 }
 
 Polygon::Polygon(std::vector<GeoPoint> vertices)
@@ -57,14 +74,8 @@ bool Polygon::Contains(const GeoPoint& p) const {
 double Polygon::DistanceMeters(const GeoPoint& p) const {
   if (vertices_.empty()) return std::numeric_limits<double>::infinity();
   if (Contains(p)) return 0.0;
-  double best = std::numeric_limits<double>::infinity();
-  const size_t n = vertices_.size();
-  if (n == 1) return HaversineMeters(p, vertices_[0]);
-  for (size_t i = 0, j = n - 1; i < n; j = i++) {
-    best = std::min(best, DistanceToSegmentMeters(p, vertices_[j],
-                                                  vertices_[i]));
-  }
-  return best;
+  if (vertices_.size() == 1) return HaversineMeters(p, vertices_[0]);
+  return MinEdgeDistanceMeters(p, vertices_);
 }
 
 GeoPoint Polygon::VertexCentroid() const {

@@ -1,6 +1,7 @@
 #ifndef MARITIME_GEO_POLYGON_H_
 #define MARITIME_GEO_POLYGON_H_
 
+#include <span>
 #include <vector>
 
 #include "geo/geo_point.h"
@@ -14,6 +15,19 @@ namespace maritime::geo {
 /// reproduce the full scan bit for bit.
 double DistanceToSegmentMeters(const GeoPoint& p, const GeoPoint& a,
                                const GeoPoint& b);
+
+/// Batched form of DistanceToSegmentMeters: the query point's latitude trig
+/// (`p.cos_phi`, shared by the planar projection and the Haversine step) is
+/// hoisted into the HaversineRef, so sweeping many edges against one point
+/// computes it once. Bit-identical to the scalar overload.
+double DistanceToSegmentMeters(const HaversineRef& p, const GeoPoint& a,
+                               const GeoPoint& b);
+
+/// Minimum DistanceToSegmentMeters from `p` over the closing edge ring of
+/// `ring` (edge (ring[n-1], ring[0]) included), with `p`'s trig hoisted out
+/// of the loop. Bit-identical to the per-edge scalar sweep. `ring` must hold
+/// at least two vertices.
+double MinEdgeDistanceMeters(const GeoPoint& p, std::span<const GeoPoint> ring);
 
 /// Axis-aligned bounding box in lon/lat degrees.
 struct BoundingBox {

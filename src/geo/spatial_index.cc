@@ -424,8 +424,11 @@ bool SpatialIndex::EntryClose(const CellEntry& e, const GeoPoint& p) const {
   const bool close_when_inside = threshold_m_ > 0.0;
   if (e.close == CloseLabel::kAllClose) return close_when_inside;
   if (EntryContains(e, p)) return close_when_inside;
+  // Batched edge sweep: the query point's trig is hoisted once for the whole
+  // candidate edge list (bit-identical to the scalar per-edge calls).
+  const HaversineRef ref(p);
   for (uint32_t i = e.edges_begin; i < e.edges_end; ++i) {
-    if (DistanceToSegmentMeters(p, edge_pool_[i].a, edge_pool_[i].b) <
+    if (DistanceToSegmentMeters(ref, edge_pool_[i].a, edge_pool_[i].b) <
         threshold_m_) {
       return true;
     }

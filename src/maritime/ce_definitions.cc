@@ -109,7 +109,10 @@ struct CeEnv {
 /// Domain helper: subjects of the given marker events in the window.
 std::vector<rtec::Term> SubjectsOf(const rtec::EvalContext& ctx,
                                    std::initializer_list<rtec::EventId> ids) {
+  size_t total = 0;
+  for (const rtec::EventId id : ids) total += ctx.Events(id).size();
   std::vector<rtec::Term> out;
+  out.reserve(total);
   for (const rtec::EventId id : ids) {
     for (const rtec::EventInstance& e : ctx.Events(id)) {
       out.push_back(e.subject);
@@ -121,6 +124,7 @@ std::vector<rtec::Term> SubjectsOf(const rtec::EvalContext& ctx,
 /// Domain helper: every area of the given kind as a term list.
 std::vector<rtec::Term> AreasOfKind(const KnowledgeBase* kb, AreaKind kind) {
   std::vector<rtec::Term> out;
+  out.reserve(kb->areas().size());
   for (const AreaInfo& a : kb->areas()) {
     if (a.kind == kind) out.push_back(AreaTerm(a.id));
   }
@@ -140,8 +144,8 @@ void RegisterInputDurativeMe(rtec::Engine& engine, rtec::FluentId fluent,
   };
   spec.rules = [start_marker, end_marker](
                    const rtec::EvalContext& ctx, rtec::Term key,
-                   std::vector<rtec::ValuedPoint>* initiated,
-                   std::vector<rtec::ValuedPoint>* terminated) {
+                   rtec::PointVec* initiated,
+                   rtec::PointVec* terminated) {
     for (const rtec::EventInstance& e : ctx.Events(start_marker)) {
       if (e.subject == key && ctx.NeedsEval(e.t)) {
         initiated->push_back({rtec::kTrue, e.t});
@@ -182,14 +186,15 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
     spec.domain = [kb](const rtec::EvalContext&) {
       // Officials monitor every non-port area for loitering.
       std::vector<rtec::Term> out;
+      out.reserve(kb->areas().size());
       for (const AreaInfo& a : kb->areas()) {
         if (a.kind != AreaKind::kPort) out.push_back(AreaTerm(a.id));
       }
       return out;
     };
     spec.rules = [env](const rtec::EvalContext& ctx, rtec::Term key,
-                       std::vector<rtec::ValuedPoint>* initiated,
-                       std::vector<rtec::ValuedPoint>* terminated) {
+                       rtec::PointVec* initiated,
+                       rtec::PointVec* terminated) {
       const int32_t area = key.id;
       for (const rtec::Term& v : ctx.FluentKeys(env.schema.stopped)) {
         const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, v);
@@ -226,8 +231,8 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       return AreasOfKind(kb, AreaKind::kForbiddenFishing);
     };
     spec.rules = [env](const rtec::EvalContext& ctx, rtec::Term key,
-                       std::vector<rtec::ValuedPoint>* initiated,
-                       std::vector<rtec::ValuedPoint>* terminated) {
+                       rtec::PointVec* initiated,
+                       rtec::PointVec* terminated) {
       const int32_t area = key.id;
       // Initiation (a): a fishing vessel stops close to the area.
       for (const rtec::Term& v : ctx.FluentKeys(env.schema.stopped)) {
@@ -309,8 +314,8 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       return SubjectsOf(ctx, {stop_start, stop_end});
     };
     spec.rules = [env](const rtec::EvalContext& ctx, rtec::Term key,
-                       std::vector<rtec::ValuedPoint>* initiated,
-                       std::vector<rtec::ValuedPoint>* terminated) {
+                       rtec::PointVec* initiated,
+                       rtec::PointVec* terminated) {
       const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, key);
       for (const Timestamp t : tl.StartsFor(rtec::kTrue)) {
         if (!ctx.NeedsEval(t)) continue;

@@ -133,17 +133,27 @@ std::vector<LiveVesselIndex::CellKey> LiveVesselIndex::CellsNear(
 
 std::vector<const LiveVessel*> LiveVesselIndex::Within(
     const geo::GeoPoint& center, double radius_m) const {
+  // Gather candidates into a struct-of-arrays coordinate batch, then run one
+  // batched Haversine sweep with the center's trig hoisted out of the loop.
   std::vector<const LiveVessel*> out;
+  std::vector<double> lons, lats;
   for (const CellKey key : CellsNear(center, radius_m)) {
     const auto it = cells_.find(key);
     if (it == cells_.end()) continue;
     for (const stream::Mmsi m : it->second) {
       const LiveVessel& v = vessels_.at(m);
-      if (geo::HaversineMeters(v.pos, center) <= radius_m) {
-        out.push_back(&v);
-      }
+      out.push_back(&v);
+      lons.push_back(v.pos.lon);
+      lats.push_back(v.pos.lat);
     }
   }
+  std::vector<double> dist(out.size());
+  geo::HaversineMetersMany(center, lons, lats, dist);
+  size_t w = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (dist[i] <= radius_m) out[w++] = out[i];
+  }
+  out.resize(w);
   std::sort(out.begin(), out.end(),
             [](const LiveVessel* a, const LiveVessel* b) {
               return a->mmsi < b->mmsi;

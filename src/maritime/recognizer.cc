@@ -165,13 +165,18 @@ PartitionedRecognizer::RecognizeTotals PartitionedRecognizer::totals() const {
     std::lock_guard<std::mutex> lock(totals_mu_);
     out = totals_;
   }
-  // Cache counters live in the per-partition engines; they only move during
-  // Recognize, so summing at read time needs no extra locking.
+  // Cache and allocation counters live in the per-partition engines; they
+  // only move during Recognize, so summing at read time needs no extra
+  // locking.
   for (const Partition& p : parts_) {
     const rtec::EngineCacheStats& cs = p.rec->engine().cache_stats();
     out.cache_hits += cs.hits;
     out.cache_misses += cs.misses;
     out.cache_evictions += cs.evictions;
+    const rtec::EngineAllocStats& as = p.rec->engine().alloc_stats();
+    out.arena_bytes += as.arena_bytes;
+    out.arena_chunks += as.arena_chunks;
+    out.fallback_allocs += as.fallback_allocs;
   }
   return out;
 }

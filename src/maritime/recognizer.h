@@ -119,6 +119,11 @@ class PartitionedRecognizer {
     size_t cache_hits = 0;        ///< Incremental-engine key reuses.
     size_t cache_misses = 0;      ///< Keys whose rules were (re-)run.
     size_t cache_evictions = 0;   ///< Cache entries dropped with their key.
+    // Slide-arena allocation telemetry, summed over the partitions' engines
+    // (see rtec::EngineAllocStats and DESIGN.md §10).
+    uint64_t arena_bytes = 0;      ///< Arena bytes bumped, all slides.
+    uint64_t arena_chunks = 0;     ///< Arena chunks currently reserved.
+    uint64_t fallback_allocs = 0;  ///< Large-object heap fallbacks, ever.
   };
   RecognizeTotals totals() const MARITIME_EXCLUDES(totals_mu_);
 

@@ -14,13 +14,14 @@ bool EventOrder(const EventInstance& a, const EventInstance& b) {
   return a.object < b.object;
 }
 
-const std::vector<ValuedPoint> kNoPoints;
-
-void PrunePoints(std::vector<ValuedPoint>* v, Timestamp window_start) {
-  v->erase(std::remove_if(
-               v->begin(), v->end(),
-               [&](const ValuedPoint& p) { return p.t <= window_start; }),
-           v->end());
+/// Copies the in-window suffix of `src` into `out` (arena-backed during
+/// evaluation): the cache-hit path's prune-while-copying.
+void CopyInWindowPoints(std::span<const ValuedPoint> src,
+                        Timestamp window_start, PointVec* out) {
+  out->reserve(src.size());
+  for (const ValuedPoint& p : src) {
+    if (p.t > window_start) out->push_back(p);
+  }
 }
 
 /// Drops raw static intervals that can never intersect this or any future
@@ -56,7 +57,7 @@ std::map<Value, IntervalList> ClipRawTo(const std::map<Value, IntervalList>& raw
 
 /// True iff the sorted point list contains a point at exactly `t`; used to
 /// detect evidence touching the window's leading edge (see edge_fluents_).
-bool HasPointAtTime(const std::vector<ValuedPoint>& pts, Timestamp t) {
+bool HasPointAtTime(std::span<const ValuedPoint> pts, Timestamp t) {
   for (auto it = pts.rbegin(); it != pts.rend() && it->t >= t; ++it) {
     if (it->t == t) return true;
   }
@@ -75,37 +76,45 @@ bool TouchesTime(const std::map<Value, IntervalList>& raw, Timestamp t) {
 
 /// Builds a static-fluent timeline from a normalized raw interval map exactly
 /// as the naive evaluation does (clip, boundary-artifact starts suppressed,
-/// open value at the query time).
+/// open value at the query time). The map iterates in ascending value order,
+/// which is exactly the slice-table order AppendValue requires.
 FluentTimeline BuildStaticTimeline(const std::map<Value, IntervalList>& raw,
                                    Timestamp wstart, Timestamp q) {
   FluentTimeline timeline;
+  std::vector<Timestamp> starts;
+  std::vector<Timestamp> ends;
   for (const auto& [value, list] : raw) {
     IntervalList clipped = ClipToWindow(list, wstart, q);
+    if (clipped.empty()) continue;
+    starts.clear();
+    ends.clear();
     for (const Interval& i : clipped) {
       if (i.since > wstart) {
-        timeline.starts[value].push_back(i.since);
+        starts.push_back(i.since);
       }
       if (i.till < q) {
-        timeline.ends[value].push_back(i.till);
+        ends.push_back(i.till);
       } else {
         timeline.open_value = value;
       }
     }
-    if (!clipped.empty()) {
-      timeline.intervals[value] = std::move(clipped);
-    }
+    timeline.AppendValue(value, clipped, starts, ends);
   }
   return timeline;
 }
 
 /// Per-key result of one (possibly parallel) simple-fluent evaluation; kept
 /// aside so the commit — cache writes, result rows, dirty marks — happens in
-/// deterministic key order after the layer barrier.
+/// deterministic key order after the layer barrier. All containers bump the
+/// evaluating slot's arena; the commit copies survivors out to the heap.
 struct SimpleOutcome {
   FluentEvidence evidence;
   FluentTimeline timeline;
   bool hit = false;
   std::optional<Timestamp> change_at;
+
+  explicit SimpleOutcome(common::Arena* arena)
+      : evidence(arena), timeline(arena) {}
 };
 
 struct StaticOutcome {
@@ -142,6 +151,14 @@ Engine::Engine(stream::WindowSpec window, const void* user_data,
                EngineOptions options)
     : window_(window), user_data_(user_data), options_(options) {
   assert(window_.Validate().ok());
+  // One slide arena per evaluation slot: the Recognize caller plus one per
+  // pool lane (ThreadPool's slot-indexed ParallelFor guarantees a slot is
+  // never bumped concurrently).
+  const size_t slots =
+      1 + (options_.pool != nullptr
+               ? static_cast<size_t>(options_.pool->worker_count())
+               : 0);
+  arenas_.resize(slots);
 }
 
 EventId Engine::DeclareEvent(std::string name) {
@@ -303,6 +320,26 @@ std::optional<geo::GeoPoint> Engine::CoordOf(Term vessel, Timestamp t) const {
   return (pos - 1)->second;
 }
 
+FluentTimeline& Engine::TimelineSlot(size_t fidx, Term key) {
+  FluentKeyMap& map = timelines_[fidx];
+  const auto it = map.find(key);
+  if (it != map.end()) return it->second;
+  if (!timeline_pool_.empty()) {
+    FluentKeyMap::node_type nh = std::move(timeline_pool_.back());
+    timeline_pool_.pop_back();
+    nh.key() = key;
+    return map.insert(std::move(nh)).position->second;
+  }
+  return map[key];
+}
+
+Engine::FluentKeyMap::iterator Engine::RecycleTimeline(
+    FluentKeyMap& map, FluentKeyMap::iterator it) {
+  const auto next = std::next(it);
+  timeline_pool_.push_back(map.extract(it));
+  return next;
+}
+
 void Engine::RebuildKeyMemo(size_t fidx) {
   auto& memo = fluent_keys_[fidx];
   memo.clear();
@@ -311,14 +348,16 @@ void Engine::RebuildKeyMemo(size_t fidx) {
   std::sort(memo.begin(), memo.end());
 }
 
-void Engine::ForEachKey(size_t n,
-                        const std::function<void(size_t)>& body) const {
+void Engine::ForEachKey(
+    size_t n, const std::function<void(size_t, common::Arena*)>& body) const {
   common::ThreadPool* pool = options_.pool;
   if (pool != nullptr && pool->worker_count() > 0 &&
       n >= options_.min_parallel_keys) {
-    pool->ParallelFor(n, body);
+    pool->ParallelFor(n, [&](size_t i, size_t slot) {
+      body(i, &arenas_[slot]);
+    });
   } else {
-    for (size_t i = 0; i < n; ++i) body(i);
+    for (size_t i = 0; i < n; ++i) body(i, &arenas_[0]);
   }
 }
 
@@ -329,8 +368,9 @@ std::vector<Term> Engine::EvalKeys(
   if (have_boundary && fluent >= 0) {
     // Inertia: keys whose value persists from before this window must be
     // evaluated even without fresh evidence.
-    for (const auto& [key, value] :
-         boundary_.values[static_cast<size_t>(fluent)]) {
+    const auto& carried = boundary_.values[static_cast<size_t>(fluent)];
+    keys.reserve(keys.size() + carried.size());
+    for (const auto& [key, value] : carried) {
       keys.push_back(key);
     }
   }
@@ -372,24 +412,54 @@ void Engine::EvaluateSimpleNaive(const SimpleFluentSpec& spec,
   const Timestamp q = ctx.query_time();
   const std::vector<Term> keys =
       EvalKeys(spec.domain, ctx, spec.fluent, have_boundary);
+  // One rehash to the final bucket count instead of a doubling chain as the
+  // key map fills on the first slide.
+  timelines_[fidx].reserve(keys.size());
+  common::Arena* arena = &arenas_[0];
   for (const Term& key : keys) {
-    FluentEvidence ev;
+    FluentEvidence ev(arena);
     spec.rules(ctx, key, &ev.initiations, &ev.terminations);
     if (have_boundary) {
-      const auto& bmap = boundary_.values[fidx];
-      const auto bit = bmap.find(key);
-      if (bit != bmap.end()) ev.carried_value = bit->second;
+      ev.carried_value = boundary_.CarriedValue(fidx, key);
     }
-    FluentTimeline timeline = ComputeSimpleFluent(ev, wstart, q);
+    FluentTimeline timeline(arena);
+    ComputeSimpleFluentInto(ev.initiations, ev.terminations, ev.carried_value,
+                            wstart, q, arena, &timeline);
     if (spec.output) {
-      for (const auto& [value, list] : timeline.intervals) {
-        if (!list.empty()) {
-          result->fluents.push_back(
-              RecognizedFluent{spec.fluent, key, value, list});
+      for (const auto& slice : timeline.slices) {
+        const IntervalSpan span = timeline.IntervalsAt(slice);
+        if (!span.empty()) {
+          result->fluents.push_back(RecognizedFluent{
+              spec.fluent, key, slice.value,
+              IntervalList(span.begin(), span.end())});
         }
       }
     }
-    timelines_[fidx][key] = std::move(timeline);
+    // Copy out to the heap-backed slot, reusing its capacity across slides.
+    // A key with no content this window gets no slot: most keys of a sparse
+    // fluent (e.g. vessels that never stop) would otherwise pay a map node
+    // for an empty timeline. An existing slot is still overwritten so a key
+    // whose content disappeared reads as empty downstream.
+    const bool has_content =
+        !timeline.slices.empty() || timeline.open_value.has_value();
+    if (has_content) {
+      TimelineSlot(fidx, key).CopyFrom(timeline);
+    } else {
+      auto& tl_map = timelines_[fidx];
+      const auto tl_it = tl_map.find(key);
+      if (tl_it != tl_map.end()) tl_it->second.CopyFrom(timeline);
+    }
+  }
+  // Keys that left the domain: recycle their (stale) timeline nodes.
+  // Replaces the former wholesale clear at the top of Recognize, which
+  // discarded every slot's capacity each slide.
+  auto& tl_map = timelines_[fidx];
+  for (auto it = tl_map.begin(); it != tl_map.end();) {
+    if (!std::binary_search(keys.begin(), keys.end(), it->first)) {
+      it = RecycleTimeline(tl_map, it);
+    } else {
+      ++it;
+    }
   }
   RebuildKeyMemo(fidx);
 }
@@ -406,13 +476,18 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
       EvalKeys(spec.domain, ctx, spec.fluent, have_boundary);
 
   // Evaluation phase: engine state is read-only, each index writes only its
-  // own outcome slot, so keys can fan out over the pool.
-  std::vector<SimpleOutcome> outcomes(keys.size());
-  ForEachKey(keys.size(), [&](size_t i) {
+  // own outcome slot, so keys can fan out over the pool. Every temporary
+  // (evidence points, timelines, sweep scratch) bumps the evaluating slot's
+  // arena; optional slots let each outcome be constructed in place with its
+  // arena (assignment would keep the slot's default heap allocator).
+  common::ArenaVector<std::optional<SimpleOutcome>> outcomes{
+      common::ArenaAllocator<std::optional<SimpleOutcome>>(&arenas_[0])};
+  outcomes.resize(keys.size());
+  ForEachKey(keys.size(), [&](size_t i, common::Arena* arena) {
     const Term key = keys[i];
-    SimpleOutcome& out = outcomes[i];
+    SimpleOutcome& out = outcomes[i].emplace(arena);
     const auto entry_it = cache.evidence.find(key);
-    const FluentEvidence* entry =
+    const CachedEvidence* entry =
         entry_it == cache.evidence.end() ? nullptr : &entry_it->second;
     RegenRegion region{wstart};
     if (entry != nullptr && !dirty_all_ && spec.deps.has_value()) {
@@ -420,19 +495,21 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
     }
     if (entry != nullptr && region.clean()) {
       out.hit = true;
-      out.evidence.initiations = entry->initiations;
-      out.evidence.terminations = entry->terminations;
-      PrunePoints(&out.evidence.initiations, wstart);
-      PrunePoints(&out.evidence.terminations, wstart);
+      CopyInWindowPoints(entry->initiations(), wstart,
+                         &out.evidence.initiations);
+      CopyInWindowPoints(entry->terminations(), wstart,
+                         &out.evidence.terminations);
     } else {
       const EvalContext rctx = ctx.WithRegenRegion(region.from);
-      std::vector<ValuedPoint> fresh_init;
-      std::vector<ValuedPoint> fresh_term;
+      PointVec fresh_init{common::ArenaAllocator<ValuedPoint>(arena)};
+      PointVec fresh_term{common::ArenaAllocator<ValuedPoint>(arena)};
       spec.rules(rctx, key, &fresh_init, &fresh_term);
-      const std::vector<ValuedPoint>& old_init =
-          entry != nullptr ? entry->initiations : kNoPoints;
-      const std::vector<ValuedPoint>& old_term =
-          entry != nullptr ? entry->terminations : kNoPoints;
+      const std::span<const ValuedPoint> old_init =
+          entry != nullptr ? entry->initiations()
+                           : std::span<const ValuedPoint>();
+      const std::span<const ValuedPoint> old_term =
+          entry != nullptr ? entry->terminations()
+                           : std::span<const ValuedPoint>();
       // Cached evidence must stop at the query time: a point generated from
       // input asserted ahead of q is invisible to this window's timeline,
       // and caching it would make it diff as "unchanged" when it slides
@@ -446,14 +523,14 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
       fresh_term.erase(
           std::remove_if(fresh_term.begin(), fresh_term.end(), beyond_q),
           fresh_term.end());
-      out.evidence.initiations = MergeCachedPoints(
-          old_init, std::move(fresh_init), wstart, region.from);
-      out.evidence.terminations = MergeCachedPoints(
-          old_term, std::move(fresh_term), wstart, region.from);
+      MergeCachedPointsInto(old_init, fresh_init, wstart, region.from,
+                            &out.evidence.initiations);
+      MergeCachedPointsInto(old_term, fresh_term, wstart, region.from,
+                            &out.evidence.terminations);
       const auto init_diff =
-          EarliestPointDiff(old_init, out.evidence.initiations, wstart);
+          EarliestPointDiff(old_init, out.evidence.initiations, wstart, arena);
       const auto term_diff =
-          EarliestPointDiff(old_term, out.evidence.terminations, wstart);
+          EarliestPointDiff(old_term, out.evidence.terminations, wstart, arena);
       if (init_diff.has_value() && term_diff.has_value()) {
         out.change_at = std::min(*init_diff, *term_diff);
       } else if (init_diff.has_value()) {
@@ -463,16 +540,24 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
       }
     }
     if (have_boundary) {
-      const auto& bmap = boundary_.values[fidx];
-      const auto bit = bmap.find(key);
-      if (bit != bmap.end()) out.evidence.carried_value = bit->second;
+      out.evidence.carried_value = boundary_.CarriedValue(fidx, key);
     }
-    out.timeline = ComputeSimpleFluent(out.evidence, wstart, q);
+    ComputeSimpleFluentInto(out.evidence.initiations, out.evidence.terminations,
+                            out.evidence.carried_value, wstart, q, arena,
+                            &out.timeline);
   });
 
   // Commit phase, in key order: deterministic regardless of pool width.
+  // One rehash to the final bucket count instead of a doubling chain as the
+  // maps fill on the first slide.
+  cache.evidence.reserve(keys.size());
+  timelines_[fidx].reserve(keys.size());
+  // Cache/timeline writes are non-propagating copy-assigns: the heap-backed
+  // destination keeps its allocator and reuses capacity, which is the
+  // arena/heap boundary (DESIGN.md §10) — nothing arena-backed survives the
+  // slide.
   for (size_t i = 0; i < keys.size(); ++i) {
-    SimpleOutcome& out = outcomes[i];
+    SimpleOutcome& out = *outcomes[i];
     if (out.hit) {
       ++cache_stats_.hits;
     } else {
@@ -486,24 +571,67 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
       edge_fluents_[fidx].push_back(keys[i]);
     }
     if (spec.output) {
-      for (const auto& [value, list] : out.timeline.intervals) {
-        if (!list.empty()) {
-          result->fluents.push_back(
-              RecognizedFluent{spec.fluent, keys[i], value, list});
+      for (const auto& slice : out.timeline.slices) {
+        const IntervalSpan span = out.timeline.IntervalsAt(slice);
+        if (!span.empty()) {
+          result->fluents.push_back(RecognizedFluent{
+              spec.fluent, keys[i], slice.value,
+              IntervalList(span.begin(), span.end())});
         }
       }
     }
-    cache.evidence[keys[i]] = std::move(out.evidence);
-    timelines_[fidx][keys[i]] = std::move(out.timeline);
+    auto ev_it = cache.evidence.find(keys[i]);
+    if (ev_it == cache.evidence.end()) {
+      if (!evidence_pool_.empty()) {
+        // Recycle an evicted node together with its point-buffer capacity.
+        SimpleDefCache::EvidenceMap::node_type nh =
+            std::move(evidence_pool_.back());
+        evidence_pool_.pop_back();
+        nh.key() = keys[i];
+        ev_it = cache.evidence.insert(std::move(nh)).position;
+      } else {
+        ev_it = cache.evidence.try_emplace(keys[i]).first;
+      }
+    }
+    CachedEvidence& slot = ev_it->second;
+    slot.points.clear();
+    const size_t need =
+        out.evidence.initiations.size() + out.evidence.terminations.size();
+    if (slot.points.capacity() < need) {
+      // Geometric growth: evidence lengthens slide by slide while the window
+      // fills, and exact-fit reserves would reallocate every one of them.
+      slot.points.reserve(std::max(need, 2 * slot.points.capacity()));
+    }
+    slot.points.insert(slot.points.end(), out.evidence.initiations.begin(),
+                       out.evidence.initiations.end());
+    slot.points.insert(slot.points.end(), out.evidence.terminations.begin(),
+                       out.evidence.terminations.end());
+    slot.init_count = static_cast<uint32_t>(out.evidence.initiations.size());
+    slot.carried_value = out.evidence.carried_value;
+    // As in the naive commit: no slot for a key with no content this window.
+    const bool has_content =
+        !out.timeline.slices.empty() || out.timeline.open_value.has_value();
+    if (has_content) {
+      TimelineSlot(fidx, keys[i]).CopyFrom(out.timeline);
+    } else {
+      auto& tl_map = timelines_[fidx];
+      const auto tl_it = tl_map.find(keys[i]);
+      if (tl_it != tl_map.end()) tl_it->second.CopyFrom(out.timeline);
+    }
   }
 
   // Keys that left the evaluated set: under the dependency contract their
   // timelines were already empty, so dropping them cannot affect downstream
-  // definitions — no dirty mark needed.
+  // definitions — no dirty mark needed. Nodes go to the recycling pools.
   for (const Term& old_key : cache.keys) {
     if (!std::binary_search(keys.begin(), keys.end(), old_key)) {
-      cache.evidence.erase(old_key);
-      timelines_[fidx].erase(old_key);
+      const auto evict_it = cache.evidence.find(old_key);
+      if (evict_it != cache.evidence.end()) {
+        evidence_pool_.push_back(cache.evidence.extract(evict_it));
+      }
+      auto& tl_map = timelines_[fidx];
+      const auto tl_it = tl_map.find(old_key);
+      if (tl_it != tl_map.end()) RecycleTimeline(tl_map, tl_it);
       ++cache_stats_.evictions;
     }
   }
@@ -526,31 +654,30 @@ void Engine::EvaluateStaticNaive(const StaticFluentSpec& spec,
   for (const Term& key : keys) {
     std::map<Value, IntervalList> computed;
     spec.compute(ctx, key, &computed);
-    FluentTimeline timeline;
-    for (auto& [value, list] : computed) {
-      NormalizeIntervals(&list);
-      IntervalList clipped = ClipToWindow(list, wstart, q);
-      for (const Interval& i : clipped) {
-        // A boundary-touching since is a clipping artifact, not a real
-        // initiation; an interval reaching q may still be ongoing.
-        if (i.since > wstart) {
-          timeline.starts[value].push_back(i.since);
+    for (auto& [value, list] : computed) NormalizeIntervals(&list);
+    // BuildStaticTimeline clips, suppresses boundary-artifact starts and
+    // records the open value — identical semantics to the former inline loop.
+    FluentTimeline timeline = BuildStaticTimeline(computed, wstart, q);
+    if (spec.output) {
+      for (const auto& slice : timeline.slices) {
+        const IntervalSpan span = timeline.IntervalsAt(slice);
+        if (!span.empty()) {
+          result->fluents.push_back(RecognizedFluent{
+              spec.fluent, key, slice.value,
+              IntervalList(span.begin(), span.end())});
         }
-        if (i.till < q) {
-          timeline.ends[value].push_back(i.till);
-        } else {
-          timeline.open_value = value;
-        }
-      }
-      if (!clipped.empty()) {
-        if (spec.output) {
-          result->fluents.push_back(
-              RecognizedFluent{spec.fluent, key, value, clipped});
-        }
-        timeline.intervals[value] = std::move(clipped);
       }
     }
-    timelines_[fidx][key] = std::move(timeline);
+    TimelineSlot(fidx, key).CopyFrom(timeline);
+  }
+  // Stale-key recycle, replacing the former wholesale clear in Recognize.
+  auto& tl_map = timelines_[fidx];
+  for (auto it = tl_map.begin(); it != tl_map.end();) {
+    if (!std::binary_search(keys.begin(), keys.end(), it->first)) {
+      it = RecycleTimeline(tl_map, it);
+    } else {
+      ++it;
+    }
   }
   RebuildKeyMemo(fidx);
 }
@@ -567,7 +694,9 @@ void Engine::EvaluateStaticIncremental(const StaticFluentSpec& spec,
 
   const Timestamp prev_q = prev_query_;
   std::vector<StaticOutcome> outcomes(keys.size());
-  ForEachKey(keys.size(), [&](size_t i) {
+  // The static path is not allocation-hot (raw caches stay heap maps by
+  // design); the slot arena is unused here.
+  ForEachKey(keys.size(), [&](size_t i, common::Arena* /*arena*/) {
     const Term key = keys[i];
     StaticOutcome& out = outcomes[i];
     const auto entry_it = cache.raw.find(key);
@@ -654,21 +783,25 @@ void Engine::EvaluateStaticIncremental(const StaticFluentSpec& spec,
     }
     if (TouchesTime(out.raw, q)) edge_fluents_[fidx].push_back(keys[i]);
     if (spec.output) {
-      for (const auto& [value, list] : out.timeline.intervals) {
-        if (!list.empty()) {
-          result->fluents.push_back(
-              RecognizedFluent{spec.fluent, keys[i], value, list});
+      for (const auto& slice : out.timeline.slices) {
+        const IntervalSpan span = out.timeline.IntervalsAt(slice);
+        if (!span.empty()) {
+          result->fluents.push_back(RecognizedFluent{
+              spec.fluent, keys[i], slice.value,
+              IntervalList(span.begin(), span.end())});
         }
       }
     }
     cache.raw[keys[i]] = std::move(out.raw);
-    timelines_[fidx][keys[i]] = std::move(out.timeline);
+    TimelineSlot(fidx, keys[i]).CopyFrom(out.timeline);
   }
 
   for (const Term& old_key : cache.keys) {
     if (!std::binary_search(keys.begin(), keys.end(), old_key)) {
       cache.raw.erase(old_key);
-      timelines_[fidx].erase(old_key);
+      auto& tl_map = timelines_[fidx];
+      const auto tl_it = tl_map.find(old_key);
+      if (tl_it != tl_map.end()) RecycleTimeline(tl_map, tl_it);
       ++cache_stats_.evictions;
     }
   }
@@ -685,10 +818,10 @@ void Engine::EvaluateDerivedNaive(const DerivedEventSpec& spec,
                                   RecognitionResult* result) {
   const Timestamp wstart = ctx.window_start();
   const Timestamp q = ctx.query_time();
-  std::vector<EventInstance> instances;
-  spec.compute(ctx, &instances);
+  derived_fresh_.clear();
+  spec.compute(ctx, &derived_fresh_);
   auto& store = derived_events_[static_cast<size_t>(spec.event)];
-  for (const EventInstance& i : instances) {
+  for (const EventInstance& i : derived_fresh_) {
     if (i.t > wstart && i.t <= q) store.push_back(i);
   }
   std::sort(store.begin(), store.end(), EventOrder);
@@ -710,8 +843,11 @@ void Engine::EvaluateDerivedIncremental(const DerivedEventSpec& spec,
   auto& store = derived_events_[eidx];
 
   // The previous slide's store is the cache (EventOrder-sorted, unique);
-  // restrict it to the new window.
-  std::vector<EventInstance> old = std::move(store);
+  // restrict it to the new window. Swapping with the member scratch (instead
+  // of moving through locals) keeps both buffers alive across slides, so the
+  // steady state allocates nothing here.
+  std::vector<EventInstance>& old = derived_old_;
+  std::swap(store, old);
   store.clear();
   old.erase(std::remove_if(old.begin(), old.end(),
                            [&](const EventInstance& i) {
@@ -728,37 +864,35 @@ void Engine::EvaluateDerivedIncremental(const DerivedEventSpec& spec,
   }
   if (cache.valid && region.clean()) {
     ++cache_stats_.hits;
-    store = std::move(old);
+    store.assign(old.begin(), old.end());
   } else {
     ++cache_stats_.misses;
-    std::vector<EventInstance> instances;
-    spec.compute(ctx.WithRegenRegion(region.from), &instances);
+    derived_fresh_.clear();
+    spec.compute(ctx.WithRegenRegion(region.from), &derived_fresh_);
     const auto needs_eval = [&](Timestamp t) { return t >= region.from; };
-    std::vector<EventInstance> merged;
-    merged.reserve(old.size() + instances.size());
+    store.reserve(old.size() + derived_fresh_.size());
     for (const EventInstance& i : old) {
-      if (!needs_eval(i.t)) merged.push_back(i);
+      if (!needs_eval(i.t)) store.push_back(i);
     }
-    for (const EventInstance& i : instances) {
-      if (i.t > wstart && i.t <= q && needs_eval(i.t)) merged.push_back(i);
+    for (const EventInstance& i : derived_fresh_) {
+      if (i.t > wstart && i.t <= q && needs_eval(i.t)) store.push_back(i);
     }
-    std::sort(merged.begin(), merged.end(), EventOrder);
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    std::sort(store.begin(), store.end(), EventOrder);
+    store.erase(std::unique(store.begin(), store.end()), store.end());
     // Downstream readers of this derived event re-evaluate from the first
     // in-window occurrence difference.
     Timestamp change_at = kTimestampNever;
-    const size_t n = std::min(old.size(), merged.size());
+    const size_t n = std::min(old.size(), store.size());
     size_t i = 0;
-    while (i < n && old[i] == merged[i]) ++i;
-    if (i < old.size() && i < merged.size()) {
-      change_at = std::min(old[i].t, merged[i].t);
+    while (i < n && old[i] == store[i]) ++i;
+    if (i < old.size() && i < store.size()) {
+      change_at = std::min(old[i].t, store[i].t);
     } else if (i < old.size()) {
       change_at = old[i].t;
-    } else if (i < merged.size()) {
-      change_at = merged[i].t;
+    } else if (i < store.size()) {
+      change_at = store[i].t;
     }
     changed_derived_[eidx] = std::min(changed_derived_[eidx], change_at);
-    store = std::move(merged);
   }
   cache.valid = true;
   if (!store.empty() && store.back().t == q) edge_derived_[eidx] = 1;
@@ -802,14 +936,22 @@ RecognitionResult Engine::Recognize(Timestamp q) {
     std::fill(edge_derived_.begin(), edge_derived_.end(), 0);
   } else {
     for (auto& d : derived_events_) d.clear();
-    for (auto& t : timelines_) t.clear();
-    for (auto& k : fluent_keys_) k.clear();
+    // Timelines are NOT cleared wholesale: the naive evaluators overwrite
+    // each evaluated key in place (reusing the heap slot's capacity) and
+    // erase keys that left the domain. Under the registration-order
+    // hierarchy a rule only reads fluents registered earlier, which have
+    // already been rewritten this slide, so the observable behavior is
+    // unchanged.
   }
 
   RecognitionResult result;
   result.query_time = q;
   result.window_start = wstart;
   result.input_events_in_window = buffered_events();
+  // Row counts are stable slide to slide; sizing from the previous step
+  // replaces a geometric-growth chain of reallocations with (usually) one.
+  result.fluents.reserve(prev_fluent_rows_);
+  result.events.reserve(prev_event_rows_);
 
   const EvalContext ctx(this, wstart, q, user_data_);
 
@@ -850,11 +992,15 @@ RecognitionResult Engine::Recognize(Timestamp q) {
   // survives the slide even after the supporting events are discarded.
   const Timestamp next_wstart = q - window_.range + window_.slide;
   boundary_.at = next_wstart;
-  boundary_.values.assign(fluent_names_.size(), {});
+  // Rebuild in place: resize keeps the inner vectors (and their capacity)
+  // alive across slides, so refilling is allocation-free in steady state.
+  boundary_.values.resize(fluent_names_.size());
+  for (auto& vec : boundary_.values) vec.clear();
   for (const auto& def : definitions_) {
     const auto* simple = std::get_if<SimpleFluentSpec>(&def);
     if (simple == nullptr) continue;
     const size_t fidx = static_cast<size_t>(simple->fluent);
+    auto& vec = boundary_.values[fidx];
     for (const auto& [key, timeline] : timelines_[fidx]) {
       std::optional<Value> v;
       if (next_wstart >= q) {
@@ -862,8 +1008,12 @@ RecognitionResult Engine::Recognize(Timestamp q) {
       } else {
         v = timeline.ValueRightOf(next_wstart);
       }
-      if (v.has_value()) boundary_.values[fidx][key] = *v;
+      if (v.has_value()) vec.emplace_back(key, *v);
     }
+    // The timeline map iterates in hash order; CarriedValue and the snapshot
+    // writer need key order.
+    std::sort(vec.begin(), vec.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
   if (options_.incremental) {
@@ -874,16 +1024,18 @@ RecognitionResult Engine::Recognize(Timestamp q) {
     dirty_all_ = false;
     prev_query_ = q;
 #if MARITIME_DCHECKS_ENABLED
-    // Purge/evict accounting: every cache entry must belong to a live
-    // (evaluated this step) key, or the cache would grow with vessel churn.
+    // Purge/evict accounting: every cache entry must belong to a key
+    // evaluated this step, or the cache would grow with vessel churn. (A
+    // key's timeline slot may legitimately be absent — empty timelines are
+    // not materialized — so liveness is checked against the evaluated key
+    // set, not the timeline map.)
     for (size_t di = 0; di < definitions_.size(); ++di) {
-      if (const auto* simple = std::get_if<SimpleFluentSpec>(
-              &definitions_[di])) {
+      if (std::holds_alternative<SimpleFluentSpec>(definitions_[di])) {
         const auto& cache = std::get<SimpleDefCache>(def_caches_[di]);
-        const auto& live = timelines_[static_cast<size_t>(simple->fluent)];
         for (const auto& [k, ev] : cache.evidence) {
-          MARITIME_DCHECK_MSG(live.count(k) == 1,
-                              "cached simple-fluent key not live");
+          MARITIME_DCHECK_MSG(
+              std::binary_search(cache.keys.begin(), cache.keys.end(), k),
+              "cached simple-fluent key not live");
         }
       } else if (const auto* st = std::get_if<StaticFluentSpec>(
                      &definitions_[di])) {
@@ -897,6 +1049,24 @@ RecognitionResult Engine::Recognize(Timestamp q) {
     }
 #endif
   }
+
+  // Harvest per-slide allocation telemetry, then rewind every slot arena.
+  // Nothing arena-backed outlives this point: all commits above copied into
+  // heap-backed slots.
+  uint64_t bytes = 0, chunks = 0, fallbacks = 0;
+  for (common::Arena& a : arenas_) {
+    const common::Arena::Stats s = a.stats();
+    bytes += s.bytes_used;
+    chunks += s.chunks;
+    fallbacks += s.fallback_allocs;
+    a.Reset();
+  }
+  ++alloc_stats_.slides;
+  alloc_stats_.arena_bytes += bytes;
+  alloc_stats_.arena_chunks = chunks;
+  alloc_stats_.fallback_allocs = fallbacks;
+  prev_fluent_rows_ = result.fluents.size();
+  prev_event_rows_ = result.events.size();
   return result;
 }
 

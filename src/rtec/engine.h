@@ -1,15 +1,18 @@
 #ifndef MARITIME_RTEC_ENGINE_H_
 #define MARITIME_RTEC_ENGINE_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <variant>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "geo/geo_point.h"
@@ -153,10 +156,11 @@ struct SimpleFluentSpec {
   /// contents, e.g. "all vessels with MEs in the window").
   std::function<std::vector<Term>(const EvalContext&)> domain;
   /// Appends initiation and termination points for `key`. Points outside the
-  /// window are ignored.
-  std::function<void(const EvalContext&, Term key,
-                     std::vector<ValuedPoint>* initiated,
-                     std::vector<ValuedPoint>* terminated)>
+  /// window are ignored. The vectors are slide-scoped arena storage during
+  /// evaluation (heap-backed in tests calling rules directly) — rules only
+  /// append and never keep references past the call.
+  std::function<void(const EvalContext&, Term key, PointVec* initiated,
+                     PointVec* terminated)>
       rules;
   /// Include this fluent's intervals in RecognitionResult.
   bool output = false;
@@ -275,6 +279,39 @@ struct EngineCacheStats {
   }
 };
 
+/// Cumulative per-slide allocation telemetry: every Recognize() evaluates
+/// into slide-scoped arenas (one per evaluation slot) and resets them at the
+/// end of the step; these counters aggregate the arena traffic across steps.
+struct EngineAllocStats {
+  uint64_t slides = 0;           ///< Recognize() calls accounted.
+  uint64_t arena_bytes = 0;      ///< Sum of arena bytes bumped per slide.
+  uint64_t arena_chunks = 0;     ///< Arena chunks currently reserved.
+  uint64_t fallback_allocs = 0;  ///< Large-object heap fallbacks, ever.
+
+  double BytesPerSlide() const {
+    return slides == 0 ? 0.0 : static_cast<double>(arena_bytes) /
+                                   static_cast<double>(slides);
+  }
+};
+
+/// Heap-backed evidence-cache slot of the incremental engine: both point
+/// lists of one (definition, key) share a single buffer — initiations in
+/// [0, init_count), terminations after — so a cache entry costs one buffer
+/// allocation instead of two. Readers take the spans below; writers rebuild
+/// the buffer whole at commit (it is never appended to in place).
+struct CachedEvidence {
+  PointVec points;          ///< Initiations, then terminations.
+  uint32_t init_count = 0;  ///< Boundary between the two lists.
+  std::optional<Value> carried_value;
+
+  std::span<const ValuedPoint> initiations() const {
+    return std::span<const ValuedPoint>(points).first(init_count);
+  }
+  std::span<const ValuedPoint> terminations() const {
+    return std::span<const ValuedPoint>(points).subspan(init_count);
+  }
+};
+
 /// The Event Calculus for Run-Time reasoning (RTEC) engine, re-implemented
 /// as a C++ library (the paper's implementation is YAP Prolog). It performs
 /// CE recognition at query times Q1, Q2, ... over a sliding window ("working
@@ -339,6 +376,8 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   /// Cumulative cache counters (zeros under the naive engine).
   const EngineCacheStats& cache_stats() const { return cache_stats_; }
+  /// Cumulative slide-arena allocation counters (naive and incremental).
+  const EngineAllocStats& alloc_stats() const { return alloc_stats_; }
   /// Number of per-key cache entries currently held across all definitions.
   /// Bounded by the live key sets: eviction removes an entry as soon as its
   /// key leaves the definition's evaluated set (vessel churn cannot grow the
@@ -371,26 +410,35 @@ class Engine {
   /// Dirty marks per key: the earliest marked time drives regeneration (a
   /// regen region starting there covers every later mark), the latest marked
   /// time decides what survives a window slide. `any` is the min over all
-  /// keys (for cross-key definitions).
+  /// keys (for cross-key definitions). Storage is a flat vector sorted by
+  /// key: Clear() keeps the capacity, so steady-state marking allocates
+  /// nothing per slide (a node-based map would churn one heap node per mark).
   struct DirtyMap {
     struct MarkRange {
       Timestamp min;
       Timestamp max;
     };
-    std::unordered_map<Term, MarkRange, TermHash> at;
+    std::vector<std::pair<Term, MarkRange>> at;  ///< Sorted by key.
     Timestamp any = kTimestampNever;
 
     void Mark(Term k, Timestamp t) {
-      auto [it, inserted] = at.try_emplace(k, MarkRange{t, t});
-      if (!inserted) {
+      const auto it = std::lower_bound(
+          at.begin(), at.end(), k,
+          [](const auto& e, const Term& key) { return e.first < key; });
+      if (it != at.end() && it->first == k) {
         if (t < it->second.min) it->second.min = t;
         if (t > it->second.max) it->second.max = t;
+      } else {
+        at.insert(it, {k, MarkRange{t, t}});
       }
       if (t < any) any = t;
     }
     Timestamp For(Term k) const {
-      const auto it = at.find(k);
-      return it == at.end() ? kTimestampNever : it->second.min;
+      const auto it = std::lower_bound(
+          at.begin(), at.end(), k,
+          [](const auto& e, const Term& key) { return e.first < key; });
+      return it == at.end() || !(it->first == k) ? kTimestampNever
+                                                 : it->second.min;
     }
     void Clear() {
       at.clear();
@@ -408,18 +456,15 @@ class Engine {
     /// absorbed; the exact distribution of marks in [q, max] is not kept, so
     /// q is the sound lower bound).
     void RetainAfter(Timestamp q) {
-      for (auto it = at.begin(); it != at.end();) {
-        if (it->second.max < q) {
-          it = at.erase(it);
-        } else {
-          if (it->second.min < q) it->second.min = q;
-          ++it;
-        }
-      }
+      auto out = at.begin();
       any = kTimestampNever;
-      for (const auto& [k, r] : at) {
-        if (r.min < any) any = r.min;
+      for (auto& e : at) {
+        if (e.second.max < q) continue;
+        if (e.second.min < q) e.second.min = q;
+        if (e.second.min < any) any = e.second.min;
+        *out++ = e;
       }
+      at.erase(out, at.end());
     }
   };
 
@@ -436,7 +481,8 @@ class Engine {
 
   /// Per-definition evidence caches (incremental engine only).
   struct SimpleDefCache {
-    std::unordered_map<Term, FluentEvidence, TermHash> evidence;
+    using EvidenceMap = std::unordered_map<Term, CachedEvidence, TermHash>;
+    EvidenceMap evidence;
     std::vector<Term> keys;  ///< Sorted key set of the previous evaluation.
   };
   struct StaticDefCache {
@@ -480,13 +526,27 @@ class Engine {
                                   const EvalContext& ctx,
                                   RecognitionResult* result);
 
-  /// Runs `body(i)` for i in [0, n), on the configured pool when the layer
-  /// is large enough, serially otherwise.
-  void ForEachKey(size_t n, const std::function<void(size_t)>& body) const;
+  /// Runs `body(i, arena)` for i in [0, n), on the configured pool when the
+  /// layer is large enough, serially otherwise. `arena` is the slide-scoped
+  /// arena of the executing slot (one per pool lane plus the caller), so
+  /// bodies may allocate scratch without synchronization.
+  void ForEachKey(size_t n,
+                  const std::function<void(size_t, common::Arena*)>& body)
+      const;
 
   /// Refreshes fluent_keys_[fidx] from the timeline map after a definition
   /// commit.
   void RebuildKeyMemo(size_t fidx);
+
+  /// Committed-timeline slot for (fidx, key), recycling a pooled node (with
+  /// its container capacity) when the key is new to the map. Paired with
+  /// RecycleTimeline below: a vessel that leaves a domain and re-enters a few
+  /// slides later then costs no heap allocation at all.
+  FluentTimeline& TimelineSlot(size_t fidx, Term key);
+  /// Extracts `it` from `map` into the timeline node pool; returns the next
+  /// iterator (erase-loop idiom).
+  FluentKeyMap::iterator RecycleTimeline(FluentKeyMap& map,
+                                         FluentKeyMap::iterator it);
 
   stream::WindowSpec window_;
   const void* user_data_;
@@ -548,12 +608,53 @@ class Engine {
   std::vector<AnyCache> def_caches_;
 
   EngineCacheStats cache_stats_;
+  EngineAllocStats alloc_stats_;
+
+  // Serial scratch for the derived-event evaluators (one definition at a
+  // time): previous-slide store contents and fresh rule output. Member
+  // lifetime keeps the buffer capacity across slides, so steady-state
+  // derivation allocates nothing.
+  std::vector<EventInstance> derived_old_;
+  std::vector<EventInstance> derived_fresh_;
+
+  // Recycled map nodes — each still owning its containers' capacity — for
+  // keys that left an evaluated set (stale-key erase, cache eviction). A key
+  // re-entering later reuses a pooled node instead of allocating the node
+  // plus every inner buffer afresh; bounded by the historical peak key count.
+  std::vector<FluentKeyMap::node_type> timeline_pool_;
+  std::vector<SimpleDefCache::EvidenceMap::node_type> evidence_pool_;
+
+  // Output row counts of the previous slide, used to pre-size the next
+  // result's vectors (row counts are stable slide to slide).
+  size_t prev_fluent_rows_ = 0;
+  size_t prev_event_rows_ = 0;
+
+  /// Slide-scoped arenas, one per evaluation slot (slot 0 = the Recognize
+  /// caller, slot k+1 = pool lane k). All per-slide scratch — rule output
+  /// points, episode buffers, flat timelines under construction, outcome
+  /// rows — bumps these; Recognize() harvests stats and resets them before
+  /// returning. Committed state never references arena memory (copy-out at
+  /// commit, DESIGN.md §10).
+  mutable std::vector<common::Arena> arenas_;
 
   // Inertia across window slides: for each fluent key, the value holding at
   // the *next* window start, recorded at the end of each recognition step.
+  // Per-fluent flat vectors sorted by key, rebuilt in place each slide
+  // (clear + refill reuses capacity; a map-of-nodes here cost one heap
+  // allocation per carried value per slide).
   struct BoundaryRecord {
     Timestamp at = kInvalidTimestamp;
-    std::vector<std::unordered_map<Term, Value, TermHash>> values;
+    std::vector<std::vector<std::pair<Term, Value>>> values;
+
+    /// Carried value of `key` under fluent index `fidx`, if any.
+    std::optional<Value> CarriedValue(size_t fidx, Term key) const {
+      const auto& vec = values[fidx];
+      const auto it = std::lower_bound(
+          vec.begin(), vec.end(), key,
+          [](const auto& e, const Term& k) { return e.first < k; });
+      if (it == vec.end() || !(it->first == key)) return std::nullopt;
+      return it->second;
+    }
   };
   BoundaryRecord boundary_;
 

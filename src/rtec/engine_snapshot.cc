@@ -19,7 +19,11 @@
 namespace maritime::rtec {
 namespace {
 
-constexpr uint8_t kEngineFormatVersion = 1;
+// v2: timelines are stored from the flat slice-table representation (same
+// sectioned value->rows shape as v1, but written in slice order); evidence
+// points use the arena-aware PointVec. v1 bytes would misparse, so the
+// reader requires an exact version match.
+constexpr uint8_t kEngineFormatVersion = 2;
 constexpr const char* kWhat = "rtec engine";
 
 // Definition kind tags in the schema fingerprint.
@@ -46,7 +50,7 @@ bool LoadEventInstance(snapshot::Reader& r, EventInstance* e) {
   return LoadTerm(r, &e->subject) && LoadTerm(r, &e->object) && r.I64(&e->t);
 }
 
-void SavePoints(const std::vector<ValuedPoint>& pts, snapshot::Writer& w) {
+void SavePoints(std::span<const ValuedPoint> pts, snapshot::Writer& w) {
   w.U64(pts.size());
   for (const ValuedPoint& p : pts) {
     w.I32(p.value);
@@ -54,7 +58,7 @@ void SavePoints(const std::vector<ValuedPoint>& pts, snapshot::Writer& w) {
   }
 }
 
-bool LoadPoints(snapshot::Reader& r, std::vector<ValuedPoint>* pts) {
+bool LoadPoints(snapshot::Reader& r, PointVec* pts) {
   uint64_t n = 0;
   if (!r.Count(&n, sizeof(int32_t) + sizeof(int64_t))) return false;
   pts->clear();
@@ -91,38 +95,60 @@ bool LoadIntervals(snapshot::Reader& r, IntervalList* list) {
 }
 
 void SaveTimeline(const FluentTimeline& tl, snapshot::Writer& w) {
-  w.U64(tl.intervals.size());
-  for (const auto& [value, list] : tl.intervals) {
-    w.I32(value);
-    SaveIntervals(list, w);
+  // Three value-keyed sections (intervals, starts, ends), each listing only
+  // values with non-empty rows — the same sectioned shape the former
+  // map-of-vectors encoding had. Slices are sorted by value, so the bytes
+  // are deterministic.
+  uint64_t with_ivals = 0, with_starts = 0, with_ends = 0;
+  for (const auto& s : tl.slices) {
+    if (s.ival_end > s.ival_begin) ++with_ivals;
+    if (s.start_end > s.start_begin) ++with_starts;
+    if (s.end_end > s.end_begin) ++with_ends;
   }
-  w.U64(tl.starts.size());
-  for (const auto& [value, times] : tl.starts) {
-    w.I32(value);
-    w.U64(times.size());
-    for (const Timestamp t : times) w.I64(t);
+  w.U64(with_ivals);
+  for (const auto& s : tl.slices) {
+    const IntervalSpan span = tl.IntervalsAt(s);
+    if (span.empty()) continue;
+    w.I32(s.value);
+    w.U64(span.size());
+    for (const Interval& i : span) {
+      w.I64(i.since);
+      w.I64(i.till);
+    }
   }
-  w.U64(tl.ends.size());
-  for (const auto& [value, times] : tl.ends) {
-    w.I32(value);
-    w.U64(times.size());
-    for (const Timestamp t : times) w.I64(t);
+  w.U64(with_starts);
+  for (const auto& s : tl.slices) {
+    const auto span = tl.StartsAt(s);
+    if (span.empty()) continue;
+    w.I32(s.value);
+    w.U64(span.size());
+    for (const Timestamp t : span) w.I64(t);
+  }
+  w.U64(with_ends);
+  for (const auto& s : tl.slices) {
+    const auto span = tl.EndsAt(s);
+    if (span.empty()) continue;
+    w.I32(s.value);
+    w.U64(span.size());
+    for (const Timestamp t : span) w.I64(t);
   }
   w.Bool(tl.open_value.has_value());
   w.I32(tl.open_value.value_or(0));
 }
 
 bool LoadTimeline(snapshot::Reader& r, FluentTimeline* tl) {
-  *tl = FluentTimeline{};
+  std::map<Value, IntervalList> ivals;
+  std::map<Value, std::vector<Timestamp>> starts;
+  std::map<Value, std::vector<Timestamp>> ends;
   uint64_t n = 0;
   if (!r.Count(&n, sizeof(int32_t) + sizeof(uint64_t))) return false;
   for (uint64_t i = 0; i < n; ++i) {
     Value value = 0;
     IntervalList list;
     if (!r.I32(&value) || !LoadIntervals(r, &list)) return false;
-    tl->intervals[value] = std::move(list);
+    ivals[value] = std::move(list);
   }
-  for (auto* field : {&tl->starts, &tl->ends}) {
+  for (auto* field : {&starts, &ends}) {
     if (!r.Count(&n, sizeof(int32_t) + sizeof(uint64_t))) return false;
     for (uint64_t i = 0; i < n; ++i) {
       Value value = 0;
@@ -140,25 +166,49 @@ bool LoadTimeline(snapshot::Reader& r, FluentTimeline* tl) {
   bool has_open = false;
   Value open = 0;
   if (!r.Bool(&has_open) || !r.I32(&open)) return false;
+  // Rebuild the slice table in ascending value order (maps iterate sorted).
+  *tl = FluentTimeline{};
+  std::vector<Value> values;
+  for (const auto& [v, x] : ivals) values.push_back(v);
+  for (const auto& [v, x] : starts) values.push_back(v);
+  for (const auto& [v, x] : ends) values.push_back(v);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  for (const Value v : values) {
+    const auto iv = ivals.find(v);
+    const auto st = starts.find(v);
+    const auto en = ends.find(v);
+    tl->AppendValue(
+        v,
+        iv == ivals.end() ? IntervalSpan() : IntervalSpan(iv->second),
+        st == starts.end() ? std::span<const Timestamp>()
+                           : std::span<const Timestamp>(st->second),
+        en == ends.end() ? std::span<const Timestamp>()
+                         : std::span<const Timestamp>(en->second));
+  }
   if (has_open) tl->open_value = open;
   return true;
 }
 
-void SaveEvidence(const FluentEvidence& ev, snapshot::Writer& w) {
-  SavePoints(ev.initiations, w);
-  SavePoints(ev.terminations, w);
+void SaveEvidence(const CachedEvidence& ev, snapshot::Writer& w) {
+  SavePoints(ev.initiations(), w);
+  SavePoints(ev.terminations(), w);
   w.Bool(ev.carried_value.has_value());
   w.I32(ev.carried_value.value_or(0));
 }
 
-bool LoadEvidence(snapshot::Reader& r, FluentEvidence* ev) {
-  *ev = FluentEvidence{};
+bool LoadEvidence(snapshot::Reader& r, CachedEvidence* ev) {
+  *ev = CachedEvidence{};
   bool has_carried = false;
   Value carried = 0;
-  if (!LoadPoints(r, &ev->initiations) || !LoadPoints(r, &ev->terminations) ||
+  PointVec terminations;
+  if (!LoadPoints(r, &ev->points) || !LoadPoints(r, &terminations) ||
       !r.Bool(&has_carried) || !r.I32(&carried)) {
     return false;
   }
+  ev->init_count = static_cast<uint32_t>(ev->points.size());
+  ev->points.insert(ev->points.end(), terminations.begin(),
+                    terminations.end());
   if (has_carried) ev->carried_value = carried;
   return true;
 }
@@ -260,9 +310,9 @@ void Engine::SaveTo(snapshot::Writer& w) const {
   // --- incremental dirty + edge state --------------------------------------
   const auto save_dirty = [&w](const DirtyMap& dm) {
     w.U64(dm.at.size());
-    for (const Term& key : SortedTermKeys(dm.at)) {
+    // The flat mark vector is maintained in key order already.
+    for (const auto& [key, range] : dm.at) {
       SaveTerm(key, w);
-      const auto& range = dm.at.at(key);
       w.I64(range.min);
       w.I64(range.max);
     }
@@ -281,11 +331,12 @@ void Engine::SaveTo(snapshot::Writer& w) const {
   // --- boundary inertia record ---------------------------------------------
   w.I64(boundary_.at);
   w.U64(boundary_.values.size());
-  for (const auto& bmap : boundary_.values) {
-    w.U64(bmap.size());
-    for (const Term& key : SortedTermKeys(bmap)) {
+  for (const auto& bvec : boundary_.values) {
+    w.U64(bvec.size());
+    // Per-fluent boundary vectors are sorted by key at commit time.
+    for (const auto& [key, value] : bvec) {
       SaveTerm(key, w);
-      w.I32(bmap.at(key));
+      w.I32(value);
     }
   }
 
@@ -323,7 +374,7 @@ void Engine::SaveTo(snapshot::Writer& w) const {
 Status Engine::RestoreFrom(snapshot::Reader& r) {
   uint8_t version = 0;
   if (!r.U8(&version)) return snapshot::CorruptionIn(kWhat);
-  if (version > kEngineFormatVersion) return snapshot::VersionError(kWhat);
+  if (version != kEngineFormatVersion) return snapshot::VersionError(kWhat);
 
   // --- schema fingerprint: declarations are code, so they must match -------
   stream::WindowSpec window;
@@ -482,8 +533,10 @@ Status Engine::RestoreFrom(snapshot::Reader& r) {
           range.min > range.max) {
         return false;
       }
-      dm->at[key] = range;
-      if (range.min < dm->any) dm->any = range.min;
+      // Saved in key order; Mark keeps the flat vector sorted and coalesces
+      // duplicates, so malformed input cannot break the invariant.
+      dm->Mark(key, range.min);
+      dm->Mark(key, range.max);
     }
     return true;
   };
@@ -509,17 +562,23 @@ Status Engine::RestoreFrom(snapshot::Reader& r) {
     return snapshot::CorruptionIn(kWhat);
   }
   boundary_.values.assign(n, {});
-  for (auto& bmap : boundary_.values) {
+  for (auto& bvec : boundary_.values) {
     uint64_t m = 0;
     if (!r.Count(&m, 3 * sizeof(int32_t))) return snapshot::CorruptionIn(kWhat);
+    bvec.reserve(m);
     for (uint64_t i = 0; i < m; ++i) {
       Term key;
       Value value = 0;
       if (!LoadTerm(r, &key) || !r.I32(&value)) {
         return snapshot::CorruptionIn(kWhat);
       }
-      bmap[key] = value;
+      bvec.emplace_back(key, value);
     }
+    // Saved sorted; sort defensively so CarriedValue's binary search stays
+    // correct even for hand-crafted snapshot bytes (last write wins is not
+    // needed — duplicate keys cannot be produced by SaveTo).
+    std::sort(bvec.begin(), bvec.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
 
   // --- per-definition caches -----------------------------------------------
@@ -531,7 +590,7 @@ Status Engine::RestoreFrom(snapshot::Reader& r) {
       }
       for (uint64_t i = 0; i < n; ++i) {
         Term key;
-        FluentEvidence ev;
+        CachedEvidence ev;
         if (!LoadTerm(r, &key) || !LoadEvidence(r, &ev)) {
           return snapshot::CorruptionIn(kWhat);
         }

@@ -1,13 +1,39 @@
 #include "rtec/interval.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
 namespace maritime::rtec {
+namespace {
 
-void NormalizeIntervals(IntervalList* list) {
+std::atomic<uint64_t> g_normalize_fast{0};
+std::atomic<uint64_t> g_normalize_slow{0};
+
+/// Shared sort+coalesce over any vector<Interval, Alloc>.
+template <typename Vec>
+void NormalizeImpl(Vec* list) {
   auto& v = *list;
+  // Fast path: one linear scan accepts input that is already sorted, empty-
+  // free, disjoint and non-adjacent — exactly what the episode sweeps emit
+  // when regenerating a suffix in time order. This skips the O(n log n) sort
+  // and, more importantly, the branchy comparator on the hot path.
+  bool normalized = true;
+  Timestamp prev_till = kInvalidTimestamp;
+  for (const Interval& i : v) {
+    if (i.since >= i.till ||
+        (prev_till != kInvalidTimestamp && i.since <= prev_till)) {
+      normalized = false;
+      break;
+    }
+    prev_till = i.till;
+  }
+  if (normalized) {
+    g_normalize_fast.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  g_normalize_slow.fetch_add(1, std::memory_order_relaxed);
   v.erase(std::remove_if(v.begin(), v.end(),
                          [](const Interval& i) { return !i.NonEmpty(); }),
           v.end());
@@ -28,7 +54,17 @@ void NormalizeIntervals(IntervalList* list) {
   MARITIME_DCHECK(IsNormalized(v));
 }
 
-bool IsNormalized(const IntervalList& list) {
+}  // namespace
+
+void NormalizeIntervals(IntervalList* list) { NormalizeImpl(list); }
+void NormalizeIntervals(IntervalVec* list) { NormalizeImpl(list); }
+
+NormalizeStats GetNormalizeStats() {
+  return NormalizeStats{g_normalize_fast.load(std::memory_order_relaxed),
+                        g_normalize_slow.load(std::memory_order_relaxed)};
+}
+
+bool IsNormalized(IntervalSpan list) {
   for (size_t i = 0; i < list.size(); ++i) {
     if (!list[i].NonEmpty()) return false;
     if (i > 0 && list[i].since <= list[i - 1].till) return false;
@@ -36,7 +72,7 @@ bool IsNormalized(const IntervalList& list) {
   return true;
 }
 
-bool HoldsAt(const IntervalList& list, Timestamp t) {
+bool HoldsAt(IntervalSpan list, Timestamp t) {
   // Last interval with since < t.
   const auto it = std::partition_point(
       list.begin(), list.end(),
@@ -45,7 +81,7 @@ bool HoldsAt(const IntervalList& list, Timestamp t) {
   return (it - 1)->till >= t;
 }
 
-bool HoldsRightOf(const IntervalList& list, Timestamp t) {
+bool HoldsRightOf(IntervalSpan list, Timestamp t) {
   const auto it = std::partition_point(
       list.begin(), list.end(),
       [t](const Interval& i) { return i.since <= t; });
@@ -122,7 +158,88 @@ IntervalList ClipToWindow(const IntervalList& list, Timestamp lo,
   return out;
 }
 
-Duration TotalLength(const IntervalList& list) {
+// --- flat interval algebra ---------------------------------------------------
+
+void UnionInto(IntervalSpan a, IntervalSpan b, IntervalVec* out) {
+  MARITIME_DCHECK(IsNormalized(a) && IsNormalized(b));
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    // Take the sweep-wise next interval from whichever input starts first.
+    const bool from_a =
+        j >= b.size() || (i < a.size() && a[i].since <= b[j].since);
+    const Interval& next = from_a ? a[i++] : b[j++];
+    if (!out->empty() && next.since <= out->back().till) {
+      if (next.till > out->back().till) out->back().till = next.till;
+    } else {
+      out->push_back(next);
+    }
+  }
+  MARITIME_DCHECK(IsNormalized(*out));
+}
+
+void IntersectInto(IntervalSpan a, IntervalSpan b, IntervalVec* out) {
+  MARITIME_DCHECK(IsNormalized(a) && IsNormalized(b));
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Timestamp lo = std::max(a[i].since, b[j].since);
+    const Timestamp hi = std::min(a[i].till, b[j].till);
+    if (lo < hi) out->push_back(Interval{lo, hi});
+    if (a[i].till < b[j].till) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  MARITIME_DCHECK(IsNormalized(*out));
+}
+
+void ComplementInto(IntervalSpan base, IntervalSpan cut, IntervalVec* out) {
+  MARITIME_DCHECK(IsNormalized(base) && IsNormalized(cut));
+  out->clear();
+  size_t j = 0;
+  for (const Interval& b : base) {
+    Timestamp cursor = b.since;
+    while (j < cut.size() && cut[j].till <= cursor) ++j;
+    size_t k = j;
+    while (k < cut.size() && cut[k].since < b.till) {
+      if (cut[k].since > cursor) {
+        out->push_back(Interval{cursor, cut[k].since});
+      }
+      if (cut[k].till > cursor) cursor = cut[k].till;
+      if (cursor >= b.till) break;
+      ++k;
+    }
+    if (cursor < b.till) out->push_back(Interval{cursor, b.till});
+  }
+  MARITIME_DCHECK(IsNormalized(*out));
+}
+
+void ClipToWindowInto(IntervalSpan list, Timestamp lo, Timestamp hi,
+                      IntervalVec* out) {
+  out->clear();
+  for (const Interval& i : list) {
+    const Interval clipped{std::max(i.since, lo), std::min(i.till, hi)};
+    if (clipped.NonEmpty()) out->push_back(clipped);
+  }
+  // Clipping a normalized input can collapse a gap but never reorders, so a
+  // single coalesce pass keeps the invariant without sorting.
+  size_t w = 0;
+  for (size_t r = 0; r < out->size(); ++r) {
+    if (w > 0 && (*out)[r].since <= (*out)[w - 1].till) {
+      if ((*out)[r].till > (*out)[w - 1].till) {
+        (*out)[w - 1].till = (*out)[r].till;
+      }
+    } else {
+      (*out)[w++] = (*out)[r];
+    }
+  }
+  out->resize(w);
+  MARITIME_DCHECK(IsNormalized(*out));
+}
+
+Duration TotalLength(IntervalSpan list) {
   Duration total = 0;
   for (const Interval& i : list) total += i.Length();
   return total;

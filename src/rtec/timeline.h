@@ -1,14 +1,23 @@
 #ifndef MARITIME_RTEC_TIMELINE_H_
 #define MARITIME_RTEC_TIMELINE_H_
 
-#include <map>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "rtec/interval.h"
 #include "rtec/terms.h"
 
 namespace maritime::rtec {
+
+/// Evidence-point storage whose backing (heap or slide-scoped arena) is
+/// chosen at construction. Rules append into these; the engine hands rules an
+/// arena-backed vector during evaluation and copies surviving points out to
+/// heap-backed cache slots at commit (DESIGN.md §10).
+using PointVec = common::ArenaVector<ValuedPoint>;
+using TimeVec = common::ArenaVector<Timestamp>;
 
 /// Computed history of one fluent key (F applied to one ground term) within
 /// the current window: per value, the maximal intervals plus the derived
@@ -19,19 +28,66 @@ namespace maritime::rtec {
 /// carried across the window boundary by inertia has no start event. end(F=V)
 /// fires at `till` of each interval that is actually broken; an interval
 /// still open at the query time has no end event yet (paper Section 4.1).
+///
+/// Storage is struct-of-arrays: one contiguous Interval store plus one shared
+/// Timestamp store (each slice's start points followed by its end points),
+/// with a per-value offset table (`slices`, sorted by value ascending) instead
+/// of a map of per-value heap vectors. Interval algebra and amalgamation then
+/// sweep contiguous spans, and a whole timeline is three bump allocations when
+/// arena-backed.
 struct FluentTimeline {
-  std::map<Value, IntervalList> intervals;
-  std::map<Value, std::vector<Timestamp>> starts;
-  std::map<Value, std::vector<Timestamp>> ends;
+  struct ValueSlice {
+    Value value = 0;
+    uint32_t ival_begin = 0, ival_end = 0;    ///< Range in interval_store.
+    uint32_t start_begin = 0, start_end = 0;  ///< Range in time_store.
+    uint32_t end_begin = 0, end_end = 0;      ///< Range in time_store.
+  };
+
+  common::ArenaVector<ValueSlice> slices;  ///< Sorted by value ascending.
+  IntervalVec interval_store;
+  TimeVec time_store;  ///< Start then end points, slice by slice.
 
   /// The value still open (unbroken) at the query time, if any; its interval
   /// is reported clipped at the query time. Used by the engine to carry
   /// inertia across window slides.
   std::optional<Value> open_value;
 
-  const IntervalList& IntervalsFor(Value v) const;
-  const std::vector<Timestamp>& StartsFor(Value v) const;
-  const std::vector<Timestamp>& EndsFor(Value v) const;
+  FluentTimeline() = default;
+  /// Arena-backed construction: all three stores bump `arena`.
+  explicit FluentTimeline(common::Arena* arena)
+      : slices(common::ArenaAllocator<ValueSlice>(arena)),
+        interval_store(common::ArenaAllocator<Interval>(arena)),
+        time_store(common::ArenaAllocator<Timestamp>(arena)) {}
+
+  bool Empty() const { return slices.empty(); }
+
+  /// Appends one value's rows. Values MUST be appended in ascending order —
+  /// the slice table is the sorted index over the stores.
+  void AppendValue(Value v, IntervalSpan intervals,
+                   std::span<const Timestamp> starts,
+                   std::span<const Timestamp> ends);
+
+  /// Content copy that keeps the destination's backing (capacity-reusing
+  /// copy-out at commit: arena-built source, heap-backed destination).
+  void CopyFrom(const FluentTimeline& src);
+
+  IntervalSpan IntervalsFor(Value v) const;
+  std::span<const Timestamp> StartsFor(Value v) const;
+  std::span<const Timestamp> EndsFor(Value v) const;
+
+  /// Span of one slice, for callers iterating `slices` directly.
+  IntervalSpan IntervalsAt(const ValueSlice& s) const {
+    return IntervalSpan(interval_store).subspan(s.ival_begin,
+                                                s.ival_end - s.ival_begin);
+  }
+  std::span<const Timestamp> StartsAt(const ValueSlice& s) const {
+    return std::span<const Timestamp>(time_store)
+        .subspan(s.start_begin, s.start_end - s.start_begin);
+  }
+  std::span<const Timestamp> EndsAt(const ValueSlice& s) const {
+    return std::span<const Timestamp>(time_store)
+        .subspan(s.end_begin, s.end_end - s.end_begin);
+  }
 
   /// holdsAt(F=v, t).
   bool Holds(Value v, Timestamp t) const;
@@ -45,18 +101,30 @@ struct FluentTimeline {
 
   /// The value holding immediately after `t`, if any.
   std::optional<Value> ValueRightOf(Timestamp t) const;
+
+  /// Logical content equality (canonical representation: ascending values,
+  /// stores in slice order).
+  friend bool operator==(const FluentTimeline& a, const FluentTimeline& b);
+
+ private:
+  const ValueSlice* FindSlice(Value v) const;
 };
 
 /// Inputs to the maximal-interval computation for one fluent key.
 struct FluentEvidence {
   /// Domain-specific initiation points: initiatedAt(F=value, t).
-  std::vector<ValuedPoint> initiations;
+  PointVec initiations;
   /// Domain-specific termination points: terminatedAt(F=value, t).
-  std::vector<ValuedPoint> terminations;
+  PointVec terminations;
   /// Value carried across the window boundary by inertia (the value the
   /// fluent held at window_start according to the previous recognition
   /// step), if any.
   std::optional<Value> carried_value;
+
+  FluentEvidence() = default;
+  explicit FluentEvidence(common::Arena* arena)
+      : initiations(common::ArenaAllocator<ValuedPoint>(arena)),
+        terminations(common::ArenaAllocator<ValuedPoint>(arena)) {}
 };
 
 /// Computes the maximal intervals of a simple fluent over the window
@@ -67,6 +135,16 @@ struct FluentEvidence {
 ///
 /// Evidence points outside the window are ignored. An interval still open at
 /// query_time is reported with till = query_time (and no end event).
+///
+/// `scratch` backs the marker/episode buffers of the sweep (nullptr = heap);
+/// `out` is rebuilt in place on whatever backing it was constructed with.
+void ComputeSimpleFluentInto(std::span<const ValuedPoint> initiations,
+                             std::span<const ValuedPoint> terminations,
+                             std::optional<Value> carried_value,
+                             Timestamp window_start, Timestamp query_time,
+                             common::Arena* scratch, FluentTimeline* out);
+
+/// Convenience wrapper returning a heap-backed timeline (tests/benches).
 FluentTimeline ComputeSimpleFluent(const FluentEvidence& evidence,
                                    Timestamp window_start,
                                    Timestamp query_time);
@@ -79,18 +157,28 @@ FluentTimeline ComputeSimpleFluent(const FluentEvidence& evidence,
 /// enter a future window again, which keeps cache entries from growing with
 /// stream length). With regen_from == window_start this reduces to "fresh
 /// points after the window start" (a full recomputation).
-std::vector<ValuedPoint> MergeCachedPoints(
-    const std::vector<ValuedPoint>& cached, std::vector<ValuedPoint> fresh,
-    Timestamp window_start, Timestamp regen_from);
+void MergeCachedPointsInto(std::span<const ValuedPoint> cached,
+                           std::span<const ValuedPoint> fresh,
+                           Timestamp window_start, Timestamp regen_from,
+                           PointVec* out);
+
+/// Convenience wrapper returning a heap-backed vector (tests).
+std::vector<ValuedPoint> MergeCachedPoints(std::span<const ValuedPoint> cached,
+                                           std::vector<ValuedPoint> fresh,
+                                           Timestamp window_start,
+                                           Timestamp regen_from);
 
 /// Earliest in-window time at which two evidence point multisets differ
 /// (order-insensitive; points at or before `window_start` are ignored).
 /// nullopt when the in-window multisets are equal. The incremental engine
 /// uses this to decide whether a recomputed key actually changed — and from
-/// which time onwards downstream definitions must re-evaluate.
-std::optional<Timestamp> EarliestPointDiff(std::vector<ValuedPoint> a,
-                                           std::vector<ValuedPoint> b,
-                                           Timestamp window_start);
+/// which time onwards downstream definitions must re-evaluate. `scratch`
+/// backs the sort buffers needed when an input is not already time-sorted
+/// (nullptr = heap).
+std::optional<Timestamp> EarliestPointDiff(std::span<const ValuedPoint> a,
+                                           std::span<const ValuedPoint> b,
+                                           Timestamp window_start,
+                                           common::Arena* scratch = nullptr);
 
 }  // namespace maritime::rtec
 

@@ -33,8 +33,8 @@ class MultiValueFixture : public ::testing::Test {
       return keys;
     };
     spec.rules = [a, d, p](const EvalContext& ctx, Term key,
-                           std::vector<ValuedPoint>* initiated,
-                           std::vector<ValuedPoint>* terminated) {
+                           PointVec* initiated,
+                           PointVec* terminated) {
       for (const auto& e : ctx.Events(a)) {
         if (e.subject == key) initiated->push_back({1, e.t});
       }
@@ -113,8 +113,8 @@ TEST(EngineChainingTest, DerivedEventDrivesFluentDrivesStaticFluent) {
     return keys;
   };
   fl.rules = [echo](const EvalContext& ctx, Term key,
-                    std::vector<ValuedPoint>* initiated,
-                    std::vector<ValuedPoint>* terminated) {
+                    PointVec* initiated,
+                    PointVec* terminated) {
     for (const auto& i : ctx.Events(echo)) {
       if (i.subject == key) {
         initiated->push_back({kTrue, i.t});
@@ -133,7 +133,7 @@ TEST(EngineChainingTest, DerivedEventDrivesFluentDrivesStaticFluent) {
                         std::map<Value, IntervalList>* out) {
     const IntervalList window{{ctx.window_start(), ctx.query_time()}};
     (*out)[kTrue] = RelativeComplementAll(
-        window, {ctx.Timeline(lively, key).IntervalsFor(kTrue)});
+        window, {ToList(ctx.Timeline(lively, key).IntervalsFor(kTrue))});
   };
   engine.AddStaticFluent(std::move(st));
 
@@ -163,8 +163,8 @@ TEST(EngineOutOfOrderTest, AssertionOrderIsIrrelevantWithinWindow) {
       return keys;
     };
     spec.rules = [on, off](const EvalContext& ctx, Term key,
-                           std::vector<ValuedPoint>* initiated,
-                           std::vector<ValuedPoint>* terminated) {
+                           PointVec* initiated,
+                           PointVec* terminated) {
       for (const auto& i : ctx.Events(on)) {
         if (i.subject == key) initiated->push_back({kTrue, i.t});
       }

@@ -69,8 +69,8 @@ Schema Register(Engine* eng) {
       return keys;
     };
     spec.rules = [sc](const EvalContext& ctx, Term key,
-                      std::vector<ValuedPoint>* initiated,
-                      std::vector<ValuedPoint>* terminated) {
+                      PointVec* initiated,
+                      PointVec* terminated) {
       for (const auto& e : ctx.Events(sc.move)) {
         if (e.subject != key || !ctx.NeedsEval(e.t)) continue;
         initiated->push_back({1 + (e.object.id % 3), e.t});
@@ -97,7 +97,7 @@ Schema Register(Engine* eng) {
                         std::map<Value, IntervalList>* out) {
       const FluentTimeline& tl = ctx.Timeline(sc.moving, key);
       const IntervalList u =
-          UnionAll({tl.IntervalsFor(1), tl.IntervalsFor(2)});
+          UnionAll({ToList(tl.IntervalsFor(1)), ToList(tl.IntervalsFor(2))});
       if (!u.empty()) (*out)[kTrue] = u;
     };
     eng->AddStaticFluent(std::move(spec));
@@ -120,8 +120,8 @@ Schema Register(Engine* eng) {
       return keys;
     };
     spec.rules = [sc](const EvalContext& ctx, Term key,
-                      std::vector<ValuedPoint>* initiated,
-                      std::vector<ValuedPoint>* terminated) {
+                      PointVec* initiated,
+                      PointVec* terminated) {
       for (const auto& e : ctx.Events(sc.ping)) {
         if (e.subject != key) continue;
         const bool fast = ctx.HoldsRightOf(sc.moving, key, 3, e.t);
@@ -153,8 +153,8 @@ Schema Register(Engine* eng) {
       return std::vector<Term>{kArea};
     };
     spec.rules = [sc](const EvalContext& ctx, Term /*key*/,
-                      std::vector<ValuedPoint>* initiated,
-                      std::vector<ValuedPoint>* terminated) {
+                      PointVec* initiated,
+                      PointVec* terminated) {
       for (const auto& e : ctx.Events(sc.ping)) {
         if (!ctx.NeedsEval(e.t)) continue;
         size_t count = 0;
@@ -221,9 +221,9 @@ std::string DumpState(Engine& eng, const Schema& s) {
   for (const Term& k : eng.KeysOf(s.moving)) {
     const FluentTimeline& tl = eng.TimelineOf(s.moving, k);
     os << "  moving " << k << ":";
-    for (const auto& [v, list] : tl.intervals) {
-      for (const auto& iv : list) {
-        os << " v" << v << "(" << iv.since << "," << iv.till << "]";
+    for (const auto& slice : tl.slices) {
+      for (const auto& iv : tl.IntervalsAt(slice)) {
+        os << " v" << slice.value << "(" << iv.since << "," << iv.till << "]";
       }
     }
     if (tl.open_value.has_value()) os << " open=" << *tl.open_value;
@@ -389,8 +389,8 @@ TEST(EngineIncrementalDifferentialTest, UndeclaredDepsAlwaysRecompute) {
     return keys;
   };
   spec.rules = [on](const EvalContext& ctx, Term key,
-                    std::vector<ValuedPoint>* initiated,
-                    std::vector<ValuedPoint>* /*terminated*/) {
+                    PointVec* initiated,
+                    PointVec* /*terminated*/) {
     for (const auto& e : ctx.Events(on)) {
       if (e.subject == key) initiated->push_back({kTrue, e.t});
     }

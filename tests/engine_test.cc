@@ -31,8 +31,8 @@ class EngineFixture : public ::testing::Test {
       return keys;
     };
     spec.rules = [on, off](const EvalContext& ctx, Term key,
-                           std::vector<ValuedPoint>* initiated,
-                           std::vector<ValuedPoint>* terminated) {
+                           PointVec* initiated,
+                           PointVec* terminated) {
       for (const auto& e : ctx.Events(on)) {
         if (e.subject == key) initiated->push_back({kTrue, e.t});
       }
@@ -190,7 +190,7 @@ TEST_F(EngineFixture, StaticFluentFromIntervalAlgebra) {
                           std::map<Value, IntervalList>* out) {
     const IntervalList window{{ctx.window_start(), ctx.query_time()}};
     (*out)[kTrue] = RelativeComplementAll(
-        window, {ctx.Timeline(active, key).IntervalsFor(kTrue)});
+        window, {ToList(ctx.Timeline(active, key).IntervalsFor(kTrue))});
   };
   engine_->AddStaticFluent(std::move(spec));
 
@@ -207,8 +207,12 @@ TEST_F(EngineFixture, StartEndEventSemantics) {
   engine_->AssertEvent(off_, kV1, 40);
   engine_->Recognize(100);
   const FluentTimeline& tl = engine_->TimelineOf(active_, kV1);
-  EXPECT_EQ(tl.StartsFor(kTrue), std::vector<Timestamp>{10});
-  EXPECT_EQ(tl.EndsFor(kTrue), std::vector<Timestamp>{40});
+  EXPECT_EQ(std::vector<Timestamp>(tl.StartsFor(kTrue).begin(),
+                                   tl.StartsFor(kTrue).end()),
+            std::vector<Timestamp>{10});
+  EXPECT_EQ(std::vector<Timestamp>(tl.EndsFor(kTrue).begin(),
+                                   tl.EndsFor(kTrue).end()),
+            std::vector<Timestamp>{40});
 }
 
 TEST_F(EngineFixture, RecognizeIsRepeatable) {

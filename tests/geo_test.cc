@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "common/rng.h"
 #include "geo/geo_point.h"
@@ -43,6 +45,62 @@ TEST(HaversineTest, OneDegreeLatitudeIsAbout111km) {
   const double d =
       HaversineMeters(GeoPoint{24.0, 37.0}, GeoPoint{24.0, 38.0});
   EXPECT_NEAR(d, 111195.0, 200.0);
+}
+
+TEST(HaversineBatchTest, SoaBatchBitIdenticalToScalar) {
+  Rng rng(71);
+  std::vector<double> lons, lats;
+  for (int i = 0; i < 200; ++i) {
+    lons.push_back(rng.NextDouble(-180.0, 180.0));
+    lats.push_back(rng.NextDouble(-90.0, 90.0));
+  }
+  std::vector<double> batched(lons.size());
+  HaversineMetersMany(kPiraeus, lons, lats, batched);
+  for (size_t i = 0; i < lons.size(); ++i) {
+    const double scalar =
+        HaversineMeters(kPiraeus, GeoPoint{lons[i], lats[i]});
+    EXPECT_EQ(batched[i], scalar) << "index " << i;
+  }
+}
+
+TEST(HaversineBatchTest, AosBatchBitIdenticalToScalar) {
+  Rng rng(72);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(
+        GeoPoint{rng.NextDouble(-180.0, 180.0), rng.NextDouble(-90.0, 90.0)});
+  }
+  std::vector<double> batched(pts.size());
+  HaversineMetersMany(kHeraklion, pts, batched);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(batched[i], HaversineMeters(kHeraklion, pts[i])) << "index "
+                                                               << i;
+  }
+}
+
+TEST(HaversineBatchTest, RefMetersToMatchesScalar) {
+  const HaversineRef ref(kPiraeus);
+  EXPECT_EQ(ref.MetersTo(kHeraklion), HaversineMeters(kPiraeus, kHeraklion));
+  EXPECT_EQ(ref.MetersTo(kPiraeus), 0.0);
+}
+
+TEST(HaversineBatchTest, MinEdgeDistanceMatchesPerEdgeSweep) {
+  Rng rng(73);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<GeoPoint> ring;
+    const int n = static_cast<int>(rng.NextInt(2, 12));
+    for (int i = 0; i < n; ++i) {
+      ring.push_back(GeoPoint{rng.NextDouble(23.0, 26.0),
+                              rng.NextDouble(35.0, 38.0)});
+    }
+    const GeoPoint p{rng.NextDouble(23.0, 26.0), rng.NextDouble(35.0, 38.0)};
+    double expected = std::numeric_limits<double>::infinity();
+    for (size_t i = 0, j = ring.size() - 1; i < ring.size(); j = i++) {
+      expected =
+          std::min(expected, DistanceToSegmentMeters(p, ring[j], ring[i]));
+    }
+    EXPECT_EQ(MinEdgeDistanceMeters(p, ring), expected) << "trial " << trial;
+  }
 }
 
 TEST(BearingTest, CardinalDirections) {

@@ -207,8 +207,182 @@ TEST(ClipTest, DropsOutOfWindow) {
 }
 
 TEST(TotalLengthTest, SumsPointCounts) {
-  EXPECT_EQ(TotalLength({{0, 10}, {20, 25}}), 15);
-  EXPECT_EQ(TotalLength({}), 0);
+  const IntervalList l = {{0, 10}, {20, 25}};
+  EXPECT_EQ(TotalLength(l), 15);
+  EXPECT_EQ(TotalLength(IntervalList{}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// NormalizeIntervals fast path: already sorted+disjoint input must be
+// accepted by the linear pre-scan (no sort) and returned untouched. The
+// process-wide NormalizeStats counters expose which path ran.
+// ---------------------------------------------------------------------------
+
+TEST(NormalizeFastPathTest, SortedDisjointInputTakesFastPath) {
+  IntervalList l = {{0, 10}, {20, 30}, {40, 50}};
+  const IntervalList expected = l;
+  const NormalizeStats before = GetNormalizeStats();
+  NormalizeIntervals(&l);
+  const NormalizeStats after = GetNormalizeStats();
+  EXPECT_EQ(after.fast, before.fast + 1) << "fast path not taken";
+  EXPECT_EQ(after.slow, before.slow) << "slow path taken unexpectedly";
+  EXPECT_EQ(l, expected);
+}
+
+TEST(NormalizeFastPathTest, UnsortedInputTakesSlowPath) {
+  IntervalList l = {{20, 30}, {0, 10}};
+  const NormalizeStats before = GetNormalizeStats();
+  NormalizeIntervals(&l);
+  const NormalizeStats after = GetNormalizeStats();
+  EXPECT_EQ(after.slow, before.slow + 1);
+  EXPECT_EQ(after.fast, before.fast);
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l[0], (Interval{0, 10}));
+  EXPECT_EQ(l[1], (Interval{20, 30}));
+}
+
+TEST(NormalizeFastPathTest, AdjacentIntervalsStillCoalesceViaSlowPath) {
+  // (0,10] and (10,20] are adjacent, so the pre-scan must reject the input
+  // and the slow path must merge them — adjacency is not "normalized".
+  IntervalList l = {{0, 10}, {10, 20}};
+  const NormalizeStats before = GetNormalizeStats();
+  NormalizeIntervals(&l);
+  const NormalizeStats after = GetNormalizeStats();
+  EXPECT_EQ(after.slow, before.slow + 1);
+  EXPECT_EQ(after.fast, before.fast);
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_EQ(l[0], (Interval{0, 20}));
+}
+
+TEST(NormalizeFastPathTest, RenormalizingIsAlwaysFastProperty) {
+  // Whatever path the first call takes, the second call on the (now
+  // normalized) list must take the fast path and be a no-op.
+  Rng rng(79);
+  for (int trial = 0; trial < 100; ++trial) {
+    IntervalList l = RandomList(rng, 10);
+    NormalizeIntervals(&l);
+    const IntervalList expected = l;
+    const NormalizeStats before = GetNormalizeStats();
+    NormalizeIntervals(&l);
+    const NormalizeStats after = GetNormalizeStats();
+    EXPECT_EQ(after.fast, before.fast + 1);
+    EXPECT_EQ(after.slow, before.slow);
+    EXPECT_EQ(l, expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat interval algebra vs the reference implementations (interval.h: "The
+// reference implementations above stay as the property-test oracle"). Every
+// operation is differenced on both a heap-backed and an arena-backed output
+// vector over randomized normalized inputs.
+// ---------------------------------------------------------------------------
+
+IntervalList RandomNormalized(Rng& rng, int max_intervals) {
+  IntervalList l = RandomList(rng, max_intervals);
+  NormalizeIntervals(&l);
+  return l;
+}
+
+TEST(FlatAlgebraTest, UnionIntoMatchesReferenceProperty) {
+  Rng rng(83);
+  common::Arena arena;
+  for (int trial = 0; trial < 200; ++trial) {
+    const IntervalList a = RandomNormalized(rng, 8);
+    const IntervalList b = RandomNormalized(rng, 8);
+    const IntervalList ref = UnionAll({a, b});
+    IntervalVec heap_out;
+    UnionInto(a, b, &heap_out);
+    EXPECT_EQ(ToList(heap_out), ref);
+    arena.Reset();
+    IntervalVec arena_out{common::ArenaAllocator<Interval>(&arena)};
+    UnionInto(a, b, &arena_out);
+    EXPECT_EQ(ToList(arena_out), ref);
+  }
+}
+
+TEST(FlatAlgebraTest, IntersectIntoMatchesReferenceProperty) {
+  Rng rng(89);
+  common::Arena arena;
+  for (int trial = 0; trial < 200; ++trial) {
+    const IntervalList a = RandomNormalized(rng, 8);
+    const IntervalList b = RandomNormalized(rng, 8);
+    const IntervalList ref = IntersectAll({a, b});
+    IntervalVec heap_out;
+    IntersectInto(a, b, &heap_out);
+    EXPECT_EQ(ToList(heap_out), ref);
+    arena.Reset();
+    IntervalVec arena_out{common::ArenaAllocator<Interval>(&arena)};
+    IntersectInto(a, b, &arena_out);
+    EXPECT_EQ(ToList(arena_out), ref);
+  }
+}
+
+TEST(FlatAlgebraTest, ComplementIntoMatchesReferenceProperty) {
+  Rng rng(97);
+  common::Arena arena;
+  for (int trial = 0; trial < 200; ++trial) {
+    const IntervalList base = RandomNormalized(rng, 8);
+    const IntervalList cut = RandomNormalized(rng, 8);
+    const IntervalList ref = RelativeComplementAll(base, {cut});
+    IntervalVec heap_out;
+    ComplementInto(base, cut, &heap_out);
+    EXPECT_EQ(ToList(heap_out), ref);
+    arena.Reset();
+    IntervalVec arena_out{common::ArenaAllocator<Interval>(&arena)};
+    ComplementInto(base, cut, &arena_out);
+    EXPECT_EQ(ToList(arena_out), ref);
+  }
+}
+
+TEST(FlatAlgebraTest, ClipToWindowIntoMatchesReferenceProperty) {
+  Rng rng(101);
+  common::Arena arena;
+  for (int trial = 0; trial < 200; ++trial) {
+    const IntervalList l = RandomNormalized(rng, 8);
+    const Timestamp lo = rng.NextInt(0, kDomain);
+    const Timestamp hi = rng.NextInt(lo, kDomain);
+    const IntervalList ref = ClipToWindow(l, lo, hi);
+    IntervalVec heap_out;
+    ClipToWindowInto(l, lo, hi, &heap_out);
+    EXPECT_EQ(ToList(heap_out), ref);
+    arena.Reset();
+    IntervalVec arena_out{common::ArenaAllocator<Interval>(&arena)};
+    ClipToWindowInto(l, lo, hi, &arena_out);
+    EXPECT_EQ(ToList(arena_out), ref);
+  }
+}
+
+TEST(FlatAlgebraTest, ArenaOutputLivesInArena) {
+  // The whole point of the flat algebra: results built into an arena-backed
+  // vector must draw storage from the arena, not the general heap.
+  common::Arena arena;
+  const IntervalList a = {{0, 10}, {20, 30}};
+  const IntervalList b = {{5, 15}, {40, 50}};
+  IntervalVec out{common::ArenaAllocator<Interval>(&arena)};
+  UnionInto(a, b, &out);
+  EXPECT_FALSE(out.empty());
+  EXPECT_GT(arena.stats().bytes_used, 0u);
+  EXPECT_EQ(out.get_allocator().arena(), &arena);
+}
+
+TEST(FlatAlgebraTest, OutputCapacityIsReusedAcrossCalls) {
+  // Alloc-budget regression: a second call whose result fits in the output's
+  // existing capacity must not reallocate (the hot path calls these in a
+  // loop with a recycled scratch vector).
+  const IntervalList a = {{0, 10}, {20, 30}, {60, 70}};
+  const IntervalList b = {{5, 15}, {40, 50}};
+  IntervalVec out;
+  UnionInto(a, b, &out);
+  ASSERT_FALSE(out.empty());
+  const Interval* data = out.data();
+  const size_t cap = out.capacity();
+  UnionInto(a, b, &out);
+  EXPECT_EQ(out.data(), data);
+  EXPECT_EQ(out.capacity(), cap);
+  IntersectInto(a, b, &out);
+  EXPECT_EQ(out.data(), data);
+  EXPECT_EQ(out.capacity(), cap);
 }
 
 }  // namespace

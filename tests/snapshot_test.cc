@@ -215,8 +215,8 @@ class SnapshotEngineFixture {
       return keys;
     };
     spec.rules = [e_on, e_off](const rtec::EvalContext& ctx, rtec::Term key,
-                               std::vector<rtec::ValuedPoint>* initiated,
-                               std::vector<rtec::ValuedPoint>* terminated) {
+                               rtec::PointVec* initiated,
+                               rtec::PointVec* terminated) {
       for (const auto& e : ctx.Events(e_on)) {
         if (e.subject == key) initiated->push_back({rtec::kTrue, e.t});
       }

@@ -49,8 +49,10 @@ FluentEvidence RandomEvidence(Rng& rng, Timestamp window_start,
 std::vector<std::pair<Value, Interval>> FlattenedIntervals(
     const FluentTimeline& tl) {
   std::vector<std::pair<Value, Interval>> flat;
-  for (const auto& [v, list] : tl.intervals) {
-    for (const Interval& i : list) flat.emplace_back(v, i);
+  for (const auto& slice : tl.slices) {
+    for (const Interval& i : tl.IntervalsAt(slice)) {
+      flat.emplace_back(slice.value, i);
+    }
   }
   std::sort(flat.begin(), flat.end(), [](const auto& a, const auto& b) {
     return a.second.since < b.second.since;
@@ -69,7 +71,8 @@ TEST(TimelinePropertyTest, RandomEvidenceYieldsNormalizedDisjointIntervals) {
     const FluentTimeline tl =
         ComputeSimpleFluent(ev, window_start, query_time);
 
-    for (const auto& [value, list] : tl.intervals) {
+    for (const auto& slice : tl.slices) {
+      const IntervalSpan list = tl.IntervalsAt(slice);
       // Sorted, disjoint, maximal (non-adjacent), all non-empty.
       EXPECT_TRUE(IsNormalized(list)) << "round " << round;
       EXPECT_FALSE(list.empty()) << "round " << round;
@@ -90,20 +93,20 @@ TEST(TimelinePropertyTest, RandomEvidenceYieldsNormalizedDisjointIntervals) {
     }
 
     // Start/end events align with interval boundaries.
-    for (const auto& [value, starts] : tl.starts) {
+    for (const auto& slice : tl.slices) {
+      const auto starts = tl.StartsAt(slice);
       EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
       for (const Timestamp t : starts) {
-        const auto& list = tl.IntervalsFor(value);
+        const auto list = tl.IntervalsAt(slice);
         EXPECT_TRUE(std::any_of(
             list.begin(), list.end(),
             [t](const Interval& i) { return i.since == t; }))
             << "round " << round;
       }
-    }
-    for (const auto& [value, ends] : tl.ends) {
+      const auto ends = tl.EndsAt(slice);
       EXPECT_TRUE(std::is_sorted(ends.begin(), ends.end()));
       for (const Timestamp t : ends) {
-        const auto& list = tl.IntervalsFor(value);
+        const auto list = tl.IntervalsAt(slice);
         EXPECT_TRUE(std::any_of(
             list.begin(), list.end(),
             [t](const Interval& i) { return i.till == t; }))
@@ -179,8 +182,8 @@ TEST(TimelinePropertyTest, AdversarialSameTimePointBursts) {
       }
     }
     const FluentTimeline tl = ComputeSimpleFluent(ev, 5, 20);
-    for (const auto& [value, list] : tl.intervals) {
-      EXPECT_TRUE(IsNormalized(list)) << "round " << round;
+    for (const auto& slice : tl.slices) {
+      EXPECT_TRUE(IsNormalized(tl.IntervalsAt(slice))) << "round " << round;
     }
     const auto flat = FlattenedIntervals(tl);
     for (size_t i = 1; i < flat.size(); ++i) {

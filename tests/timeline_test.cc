@@ -10,10 +10,15 @@ FluentEvidence Evidence(std::vector<ValuedPoint> inits,
                         std::vector<ValuedPoint> terms,
                         std::optional<Value> carried = std::nullopt) {
   FluentEvidence e;
-  e.initiations = std::move(inits);
-  e.terminations = std::move(terms);
+  e.initiations.assign(inits.begin(), inits.end());
+  e.terminations.assign(terms.begin(), terms.end());
   e.carried_value = carried;
   return e;
+}
+
+/// Materializes a span accessor's result for EXPECT_EQ against a vector.
+std::vector<Timestamp> Times(std::span<const Timestamp> s) {
+  return {s.begin(), s.end()};
 }
 
 TEST(TimelineTest, PaperCanonicalExample) {
@@ -26,8 +31,8 @@ TEST(TimelineTest, PaperCanonicalExample) {
       100);
   ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
   EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{10, 25}));
-  EXPECT_EQ(tl.StartsFor(kTrue), std::vector<Timestamp>{10});
-  EXPECT_EQ(tl.EndsFor(kTrue), std::vector<Timestamp>{25});
+  EXPECT_EQ(Times(tl.StartsFor(kTrue)), std::vector<Timestamp>{10});
+  EXPECT_EQ(Times(tl.EndsFor(kTrue)), std::vector<Timestamp>{25});
   EXPECT_FALSE(tl.Holds(kTrue, 10));
   EXPECT_TRUE(tl.Holds(kTrue, 11));
   EXPECT_TRUE(tl.Holds(kTrue, 25));
@@ -40,7 +45,7 @@ TEST(TimelineTest, OngoingIntervalClipsAtQueryTime) {
       ComputeSimpleFluent(Evidence({{kTrue, 30}}, {}), 0, 100);
   ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
   EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{30, 100}));
-  EXPECT_EQ(tl.StartsFor(kTrue), std::vector<Timestamp>{30});
+  EXPECT_EQ(Times(tl.StartsFor(kTrue)), std::vector<Timestamp>{30});
   EXPECT_TRUE(tl.EndsFor(kTrue).empty()) << "no end event while ongoing";
   ASSERT_TRUE(tl.open_value.has_value());
   EXPECT_EQ(*tl.open_value, kTrue);
@@ -55,7 +60,7 @@ TEST(TimelineTest, CarriedValueSeedsWindowStart) {
   EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{0, 50}));
   EXPECT_TRUE(tl.StartsFor(kTrue).empty())
       << "carried interval has no start event (its initiation is old)";
-  EXPECT_EQ(tl.EndsFor(kTrue), std::vector<Timestamp>{50});
+  EXPECT_EQ(Times(tl.EndsFor(kTrue)), std::vector<Timestamp>{50});
 }
 
 TEST(TimelineTest, CarriedValueUnbrokenSpansWholeWindow) {
@@ -90,7 +95,7 @@ TEST(TimelineTest, InitiationOfOtherValueBreaks) {
   EXPECT_EQ(tl.IntervalsFor(kV1)[0], (Interval{10, 40}));
   ASSERT_EQ(tl.IntervalsFor(kV2).size(), 1u);
   EXPECT_EQ(tl.IntervalsFor(kV2)[0], (Interval{40, 100}));
-  EXPECT_EQ(tl.EndsFor(kV1), std::vector<Timestamp>{40});
+  EXPECT_EQ(Times(tl.EndsFor(kV1)), std::vector<Timestamp>{40});
   EXPECT_EQ(tl.ValueAt(40), std::optional<Value>(kV1));
   EXPECT_EQ(tl.ValueAt(41), std::optional<Value>(kV2));
 }
@@ -103,8 +108,8 @@ TEST(TimelineTest, BreakAndReinitiateAtSamePointStaysMaximal) {
       100);
   ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 1u);
   EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{10, 60}));
-  EXPECT_EQ(tl.StartsFor(kTrue), std::vector<Timestamp>{10});
-  EXPECT_EQ(tl.EndsFor(kTrue), std::vector<Timestamp>{60});
+  EXPECT_EQ(Times(tl.StartsFor(kTrue)), std::vector<Timestamp>{10});
+  EXPECT_EQ(Times(tl.EndsFor(kTrue)), std::vector<Timestamp>{60});
 }
 
 TEST(TimelineTest, EvidenceOutsideWindowIgnored) {
@@ -130,8 +135,8 @@ TEST(TimelineTest, MultipleEpisodes) {
   ASSERT_EQ(tl.IntervalsFor(kTrue).size(), 2u);
   EXPECT_EQ(tl.IntervalsFor(kTrue)[0], (Interval{10, 20}));
   EXPECT_EQ(tl.IntervalsFor(kTrue)[1], (Interval{50, 70}));
-  EXPECT_EQ(tl.StartsFor(kTrue), (std::vector<Timestamp>{10, 50}));
-  EXPECT_EQ(tl.EndsFor(kTrue), (std::vector<Timestamp>{20, 70}));
+  EXPECT_EQ(Times(tl.StartsFor(kTrue)), (std::vector<Timestamp>{10, 50}));
+  EXPECT_EQ(Times(tl.EndsFor(kTrue)), (std::vector<Timestamp>{20, 70}));
 }
 
 TEST(TimelineTest, ValueRightOfBoundaries) {

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate on micro_rtec's per-slide heap-allocation counters.
+
+Reads a google-benchmark JSON report containing the BM_CERecognitionWindow
+benchmarks (arg 0 = naive engine, arg 1 = incremental) and fails when the
+`allocs_per_slide` counter exceeds the committed budget. The budgets hold
+generous headroom over the measured values (~61 naive / ~86 incremental on
+an idle machine) but sit an order of magnitude below the pre-arena baseline
+(884.8 / 897.7), so a regression that reintroduces per-slide heap churn
+trips the gate while scheduler noise does not. Allocation counting is a
+deterministic operator-new interposition, not a timing, so the check is
+stable on shared CI runners.
+
+Usage: check_alloc_budget.py BENCHMARK_JSON
+Exit status: 0 ok (or counters disabled, e.g. sanitizer builds), 1 over
+budget, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+# name substring -> max allocs_per_slide
+BUDGETS = {
+    "BM_CERecognitionWindow/0": 150.0,  # naive engine
+    "BM_CERecognitionWindow/1": 200.0,  # incremental engine
+}
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot read benchmark json: {e}", file=sys.stderr)
+        return 2
+
+    seen = {}
+    for b in report.get("benchmarks", []):
+        name = b.get("name", "")
+        for key in BUDGETS:
+            if key in name and "allocs_per_slide" in b:
+                seen[key] = float(b["allocs_per_slide"])
+
+    missing = sorted(set(BUDGETS) - set(seen))
+    if missing:
+        print(f"missing benchmarks/counters in report: {missing}",
+              file=sys.stderr)
+        return 2
+
+    if all(v == 0.0 for v in seen.values()):
+        # Interposition disabled (sanitizer build): nothing to gate on.
+        print("allocs_per_slide counters are zero; counting disabled, skipping")
+        return 0
+
+    status = 0
+    for key, budget in sorted(BUDGETS.items()):
+        value = seen[key]
+        verdict = "ok" if value <= budget else "OVER BUDGET"
+        print(f"{key}: allocs_per_slide={value:.1f} budget={budget:.0f} "
+              f"[{verdict}]")
+        if value > budget:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
