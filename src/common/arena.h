@@ -9,6 +9,8 @@
 #include <new>
 #include <vector>
 
+#include "common/annotations.h"
+
 // Poison arena memory on Reset() under AddressSanitizer so a dangling
 // pointer into a previous slide's scratch faults instead of reading stale
 // bytes (the bump allocator would otherwise happily hand the region out
@@ -38,7 +40,7 @@ namespace maritime::common {
 /// storage — see DESIGN.md §10.
 ///
 /// Not thread-safe: one arena belongs to exactly one evaluation slot.
-class Arena {
+class MARITIME_ARENA_SCOPED Arena {
  public:
   /// Allocation counters; `fallback_allocs` counts requests larger than
   /// `kMaxChunkSize/2` that were served by the general heap instead (they
@@ -168,7 +170,7 @@ class Arena {
 /// the elements into the destination's existing capacity — the copy-out-at-
 /// commit rule — instead of adopting doomed arena memory.
 template <typename T>
-class ArenaAllocator {
+class MARITIME_ARENA_SCOPED ArenaAllocator {
  public:
   using value_type = T;
   using propagate_on_container_copy_assignment = std::false_type;

@@ -17,7 +17,7 @@ namespace maritime {
 ///   if (!r.ok()) return r.status();
 ///   Use(r.value());
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit on purpose, mirroring StatusOr).
   Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)

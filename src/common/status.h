@@ -30,7 +30,7 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// `Status` is cheap to copy for the OK case (no allocation) and carries a
 /// heap-allocated message only on error.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

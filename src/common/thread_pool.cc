@@ -18,6 +18,10 @@ struct ForState {
   const size_t n;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
+  // mu guards no data — all shared state is atomic; the mutex only sequences
+  // the cv wait/notify handshake so the completion signal cannot be missed
+  // between check and wait.
+  // maritime-lint: allow-next-line(lock-discipline): cv companion only
   std::mutex mu;
   std::condition_variable cv;
 };

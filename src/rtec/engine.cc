@@ -78,8 +78,9 @@ bool TouchesTime(const std::map<Value, IntervalList>& raw, Timestamp t) {
 /// as the naive evaluation does (clip, boundary-artifact starts suppressed,
 /// open value at the query time). The map iterates in ascending value order,
 /// which is exactly the slice-table order AppendValue requires.
-FluentTimeline BuildStaticTimeline(const std::map<Value, IntervalList>& raw,
-                                   Timestamp wstart, Timestamp q) {
+// Escape is sound: the returned timeline is default-constructed (heap-backed).
+MARITIME_ARENA_ESCAPE_OK FluentTimeline BuildStaticTimeline(
+    const std::map<Value, IntervalList>& raw, Timestamp wstart, Timestamp q) {
   FluentTimeline timeline;
   std::vector<Timestamp> starts;
   std::vector<Timestamp> ends;
@@ -107,7 +108,7 @@ FluentTimeline BuildStaticTimeline(const std::map<Value, IntervalList>& raw,
 /// aside so the commit — cache writes, result rows, dirty marks — happens in
 /// deterministic key order after the layer barrier. All containers bump the
 /// evaluating slot's arena; the commit copies survivors out to the heap.
-struct SimpleOutcome {
+struct MARITIME_ARENA_SCOPED SimpleOutcome {
   FluentEvidence evidence;
   FluentTimeline timeline;
   bool hit = false;
@@ -119,7 +120,8 @@ struct SimpleOutcome {
 
 struct StaticOutcome {
   std::map<Value, IntervalList> raw;
-  FluentTimeline timeline;
+  // Escape is sound: filled from BuildStaticTimeline, so heap-backed.
+  MARITIME_ARENA_ESCAPE_OK FluentTimeline timeline;
   bool hit = false;
   bool changed = false;
 };
@@ -340,7 +342,7 @@ Engine::FluentKeyMap::iterator Engine::RecycleTimeline(
   return next;
 }
 
-void Engine::RebuildKeyMemo(size_t fidx) {
+MARITIME_COMMIT_BOUNDARY void Engine::RebuildKeyMemo(size_t fidx) {
   auto& memo = fluent_keys_[fidx];
   memo.clear();
   memo.reserve(timelines_[fidx].size());
@@ -905,7 +907,7 @@ void Engine::EvaluateDerivedIncremental(const DerivedEventSpec& spec,
 
 // --- recognition -------------------------------------------------------------
 
-RecognitionResult Engine::Recognize(Timestamp q) {
+MARITIME_COMMIT_BOUNDARY RecognitionResult Engine::Recognize(Timestamp q) {
   const Timestamp wstart = q - window_.range;
   // Sort before purging: coord purging keeps the latest boundary fix per
   // vessel and needs time-sorted vectors to find it.
@@ -1032,6 +1034,9 @@ RecognitionResult Engine::Recognize(Timestamp q) {
     for (size_t di = 0; di < definitions_.size(); ++di) {
       if (std::holds_alternative<SimpleFluentSpec>(definitions_[di])) {
         const auto& cache = std::get<SimpleDefCache>(def_caches_[di]);
+        // DCHECK-only sweep: asserts per-element membership, so no
+        // order-dependent state escapes this loop.
+        // maritime-lint: allow-next-line(determinism): assert-only loop
         for (const auto& [k, ev] : cache.evidence) {
           MARITIME_DCHECK_MSG(
               std::binary_search(cache.keys.begin(), cache.keys.end(), k),
@@ -1041,6 +1046,9 @@ RecognitionResult Engine::Recognize(Timestamp q) {
                      &definitions_[di])) {
         const auto& cache = std::get<StaticDefCache>(def_caches_[di]);
         const auto& live = timelines_[static_cast<size_t>(st->fluent)];
+        // DCHECK-only sweep: asserts per-element membership, so no
+        // order-dependent state escapes this loop.
+        // maritime-lint: allow-next-line(determinism): assert-only loop
         for (const auto& [k, raw] : cache.raw) {
           MARITIME_DCHECK_MSG(live.count(k) == 1,
                               "cached static-fluent key not live");

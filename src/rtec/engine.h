@@ -45,7 +45,10 @@ class EvalContext {
   const std::vector<Term>& FluentKeys(FluentId f) const;
 
   /// Timeline of `f` on `key`; empty timeline when not evaluated.
-  const FluentTimeline& Timeline(FluentId f, Term key) const;
+  // Escape is sound: the reference aliases the engine's committed heap-backed
+  // timeline map, not slide-arena scratch.
+  MARITIME_ARENA_ESCAPE_OK const FluentTimeline& Timeline(FluentId f,
+                                                          Term key) const;
 
   bool HoldsAt(FluentId f, Term key, Value v, Timestamp t) const {
     return Timeline(f, key).Holds(v, t);
@@ -369,7 +372,9 @@ class Engine {
 
   // --- introspection (valid during and after a Recognize call) --------------
   const std::vector<EventInstance>& EventsOf(EventId e) const;
-  const FluentTimeline& TimelineOf(FluentId f, Term key) const;
+  // Escape is sound: aliases the committed heap-backed timeline map.
+  MARITIME_ARENA_ESCAPE_OK const FluentTimeline& TimelineOf(FluentId f,
+                                                            Term key) const;
   std::vector<Term> KeysOf(FluentId f) const;
   std::optional<geo::GeoPoint> CoordOf(Term vessel, Timestamp t) const;
 
@@ -542,11 +547,14 @@ class Engine {
   /// its container capacity) when the key is new to the map. Paired with
   /// RecycleTimeline below: a vessel that leaves a domain and re-enters a few
   /// slides later then costs no heap allocation at all.
-  FluentTimeline& TimelineSlot(size_t fidx, Term key);
+  // Escape is sound: the slot lives in timelines_, whose FluentTimeline
+  // values are default-constructed (heap-backed); commit copies into it.
+  MARITIME_ARENA_ESCAPE_OK FluentTimeline& TimelineSlot(size_t fidx, Term key);
   /// Extracts `it` from `map` into the timeline node pool; returns the next
   /// iterator (erase-loop idiom).
-  FluentKeyMap::iterator RecycleTimeline(FluentKeyMap& map,
-                                         FluentKeyMap::iterator it);
+  // Escape is sound: iterator into the committed heap-backed timeline map.
+  MARITIME_ARENA_ESCAPE_OK FluentKeyMap::iterator RecycleTimeline(
+      FluentKeyMap& map, FluentKeyMap::iterator it);
 
   stream::WindowSpec window_;
   const void* user_data_;
@@ -574,7 +582,9 @@ class Engine {
   bool coords_dirty_ = false;
 
   // Computed timelines of the current recognition step.
-  std::vector<FluentKeyMap> timelines_;
+  // Escape is sound: map values are default-constructed FluentTimelines
+  // (heap-backed); the commit phase copies arena scratch into them by value.
+  MARITIME_ARENA_ESCAPE_OK std::vector<FluentKeyMap> timelines_;
   // Sorted key set per fluent, mirroring timelines_; rebuilt at each
   // definition commit so FluentKeys() is O(1) instead of a sort per call.
   std::vector<std::vector<Term>> fluent_keys_;
@@ -621,7 +631,10 @@ class Engine {
   // keys that left an evaluated set (stale-key erase, cache eviction). A key
   // re-entering later reuses a pooled node instead of allocating the node
   // plus every inner buffer afresh; bounded by the historical peak key count.
-  std::vector<FluentKeyMap::node_type> timeline_pool_;
+  // Escape is sound: pooled nodes are extracted from the heap-backed
+  // committed maps above; their inner buffers never reference an arena.
+  MARITIME_ARENA_ESCAPE_OK std::vector<FluentKeyMap::node_type> timeline_pool_;
+  MARITIME_ARENA_ESCAPE_OK
   std::vector<SimpleDefCache::EvidenceMap::node_type> evidence_pool_;
 
   // Output row counts of the previous slide, used to pre-size the next
@@ -635,7 +648,9 @@ class Engine {
   /// rows — bumps these; Recognize() harvests stats and resets them before
   /// returning. Committed state never references arena memory (copy-out at
   /// commit, DESIGN.md §10).
-  mutable std::vector<common::Arena> arenas_;
+  // Escape is sound: this member IS the arena ownership (outlives every
+  // slide), not a value allocated from one.
+  MARITIME_ARENA_ESCAPE_OK mutable std::vector<common::Arena> arenas_;
 
   // Inertia across window slides: for each fluent key, the value holding at
   // the *next* window start, recorded at the end of each recognition step.
@@ -658,7 +673,8 @@ class Engine {
   };
   BoundaryRecord boundary_;
 
-  FluentTimeline empty_timeline_;
+  // Escape is sound: default-constructed, heap-backed, always empty.
+  MARITIME_ARENA_ESCAPE_OK FluentTimeline empty_timeline_;
   std::vector<EventInstance> empty_events_;
   std::vector<Term> empty_keys_;
 };

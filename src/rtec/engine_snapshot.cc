@@ -215,7 +215,7 @@ bool LoadEvidence(snapshot::Reader& r, CachedEvidence* ev) {
 
 /// Sorted key view of an unordered Term-keyed map, for deterministic bytes.
 template <typename Map>
-std::vector<Term> SortedTermKeys(const Map& map) {
+MARITIME_OUTPUT_PATH std::vector<Term> SortedTermKeys(const Map& map) {
   std::vector<Term> keys;
   keys.reserve(map.size());
   for (const auto& [k, v] : map) keys.push_back(k);
@@ -243,7 +243,7 @@ bool LoadTermVector(snapshot::Reader& r, std::vector<Term>* terms) {
 
 }  // namespace
 
-void Engine::SaveTo(snapshot::Writer& w) const {
+MARITIME_OUTPUT_PATH void Engine::SaveTo(snapshot::Writer& w) const {
   w.U8(kEngineFormatVersion);
 
   // --- schema fingerprint --------------------------------------------------

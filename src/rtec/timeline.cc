@@ -276,9 +276,10 @@ void ComputeSimpleFluentInto(std::span<const ValuedPoint> initiations,
 #endif
 }
 
-FluentTimeline ComputeSimpleFluent(const FluentEvidence& evidence,
-                                   Timestamp window_start,
-                                   Timestamp query_time) {
+// Escape is sound: the returned timeline is default-constructed (heap-backed).
+MARITIME_ARENA_ESCAPE_OK FluentTimeline ComputeSimpleFluent(
+    const FluentEvidence& evidence, Timestamp window_start,
+    Timestamp query_time) {
   FluentTimeline out;
   ComputeSimpleFluentInto(evidence.initiations, evidence.terminations,
                           evidence.carried_value, window_start, query_time,

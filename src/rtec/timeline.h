@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/arena.h"
 #include "rtec/interval.h"
 #include "rtec/terms.h"
@@ -35,7 +36,7 @@ using TimeVec = common::ArenaVector<Timestamp>;
 /// of a map of per-value heap vectors. Interval algebra and amalgamation then
 /// sweep contiguous spans, and a whole timeline is three bump allocations when
 /// arena-backed.
-struct FluentTimeline {
+struct MARITIME_ARENA_SCOPED FluentTimeline {
   struct ValueSlice {
     Value value = 0;
     uint32_t ival_begin = 0, ival_end = 0;    ///< Range in interval_store.
@@ -111,7 +112,7 @@ struct FluentTimeline {
 };
 
 /// Inputs to the maximal-interval computation for one fluent key.
-struct FluentEvidence {
+struct MARITIME_ARENA_SCOPED FluentEvidence {
   /// Domain-specific initiation points: initiatedAt(F=value, t).
   PointVec initiations;
   /// Domain-specific termination points: terminatedAt(F=value, t).
@@ -145,9 +146,11 @@ void ComputeSimpleFluentInto(std::span<const ValuedPoint> initiations,
                              common::Arena* scratch, FluentTimeline* out);
 
 /// Convenience wrapper returning a heap-backed timeline (tests/benches).
-FluentTimeline ComputeSimpleFluent(const FluentEvidence& evidence,
-                                   Timestamp window_start,
-                                   Timestamp query_time);
+// Escape is sound: the returned timeline is default-constructed, so all three
+// stores carry the heap-backed allocator.
+MARITIME_ARENA_ESCAPE_OK FluentTimeline ComputeSimpleFluent(
+    const FluentEvidence& evidence, Timestamp window_start,
+    Timestamp query_time);
 
 /// Merges the reusable slice of a cached evidence point list with the points
 /// regenerated by one incremental evaluation. The regeneration region is

@@ -1,0 +1,31 @@
+// maritime-lint fixture: conforming cases for the arena-escape rule,
+// including the negative test that certified escapes are accepted.
+#include "common/annotations.h"
+
+namespace fixtures {
+
+class MARITIME_ARENA_SCOPED SlideView {
+ public:
+  const int* data = nullptr;
+};
+
+/// Members of another arena-scoped type stay in slide scope: no escape.
+struct MARITIME_ARENA_SCOPED SlideFrame {
+  SlideView view;
+  int depth = 0;
+};
+
+/// A certified member escape: the stored value is heap-backed by
+/// construction (copy-out at commit), so outliving the slide is sound.
+struct CommittedRow {
+  MARITIME_ARENA_ESCAPE_OK SlideView snapshot;
+  int row = 0;
+};
+
+/// A certified return escape across the commit boundary.
+MARITIME_ARENA_ESCAPE_OK SlideView CommitView(const SlideView& scratch);
+
+/// Plain value types pass untouched.
+int CountRows();
+
+}  // namespace fixtures

@@ -1,0 +1,29 @@
+// maritime-lint fixture: violating cases for the arena-escape rule.
+// Arena-scoped values stored into heap-owned members, or returned across the
+// slide boundary, without MARITIME_ARENA_ESCAPE_OK certification.
+//
+// Fixture files are analyzed, never compiled; includes are for realism.
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace fixtures {
+
+/// Stand-in for a slide-arena-backed value type (cf. common::Arena).
+class MARITIME_ARENA_SCOPED ScratchBuf {
+ public:
+  int size = 0;
+};
+
+/// Transitively arena-scoped: the alias definition mentions ScratchBuf.
+using ScratchList = std::vector<ScratchBuf>;
+
+struct LeakyCache {
+  ScratchBuf last;      // lint-expect: arena-escape
+  ScratchList history;  // lint-expect: arena-escape
+  int generation = 0;   // plain member: no diagnostic
+};
+
+ScratchBuf StealScratch();  // lint-expect: arena-escape
+
+}  // namespace fixtures

@@ -1,0 +1,37 @@
+// maritime-lint fixture: conforming cases for the determinism rule.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace fixtures {
+
+class PortLedger {
+ public:
+  /// Sorted before escaping: hash order cannot reach committed state.
+  MARITIME_COMMIT_BOUNDARY void Commit() {
+    for (const auto& [port, fee] : fees_) {
+      keys_.push_back(port);
+    }
+    std::sort(keys_.begin(), keys_.end());
+  }
+
+  /// Outside any commit/output-path function the rule does not apply.
+  int Sum() const {
+    int total = 0;
+    for (const auto& [port, fee] : fees_) total += fee;
+    return total;
+  }
+
+  /// Iterating an ordered container is always fine.
+  MARITIME_OUTPUT_PATH void Serialize(std::vector<int>* out) const {
+    for (int k : keys_) out->push_back(k);
+  }
+
+ private:
+  std::unordered_map<int, int> fees_;
+  std::vector<int> keys_;
+};
+
+}  // namespace fixtures

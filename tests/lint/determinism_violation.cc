@@ -1,0 +1,31 @@
+// maritime-lint fixture: violating cases for the determinism rule —
+// unordered-container iteration order reaching committed/serialized state.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace fixtures {
+
+class RouteTable {
+ public:
+  MARITIME_COMMIT_BOUNDARY void Commit() {
+    for (const auto& [key, row] : routes_) {  // lint-expect: determinism
+      committed_.push_back(key);
+    }
+  }
+
+  MARITIME_OUTPUT_PATH void Serialize(std::vector<int>* out) const {
+    for (const auto& entry : hops_) {  // lint-expect: determinism
+      out->push_back(entry);
+    }
+  }
+
+ private:
+  std::unordered_map<int, int> routes_;
+  std::unordered_set<int> hops_;
+  std::vector<int> committed_;
+};
+
+}  // namespace fixtures

@@ -1,0 +1,37 @@
+// maritime-lint fixture: conforming cases for the lock-discipline rule.
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace fixtures {
+
+/// The usual shape: the mutex guards annotated members.
+class GuardedQueue {
+ public:
+  void Push(int v);
+
+ private:
+  std::mutex mu_;
+  int depth_ MARITIME_GUARDED_BY(mu_) = 0;
+};
+
+/// A method-level annotation also proves the mutex takes part in the
+/// thread-safety analysis.
+class MethodAnnotated {
+ public:
+  void Kick() MARITIME_REQUIRES(mu_);
+
+ private:
+  std::mutex mu_;
+};
+
+/// The cv-companion pattern, explicitly waived with a reason.
+class HandshakeOnly {
+ private:
+  // maritime-lint: allow-next-line(lock-discipline): cv handshake only
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace fixtures

@@ -1,0 +1,22 @@
+// maritime-lint fixture: violating cases for the lock-discipline rule —
+// classes owning a mutex that guards nothing, invisible to -Wthread-safety.
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixtures {
+
+class UnguardedQueue {
+ public:
+  void Push(int v);
+
+ private:
+  std::mutex mu_;  // lint-expect: lock-discipline
+  int depth_ = 0;
+};
+
+struct BareLatch {
+  std::shared_mutex gate;  // lint-expect: lock-discipline
+  bool open = false;
+};
+
+}  // namespace fixtures

@@ -1,0 +1,24 @@
+// maritime-lint fixture: conforming cases for the status-discard rule —
+// every returned Status/Result below is consumed (bound, tested, forwarded,
+// or explicitly voided).
+#include "common/annotations.h"
+
+namespace fixtures {
+
+Status ProbePort(int id);
+Result<long> MeasureDrift();
+void Log(Status s);
+
+long Consume() {
+  Status bound = ProbePort(1);         // bound to a variable
+  if (!ProbePort(2).ok()) return -1;   // tested in a condition
+  Log(ProbePort(3));                   // forwarded as an argument
+  (void)ProbePort(4);                  // best-effort probe; result irrelevant
+  return MeasureDrift().value_or(0);   // consumed through the return
+}
+
+Status Forward() {
+  return ProbePort(5);  // propagated to the caller
+}
+
+}  // namespace fixtures

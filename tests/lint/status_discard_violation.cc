@@ -1,0 +1,29 @@
+// maritime-lint fixture: violating cases for the status-discard rule.
+// Every statement below calls a Status/Result-returning function and drops
+// the value on the floor.
+#include "common/annotations.h"
+
+namespace fixtures {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status OpenChannel(int id);
+Result<int> DecodeFrame(const char* data);
+
+struct Channel {
+  Status Refresh();
+
+  void Tick() {
+    OpenChannel(7);  // lint-expect: status-discard
+    Refresh();       // lint-expect: status-discard
+  }
+};
+
+void Pump(Channel& ch) {
+  ch.Refresh();       // lint-expect: status-discard
+  DecodeFrame("x7");  // lint-expect: status-discard
+}
+
+}  // namespace fixtures

@@ -1,0 +1,219 @@
+"""libclang frontend for maritime-lint.
+
+When python `clang.cindex` and a libclang shared library are available, this
+module re-derives the entity model (classes/members, aliases, functions with
+bodies and annotations) from real ASTs parsed out of compile_commands.json,
+replacing the textual approximation in each SourceFile.  The rules in
+rules.py then run unchanged on AST-accurate entities: annotation macros are
+seen as `[[clang::annotate("maritime::<tag>")]]` attributes, member types as
+fully-sugared type spellings, and function bodies as exact source extents.
+
+Headers have no compile command of their own; their entities are harvested
+from the first translation unit that includes them.  Files never reached by
+any TU (or when parsing fails) keep their textual model, so degradation is
+per-file and graceful.
+"""
+
+from __future__ import annotations
+
+import os
+
+_ANNOTATION_TAGS = {
+    "maritime::arena_scoped": "MARITIME_ARENA_SCOPED",
+    "maritime::arena_escape_ok": "MARITIME_ARENA_ESCAPE_OK",
+    "maritime::commit_boundary": "MARITIME_COMMIT_BOUNDARY",
+    "maritime::output_path": "MARITIME_OUTPUT_PATH",
+}
+
+_FALLBACK_ARGS = ["-x", "c++", "-std=c++20", "-Isrc"]
+
+
+def load(build_dir: str):
+    """Returns a frontend object, or None when libclang is unavailable."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+    except Exception:  # noqa: BLE001 - missing/mismatched libclang.so
+        for candidate in ("libclang.so", "libclang-14.so", "libclang.so.1"):
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(candidate)
+                index = cindex.Index.create()
+                break
+            except Exception:  # noqa: BLE001
+                continue
+        else:
+            return None
+    compdb = None
+    try:
+        compdb = cindex.CompilationDatabase.fromDirectory(build_dir)
+    except Exception:  # noqa: BLE001 - no compile_commands.json yet
+        compdb = None
+    return _ClangFrontend(cindex, index, compdb)
+
+
+class _ClangFrontend:
+    def __init__(self, cindex, index, compdb):
+        self.cindex = cindex
+        self.index = index
+        self.compdb = compdb
+
+    # -- public entry --------------------------------------------------------
+    def refine(self, models) -> None:
+        from source_model import SourceFile  # noqa: F401 (type only)
+        by_abs = {os.path.abspath(m.path): m for m in models}
+        refined: set[str] = set()
+        tus = [m.path for m in models
+               if m.path.endswith((".cc", ".cpp", ".cxx"))]
+        for path in tus:
+            if os.path.abspath(path) in refined:
+                continue
+            tu = self._parse(path)
+            if tu is None:
+                continue
+            self._harvest(tu, by_abs, refined)
+        # Headers not reached by any TU: parse standalone.
+        for m in models:
+            if os.path.abspath(m.path) in refined:
+                continue
+            tu = self._parse(m.path)
+            if tu is not None:
+                self._harvest(tu, by_abs, refined)
+
+    # -- parsing -------------------------------------------------------------
+    def _parse(self, path: str):
+        args = list(_FALLBACK_ARGS)
+        if self.compdb is not None:
+            cmds = self.compdb.getCompileCommands(os.path.abspath(path))
+            if cmds:
+                raw = list(cmds[0].arguments)[1:]  # drop the compiler argv[0]
+                args = [a for i, a in enumerate(raw)
+                        if a not in ("-c", "-o", path)
+                        and (i == 0 or raw[i - 1] != "-o")]
+        try:
+            tu = self.index.parse(
+                path, args=args,
+                options=self.cindex.TranslationUnit
+                .PARSE_DETAILED_PROCESSING_RECORD)
+        except Exception:  # noqa: BLE001
+            return None
+        return tu
+
+    # -- harvesting ----------------------------------------------------------
+    def _harvest(self, tu, by_abs, refined: set[str]) -> None:
+        from source_model import Alias, ClassInfo, Function, Member
+        ck = self.cindex.CursorKind
+        staged: dict[str, dict] = {}
+
+        def file_of(cursor):
+            loc = cursor.location
+            if loc.file is None:
+                return None
+            ap = os.path.abspath(loc.file.name)
+            if ap in refined or ap not in by_abs:
+                return None
+            if ap not in staged:
+                staged[ap] = {"classes": [], "aliases": [], "functions": []}
+            return ap
+
+        def annotations(cursor):
+            anns = set()
+            for ch in cursor.get_children():
+                if ch.kind == ck.ANNOTATE_ATTR:
+                    tag = _ANNOTATION_TAGS.get(ch.spelling)
+                    if tag:
+                        anns.add(tag)
+            return anns
+
+        def body_extent(cursor, model):
+            for ch in cursor.get_children():
+                if ch.kind == ck.COMPOUND_STMT:
+                    s = ch.extent.start.offset
+                    e = ch.extent.end.offset
+                    return (min(s + 1, len(model.code)),
+                            min(e, len(model.code)))
+            return None
+
+        def walk(cursor, owner, owner_stack):
+            for ch in cursor.get_children():
+                kind = ch.kind
+                if kind in (ck.NAMESPACE, ck.LINKAGE_SPEC,
+                            ck.UNEXPOSED_DECL):
+                    walk(ch, owner, owner_stack)
+                    continue
+                ap = file_of(ch)
+                if ap is None:
+                    # Still recurse: children may live in a scanned file
+                    # (e.g. out-of-line methods after an #include).
+                    if kind in (ck.NAMESPACE,):
+                        walk(ch, owner, owner_stack)
+                    continue
+                model = by_abs[ap]
+                bucket = staged[ap]
+                if kind in (ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE):
+                    if not ch.is_definition():
+                        continue
+                    ext = ch.extent
+                    cls = ClassInfo(
+                        name=ch.spelling,
+                        line=ext.start.line,
+                        body=(ext.start.offset, ext.end.offset),
+                        annotations=annotations(ch),
+                        parents=list(owner_stack),
+                    )
+                    bucket["classes"].append(cls)
+                    walk(ch, cls, [cls] + owner_stack)
+                elif kind == ck.FIELD_DECL and owner is not None:
+                    owner.members.append(Member(
+                        name=ch.spelling,
+                        type=ch.type.spelling,
+                        line=ch.location.line,
+                        annotations=annotations(ch),
+                    ))
+                elif kind in (ck.TYPE_ALIAS_DECL, ck.TYPEDEF_DECL):
+                    bucket["aliases"].append(Alias(
+                        name=ch.spelling,
+                        rhs=ch.underlying_typedef_type.spelling,
+                        line=ch.location.line,
+                        annotations=annotations(ch),
+                    ))
+                elif kind in (ck.FUNCTION_DECL, ck.CXX_METHOD,
+                              ck.FUNCTION_TEMPLATE, ck.CONSTRUCTOR,
+                              ck.DESTRUCTOR, ck.CONVERSION_FUNCTION):
+                    name = ch.spelling
+                    sem = ch.semantic_parent
+                    lex = ch.lexical_parent
+                    if (sem is not None and lex is not None
+                            and sem != lex and sem.spelling):
+                        name = f"{sem.spelling}::{name}"
+                    try:
+                        ret = ch.result_type.spelling
+                    except Exception:  # noqa: BLE001
+                        ret = ""
+                    bucket["functions"].append(Function(
+                        name=name,
+                        line=ch.location.line,
+                        ret_type=ret,
+                        annotations=annotations(ch),
+                        body=body_extent(ch, model),
+                        owner=owner,
+                    ))
+                elif kind == ck.VAR_DECL and owner is not None:
+                    # static data members: treat like fields for the rules.
+                    owner.members.append(Member(
+                        name=ch.spelling,
+                        type=ch.type.spelling,
+                        line=ch.location.line,
+                        annotations=annotations(ch),
+                    ))
+
+        walk(tu.cursor, None, [])
+        for ap, bucket in staged.items():
+            model = by_abs[ap]
+            model.classes = bucket["classes"]
+            model.aliases = bucket["aliases"]
+            model.functions = bucket["functions"]
+            refined.add(ap)

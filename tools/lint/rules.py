@@ -1,0 +1,406 @@
+"""maritime-lint rule registry and the four shipped rules.
+
+Each rule is a callable registered under a stable name; it receives the whole
+`Project` (so rules can use cross-file knowledge such as the global set of
+arena-scoped types or Status-returning functions) and yields `Diagnostic`s.
+Suppressions (`maritime-lint: allow(...)` directives, see source_model.py)
+are applied here, centrally, so every rule honors them identically.
+
+Rules (DESIGN.md §12 documents each contract in full):
+  arena-escape    Arena-backed values must not be stored into heap-owned
+                  members or returned, unless certified MARITIME_ARENA_ESCAPE_OK.
+  status-discard  Calls to Status/Result-returning functions must consume
+                  the value.
+  lock-discipline A class owning a std::mutex must guard at least one member
+                  with it (MARITIME_GUARDED_BY), else the mutex is invisible
+                  to Clang's thread-safety analysis.
+  determinism     Range-iteration over unordered containers inside
+                  MARITIME_COMMIT_BOUNDARY / MARITIME_OUTPUT_PATH functions
+                  must sort before escaping.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from source_model import SourceFile, split_top_level
+
+_ID_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RULES: dict[str, object] = {}
+
+
+def rule(name, doc):
+    def deco(fn):
+        fn.rule_name = name
+        fn.rule_doc = doc
+        RULES[name] = fn
+        return fn
+    return deco
+
+
+class Project:
+    """All parsed files plus the cross-file indexes the rules need."""
+
+    def __init__(self, files: list[SourceFile]):
+        self.files = files
+        self.arena_types = self._arena_types()
+        self.statusy, self.ambiguous = self._status_functions()
+        self.unordered_aliases = self._unordered_aliases()
+        self.decl_types = self._decl_types()
+
+    # -- arena-scoped type set ---------------------------------------------
+    def _arena_types(self) -> set[str]:
+        types = set()
+        aliases = []
+        for sf in self.files:
+            for cls in sf.classes:
+                if "MARITIME_ARENA_SCOPED" in cls.annotations:
+                    types.add(cls.name)
+            for al in sf.aliases:
+                if "MARITIME_ARENA_SCOPED" in al.annotations:
+                    types.add(al.name)
+                aliases.append(al)
+        # Aliases are arena-scoped transitively: `using PointVec =
+        # ArenaVector<ValuedPoint>` inherits from ArenaVector.
+        changed = True
+        while changed:
+            changed = False
+            for al in aliases:
+                if al.name not in types and _mentions(al.rhs, types):
+                    types.add(al.name)
+                    changed = True
+        return types
+
+    # -- Status/Result-returning function names ----------------------------
+    def _status_functions(self) -> tuple[set[str], set[str]]:
+        statusy, other = set(), set()
+        for sf in self.files:
+            for fn in sf.functions:
+                name = fn.name.rsplit("::", 1)[-1]
+                if not _ID_RE.fullmatch(name) or name[0] == "~":
+                    continue
+                if _is_status_type(fn.ret_type):
+                    statusy.add(name)
+                elif fn.ret_type:
+                    other.add(name)
+        # A name declared with both Status and non-Status return types
+        # somewhere in the tree is ambiguous at the textual level; the
+        # [[nodiscard]] compiler sweep still covers those call sites.
+        return statusy, statusy & other
+
+    # -- unordered container aliases ---------------------------------------
+    def _unordered_aliases(self) -> set[str]:
+        names = set()
+        aliases = [al for sf in self.files for al in sf.aliases]
+        changed = True
+        while changed:
+            changed = False
+            for al in aliases:
+                if al.name in names:
+                    continue
+                if _unordered_at_top(al.rhs, names):
+                    names.add(al.name)
+                    changed = True
+        return names
+
+    # -- global name -> declared types (members of any class) --------------
+    def _decl_types(self) -> dict[str, list[str]]:
+        table: dict[str, list[str]] = {}
+        for sf in self.files:
+            for cls in sf.classes:
+                for m in cls.members:
+                    table.setdefault(m.name, []).append(m.type)
+        return table
+
+
+def _mentions(type_text: str, names: set[str]) -> bool:
+    return any(t in names for t in _ID_RE.findall(type_text))
+
+
+def _is_status_type(ret: str) -> bool:
+    ret = ret.strip()
+    return re.fullmatch(
+        r"(?:const\s+)?(?:\w+\s*::\s*)*(Status|Result\s*<.*>)\s*[&*]*",
+        ret, flags=re.S) is not None
+
+
+_UNORDERED_HEAD = re.compile(
+    r"^(?:const\s+)?(?:\w+\s*::\s*)*(unordered_(?:multi)?(?:map|set))\s*<")
+_SEQ_HEAD = re.compile(
+    r"^(?:const\s+)?(?:mutable\s+)?(?:\w+\s*::\s*)*"
+    r"(?:vector|array|deque|span)\s*<(.*)>\s*[&*]*$", flags=re.S)
+
+
+def _unordered_at_top(type_text: str, alias_names: set[str]) -> bool:
+    """True when the outermost type is an unordered container (directly or
+    via a known alias)."""
+    t = type_text.strip()
+    t = re.sub(r"^(?:const|mutable|typename)\s+", "", t).rstrip("&* \t\n")
+    if _UNORDERED_HEAD.match(t):
+        return True
+    head = _ID_RE.match(re.sub(r"^(?:\w+\s*::\s*)+", "", t))
+    return head is not None and head.group(0) in alias_names
+
+
+def _peel_element(type_text: str) -> str | None:
+    """vector<X> / array<X, N> / deque<X> / span<X> -> X (for one [i])."""
+    m = _SEQ_HEAD.match(type_text.strip())
+    if not m:
+        return None
+    return split_top_level(m.group(1), ",")[0].strip()
+
+
+def _enclosing_arena_scoped(cls, arena_types: set[str]) -> bool:
+    return cls is not None and any(
+        c.name in arena_types for c in [cls] + cls.parents)
+
+
+# ---------------------------------------------------------------------------
+@rule("arena-escape",
+      "arena-scoped values must not be stored in heap-owned members or "
+      "returned without MARITIME_ARENA_ESCAPE_OK")
+def check_arena_escape(project: Project):
+    S = project.arena_types
+    if not S:
+        return
+    for sf in project.files:
+        for cls in sf.classes:
+            if _enclosing_arena_scoped(cls, S):
+                continue  # members of arena-scoped types stay in scope
+            for m in cls.members:
+                if "MARITIME_ARENA_ESCAPE_OK" in m.annotations:
+                    continue
+                if _mentions(m.type, S):
+                    yield Diagnostic(
+                        sf.path, m.line, "arena-escape",
+                        f"member '{m.name}' of '{cls.name}' holds "
+                        f"arena-scoped type '{m.type.strip()}'; arena memory "
+                        "dies at Arena::Reset() — copy out at commit, or "
+                        "certify a heap backing with MARITIME_ARENA_ESCAPE_OK")
+        for fn in sf.functions:
+            if "::" in fn.name:
+                continue  # out-of-line definition; the declaration is checked
+            if "MARITIME_ARENA_ESCAPE_OK" in fn.annotations:
+                continue
+            if _enclosing_arena_scoped(fn.owner, S):
+                continue
+            if _mentions(fn.ret_type, S):
+                yield Diagnostic(
+                    sf.path, fn.line, "arena-escape",
+                    f"function '{fn.name}' returns arena-scoped type "
+                    f"'{fn.ret_type.strip()}' across the slide scope; "
+                    "annotate MARITIME_ARENA_ESCAPE_OK if the returned "
+                    "backing is committed heap state")
+
+
+# ---------------------------------------------------------------------------
+_CHAIN_RE = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:\s*(?:::|\.|->)\s*|\s*\(\s*\)\s*(?:\.|->)\s*|"
+    r"\s*\[[^\[\]]*\]\s*(?:\.|->)\s*))*([A-Za-z_]\w*)\s*\(")
+
+
+@rule("status-discard",
+      "every call to a Status/Result-returning function must consume the "
+      "returned value")
+def check_status_discard(project: Project):
+    known = project.statusy - project.ambiguous
+    if not known:
+        return
+    for sf in project.files:
+        for fn in sf.functions:
+            if fn.body is None:
+                continue
+            body = sf.code[fn.body[0]:fn.body[1]]
+            for stmt, off in _statements(body, fn.body[0]):
+                m = _CHAIN_RE.match(stmt)
+                if not m:
+                    continue
+                callee = m.group(1)
+                if callee not in known:
+                    continue
+                # The call must BE the statement: its closing parenthesis is
+                # the last non-space character.
+                depth = 0
+                call_end = -1
+                for i in range(m.end() - 1, len(stmt)):
+                    if stmt[i] == "(":
+                        depth += 1
+                    elif stmt[i] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            call_end = i
+                            break
+                if call_end < 0 or stmt[call_end + 1:].strip():
+                    continue
+                line = sf.line_of(off + (len(stmt) - len(stmt.lstrip())))
+                yield Diagnostic(
+                    sf.path, line, "status-discard",
+                    f"result of '{callee}' (returns Status/Result) is "
+                    "discarded; check it, or cast to void with a reason")
+
+
+def _statements(body: str, base: int):
+    """Yields (statement text, offset) for ';'-terminated statements at any
+    block depth, splitting also at '{' and '}' boundaries."""
+    start = 0
+    depth = 0
+    for i, c in enumerate(body):
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif depth == 0 and c in ";{}":
+            if c == ";":
+                yield body[start:i], base + start
+            start = i + 1
+    tail = body[start:]
+    if tail.strip():
+        yield tail, base + start
+
+
+# ---------------------------------------------------------------------------
+_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b")
+
+
+@rule("lock-discipline",
+      "a class owning a std::mutex must annotate at least one member "
+      "MARITIME_GUARDED_BY it (naked mutexes are invisible to -Wthread-safety)")
+def check_lock_discipline(project: Project):
+    for sf in project.files:
+        for cls in sf.classes:
+            mutexes = [m for m in cls.members if _MUTEX_RE.search(m.type)]
+            if not mutexes:
+                continue
+            guarded = set()
+            for m in cls.members:
+                guarded |= m.guards
+            # Methods annotated REQUIRES/ACQUIRE also prove the mutex is in
+            # the analysis; the textual model records guards on members only,
+            # so scan the class body for any use of the mutex name inside a
+            # thread-safety macro argument.
+            body_text = sf.code[cls.body[0]:cls.body[1]]
+            for mu in mutexes:
+                if mu.name in guarded:
+                    continue
+                if re.search(
+                        r"MARITIME_\w+\s*\([^()]*\b%s\b[^()]*\)"
+                        % re.escape(mu.name), body_text):
+                    continue
+                yield Diagnostic(
+                    sf.path, mu.line, "lock-discipline",
+                    f"mutex '{mu.name}' of '{cls.name}' guards no member: "
+                    "add MARITIME_GUARDED_BY/REQUIRES annotations so "
+                    "-Wthread-safety can check the locking protocol, or "
+                    "allow(lock-discipline) with the reason it is unguarded")
+
+
+# ---------------------------------------------------------------------------
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+_SORT_RE = re.compile(r"\b(?:std\s*::\s*)?(?:stable_)?sort\s*\(")
+
+
+@rule("determinism",
+      "no committed/serialized state may depend on unordered-container "
+      "iteration order inside MARITIME_COMMIT_BOUNDARY/OUTPUT_PATH functions")
+def check_determinism(project: Project):
+    for sf in project.files:
+        for fn in sf.functions:
+            if fn.body is None:
+                continue
+            if not ({"MARITIME_COMMIT_BOUNDARY", "MARITIME_OUTPUT_PATH"}
+                    & fn.annotations):
+                continue
+            body = sf.code[fn.body[0]:fn.body[1]]
+            for m in _RANGE_FOR_RE.finditer(body):
+                open_at = m.end() - 1
+                close = _match_paren(body, open_at)
+                if close < 0:
+                    continue
+                head = body[open_at + 1:close]
+                parts = split_top_level(head, ":")
+                if len(parts) != 2:
+                    continue  # classic for, or init-statement range-for
+                expr = parts[1].strip()
+                if not _expr_is_unordered(expr, project):
+                    continue
+                if _SORT_RE.search(body, close):
+                    continue  # result is sorted before escaping
+                line = sf.line_of(fn.body[0] + m.start())
+                yield Diagnostic(
+                    sf.path, line, "determinism",
+                    f"range-for over unordered container '{expr}' inside "
+                    f"commit/output-path function '{fn.name}': hash order "
+                    "leaks into committed state; sort before escaping or "
+                    "allow(determinism) with the reason order cannot escape")
+
+
+def _match_paren(s: str, open_at: int) -> int:
+    depth = 0
+    for i in range(open_at, len(s)):
+        if s[i] == "(":
+            depth += 1
+        elif s[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _expr_is_unordered(expr: str, project: Project) -> bool:
+    """Resolves the iterated expression's type textually: a bare identifier,
+    a member access chain (last field), or one subscript level of a sequence
+    container. Function-call results are the callee's responsibility."""
+    e = expr.strip()
+    if e.endswith(")"):
+        return False  # iterating a call result
+    subscripts = 0
+    while True:
+        m = re.search(r"\[[^\[\]]*\]\s*$", e)
+        if not m:
+            break
+        e = e[:m.start()].rstrip()
+        subscripts += 1
+    ids = _ID_RE.findall(e)
+    if not ids:
+        return False
+    name = ids[-1]
+    for type_text in project.decl_types.get(name, ()):
+        t = type_text
+        for _ in range(subscripts):
+            elem = _peel_element(t)
+            if elem is None:
+                break
+            t = elem
+        if _unordered_at_top(t, project.unordered_aliases):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+def run_rules(project: Project, names=None) -> list[Diagnostic]:
+    selected = RULES if names is None else {n: RULES[n] for n in names}
+    diags = []
+    by_path = {sf.path: sf for sf in project.files}
+    for fn in selected.values():
+        for d in fn(project):
+            sf = by_path[d.path]
+            if sf.allowed(d.line, d.rule):
+                continue
+            diags.append(d)
+    diags.sort(key=lambda d: (d.path, d.line, d.rule))
+    return diags

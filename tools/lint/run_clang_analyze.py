@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Clang Static Analyzer gate (`clang --analyze`) with a committed baseline.
+
+Runs the analyzer over every translation unit in compile_commands.json and
+compares the findings against tools/lint/scan_build_baseline.txt. The build
+fails only on NEW findings: pre-existing ones are suppressed by the baseline,
+so the gate can be adopted without first driving the tree to zero.
+
+Findings are normalized to `path: message [checker]` — no line/column — so
+unrelated edits above a known finding do not churn the baseline.
+
+Usage:
+  tools/lint/run_clang_analyze.py [-p build] [--strict] [--update]
+
+Exit codes: 0 clean (or analyzer unavailable without --strict), 1 new
+findings, 2 configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "scan_build_baseline.txt")
+
+_FINDING_RE = re.compile(
+    r"^(?P<path>[^:\n]+):\d+:\d+:\s+warning:\s+(?P<msg>.*?)"
+    r"\s*(?P<checker>\[[\w.,-]+\])?$")
+
+
+def find_clang() -> str | None:
+    for name in ("clang++", "clang", "clang++-18", "clang++-17",
+                 "clang++-16", "clang++-15", "clang++-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compdb(build_dir: str) -> list[dict] | None:
+    path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError:
+        return None
+
+
+def analyze_args(entry: dict) -> tuple[str, list[str]]:
+    """(source file, compile flags) with -c/-o/compiler stripped."""
+    if "arguments" in entry:
+        raw = list(entry["arguments"])
+    else:
+        # Naive shlex is fine: CMake writes plain flags.
+        import shlex
+        raw = shlex.split(entry["command"])
+    src = entry["file"]
+    args: list[str] = []
+    skip = False
+    for a in raw[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-c", src):
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        args.append(a)
+    return src, args
+
+
+def run_analyzer(clang: str, compdb: list[dict]) -> list[str]:
+    findings: set[str] = set()
+    for entry in compdb:
+        src = entry["file"]
+        rel = os.path.relpath(src, REPO_ROOT)
+        if rel.startswith("..") or not rel.startswith("src" + os.sep):
+            continue
+        _, args = analyze_args(entry)
+        cmd = [clang, "--analyze", "--analyzer-output", "text",
+               *args, src]
+        proc = subprocess.run(cmd, cwd=entry.get("directory", REPO_ROOT),
+                              capture_output=True, text=True, check=False)
+        for line in proc.stderr.splitlines():
+            m = _FINDING_RE.match(line.strip())
+            if not m:
+                continue
+            path = os.path.relpath(m.group("path"), REPO_ROOT)
+            if path.startswith(".."):
+                continue  # finding in a system/third-party header
+            checker = m.group("checker") or ""
+            findings.add(f"{path}: {m.group('msg')} {checker}".rstrip())
+    return sorted(findings)
+
+
+def load_baseline() -> set[str]:
+    try:
+        with open(BASELINE, encoding="utf-8") as f:
+            return {line.strip() for line in f
+                    if line.strip() and not line.startswith("#")}
+    except OSError:
+        return set()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("-p", "--build-dir",
+                    default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--strict", action="store_true",
+                    help="fail when the analyzer or compile_commands.json "
+                         "is unavailable; for CI")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline with the current findings")
+    args = ap.parse_args(argv)
+
+    clang = find_clang()
+    if clang is None:
+        print("clang-analyze: no clang in PATH", file=sys.stderr)
+        if args.strict:
+            return 2
+        print("clang-analyze: SKIPPED", file=sys.stderr)
+        return 0
+    compdb = load_compdb(args.build_dir)
+    if compdb is None:
+        print(f"clang-analyze: no compile_commands.json under "
+              f"{args.build_dir} (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return 2 if args.strict else 0
+
+    findings = run_analyzer(clang, compdb)
+    if args.update:
+        with open(BASELINE, "w", encoding="utf-8") as f:
+            f.write("# Clang Static Analyzer baseline — pre-existing "
+                    "findings suppressed by run_clang_analyze.py.\n"
+                    "# Regenerate with: tools/lint/run_clang_analyze.py "
+                    "--update\n")
+            for item in findings:
+                f.write(item + "\n")
+        print(f"clang-analyze: baseline updated ({len(findings)} findings)")
+        return 0
+
+    baseline = load_baseline()
+    new = [f for f in findings if f not in baseline]
+    fixed = sorted(baseline - set(findings))
+    for f in new:
+        print(f"NEW: {f}")
+    if fixed:
+        print(f"clang-analyze: {len(fixed)} baseline finding(s) no longer "
+              "reported — consider --update", file=sys.stderr)
+    if new:
+        print(f"clang-analyze: {len(new)} new finding(s) "
+              f"({len(findings)} total, {len(baseline)} baselined)",
+              file=sys.stderr)
+        return 1
+    print(f"clang-analyze: clean ({len(findings)} baselined finding(s), "
+          f"{len(compdb)} TUs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
