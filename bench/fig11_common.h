@@ -4,7 +4,10 @@
 #include <span>
 
 #include "bench_common.h"
+#include "common/thread_pool.h"
+#include "maritime/pipeline.h"
 #include "maritime/recognizer.h"
+#include "stream/replayer.h"
 #include "stream/sliding_window.h"
 #include "tracker/compressor.h"
 #include "tracker/mobility_tracker.h"
@@ -108,19 +111,107 @@ inline Fig11Row RunFig11Config(const Fig11Workload& w, Duration range,
   return row;
 }
 
+/// One end-to-end pipelined run: the whole surveillance pipeline (tracking
+/// -> staging -> recognition -> no archival) over the raw position stream,
+/// on a private pool of `processors` workers, optionally pinned to cores.
+struct PipelineRow {
+  int processors = 1;      ///< Pool workers (the caller thread is extra).
+  bool affinity = false;   ///< Workers pinned to cores (Linux only).
+  int pinned = 0;          ///< Workers actually pinned.
+  int depth = 1;           ///< PipelineConfig::pipeline_depth.
+  double seconds = 0.0;    ///< End-to-end wall time for the full replay.
+  size_t slides = 0;
+  size_t tuples = 0;
+  double tracking_seconds = 0.0;     ///< Sum of per-slide tracking time.
+  double recognition_seconds = 0.0;  ///< Sum of per-slide recognition time.
+  uint64_t steals = 0;               ///< Cross-worker task steals.
+  double speedup_vs_serial = 0.0;    ///< vs {1 worker, no pin, depth 1}.
+};
+
+/// End-to-end pipelined execution over the fig-11 workload's raw position
+/// stream (ω=6h, β=1h, 2 partitions, incremental recognition): sweeps
+/// pipeline depth x pool size x core affinity. Depth 1 is strict serial
+/// slide execution; depth d >= 2 overlaps slide k's recognition with slide
+/// k+1's tracking on the pool's tracker lane. Output is bit-identical at
+/// every point of the sweep (asserted by pipeline_pipelined_test); only the
+/// wall clock moves.
+inline std::vector<PipelineRow> RunPipelineSweep(const Fig11Workload& w,
+                                                 bool spatial_facts) {
+  std::vector<PipelineRow> rows;
+  double serial_seconds = 0.0;
+  std::printf("end-to-end pipelined execution (raw stream -> tracking -> "
+              "recognition), omega=6h beta=1h:\n");
+  std::printf("  %-11s %-9s %-7s %-12s %-11s %-11s %-8s %-8s\n", "processors",
+              "affinity", "depth", "wall time", "tracking", "recognition",
+              "steals", "speedup");
+  for (const int processors : {1, 2, 4}) {
+    for (const bool affinity : {false, true}) {
+      for (const int depth : {1, 2, 3}) {
+        common::ThreadPool pool(processors, affinity);
+        surveillance::PipelineConfig cfg;
+        cfg.window = stream::WindowSpec{6 * kHour, kHour};
+        cfg.ce.use_spatial_facts = spatial_facts;
+        cfg.ce.enable_adrift = false;
+        cfg.partitions = 2;
+        cfg.tracker_shards = processors;
+        cfg.archive = false;  // online path only; archival is fig10's axis
+        cfg.incremental_recognition = true;
+        cfg.pipeline_depth = depth;
+        cfg.pool = &pool;
+
+        PipelineRow row;
+        row.processors = processors;
+        row.affinity = affinity;
+        row.pinned = pool.pinned_count();
+        row.depth = depth;
+        row.tuples = w.data.tuples.size();
+        stream::StreamReplayer replayer(w.data.tuples);
+        surveillance::SurveillancePipeline pipeline(&w.data.world.knowledge,
+                                                    cfg);
+        const double t0 = NowSeconds();
+        pipeline.Run(replayer, [&](const surveillance::SlideReport& r) {
+          ++row.slides;
+          row.tracking_seconds += r.tracking_seconds;
+          row.recognition_seconds += r.recognition_seconds;
+        });
+        row.seconds = NowSeconds() - t0;
+        row.steals = pool.steal_count();
+        if (processors == 1 && !affinity && depth == 1) {
+          serial_seconds = row.seconds;
+        }
+        if (serial_seconds > 0.0 && row.seconds > 0.0) {
+          row.speedup_vs_serial = serial_seconds / row.seconds;
+        }
+        std::printf("  %-11d %-9s %-7d %9.1f ms %8.1f ms %8.1f ms %-8llu "
+                    "%6.2fx\n",
+                    row.processors, row.affinity ? "on" : "off", row.depth,
+                    row.seconds * 1e3, row.tracking_seconds * 1e3,
+                    row.recognition_seconds * 1e3,
+                    static_cast<unsigned long long>(row.steals),
+                    row.speedup_vs_serial);
+        rows.push_back(row);
+      }
+    }
+  }
+  std::printf("\n");
+  return rows;
+}
+
 /// How RunFig11 drives the experiment; defaults reproduce the paper figure
-/// with both engine variants and record the perf trajectory in
-/// BENCH_rtec.json.
+/// with both engine variants, sweep the pipelined execution axes, and
+/// record the perf trajectory in BENCH_rtec.json.
 struct Fig11Options {
   bool run_naive = true;
   bool run_incremental = true;
+  bool pipeline_sweep = true;
   std::vector<double> fleet_scales = {1.0};
   std::string json_path;  ///< Empty disables the JSON artifact.
 };
 
 inline void WriteFig11Json(const std::string& path, const char* bench_name,
                            bool spatial_facts,
-                           const std::vector<Fig11Row>& rows) {
+                           const std::vector<Fig11Row>& rows,
+                           const std::vector<PipelineRow>& pipeline_rows = {}) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -147,13 +238,30 @@ inline void WriteFig11Json(const std::string& path, const char* bench_name,
         static_cast<unsigned long long>(r.arena_fallback_allocs),
         i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"pipeline_rows\": [\n");
+  for (size_t i = 0; i < pipeline_rows.size(); ++i) {
+    const PipelineRow& r = pipeline_rows[i];
+    std::fprintf(
+        f,
+        "    {\"processors\": %d, \"affinity\": %s, \"pinned\": %d, "
+        "\"pipeline_depth\": %d, \"wall_seconds\": %.4f, \"slides\": %zu, "
+        "\"tuples\": %zu, \"tracking_seconds\": %.4f, "
+        "\"recognition_seconds\": %.4f, \"steals\": %llu, "
+        "\"speedup_vs_serial\": %.3f}%s\n",
+        r.processors, r.affinity ? "true" : "false", r.pinned, r.depth,
+        r.seconds, r.slides, r.tuples, r.tracking_seconds,
+        r.recognition_seconds, static_cast<unsigned long long>(r.steals),
+        r.speedup_vs_serial, i + 1 < pipeline_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows.size());
+  std::printf("\nwrote %s (%zu rows, %zu pipeline rows)\n", path.c_str(),
+              rows.size(), pipeline_rows.size());
 }
 
 inline void RunFig11(bool spatial_facts, const Fig11Options& opts = {}) {
   std::vector<Fig11Row> all;
+  std::vector<PipelineRow> pipeline_rows;
   for (const double scale : opts.fleet_scales) {
     const int vessels = static_cast<int>(250 * scale);
     const Fig11Workload w =
@@ -195,12 +303,17 @@ inline void RunFig11(bool spatial_facts, const Fig11Options& opts = {}) {
       }
     }
     std::printf("\n");
+    // The pipelined end-to-end sweep only at the base scale: its axis is
+    // execution structure (depth x pool x affinity), not input volume.
+    if (opts.pipeline_sweep && scale == opts.fleet_scales.front()) {
+      pipeline_rows = RunPipelineSweep(w, spatial_facts);
+    }
   }
   if (!opts.json_path.empty()) {
     WriteFig11Json(opts.json_path,
                    spatial_facts ? "fig11b_ce_spatial_facts"
                                  : "fig11a_ce_recognition",
-                   spatial_facts, all);
+                   spatial_facts, all, pipeline_rows);
   }
 }
 

@@ -169,15 +169,18 @@ BENCHMARK(BM_ComputeSimpleFluent)->Arg(16)->Arg(256)->Arg(4096);
 /// (overlap 5/6, the paper's steady-fleet regime). One iteration replays the
 /// whole stream through a fresh recognizer — Recognize() per slide, feeding
 /// excluded from nothing (the feed cost is negligible next to recognition).
-/// Arg: 0 = naive engine, 1 = incremental (dirty-key caching across slides).
-/// The incremental/naive items_per_second ratio is the recognition-throughput
+/// Arg: 0 = naive engine, 1 = incremental (dirty-key caching across slides),
+/// 2 = auto (window-shape resolution — incremental at ω=6β — plus adaptive
+/// full-regeneration escalation on dirty-heavy slides). The
+/// incremental/naive items_per_second ratio is the recognition-throughput
 /// speedup; the `hit_rate` counter reports incremental cache reuse.
 void BM_CERecognitionWindow(benchmark::State& state) {
   static const bench::Fig11Workload* workload = [] {
     return new bench::Fig11Workload(
         bench::MakeFig11Workload(/*base_vessels=*/100, /*duration=*/12 * kHour));
   }();
-  const bool incremental = state.range(0) != 0;
+  const int engine_axis = static_cast<int>(state.range(0));
+  const bool incremental = engine_axis == 1;
   const bench::Fig11Workload& w = *workload;
   double hits = 0.0;
   double lookups = 0.0;
@@ -187,11 +190,13 @@ void BM_CERecognitionWindow(benchmark::State& state) {
   uint64_t arena_slides = 0;
   uint64_t arena_chunks = 0;
   uint64_t fallback_allocs = 0;
+  uint64_t adaptive_full_regens = 0;
   for (auto _ : state) {
     surveillance::RecognizerConfig cfg;
     cfg.window = stream::WindowSpec{6 * kHour, kHour};
     cfg.ce.enable_adrift = false;
     cfg.incremental = incremental;
+    if (engine_axis == 2) cfg.engine = surveillance::EngineMode::kAuto;
     surveillance::CERecognizer rec(&w.data.world.knowledge, cfg);
     size_t cursor = 0;
     size_t recognized = 0;
@@ -217,6 +222,7 @@ void BM_CERecognitionWindow(benchmark::State& state) {
     arena_slides += alloc.slides;
     arena_chunks = std::max(arena_chunks, alloc.arena_chunks);
     fallback_allocs += alloc.fallback_allocs;
+    adaptive_full_regens += rec.engine().adaptive_full_regens();
   }
   state.SetItemsProcessed(static_cast<int64_t>(queries));
   state.counters["hit_rate"] = lookups > 0.0 ? hits / lookups : 0.0;
@@ -236,8 +242,58 @@ void BM_CERecognitionWindow(benchmark::State& state) {
       bench::kAllocCountingActive && queries > 0
           ? static_cast<double>(recognize_allocs) / static_cast<double>(queries)
           : 0.0;
+  state.counters["adaptive_full_regens"] =
+      static_cast<double>(adaptive_full_regens);
 }
-BENCHMARK(BM_CERecognitionWindow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CERecognitionWindow)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Pipelined slide execution end to end: the full surveillance pipeline
+/// (tracking -> staged spatial facts -> recognition, archival off) over the
+/// fig-11a raw position stream on a private work-stealing pool.
+/// Args: {pipeline_depth, pool workers}. Depth 1 = strict serial slide
+/// execution; depth d >= 2 overlaps slide k's recognition with slide k+1's
+/// tracking on the pool's tracker lane. Output is bit-identical across the
+/// whole axis (pipeline_pipelined_test); this measures only the wall clock.
+void BM_PipelinedSlideExecution(benchmark::State& state) {
+  static const bench::Fig11Workload* workload = [] {
+    return new bench::Fig11Workload(
+        bench::MakeFig11Workload(/*base_vessels=*/100, /*duration=*/12 * kHour));
+  }();
+  const bench::Fig11Workload& w = *workload;
+  const int depth = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  common::ThreadPool pool(workers);
+  size_t slides = 0;
+  for (auto _ : state) {
+    surveillance::PipelineConfig cfg;
+    cfg.window = stream::WindowSpec{6 * kHour, kHour};
+    cfg.ce.enable_adrift = false;
+    cfg.partitions = 2;
+    cfg.tracker_shards = workers;
+    cfg.archive = false;
+    cfg.incremental_recognition = true;
+    cfg.pipeline_depth = depth;
+    cfg.pool = &pool;
+    stream::StreamReplayer replayer(w.data.tuples);
+    surveillance::SurveillancePipeline pipeline(&w.data.world.knowledge, cfg);
+    pipeline.Run(replayer,
+                 [&](const surveillance::SlideReport&) { ++slides; });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(slides));
+  state.counters["steals"] = static_cast<double>(pool.steal_count());
+  state.counters["pinned"] = static_cast<double>(pool.pinned_count());
+}
+BENCHMARK(BM_PipelinedSlideExecution)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({3, 4})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace maritime::rtec

@@ -1,11 +1,18 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <utility>
 
 #include "common/check.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace maritime::common {
 namespace {
@@ -63,23 +70,76 @@ int SharedPoolWorkers() {
   return width - 1;  // The ParallelFor caller supplies the last lane.
 }
 
+bool SharedPoolAffinity() {
+  const char* env = std::getenv("MARITIME_AFFINITY");
+  if (env == nullptr || env[0] == '\0') return false;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+         std::strcmp(env, "false") != 0;
+}
+
+/// Pins worker i to core i mod hardware cores. Returns how many pins took;
+/// on platforms without pthread affinity this is a no-op returning 0.
+int PinWorkersToCores(std::vector<std::thread>& workers) {
+#if defined(__linux__)
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  int pinned = 0;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(i % cores), &set);
+    if (pthread_setaffinity_np(workers[i].native_handle(), sizeof(set),
+                               &set) == 0) {
+      ++pinned;
+    }
+  }
+  return pinned;
+#else
+  (void)workers;
+  return 0;
+#endif
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(int workers) {
-  workers_.reserve(static_cast<size_t>(workers > 0 ? workers : 0));
-  for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+ThreadPool::ThreadPool(int workers, bool pin_to_cores) {
+  const size_t count = static_cast<size_t>(workers > 0 ? workers : 0);
+  queues_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
   }
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  if (pin_to_cores) pinned_count_ = PinWorkersToCores(workers_);
 }
 
 ThreadPool::~ThreadPool() { Stop(); }
 
+std::pair<size_t, size_t> ThreadPool::LaneSpan(Lane lane) const {
+  const size_t w = queues_.size();
+  if (w <= 1 || lane == Lane::kAny) return {0, w};
+  const size_t split = (w + 1) / 2;
+  if (lane == Lane::kTracker) return {0, split};
+  return {split, w};
+}
+
+size_t ThreadPool::TargetFor(Lane lane) {
+  const auto [first, last] = LaneSpan(lane);
+  MARITIME_DCHECK(last > first);
+  const uint64_t tick = cursor_[static_cast<size_t>(lane)].fetch_add(
+      1, std::memory_order_relaxed);
+  return first + static_cast<size_t>(tick % (last - first));
+}
+
 void ThreadPool::Stop() {
+  stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    // Empty critical section: a worker between its predicate check and its
+    // wait must observe the flag once we hold the lock it checks under.
+    std::lock_guard<std::mutex> lock(wake_mu_);
   }
-  cv_.notify_all();
+  wake_cv_.notify_all();
   // Exactly one caller joins; the others wait here until it has finished, so
   // every Stop() returns only once the workers are really gone.
   std::lock_guard<std::mutex> join_lock(join_mu_);
@@ -88,49 +148,104 @@ void ThreadPool::Stop() {
   joined_ = true;
   // Anything still queued was submitted concurrently with the stop flag and
   // never claimed by a worker; run it here so no task is silently dropped.
+  // Submit checks stop_ under the target queue's mutex, so a task that made
+  // it into a queue was pushed before the drain below locked that queue.
   std::deque<std::function<void()>> leftovers;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    leftovers.swap(tasks_);
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    for (auto& task : q->tasks) leftovers.push_back(std::move(task));
+    q->tasks.clear();
   }
+  pending_.store(0, std::memory_order_release);
   for (auto& task : leftovers) task();
 }
 
-void ThreadPool::WorkerLoop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() MARITIME_REQUIRES(mu_) {
-        return stop_ || !tasks_.empty();
-      });
-      if (tasks_.empty()) return;  // stop_ and drained
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+std::function<void()> ThreadPool::TryPop(size_t self) {
+  const size_t w = queues_.size();
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      auto task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_release);
+      return task;
     }
-    task();
+  }
+  for (size_t k = 1; k < w; ++k) {
+    WorkerQueue& victim = *queues_[(self + k) % w];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      auto task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_release);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    if (std::function<void()> task = TryPop(self)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    // pending_ may be stale by the time the queues are scanned (a thief got
+    // there first); the loop simply comes back here and sleeps again.
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(Lane::kAny, std::move(task));
+}
+
+void ThreadPool::Submit(Lane lane, std::function<void()> task) {
   MARITIME_DCHECK(task != nullptr);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!stop_) {
-      tasks_.push_back(std::move(task));
-      task = nullptr;
+  if (!queues_.empty()) {
+    WorkerQueue& target = *queues_[TargetFor(lane)];
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(target.mu);
+      if (!stop_.load(std::memory_order_acquire)) {
+        // Count before push: a worker must never observe a task it cannot
+        // account for, or pending_ would wrap below zero at the pop.
+        pending_.fetch_add(1, std::memory_order_release);
+        target.tasks.push_back(std::move(task));
+        queued = true;
+      }
+    }
+    if (queued) {
+      {
+        // Empty critical section pairing with the worker's predicate check.
+        std::lock_guard<std::mutex> lock(wake_mu_);
+      }
+      wake_cv_.notify_one();
+      return;
     }
   }
-  if (task != nullptr) {
-    // Stopped pool: execute inline so fire-and-forget work still happens and
-    // a racing ParallelFor still terminates (its helpers drain serially).
-    task();
-    return;
-  }
-  cv_.notify_one();
+  // Stopped or zero-worker pool: execute inline so fire-and-forget work
+  // still happens and a racing ParallelFor still terminates (its helpers
+  // drain serially).
+  task();
 }
 
 void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  ParallelFor(Lane::kAny, n, body);
+}
+
+void ThreadPool::ParallelFor(Lane lane, size_t n,
                              const std::function<void(size_t)>& body) {
   if (n == 0) return;
   if (n == 1 || workers_.empty()) {
@@ -143,7 +258,7 @@ void ThreadPool::ParallelFor(size_t n,
     // `body` is captured by reference: every index is claimed before the
     // call returns, so any task outliving the call exits immediately from
     // DrainIndices without dereferencing it.
-    Submit([state, &body] { DrainIndices(*state, body); });
+    Submit(lane, [state, &body] { DrainIndices(*state, body); });
   }
   DrainIndices(*state, body);
   std::unique_lock<std::mutex> lock(state->mu);
@@ -151,6 +266,11 @@ void ThreadPool::ParallelFor(size_t n,
 }
 
 void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& body) {
+  ParallelFor(Lane::kAny, n, body);
+}
+
+void ThreadPool::ParallelFor(Lane lane, size_t n,
                              const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
   if (n == 1 || workers_.empty()) {
@@ -162,7 +282,7 @@ void ThreadPool::ParallelFor(size_t n,
   for (size_t h = 0; h < helpers; ++h) {
     // Slot h + 1 belongs to exactly this task closure; a closure runs on one
     // thread, so the slot is never bumped concurrently. Slot 0 is the caller.
-    Submit([state, &body, h] { DrainIndicesSlot(*state, h + 1, body); });
+    Submit(lane, [state, &body, h] { DrainIndicesSlot(*state, h + 1, body); });
   }
   DrainIndicesSlot(*state, 0, body);
   std::unique_lock<std::mutex> lock(state->mu);
@@ -170,7 +290,7 @@ void ThreadPool::ParallelFor(size_t n,
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool(SharedPoolWorkers());
+  static ThreadPool pool(SharedPoolWorkers(), SharedPoolAffinity());
   return pool;
 }
 

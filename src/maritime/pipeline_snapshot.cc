@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "maritime/pipeline.h"
 #include "snapshot/codec.h"
 #include "snapshot/snapshot.h"
@@ -72,6 +73,11 @@ Result<SnapshotManifest> ReadSnapshotManifest(std::string_view payload) {
 }
 
 void SurveillancePipeline::SaveTo(snapshot::Writer& w) const {
+  // Snapshots are only meaningful at the commit barrier: with slides staged
+  // ahead the tracker already holds slide k+1's state while the recognizer
+  // is still at slide k. Callers drain via DrainStagedSlides() first.
+  MARITIME_DCHECK_MSG(staged_.empty(),
+                      "pipeline snapshot taken with slides staged ahead");
   SnapshotManifest m;
   m.last_query = last_query_;
   m.window = config_.window;
@@ -216,14 +222,12 @@ void SurveillancePipeline::Resume(
   replayer.Reset();
   replayer.NextBatch(last_query_);
   if (last_query_ < last) {
+    // The shared drive loop pipelines the remaining slides exactly as Run
+    // would have (PipelineConfig::pipeline_depth applies to resumed replays
+    // too); the commit barrier keeps the resumed output bit-identical.
     stream::QueryTimeSequence queries(config_.window, last_query_);
-    while (true) {
-      const Timestamp q = queries.Fire();
-      const auto batch = replayer.NextBatch(q);
-      const SlideReport report = RunSlide(q, batch);
-      if (on_slide) on_slide(report);
-      if (q >= last) break;
-    }
+    DriveLoop(replayer, queries, last, on_slide);
+    return;
   }
   const SlideReport flush = Finish();
   if (on_slide && !flush.recognition.empty()) on_slide(flush);

@@ -18,6 +18,23 @@
 
 namespace maritime::surveillance {
 
+/// Evaluation-engine selection for RecognizerConfig::engine. Every mode
+/// produces bit-identical CE output; they differ only in cost.
+enum class EngineMode {
+  /// Honor the legacy `incremental` flag (default; keeps old call sites and
+  /// serialized configs meaning what they always meant).
+  kFromFlag = 0,
+  kNaive,
+  kIncremental,
+  /// Decide from the window shape at construction — incremental pays only
+  /// when the window outlives the slide (chosen when ω >= 3β;
+  /// BENCH_rtec.json shows incremental at 0.647x naive at ω = β but 4.2x
+  /// at ω = 6β) — and from the observed dirty fraction at each query: a
+  /// step whose dirty suffix covers most of the window escalates to one
+  /// full regeneration (EngineOptions::adaptive_full_regen).
+  kAuto,
+};
+
 /// Configuration of the CE recognition module.
 struct RecognizerConfig {
   stream::WindowSpec window{kHour, kHour};  ///< RTEC working memory ω / slide.
@@ -26,6 +43,10 @@ struct RecognizerConfig {
   /// across window slides and re-run rules only for dirty window regions.
   /// Results are bit-identical to the naive engine.
   bool incremental = false;
+  /// Engine selection; anything but kFromFlag overrides `incremental`. The
+  /// choice is resolved deterministically at construction (it depends only
+  /// on this config), so snapshot save/restore pairs agree on the mode.
+  EngineMode engine = EngineMode::kFromFlag;
   /// Evaluate the keys of one definition layer in parallel on the shared
   /// thread pool (incremental engine only; merge order is deterministic).
   bool parallel_keys = false;
@@ -52,6 +73,25 @@ class CERecognizer {
   /// Figure 11(b) mode the spatial facts for the whole run are computed by
   /// one KnowledgeBase::AreasCloseToAll call sharing a locality cache.
   void Feed(std::span<const tracker::CriticalPoint> cps);
+
+  /// One slide's precomputed input: the critical points plus the spatial
+  /// facts the batched Feed would compute for them (empty outside the
+  /// spatial-facts mode). Produced by Stage(), consumed by Feed(&&).
+  struct StagedPoints {
+    std::vector<tracker::CriticalPoint> cps;
+    std::vector<std::vector<int32_t>> close;  ///< Parallel to `cps`.
+  };
+
+  /// Pure staging half of the batched Feed: computes the spatial facts but
+  /// mutates nothing, so the pipelined driver may run it on a pool thread
+  /// while a *previous* slide's Recognize runs on this recognizer (the
+  /// KnowledgeBase locality cache is thread-local; engine and fact table
+  /// are untouched).
+  StagedPoints Stage(std::span<const tracker::CriticalPoint> cps) const;
+
+  /// Commit half: identical observable effect to Feed(span) on the staged
+  /// points. Must run on the owner thread (the commit barrier).
+  void Feed(StagedPoints&& staged);
 
   /// Runs recognition at query time `q`.
   rtec::RecognitionResult Recognize(Timestamp q);
@@ -105,6 +145,21 @@ class PartitionedRecognizer {
   /// Routes a run of critical points (order preserved per partition) and
   /// feeds every partition its slice through the batched overload.
   void Feed(std::span<const tracker::CriticalPoint> cps);
+
+  /// One slide's precomputed input across all partitions (routing plus each
+  /// partition's staged spatial facts).
+  struct StagedFeed {
+    std::vector<CERecognizer::StagedPoints> parts;  ///< One per partition.
+  };
+
+  /// Pure staging half of Feed(span): routes and precomputes without
+  /// mutating any partition; safe on a pool thread concurrent with a
+  /// previous slide's Recognize (see CERecognizer::Stage).
+  StagedFeed Stage(std::span<const tracker::CriticalPoint> cps) const;
+
+  /// Commit half: identical observable effect to Feed(span) on the staged
+  /// points. Owner thread only.
+  void Feed(StagedFeed&& staged);
 
   /// Recognizes on all partitions in parallel; returns one result per
   /// partition.

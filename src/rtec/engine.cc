@@ -355,9 +355,11 @@ void Engine::ForEachKey(
   common::ThreadPool* pool = options_.pool;
   if (pool != nullptr && pool->worker_count() > 0 &&
       n >= options_.min_parallel_keys) {
-    pool->ParallelFor(n, [&](size_t i, size_t slot) {
-      body(i, &arenas_[slot]);
-    });
+    // Recognizer lane: eval slots prefer the workers (and, when pinned, the
+    // cores) the tracker lane is not using, so a pipelined slide's tracking
+    // and recognition phases do not thrash each other's caches.
+    pool->ParallelFor(common::Lane::kRecognizer, n,
+                      [&](size_t i, size_t slot) { body(i, &arenas_[slot]); });
   } else {
     for (size_t i = 0; i < n; ++i) body(i, &arenas_[0]);
   }
@@ -913,6 +915,27 @@ MARITIME_COMMIT_BOUNDARY RecognitionResult Engine::Recognize(Timestamp q) {
   // vessel and needs time-sorted vectors to find it.
   SortPendingInput();
   PurgeBefore(wstart);
+  if (options_.incremental && options_.adaptive_full_regen && !dirty_all_) {
+    // Adaptive escalation: when the earliest dirty mark reaches back over
+    // most of the window, almost every key regenerates almost its whole
+    // suffix anyway, and the diff/merge bookkeeping is pure overhead. A full
+    // regeneration (dirty_all_) produces identical output — it is exactly
+    // the first-slide path — and rebuilds every cache entry, so the next
+    // step starts from fresh evidence either way.
+    Timestamp earliest = dirty_coords_.any;
+    for (const DirtyMap& m : dirty_events_) {
+      earliest = std::min(earliest, m.any);
+    }
+    if (earliest != kTimestampNever) {
+      const double dirty_span =
+          static_cast<double>(q - std::max(earliest, wstart));
+      if (dirty_span >= options_.full_regen_dirty_fraction *
+                            static_cast<double>(window_.range)) {
+        dirty_all_ = true;
+        ++adaptive_full_regens_;
+      }
+    }
+  }
   if (options_.incremental) {
     for (auto& m : changed_fluents_) m.Clear();
     std::fill(changed_derived_.begin(), changed_derived_.end(),

@@ -264,6 +264,15 @@ struct EngineOptions {
   /// Definitions with fewer keys than this stay serial (fan-out overhead
   /// exceeds the win for tiny layers).
   size_t min_parallel_keys = 8;
+  /// Adaptive per-query full regeneration (the recognizer's `auto` engine
+  /// mode): when the dirty suffix of a step covers at least
+  /// `full_regen_dirty_fraction` of the window, suffix bookkeeping cannot
+  /// pay for itself (BENCH_rtec.json: incremental runs at 0.647x naive when
+  /// ω equals the slide), so the step runs as one full regeneration —
+  /// caches are rebuilt whole and the output is unchanged. Incremental
+  /// mode only.
+  bool adaptive_full_regen = false;
+  double full_regen_dirty_fraction = 0.75;
 };
 
 /// Cumulative cache counters of the incremental engine (all zero under the
@@ -379,6 +388,9 @@ class Engine {
   std::optional<geo::GeoPoint> CoordOf(Term vessel, Timestamp t) const;
 
   const EngineOptions& options() const { return options_; }
+  /// Steps the adaptive mode escalated to a full regeneration (always 0
+  /// unless EngineOptions::adaptive_full_regen is set).
+  size_t adaptive_full_regens() const { return adaptive_full_regens_; }
   /// Cumulative cache counters (zeros under the naive engine).
   const EngineCacheStats& cache_stats() const { return cache_stats_; }
   /// Cumulative slide-arena allocation counters (naive and incremental).
@@ -619,6 +631,9 @@ class Engine {
 
   EngineCacheStats cache_stats_;
   EngineAllocStats alloc_stats_;
+  /// Steps escalated to full regeneration by the adaptive mode. Telemetry
+  /// only: never serialized, never read by evaluation.
+  size_t adaptive_full_regens_ = 0;
 
   // Serial scratch for the derived-event evaluators (one definition at a
   // time): previous-slide store contents and fresh rule output. Member

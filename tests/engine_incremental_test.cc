@@ -345,6 +345,86 @@ TEST(EngineIncrementalDifferentialTest, RandomizedStreamBitIdentical) {
   EXPECT_EQ(naive.cache_entry_count(), 0u);
 }
 
+TEST(EngineIncrementalDifferentialTest, AdaptiveFullRegenBitIdentical) {
+  // The adaptive escalation path: when the dirty suffix covers most of the
+  // window, the incremental engine falls back to full regeneration for that
+  // slide (rebuilding its caches) instead of merging. A low threshold makes
+  // delayed events trip the escalation regularly while fresh-only slides
+  // stay on the incremental path — both paths must agree with naive.
+  const stream::WindowSpec window{50, 10};
+  Engine naive(window);
+  EngineOptions adapt_opts;
+  adapt_opts.incremental = true;
+  adapt_opts.adaptive_full_regen = true;
+  adapt_opts.full_regen_dirty_fraction = 0.35;  // fresh slide dirties ~0.2
+  Engine adapt(window, nullptr, adapt_opts);
+
+  const Schema sn = Register(&naive);
+  const Schema sa = Register(&adapt);
+  ASSERT_EQ(sn.alarm, sa.alarm);
+
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> vessel_dist(1, 12);
+  std::uniform_int_distribution<int> gear_dist(0, 8);
+  std::uniform_int_distribution<int> kind_dist(0, 99);
+  std::uniform_real_distribution<double> lat_dist(-1.0, 1.0);
+
+  constexpr int kSlides = 500;
+  for (int slide = 1; slide <= kSlides; ++slide) {
+    const Timestamp q = static_cast<Timestamp>(slide) * window.slide;
+    std::uniform_int_distribution<int> burst(0, 6);
+    const int n = burst(rng);
+    for (int i = 0; i < n; ++i) {
+      Assertion a;
+      a.subject = Term{0, vessel_dist(rng)};
+      const int when = kind_dist(rng);
+      if (when < 70) {
+        a.t = q - window.slide + 1 +
+              std::uniform_int_distribution<Timestamp>(0, window.slide - 1)(rng);
+      } else {
+        // Delayed: lands anywhere in the window, so the dirty suffix often
+        // exceeds the escalation threshold.
+        const Timestamp wstart = q > window.range ? q - window.range : 0;
+        a.t = wstart + 1 +
+              std::uniform_int_distribution<Timestamp>(
+                  0, std::max<Timestamp>(0, q - wstart - 1))(rng);
+      }
+      const int what = kind_dist(rng);
+      if (what < 15) {
+        a.kind = Assertion::kCoord;
+        a.pos = geo::GeoPoint{0.0, lat_dist(rng)};
+      } else if (what < 40) {
+        a.event = sn.move;
+        a.object = Term{2, gear_dist(rng)};
+      } else if (what < 55) {
+        a.event = sn.stop;
+        a.object = Term::None();
+      } else {
+        a.event = sn.ping;
+        a.object = Term::None();
+      }
+      for (Engine* eng : {&naive, &adapt}) {
+        if (a.kind == Assertion::kCoord) {
+          eng->AssertCoord(a.subject, a.t, a.pos);
+        } else {
+          eng->AssertEvent(a.event, a.subject, a.t, a.object);
+        }
+      }
+    }
+    const RecognitionResult rn = naive.Recognize(q);
+    const RecognitionResult ra = adapt.Recognize(q);
+    ASSERT_TRUE(rn == ra) << "adaptive diverged at q=" << q << "\nnaive:\n"
+                          << Dump(rn) << "adaptive:\n" << Dump(ra);
+  }
+
+  // Both regimes must actually have been exercised: some slides escalated
+  // to full regeneration, most stayed incremental.
+  EXPECT_GT(adapt.adaptive_full_regens(), 0u);
+  EXPECT_LT(adapt.adaptive_full_regens(), static_cast<size_t>(kSlides / 2));
+  EXPECT_GT(adapt.cache_stats().hits, 0u);
+  EXPECT_EQ(naive.adaptive_full_regens(), 0u);
+}
+
 TEST(EngineIncrementalDifferentialTest, CacheEvictionFollowsKeyChurn) {
   const stream::WindowSpec window{50, 10};
   EngineOptions opts;
@@ -494,6 +574,58 @@ TEST(MaritimeIncrementalDifferentialTest, SpatialFactsModeBitIdentical) {
   const MaritimeWorkload w = MakeWorkload(/*vessels=*/60, 8 * kHour, 21);
   RunMaritimeDifferential(w, stream::WindowSpec{2 * kHour, 5 * kMinute},
                           /*spatial_facts=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// EngineMode: the auto mode resolves naive-vs-incremental deterministically
+// from the window shape (so snapshot save/restore pairs agree), and the
+// explicit modes override the legacy boolean flag.
+// ---------------------------------------------------------------------------
+
+TEST(EngineModeResolutionTest, ResolvesFromWindowShapeAndOverridesFlag) {
+  const sim::World world = sim::BuildWorld(3);
+  auto resolved_incremental = [&world](stream::WindowSpec window,
+                                       surveillance::EngineMode mode,
+                                       bool legacy_flag) {
+    surveillance::RecognizerConfig cfg;
+    cfg.window = window;
+    cfg.engine = mode;
+    cfg.incremental = legacy_flag;
+    const surveillance::CERecognizer rec(&world.knowledge, cfg);
+    return rec.engine().options().incremental;
+  };
+
+  using surveillance::EngineMode;
+  // kFromFlag honors the legacy boolean.
+  EXPECT_FALSE(resolved_incremental({kHour, kMinute}, EngineMode::kFromFlag,
+                                    false));
+  EXPECT_TRUE(resolved_incremental({kHour, kMinute}, EngineMode::kFromFlag,
+                                   true));
+  // Explicit modes override it, whatever it says.
+  EXPECT_FALSE(resolved_incremental({kHour, kMinute}, EngineMode::kNaive,
+                                    true));
+  EXPECT_TRUE(resolved_incremental({kHour, kMinute}, EngineMode::kIncremental,
+                                   false));
+  // Auto: at omega == beta every slide dirties the whole window, so suffix
+  // reuse cannot pay — naive. At omega >= 3 beta it can — incremental, with
+  // the adaptive full-regen escape hatch armed.
+  EXPECT_FALSE(resolved_incremental({kHour, kHour}, EngineMode::kAuto, true));
+  EXPECT_FALSE(resolved_incremental({2 * kHour, kHour}, EngineMode::kAuto,
+                                    true));
+  EXPECT_TRUE(resolved_incremental({6 * kHour, kHour}, EngineMode::kAuto,
+                                   false));
+
+  surveillance::RecognizerConfig auto_cfg;
+  auto_cfg.window = stream::WindowSpec{6 * kHour, kHour};
+  auto_cfg.engine = EngineMode::kAuto;
+  const surveillance::CERecognizer auto_rec(&world.knowledge, auto_cfg);
+  EXPECT_TRUE(auto_rec.engine().options().adaptive_full_regen);
+
+  surveillance::RecognizerConfig plain_cfg;
+  plain_cfg.window = stream::WindowSpec{6 * kHour, kHour};
+  plain_cfg.incremental = true;
+  const surveillance::CERecognizer plain_rec(&world.knowledge, plain_cfg);
+  EXPECT_FALSE(plain_rec.engine().options().adaptive_full_regen);
 }
 
 }  // namespace

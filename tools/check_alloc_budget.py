@@ -2,8 +2,8 @@
 """Gate on micro_rtec's per-slide heap-allocation counters.
 
 Reads a google-benchmark JSON report containing the BM_CERecognitionWindow
-benchmarks (arg 0 = naive engine, arg 1 = incremental) and fails when the
-`allocs_per_slide` counter exceeds the committed budget. The budgets hold
+benchmarks (arg 0 = naive engine, arg 1 = incremental, arg 2 = auto) and
+fails when the `allocs_per_slide` counter exceeds the committed budget. The budgets hold
 generous headroom over the measured values (~61 naive / ~86 incremental on
 an idle machine) but sit an order of magnitude below the pre-arena baseline
 (884.8 / 897.7), so a regression that reintroduces per-slide heap churn
@@ -23,6 +23,9 @@ import sys
 BUDGETS = {
     "BM_CERecognitionWindow/0": 150.0,  # naive engine
     "BM_CERecognitionWindow/1": 200.0,  # incremental engine
+    # auto resolves to incremental at this window shape (omega = 6 beta);
+    # adaptive full-regen slides stay on the same arena, so same budget.
+    "BM_CERecognitionWindow/2": 200.0,
 }
 
 
