@@ -50,6 +50,11 @@ struct Fig11Row {
   double arena_kb_per_query = 0.0;   ///< Arena KiB bumped per Recognize().
   uint64_t arena_chunks = 0;         ///< Arena chunks reserved at the end.
   uint64_t arena_fallback_allocs = 0;  ///< Large-object heap fallbacks.
+  // Dependency-scoped dirty propagation telemetry (DESIGN.md §14), summed
+  // over partitions: cross-key regen spans narrowed below the fleet floor,
+  // and evaluations that fell back to the fleet-wide dirty minimum.
+  uint64_t spans_narrowed = 0;
+  uint64_t fleet_floor_hits = 0;
 };
 
 /// Runs CE recognition over the ME stream at slide β=1h for the given
@@ -108,7 +113,166 @@ inline Fig11Row RunFig11Config(const Fig11Workload& w, Duration range,
   }
   row.arena_chunks = totals.arena_chunks;
   row.arena_fallback_allocs = totals.fallback_allocs;
+  row.spans_narrowed = totals.spans_narrowed;
+  row.fleet_floor_hits = totals.fleet_floor_hits;
   return row;
+}
+
+// ---------------------------------------------------------------------------
+// Skewed-fleet axis: one vessel keeps producing MEs inside a single area
+// while hundreds of parked vessels stay silent. This is the workload where
+// the fleet-wide regen floor hurts most — one active vessel used to dirty
+// every area-keyed definition from its own earliest change — and where
+// dependency-scoped propagation (DESIGN.md §14) confines regeneration to the
+// touched areas.
+// ---------------------------------------------------------------------------
+
+/// Synthetic skewed ME stream: `idle_vessels` park at area centroids within
+/// the first minutes (one stop-start apiece, then silence) and one active
+/// vessel cycles stop / slow-motion / gap episodes inside one area, one
+/// critical point per minute, until `horizon`.
+inline std::vector<tracker::CriticalPoint> MakeSkewedFleetCriticals(
+    const sim::World& world, int idle_vessels, Duration horizon) {
+  std::vector<geo::GeoPoint> centers;
+  for (const surveillance::AreaInfo& a : world.knowledge.areas()) {
+    if (a.kind != surveillance::AreaKind::kPort) {
+      centers.push_back(a.polygon.VertexCentroid());
+    }
+  }
+  std::vector<tracker::CriticalPoint> out;
+  for (int i = 0; i < idle_vessels; ++i) {
+    tracker::CriticalPoint cp;
+    cp.mmsi = static_cast<stream::Mmsi>(1000 + i);
+    cp.pos = centers[static_cast<size_t>(i) % centers.size()];
+    cp.tau = 1 + i % (5 * kMinute);
+    cp.flags = tracker::kFirst | tracker::kStopStart;
+    out.push_back(cp);
+  }
+  const geo::GeoPoint home = centers[0];
+  int phase = 0;
+  for (Timestamp t = 5 * kMinute; t <= horizon; t += kMinute, ++phase) {
+    tracker::CriticalPoint cp;
+    cp.mmsi = 7;
+    cp.pos = geo::GeoPoint{home.lon + (phase % 3) * 1e-4,
+                           home.lat + (phase % 5) * 1e-4};
+    cp.tau = t;
+    switch (phase % 6) {
+      case 0: cp.flags = tracker::kStopStart; break;
+      case 1: cp.flags = tracker::kStopEnd; cp.duration = kMinute; break;
+      case 2: cp.flags = tracker::kSlowMotionStart; break;
+      case 3: cp.flags = tracker::kSlowMotionEnd; cp.duration = kMinute; break;
+      case 4: cp.flags = tracker::kGapStart; break;
+      default:
+        cp.flags = tracker::kGapEnd | tracker::kTurn;
+        cp.duration = kMinute;
+        break;
+    }
+    out.push_back(cp);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const tracker::CriticalPoint& a,
+               const tracker::CriticalPoint& b) { return a.tau < b.tau; });
+  return out;
+}
+
+struct SkewRow {
+  int idle_vessels = 0;
+  bool scoped = false;  ///< RecognizerConfig::scoped_dirty.
+  double avg_recognition_seconds = 0.0;
+  size_t queries = 0;
+  double cache_hit_rate = 0.0;
+  uint64_t spans_narrowed = 0;
+  uint64_t fleet_floor_hits = 0;
+  double speedup_vs_floor = 0.0;  ///< scoped row only.
+};
+
+/// One skewed-fleet run on a single incremental recognizer, with scoping on
+/// or off (everything else identical; output is bit-identical either way —
+/// engine_scoped_dirty_test asserts it). Only steady-state slides (window
+/// already full) are timed: the cold fill evaluates every key from scratch
+/// in both modes, so including it would dilute the incremental per-slide
+/// comparison the axis exists to measure.
+inline SkewRow RunSkewedConfig(const sim::World& world,
+                               const std::vector<tracker::CriticalPoint>& cps,
+                               stream::WindowSpec window, Duration horizon,
+                               bool spatial_facts, int idle_vessels,
+                               bool scoped) {
+  surveillance::RecognizerConfig cfg;
+  cfg.window = window;
+  cfg.ce.use_spatial_facts = spatial_facts;
+  cfg.ce.enable_adrift = false;
+  cfg.incremental = true;
+  cfg.scoped_dirty = scoped;
+  surveillance::CERecognizer rec(&world.knowledge, cfg);
+  SkewRow row;
+  row.idle_vessels = idle_vessels;
+  row.scoped = scoped;
+  size_t cursor = 0;
+  for (Timestamp q = window.slide; q <= horizon; q += window.slide) {
+    size_t end = cursor;
+    while (end < cps.size() && cps[end].tau <= q) ++end;
+    rec.Feed(std::span<const tracker::CriticalPoint>(cps.data() + cursor,
+                                                     end - cursor));
+    cursor = end;
+    const double t0 = NowSeconds();
+    const rtec::RecognitionResult r = rec.Recognize(q);
+    const double elapsed = NowSeconds() - t0;
+    (void)r;
+    if (q > window.range) {  // steady state: the window is full
+      row.avg_recognition_seconds += elapsed;
+      ++row.queries;
+    }
+  }
+  if (row.queries > 0) {
+    row.avg_recognition_seconds /= static_cast<double>(row.queries);
+  }
+  const rtec::EngineCacheStats& cs = rec.engine().cache_stats();
+  const size_t lookups = cs.hits + cs.misses;
+  row.cache_hit_rate = lookups == 0 ? 0.0
+                                    : static_cast<double>(cs.hits) /
+                                          static_cast<double>(lookups);
+  row.spans_narrowed = cs.spans_narrowed;
+  row.fleet_floor_hits = cs.fleet_floor_hits;
+  return row;
+}
+
+/// The skewed-fleet before/after pair: incremental with the fleet-wide regen
+/// floor (scoped off) vs dependency-scoped propagation (scoped on), printed
+/// and returned for the JSON artifact.
+inline std::vector<SkewRow> RunSkewedFleet(bool spatial_facts,
+                                           int idle_vessels = 600) {
+  const sim::World world = sim::BuildWorld(1234);
+  const Duration horizon = 24 * kHour;
+  const std::vector<tracker::CriticalPoint> cps =
+      MakeSkewedFleetCriticals(world, idle_vessels, horizon);
+  const stream::WindowSpec window{6 * kHour, 15 * kMinute};
+  std::printf("skewed fleet (1 active vessel, %d idle), omega=6h "
+              "beta=15min, incremental engine:\n", idle_vessels);
+  std::printf("  %-14s %-16s %-9s %-15s %-17s %-8s\n", "dirty scoping",
+              "avg time/query", "hit rate", "spans narrowed", "fleet floor hits",
+              "speedup");
+  std::vector<SkewRow> rows;
+  for (const bool scoped : {false, true}) {
+    SkewRow r = RunSkewedConfig(world, cps, window, horizon, spatial_facts,
+                                idle_vessels, scoped);
+    if (scoped && !rows.empty() && r.avg_recognition_seconds > 0.0) {
+      r.speedup_vs_floor =
+          rows.front().avg_recognition_seconds / r.avg_recognition_seconds;
+    }
+    std::printf("  %-14s %12.3f ms %7.1f%% %-15llu %-17llu",
+                scoped ? "scoped" : "fleet-floor",
+                r.avg_recognition_seconds * 1e3, r.cache_hit_rate * 100.0,
+                static_cast<unsigned long long>(r.spans_narrowed),
+                static_cast<unsigned long long>(r.fleet_floor_hits));
+    if (scoped) {
+      std::printf(" %6.2fx\n", r.speedup_vs_floor);
+    } else {
+      std::printf(" %-8s\n", "-");
+    }
+    rows.push_back(r);
+  }
+  std::printf("\n");
+  return rows;
 }
 
 /// One end-to-end pipelined run: the whole surveillance pipeline (tracking
@@ -204,6 +368,9 @@ struct Fig11Options {
   bool run_naive = true;
   bool run_incremental = true;
   bool pipeline_sweep = true;
+  /// Run the skewed-fleet before/after pair (fleet-floor vs dependency-
+  /// scoped dirty propagation) and record it as the JSON `skew_rows` axis.
+  bool skewed_fleet = true;
   std::vector<double> fleet_scales = {1.0};
   std::string json_path;  ///< Empty disables the JSON artifact.
 };
@@ -211,7 +378,8 @@ struct Fig11Options {
 inline void WriteFig11Json(const std::string& path, const char* bench_name,
                            bool spatial_facts,
                            const std::vector<Fig11Row>& rows,
-                           const std::vector<PipelineRow>& pipeline_rows = {}) {
+                           const std::vector<PipelineRow>& pipeline_rows = {},
+                           const std::vector<SkewRow>& skew_rows = {}) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -229,13 +397,16 @@ inline void WriteFig11Json(const std::string& path, const char* bench_name,
         "\"avg_input_facts\": %.1f, \"avg_ces\": %.2f, \"queries\": %zu, "
         "\"cache_hit_rate\": %.4f, \"speedup_vs_naive\": %.3f, "
         "\"arena_kb_per_query\": %.1f, \"arena_chunks\": %llu, "
-        "\"arena_fallback_allocs\": %llu}%s\n",
+        "\"arena_fallback_allocs\": %llu, \"spans_narrowed\": %llu, "
+        "\"fleet_floor_hits\": %llu}%s\n",
         r.fleet_scale, r.vessels, static_cast<long long>(r.range / kHour),
         r.processors, r.incremental ? "incremental" : "naive",
         r.avg_recognition_seconds * 1e3, r.avg_input_facts, r.avg_ces,
         r.queries, r.cache_hit_rate, r.speedup_vs_naive, r.arena_kb_per_query,
         static_cast<unsigned long long>(r.arena_chunks),
         static_cast<unsigned long long>(r.arena_fallback_allocs),
+        static_cast<unsigned long long>(r.spans_narrowed),
+        static_cast<unsigned long long>(r.fleet_floor_hits),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"pipeline_rows\": [\n");
@@ -253,15 +424,32 @@ inline void WriteFig11Json(const std::string& path, const char* bench_name,
         r.recognition_seconds, static_cast<unsigned long long>(r.steals),
         r.speedup_vs_serial, i + 1 < pipeline_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"skew_rows\": [\n");
+  for (size_t i = 0; i < skew_rows.size(); ++i) {
+    const SkewRow& r = skew_rows[i];
+    std::fprintf(
+        f,
+        "    {\"idle_vessels\": %d, \"dirty_scoping\": \"%s\", "
+        "\"avg_ms_per_query\": %.4f, \"queries\": %zu, "
+        "\"cache_hit_rate\": %.4f, \"spans_narrowed\": %llu, "
+        "\"fleet_floor_hits\": %llu, \"speedup_vs_floor\": %.3f}%s\n",
+        r.idle_vessels, r.scoped ? "scoped" : "fleet-floor",
+        r.avg_recognition_seconds * 1e3, r.queries, r.cache_hit_rate,
+        static_cast<unsigned long long>(r.spans_narrowed),
+        static_cast<unsigned long long>(r.fleet_floor_hits),
+        r.speedup_vs_floor, i + 1 < skew_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("\nwrote %s (%zu rows, %zu pipeline rows)\n", path.c_str(),
-              rows.size(), pipeline_rows.size());
+  std::printf("\nwrote %s (%zu rows, %zu pipeline rows, %zu skew rows)\n",
+              path.c_str(), rows.size(), pipeline_rows.size(),
+              skew_rows.size());
 }
 
 inline void RunFig11(bool spatial_facts, const Fig11Options& opts = {}) {
   std::vector<Fig11Row> all;
   std::vector<PipelineRow> pipeline_rows;
+  std::vector<SkewRow> skew_rows;
   for (const double scale : opts.fleet_scales) {
     const int vessels = static_cast<int>(250 * scale);
     const Fig11Workload w =
@@ -309,11 +497,12 @@ inline void RunFig11(bool spatial_facts, const Fig11Options& opts = {}) {
       pipeline_rows = RunPipelineSweep(w, spatial_facts);
     }
   }
+  if (opts.skewed_fleet) skew_rows = RunSkewedFleet(spatial_facts);
   if (!opts.json_path.empty()) {
     WriteFig11Json(opts.json_path,
                    spatial_facts ? "fig11b_ce_spatial_facts"
                                  : "fig11a_ce_recognition",
-                   spatial_facts, all, pipeline_rows);
+                   spatial_facts, all, pipeline_rows, skew_rows);
   }
 }
 

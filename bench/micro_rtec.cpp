@@ -9,11 +9,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
 
 #include "common/rng.h"
 #include "fig11_common.h"
+#include "rtec/engine.h"
 #include "rtec/interval.h"
 #include "rtec/timeline.h"
 
@@ -165,6 +167,84 @@ void BM_ComputeSimpleFluent(benchmark::State& state) {
 }
 BENCHMARK(BM_ComputeSimpleFluent)->Arg(16)->Arg(256)->Arg(4096);
 
+/// DirtyMap marking strategies (args: strategy, distinct keys per round).
+/// Strategy 0 is the pre-batch reference — a sorted-vector insert per mark,
+/// an O(n) element shift for every key not yet in the map; strategy 1 is the
+/// shipped batch path (`DirtyMap::Mark` appends to an unsorted pending
+/// vector, one `Flush` sort + linear merge before reads). Each round marks
+/// every key twice in shuffled order (two dirty channels per vessel), reads
+/// one key, then retires the marks with `RetainAfter` — the per-slide
+/// lifecycle on a busy slide or cold fill, which is where the insert shift
+/// goes quadratic. `allocs_per_round` shows both sides reuse capacity
+/// (amortized-zero heap traffic once warm); the time axis is the point.
+void BM_DirtyMapMark(benchmark::State& state) {
+  const bool batch = state.range(0) == 1;
+  const int keys = static_cast<int>(state.range(1));
+  // Shuffled marking order: ascending keys would land every reference
+  // insert at the back of the vector and hide the shift cost.
+  std::vector<rtec::Term> order(static_cast<size_t>(keys));
+  for (int i = 0; i < keys; ++i) order[static_cast<size_t>(i)] = {0, i};
+  Rng rng(7);
+  for (int i = keys - 1; i > 0; --i) {
+    std::swap(order[static_cast<size_t>(i)],
+              order[static_cast<size_t>(rng.NextInt(0, i))]);
+  }
+
+  // The reference: what DirtyMap::Mark did before the pending batch.
+  struct SortedInsertMap {
+    std::vector<std::pair<rtec::Term, rtec::DirtyMap::MarkRange>> at;
+    void Mark(rtec::Term k, Timestamp t) {
+      auto it = std::lower_bound(
+          at.begin(), at.end(), k,
+          [](const auto& e, const rtec::Term& key) { return e.first < key; });
+      if (it != at.end() && it->first == k) {
+        it->second.min = std::min(it->second.min, t);
+        it->second.max = std::max(it->second.max, t);
+      } else {
+        at.insert(it, {k, rtec::DirtyMap::MarkRange{t, t}});
+      }
+    }
+  };
+
+  rtec::DirtyMap batched;
+  SortedInsertMap reference;
+  Timestamp t = 0;
+  uint64_t rounds = 0;
+  uint64_t allocs = 0;
+  for (auto _ : state) {
+    const uint64_t allocs_before =
+        bench::g_heap_allocs.load(std::memory_order_relaxed);
+    Timestamp probe;
+    if (batch) {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const rtec::Term& k : order) batched.Mark(k, ++t);
+      }
+      batched.Flush();
+      probe = batched.For(order[0]);
+      batched.RetainAfter(t + 1);  // marks consumed; capacity retained
+    } else {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const rtec::Term& k : order) reference.Mark(k, ++t);
+      }
+      probe = reference.at.front().second.min;
+      reference.at.clear();
+    }
+    benchmark::DoNotOptimize(probe);
+    allocs += bench::g_heap_allocs.load(std::memory_order_relaxed) -
+              allocs_before;
+    ++rounds;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rounds) * 2 * keys);
+  state.counters["allocs_per_round"] =
+      rounds > 0 ? static_cast<double>(allocs) / static_cast<double>(rounds)
+                 : 0.0;
+}
+BENCHMARK(BM_DirtyMapMark)
+    ->Args({0, 256})
+    ->Args({0, 4096})
+    ->Args({1, 256})
+    ->Args({1, 4096});
+
 /// End-to-end windowed recognition over the fig-11a ME stream: ω=6h, β=1h
 /// (overlap 5/6, the paper's steady-fleet regime). One iteration replays the
 /// whole stream through a fresh recognizer — Recognize() per slide, feeding
@@ -191,6 +271,8 @@ void BM_CERecognitionWindow(benchmark::State& state) {
   uint64_t arena_chunks = 0;
   uint64_t fallback_allocs = 0;
   uint64_t adaptive_full_regens = 0;
+  uint64_t spans_narrowed = 0;
+  uint64_t fleet_floor_hits = 0;
   for (auto _ : state) {
     surveillance::RecognizerConfig cfg;
     cfg.window = stream::WindowSpec{6 * kHour, kHour};
@@ -223,6 +305,8 @@ void BM_CERecognitionWindow(benchmark::State& state) {
     arena_chunks = std::max(arena_chunks, alloc.arena_chunks);
     fallback_allocs += alloc.fallback_allocs;
     adaptive_full_regens += rec.engine().adaptive_full_regens();
+    spans_narrowed += stats.spans_narrowed;
+    fleet_floor_hits += stats.fleet_floor_hits;
   }
   state.SetItemsProcessed(static_cast<int64_t>(queries));
   state.counters["hit_rate"] = lookups > 0.0 ? hits / lookups : 0.0;
@@ -244,11 +328,102 @@ void BM_CERecognitionWindow(benchmark::State& state) {
           : 0.0;
   state.counters["adaptive_full_regens"] =
       static_cast<double>(adaptive_full_regens);
+  // Dependency-scoped dirty propagation (DESIGN.md §14): cross-key regen
+  // spans narrowed below the fleet floor, and fleet-floor fallbacks.
+  state.counters["spans_narrowed"] = static_cast<double>(spans_narrowed);
+  state.counters["fleet_floor_hits"] = static_cast<double>(fleet_floor_hits);
 }
 BENCHMARK(BM_CERecognitionWindow)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// The skewed-fleet regime (first-class bench axis of the dependency-scoped
+/// dirty propagation work, DESIGN.md §14): one vessel cycles stop /
+/// slow-motion / gap episodes inside one area while 600 parked vessels stay
+/// silent, ω=6h β=15min, incremental engine. Arg: 0 = fleet-wide regen floor
+/// (scoped_dirty off — one active vessel dirties every area-keyed definition
+/// from its earliest change), 1 = dependency-scoped propagation (only the
+/// touched areas regenerate, each from its own dirty time). CE output is
+/// bit-identical across the axis (engine_scoped_dirty_test); the 1-vs-0
+/// time ratio is the skew speedup, mirrored in BENCH_rtec.json `skew_rows`.
+/// Manual time: only steady-state slides (window already full) are timed —
+/// the cold fill evaluates every key from scratch in both modes and would
+/// dilute the incremental per-slide comparison.
+void BM_SkewedFleetRecognition(benchmark::State& state) {
+  struct Workload {
+    sim::World world;
+    std::vector<tracker::CriticalPoint> criticals;
+  };
+  static const Workload* workload = [] {
+    auto* w = new Workload{sim::BuildWorld(1234), {}};
+    w->criticals =
+        bench::MakeSkewedFleetCriticals(w->world, /*idle_vessels=*/600,
+                                        /*horizon=*/24 * kHour);
+    return w;
+  }();
+  const bool scoped = state.range(0) == 1;
+  const stream::WindowSpec window{6 * kHour, 15 * kMinute};
+  double hits = 0.0;
+  double lookups = 0.0;
+  size_t queries = 0;
+  uint64_t recognize_allocs = 0;
+  uint64_t spans_narrowed = 0;
+  uint64_t fleet_floor_hits = 0;
+  for (auto _ : state) {
+    surveillance::RecognizerConfig cfg;
+    cfg.window = window;
+    cfg.ce.enable_adrift = false;
+    cfg.incremental = true;
+    cfg.scoped_dirty = scoped;
+    surveillance::CERecognizer rec(&workload->world.knowledge, cfg);
+    size_t cursor = 0;
+    size_t recognized = 0;
+    double steady_seconds = 0.0;
+    for (Timestamp q = window.slide; q <= 24 * kHour; q += window.slide) {
+      while (cursor < workload->criticals.size() &&
+             workload->criticals[cursor].tau <= q) {
+        rec.Feed(workload->criticals[cursor]);
+        ++cursor;
+      }
+      const bool steady = q > window.range;
+      const uint64_t allocs_before =
+          bench::g_heap_allocs.load(std::memory_order_relaxed);
+      const auto t0 = std::chrono::steady_clock::now();
+      const RecognitionResult r = rec.Recognize(q);
+      if (steady) {
+        steady_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        recognize_allocs +=
+            bench::g_heap_allocs.load(std::memory_order_relaxed) -
+            allocs_before;
+        ++queries;
+      }
+      recognized += r.events.size() + r.fluents.size();
+    }
+    state.SetIterationTime(steady_seconds);
+    benchmark::DoNotOptimize(recognized);
+    const EngineCacheStats& stats = rec.engine().cache_stats();
+    hits += static_cast<double>(stats.hits);
+    lookups += static_cast<double>(stats.hits + stats.misses);
+    spans_narrowed += stats.spans_narrowed;
+    fleet_floor_hits += stats.fleet_floor_hits;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(queries));
+  state.counters["hit_rate"] = lookups > 0.0 ? hits / lookups : 0.0;
+  state.counters["spans_narrowed"] = static_cast<double>(spans_narrowed);
+  state.counters["fleet_floor_hits"] = static_cast<double>(fleet_floor_hits);
+  state.counters["allocs_per_slide"] =
+      bench::kAllocCountingActive && queries > 0
+          ? static_cast<double>(recognize_allocs) / static_cast<double>(queries)
+          : 0.0;
+}
+BENCHMARK(BM_SkewedFleetRecognition)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 /// Pipelined slide execution end to end: the full surveillance pipeline

@@ -1,6 +1,9 @@
 #include "maritime/ce_definitions.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/arena.h"
 
 namespace maritime::surveillance {
 namespace {
@@ -64,16 +67,46 @@ struct CeEnv {
     return kb->AreasCloseTo(*coord, kind);
   }
 
+};
+
+/// Per-rule-invocation memoization of the fleet-count predicates for one
+/// area. Both counts below scan every vessel carrying the stopped / lowSpeed
+/// fluent and test closeness to the area at each candidate time — O(fleet)
+/// Haversine or fact lookups per candidate. Closeness is time-constant for
+/// almost every vessel of a mostly-idle fleet (a single position fix or fact
+/// group is in force across the whole window), so the memo classifies each
+/// vessel once per invocation:
+///   - constant and not close: dropped from every candidate's scan (the
+///     overwhelming majority — vessels idling far from this area);
+///   - constant and close: only the HoldsRight check remains per candidate;
+///   - varying (fixes of differing closeness, or a first fix taking force
+///     mid-window): the exact per-candidate check, unchanged.
+/// The classification evaluates the same closeness predicate the exact path
+/// uses at every point where the answer could differ, so each count equals
+/// the unmemoized fleet scan bit for bit. Classification is lazy per fluent:
+/// an invocation with no candidates (or one that never consults lowSpeed)
+/// pays nothing. Entry storage bumps the invocation's slide arena (the same
+/// scratch backing the rule's output points), so the memo adds no per-slide
+/// heap traffic.
+class MARITIME_ARENA_SCOPED CloseCountMemo {
+ public:
+  CloseCountMemo(const CeEnv& env, const rtec::EvalContext& ctx,
+                 int32_t area_id, common::Arena* scratch)
+      : env_(env),
+        ctx_(ctx),
+        area_(area_id),
+        stopped_(common::ArenaAllocator<Entry>(scratch)),
+        low_speed_(common::ArenaAllocator<Entry>(scratch)) {}
+
   /// vesselsStoppedIn(Area) at the right limit of `t`: vessels whose
   /// stopped=true interval covers t+1 (so an episode starting exactly at t
   /// counts, one ending exactly at t does not) and which are close to the
   /// area.
-  int CountStoppedClose(const rtec::EvalContext& ctx, int32_t area_id,
-                        Timestamp t) const {
+  int CountStoppedClose(Timestamp t) {
     int count = 0;
-    for (const rtec::Term& v : ctx.FluentKeys(schema.stopped)) {
-      if (ctx.HoldsRightOf(schema.stopped, v, rtec::kTrue, t) &&
-          IsClose(ctx, v, area_id, t)) {
+    for (const Entry& e : StoppedEntries()) {
+      if (ctx_.HoldsRightOf(env_.schema.stopped, e.vessel, rtec::kTrue, t) &&
+          (!e.exact || env_.IsClose(ctx_, e.vessel, area_, t))) {
         ++count;
       }
     }
@@ -82,28 +115,122 @@ struct CeEnv {
 
   /// Number of fishing vessels still engaged (stopped or in slow motion)
   /// close to the area right after `t`.
-  int CountFishingEngaged(const rtec::EvalContext& ctx, int32_t area_id,
-                          Timestamp t) const {
+  int CountFishingEngaged(Timestamp t) {
     int count = 0;
-    for (const rtec::Term& v : ctx.FluentKeys(schema.stopped)) {
-      if (!kb->IsFishing(MmsiOf(v))) continue;
-      if (ctx.HoldsRightOf(schema.stopped, v, rtec::kTrue, t) &&
-          IsClose(ctx, v, area_id, t)) {
+    for (const Entry& e : StoppedEntries()) {
+      if (!e.fishing) continue;
+      if (ctx_.HoldsRightOf(env_.schema.stopped, e.vessel, rtec::kTrue, t) &&
+          (!e.exact || env_.IsClose(ctx_, e.vessel, area_, t))) {
         ++count;
       }
     }
-    for (const rtec::Term& v : ctx.FluentKeys(schema.low_speed)) {
-      if (!kb->IsFishing(MmsiOf(v))) continue;
-      if (ctx.HoldsRightOf(schema.stopped, v, rtec::kTrue, t)) {
+    for (const Entry& e : LowSpeedEntries()) {
+      if (!e.fishing) continue;
+      if (ctx_.HoldsRightOf(env_.schema.stopped, e.vessel, rtec::kTrue, t)) {
         continue;  // already counted above
       }
-      if (ctx.HoldsRightOf(schema.low_speed, v, rtec::kTrue, t) &&
-          IsClose(ctx, v, area_id, t)) {
+      if (ctx_.HoldsRightOf(env_.schema.low_speed, e.vessel, rtec::kTrue, t) &&
+          (!e.exact || env_.IsClose(ctx_, e.vessel, area_, t))) {
         ++count;
       }
     }
     return count;
   }
+
+ private:
+  struct Entry {
+    rtec::Term vessel;
+    bool fishing;  ///< kb->IsFishing, hoisted out of the per-candidate scan.
+    bool exact;    ///< Closeness varies over the window: re-check at each t.
+  };
+
+  const common::ArenaVector<Entry>& StoppedEntries() {
+    if (!stopped_built_) {
+      stopped_built_ = true;
+      Classify(env_.schema.stopped, &stopped_);
+    }
+    return stopped_;
+  }
+
+  const common::ArenaVector<Entry>& LowSpeedEntries() {
+    if (!low_speed_built_) {
+      low_speed_built_ = true;
+      Classify(env_.schema.low_speed, &low_speed_);
+    }
+    return low_speed_;
+  }
+
+  void Classify(rtec::FluentId fluent, common::ArenaVector<Entry>* out) {
+    for (const rtec::Term& v : ctx_.FluentKeys(fluent)) {
+      bool close = false;
+      const bool constant =
+          env_.options.use_spatial_facts
+              ? env_.facts->ConstantCloseOver(MmsiOf(v), area_,
+                                              ctx_.window_start(),
+                                              ctx_.query_time(), &close)
+              : ConstantCloseOnDemand(v, &close);
+      if (constant && !close) continue;
+      out->push_back(Entry{v, env_.kb->IsFishing(MmsiOf(v)), !constant});
+    }
+  }
+
+  /// On-demand analogue of SpatialFactTable::ConstantCloseOver: closeness to
+  /// the area is the same at every window time iff every coord fix in force
+  /// over it agrees — including the implicit "no position yet" (never close)
+  /// before a vessel's first fix. A vessel with many fixes is reported
+  /// varying without scanning them all: the exact per-candidate check is
+  /// cheaper than full classification there.
+  bool ConstantCloseOnDemand(rtec::Term vessel, bool* close) const {
+    constexpr int kMaxFixes = 8;
+    // All scan state lives in one local struct so the callback captures a
+    // single pointer and stays inside std::function's small-buffer slot —
+    // this runs once per candidate vessel per rule invocation.
+    struct Scan {
+      const KnowledgeBase* kb;
+      int32_t area;
+      Timestamp window_start;
+      Timestamp query_time;
+      int fixes = 0;
+      bool mixed = false;
+      bool first_covers = false;
+      bool val = false;
+    };
+    Scan scan{env_.kb, area_, ctx_.window_start(), ctx_.query_time()};
+    ctx_.ForEachCoordCovering(
+        vessel, scan.window_start,
+        [&scan](Timestamp t, const geo::GeoPoint& pos) {
+          // Fixes past the query time are never consulted by a candidate.
+          if (scan.mixed || t > scan.query_time) return;
+          if (++scan.fixes > kMaxFixes) {
+            scan.mixed = true;
+            return;
+          }
+          const bool c = scan.kb->Close(pos, scan.area);
+          if (scan.fixes == 1) {
+            scan.first_covers = t <= scan.window_start;
+            scan.val = c;
+          } else if (c != scan.val) {
+            scan.mixed = true;
+          }
+        });
+    if (scan.fixes == 0) {
+      *close = false;
+      return true;
+    }
+    if (scan.mixed) return false;
+    // False before the fix, then true: varies over the window.
+    if (!scan.first_covers && scan.val) return false;
+    *close = scan.val;
+    return true;
+  }
+
+  const CeEnv& env_;
+  const rtec::EvalContext& ctx_;
+  const int32_t area_;
+  bool stopped_built_ = false;
+  bool low_speed_built_ = false;
+  common::ArenaVector<Entry> stopped_;
+  common::ArenaVector<Entry> low_speed_;
 };
 
 /// Domain helper: subjects of the given marker events in the window.
@@ -160,7 +287,7 @@ void RegisterInputDurativeMe(rtec::Engine& engine, rtec::FluentId fluent,
   spec.output = false;
   // Points fall exactly at the key's own marker occurrences.
   spec.deps = rtec::DependencySpec{{start_marker, end_marker}, {}, false,
-                                   false};
+                                   false, {}};
   engine.AddSimpleFluent(std::move(spec));
 }
 
@@ -172,6 +299,51 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
   assert(kb != nullptr);
   assert(!options.use_spatial_facts || facts != nullptr);
   const CeEnv env{schema, kb, facts, options};
+
+  // Vessel→area dependency projector shared by the four area-keyed CE
+  // definitions: a dirty vessel can only affect the areas it is (or was)
+  // close to at some time in force >= `from`. In the spatial-facts setting
+  // that is the union over its fact groups from the boundary group onward;
+  // in the on-demand setting, every area close to a coord fix in force over
+  // the same span. Both are conservative supersets (they include the
+  // pre-change closeness, so a vessel *ceasing* to be close still dirties
+  // the area it left — see DESIGN.md §14). A vessel with no position at all
+  // projects to no areas: every `close` read involving it is false/empty
+  // before and after, so no output key can change.
+  // Scratch vectors are captured by value and reused across calls (the
+  // projector runs serially at evaluation time, and each definition's
+  // DependencySpec owns its own copy), so a steady-state projection touches
+  // the heap only when a vessel reaches more areas than ever before.
+  const auto project_vessel_to_areas =
+      [env, areas = std::vector<int32_t>(), close = std::vector<int32_t>()](
+          const rtec::EvalContext& ctx, rtec::Term in_key, Timestamp from,
+          std::vector<rtec::Term>* out) mutable {
+        if (in_key.kind != kVesselTermKind) return false;
+        if (env.options.use_spatial_facts) {
+          env.facts->AreasCoveringFrom(MmsiOf(in_key), from, &areas);
+        } else {
+          areas.clear();
+          // One-pointer capture keeps the callback in std::function's
+          // small-buffer slot (no per-call heap traffic).
+          struct Sweep {
+            const KnowledgeBase* kb;
+            std::vector<int32_t>* areas;
+            std::vector<int32_t>* close;
+          };
+          Sweep sweep{env.kb, &areas, &close};
+          ctx.ForEachCoordCovering(
+              in_key, from, [&sweep](Timestamp, const geo::GeoPoint& pos) {
+                sweep.kb->AreasCloseTo(pos, sweep.close);
+                sweep.areas->insert(sweep.areas->end(), sweep.close->begin(),
+                                    sweep.close->end());
+              });
+          std::sort(areas.begin(), areas.end());
+          areas.erase(std::unique(areas.begin(), areas.end()), areas.end());
+        }
+        out->reserve(out->size() + areas.size());
+        for (const int32_t id : areas) out->push_back(AreaTerm(id));
+        return true;
+      };
 
   // --- durative input MEs ---------------------------------------------------
   RegisterInputDurativeMe(engine, schema.stopped, schema.stop_start,
@@ -196,12 +368,13 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
                        rtec::PointVec* initiated,
                        rtec::PointVec* terminated) {
       const int32_t area = key.id;
+      CloseCountMemo memo(env, ctx, area, initiated->get_allocator().arena());
       for (const rtec::Term& v : ctx.FluentKeys(env.schema.stopped)) {
         const rtec::FluentTimeline& tl = ctx.Timeline(env.schema.stopped, v);
         for (const Timestamp t : tl.StartsFor(rtec::kTrue)) {
           if (!ctx.NeedsEval(t)) continue;
           if (env.IsClose(ctx, v, area, t) &&
-              env.CountStoppedClose(ctx, area, t) >=
+              memo.CountStoppedClose(t) >=
                   env.options.suspicious_min_vessels) {
             initiated->push_back({rtec::kTrue, t});
           }
@@ -209,7 +382,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
         for (const Timestamp t : tl.EndsFor(rtec::kTrue)) {
           if (!ctx.NeedsEval(t)) continue;
           if (env.IsClose(ctx, v, area, t) &&
-              env.CountStoppedClose(ctx, area, t) <
+              memo.CountStoppedClose(t) <
                   env.options.suspicious_min_vessels) {
             terminated->push_back({rtec::kTrue, t});
           }
@@ -218,8 +391,10 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
     };
     spec.output = true;
     // Reads every vessel's stopped timeline and position (the loitering
-    // count scans the fleet), so any stopped/coord change dirties all areas.
-    spec.deps = rtec::DependencySpec{{}, {schema.stopped}, true, true};
+    // count scans the fleet); the projector scopes a vessel's changes to the
+    // areas it could be close to instead of dirtying the whole area set.
+    spec.deps = rtec::DependencySpec{{}, {schema.stopped}, true, true, {}};
+    spec.deps->project = project_vessel_to_areas;
     engine.AddSimpleFluent(std::move(spec));
   }
 
@@ -234,6 +409,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
                        rtec::PointVec* initiated,
                        rtec::PointVec* terminated) {
       const int32_t area = key.id;
+      CloseCountMemo memo(env, ctx, area, initiated->get_allocator().arena());
       // Initiation (a): a fishing vessel stops close to the area.
       for (const rtec::Term& v : ctx.FluentKeys(env.schema.stopped)) {
         if (!env.kb->IsFishing(MmsiOf(v))) continue;
@@ -261,7 +437,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
         if (!ctx.NeedsEval(t)) return;
         if (!env.kb->IsFishing(MmsiOf(v))) return;
         if (env.IsClose(ctx, v, area, t) &&
-            env.CountFishingEngaged(ctx, area, t) == 0) {
+            memo.CountFishingEngaged(t) == 0) {
           terminated->push_back({rtec::kTrue, t});
         }
       };
@@ -280,7 +456,8 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
     };
     spec.output = true;
     spec.deps = rtec::DependencySpec{
-        {schema.slow_motion}, {schema.stopped, schema.low_speed}, true, true};
+        {schema.slow_motion}, {schema.stopped, schema.low_speed}, true, true, {}};
+    spec.deps->project = project_vessel_to_areas;
     engine.AddSimpleFluent(std::move(spec));
   }
 
@@ -300,7 +477,11 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       }
     };
     spec.output = true;
-    spec.deps = rtec::DependencySpec{{schema.gap}, {}, true, true};
+    // Keyless output: the projector still helps — an idle fleet projects to
+    // nothing, leaving the derivation clean, and otherwise the regen region
+    // starts at the earliest *projected* mark.
+    spec.deps = rtec::DependencySpec{{schema.gap}, {}, true, true, {}};
+    spec.deps->project = project_vessel_to_areas;
     engine.AddDerivedEvent(std::move(spec));
   }
 
@@ -331,7 +512,7 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
     spec.output = true;
     // Only the key's own stopped episodes and own position are read.
     spec.deps =
-        rtec::DependencySpec{{}, {schema.stopped}, true, false};
+        rtec::DependencySpec{{}, {schema.stopped}, true, false, {}};
     engine.AddSimpleFluent(std::move(spec));
   }
 
@@ -354,7 +535,8 @@ void RegisterMaritimeCes(rtec::Engine& engine, const MaritimeSchema& schema,
       }
     };
     spec.output = true;
-    spec.deps = rtec::DependencySpec{{schema.slow_motion}, {}, true, true};
+    spec.deps = rtec::DependencySpec{{schema.slow_motion}, {}, true, true, {}};
+    spec.deps->project = project_vessel_to_areas;
     engine.AddDerivedEvent(std::move(spec));
   }
 }

@@ -163,28 +163,34 @@ bool KnowledgeBase::Close(const geo::GeoPoint& p, int32_t area_id) const {
 
 std::vector<int32_t> KnowledgeBase::AreasCloseTo(const geo::GeoPoint& p) const {
   std::vector<int32_t> out;
+  AreasCloseTo(p, &out);
+  return out;
+}
+
+void KnowledgeBase::AreasCloseTo(const geo::GeoPoint& p,
+                                 std::vector<int32_t>* out) const {
+  out->clear();
   switch (spatial_options_.engine) {
     case SpatialEngine::kBrute:
       for (const AreaInfo& area : areas_) {
         if (area.polygon.DistanceMeters(p) < close_threshold_m_) {
-          out.push_back(area.id);
+          out->push_back(area.id);
         }
       }
       break;
     case SpatialEngine::kGrid:
       for (const int32_t id : grid_.Candidates(p)) {
-        if (Close(p, id)) out.push_back(id);
+        if (Close(p, id)) out->push_back(id);
       }
       for (const int32_t id : grid_unindexed_) {
-        if (Close(p, id)) out.push_back(id);
+        if (Close(p, id)) out->push_back(id);
       }
       break;
     case SpatialEngine::kTiered:
-      spatial_.AreasCloseTo(p, &out, &TlsSpatialCache());
-      return out;  // Already sorted by the index.
+      spatial_.AreasCloseTo(p, out, &TlsSpatialCache());
+      return;  // Already sorted by the index.
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<int32_t> KnowledgeBase::AreasCloseTo(const geo::GeoPoint& p,

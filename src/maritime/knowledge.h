@@ -119,6 +119,11 @@ class KnowledgeBase {
   std::vector<int32_t> AreasCloseTo(const geo::GeoPoint& p) const;
   std::vector<int32_t> AreasCloseTo(const geo::GeoPoint& p,
                                     AreaKind kind) const;
+  /// Capacity-reusing variant (`out` is cleared first): callers probing many
+  /// positions — the engine's vessel→area dependency projector walks every
+  /// coord fix in force — keep one scratch buffer instead of allocating a
+  /// result vector per fix.
+  void AreasCloseTo(const geo::GeoPoint& p, std::vector<int32_t>* out) const;
 
   /// True iff at least one area of `kind` is close to `p` (the
   /// "away from every port" test of the rule-sets, without materializing

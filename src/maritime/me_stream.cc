@@ -93,6 +93,62 @@ bool SpatialFactTable::IsCloseAt(stream::Mmsi mmsi, int32_t area,
   return std::binary_search(areas.begin(), areas.end(), area);
 }
 
+bool SpatialFactTable::ConstantCloseOver(stream::Mmsi mmsi, int32_t area,
+                                         Timestamp from, Timestamp upto,
+                                         bool* close) const {
+  // Beyond this many in-force groups, classification costs more than the
+  // caller's exact per-time fallback would.
+  constexpr int kMaxGroups = 8;
+  *close = false;
+  const auto it = groups_.find(mmsi);
+  if (it == groups_.end()) return true;
+  const auto& vec = it->second;
+  auto pos = std::partition_point(
+      vec.begin(), vec.end(), [from](const Group& g) { return g.t <= from; });
+  bool have = false;
+  bool val = false;
+  if (pos == vec.begin()) {
+    // No group in force at `from`: IsCloseAt answers false until the first
+    // group takes effect.
+    have = true;
+  } else {
+    --pos;
+  }
+  int scanned = 0;
+  for (; pos != vec.end() && pos->t <= upto; ++pos) {
+    if (++scanned > kMaxGroups) return false;
+    const bool c =
+        std::binary_search(pos->areas.begin(), pos->areas.end(), area);
+    if (!have) {
+      have = true;
+      val = c;
+    } else if (c != val) {
+      return false;
+    }
+  }
+  *close = have && val;
+  return true;
+}
+
+void SpatialFactTable::AreasCoveringFrom(stream::Mmsi mmsi, Timestamp from,
+                                         std::vector<int32_t>* out) const {
+  out->clear();
+  const auto it = groups_.find(mmsi);
+  if (it == groups_.end()) return;
+  const auto& vec = it->second;
+  // First group after `from`, stepped back once to include the group in
+  // force throughout [from, next group): the same boundary-inclusive walk
+  // as the engine's coord covering.
+  auto pos = std::partition_point(
+      vec.begin(), vec.end(), [from](const Group& g) { return g.t <= from; });
+  if (pos != vec.begin()) --pos;
+  for (; pos != vec.end(); ++pos) {
+    out->insert(out->end(), pos->areas.begin(), pos->areas.end());
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
 void SpatialFactTable::PurgeBefore(Timestamp cutoff) {
   // Retain the latest group at or before the cutoff as the vessel's boundary
   // fact group, mirroring the engine's last-known-position inertia for

@@ -106,6 +106,26 @@ class SpatialFactTable {
   /// True iff `area` is among AreasCloseAt(mmsi, t).
   bool IsCloseAt(stream::Mmsi mmsi, int32_t area, Timestamp t) const;
 
+  /// Classifies the vessel's closeness to `area` as observed by IsCloseAt
+  /// over (from, upto]: returns true and sets *close when the answer is the
+  /// same at every such time (one fact group in force throughout, or every
+  /// in-force group agreeing on the area — including the implicit "never
+  /// close" before a vessel's first group). Returns false when the answer
+  /// varies, or when the vessel has too many in-force groups to scan
+  /// cheaply; callers then fall back to exact per-time lookups.
+  bool ConstantCloseOver(stream::Mmsi mmsi, int32_t area, Timestamp from,
+                         Timestamp upto, bool* close) const;
+
+  /// Fills `out` (cleared first; sorted, unique) with the union of the
+  /// vessel's areas over every fact group in force at some time >= `from`:
+  /// the latest group at or before `from` plus all later groups. Because
+  /// groups are append-only between purges and purges retain the boundary
+  /// group, this union covers both the pre-change and post-change closeness
+  /// of the vessel on [from, +inf) — the conservative vessel→area projection
+  /// the engine's dependency-scoped dirty propagation needs (DESIGN.md §14).
+  void AreasCoveringFrom(stream::Mmsi mmsi, Timestamp from,
+                         std::vector<int32_t>* out) const;
+
   /// Drops fact groups older than the vessel's latest group at or before
   /// `cutoff` (window management with last-known-state inertia; answers for
   /// t > cutoff are unaffected).

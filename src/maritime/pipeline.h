@@ -95,6 +95,10 @@ struct SnapshotManifest {
   bool incremental_recognition = false;
   uint64_t window_critical_points = 0;  ///< Awaiting archival.
   uint64_t archived_trips = 0;          ///< In the trajectory store.
+  /// Dependency-scoped dirty-propagation telemetry summed over the
+  /// recognizer partitions (manifest v2; zero when reading a v1 snapshot).
+  uint64_t spans_narrowed = 0;
+  uint64_t fleet_floor_hits = 0;
 };
 
 /// Decodes only the manifest section of a snapshot payload (the bytes after

@@ -29,7 +29,9 @@ constexpr uint32_t kRecognizerTag = FourCc('R', 'C', 'G', 'P');
 constexpr uint32_t kPipelineTag = FourCc('P', 'I', 'P', 'E');
 constexpr uint32_t kArchiverTag = FourCc('A', 'R', 'C', 'H');
 
-constexpr uint8_t kManifestVersion = 1;
+// v2 appends the dependency-scoped dirty-propagation counters; v1 snapshots
+// still load (the counters read as zero).
+constexpr uint8_t kManifestVersion = 2;
 constexpr uint8_t kSectionVersion = 1;
 
 void SaveManifest(const SnapshotManifest& m, snapshot::Writer& w) {
@@ -43,6 +45,8 @@ void SaveManifest(const SnapshotManifest& m, snapshot::Writer& w) {
   w.Bool(m.incremental_recognition);
   w.U64(m.window_critical_points);
   w.U64(m.archived_trips);
+  w.U64(m.spans_narrowed);
+  w.U64(m.fleet_floor_hits);
   w.EndSection(section);
 }
 
@@ -56,8 +60,14 @@ Status LoadManifest(snapshot::Reader& r, SnapshotManifest* m) {
       !r.I64(&m->window.slide) || !r.I32(&m->partitions) ||
       !r.I32(&m->tracker_shards) || !r.Bool(&m->archive) ||
       !r.Bool(&m->incremental_recognition) ||
-      !r.U64(&m->window_critical_points) || !r.U64(&m->archived_trips) ||
-      !r.EndSection(end)) {
+      !r.U64(&m->window_critical_points) || !r.U64(&m->archived_trips)) {
+    return snapshot::CorruptionIn("snapshot manifest");
+  }
+  if (version >= 2 &&
+      (!r.U64(&m->spans_narrowed) || !r.U64(&m->fleet_floor_hits))) {
+    return snapshot::CorruptionIn("snapshot manifest");
+  }
+  if (!r.EndSection(end)) {
     return snapshot::CorruptionIn("snapshot manifest");
   }
   return Status::OK();
@@ -87,6 +97,9 @@ void SurveillancePipeline::SaveTo(snapshot::Writer& w) const {
   m.incremental_recognition = config_.incremental_recognition;
   m.window_critical_points = window_criticals_.size();
   m.archived_trips = archiver_ ? archiver_->store().trip_count() : 0;
+  const PartitionedRecognizer::RecognizeTotals totals = recognizer_->totals();
+  m.spans_narrowed = totals.spans_narrowed;
+  m.fleet_floor_hits = totals.fleet_floor_hits;
   SaveManifest(m, w);
 
   size_t section = w.BeginSection(kTrackerTag, kSectionVersion);

@@ -30,6 +30,7 @@ CERecognizer::CERecognizer(const KnowledgeBase* kb, RecognizerConfig config)
   opts.adaptive_full_regen = config_.engine == EngineMode::kAuto;
   opts.pool = config_.parallel_keys ? &common::ThreadPool::Shared() : nullptr;
   opts.min_parallel_keys = config_.min_parallel_keys;
+  opts.scoped_dirty = config_.scoped_dirty;
   engine_ = std::make_unique<rtec::Engine>(config_.window, kb_, opts);
   schema_ = MaritimeSchema::Declare(*engine_);
   RegisterMaritimeCes(*engine_, schema_, kb_,
@@ -248,6 +249,8 @@ PartitionedRecognizer::RecognizeTotals PartitionedRecognizer::totals() const {
     out.cache_hits += cs.hits;
     out.cache_misses += cs.misses;
     out.cache_evictions += cs.evictions;
+    out.spans_narrowed += cs.spans_narrowed;
+    out.fleet_floor_hits += cs.fleet_floor_hits;
     const rtec::EngineAllocStats& as = p.rec->engine().alloc_stats();
     out.arena_bytes += as.arena_bytes;
     out.arena_chunks += as.arena_chunks;

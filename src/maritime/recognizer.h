@@ -52,6 +52,11 @@ struct RecognizerConfig {
   bool parallel_keys = false;
   /// Layers smaller than this stay serial when parallel_keys is set.
   size_t min_parallel_keys = 8;
+  /// Dependency-scoped dirty propagation for the area-keyed CE definitions
+  /// (incremental engine only; see rtec::EngineOptions::scoped_dirty). On by
+  /// default; turning it off restores the fleet-wide regen floor — output is
+  /// bit-identical either way.
+  bool scoped_dirty = true;
 };
 
 /// The Complex Event Recognition module of Figure 1: wraps an RTEC engine
@@ -174,6 +179,11 @@ class PartitionedRecognizer {
     size_t cache_hits = 0;        ///< Incremental-engine key reuses.
     size_t cache_misses = 0;      ///< Keys whose rules were (re-)run.
     size_t cache_evictions = 0;   ///< Cache entries dropped with their key.
+    /// Dependency-scoped dirty propagation telemetry (DESIGN.md §14): regen
+    /// spans narrowed below the fleet floor, and cross-key regions that fell
+    /// back to the fleet-wide `DirtyMap::any` floor.
+    size_t spans_narrowed = 0;
+    size_t fleet_floor_hits = 0;
     // Slide-arena allocation telemetry, summed over the partitions' engines
     // (see rtec::EngineAllocStats and DESIGN.md §10).
     uint64_t arena_bytes = 0;      ///< Arena bytes bumped, all slides.

@@ -112,7 +112,16 @@ struct MARITIME_ARENA_SCOPED SimpleOutcome {
   FluentEvidence evidence;
   FluentTimeline timeline;
   bool hit = false;
+  /// Clean fast-forward: the cached evidence and committed timeline are
+  /// already exact for this window up to the two window clamps (see the
+  /// commit loop); the evidence/timeline fields above are left unfilled.
+  bool fast = false;
   std::optional<Timestamp> change_at;
+  // Regen-region telemetry, carried back to the serial commit loop (region
+  // computation runs on pool workers, so counters cannot be bumped there).
+  bool narrowed = false;
+  bool fleet_floor = false;
+  Timestamp region_from = kTimestampNever;  ///< kTimestampNever = clean.
 
   explicit SimpleOutcome(common::Arena* arena)
       : evidence(arena), timeline(arena) {}
@@ -124,6 +133,10 @@ struct StaticOutcome {
   MARITIME_ARENA_ESCAPE_OK FluentTimeline timeline;
   bool hit = false;
   bool changed = false;
+  // Regen-region telemetry (see SimpleOutcome). No region_from: a static
+  // recompute is always full-window (interval output has no partial delta).
+  bool narrowed = false;
+  bool fleet_floor = false;
 };
 
 }  // namespace
@@ -145,6 +158,12 @@ const FluentTimeline& EvalContext::Timeline(FluentId f, Term key) const {
 std::optional<geo::GeoPoint> EvalContext::CoordAt(Term vessel,
                                                   Timestamp t) const {
   return engine_->CoordOf(vessel, t);
+}
+
+void EvalContext::ForEachCoordCovering(
+    Term vessel, Timestamp from,
+    const std::function<void(Timestamp, const geo::GeoPoint&)>& fn) const {
+  engine_->ForEachCoordCovering(vessel, from, fn);
 }
 
 // --- Engine ------------------------------------------------------------------
@@ -190,6 +209,7 @@ void Engine::AddSimpleFluent(SimpleFluentSpec spec) {
   assert(spec.domain && spec.rules);
   definitions_.emplace_back(std::move(spec));
   def_caches_.emplace_back(SimpleDefCache{});
+  def_regen_stats_.emplace_back();
 }
 
 void Engine::AddStaticFluent(StaticFluentSpec spec) {
@@ -198,6 +218,7 @@ void Engine::AddStaticFluent(StaticFluentSpec spec) {
   assert(spec.domain && spec.compute);
   definitions_.emplace_back(std::move(spec));
   def_caches_.emplace_back(StaticDefCache{});
+  def_regen_stats_.emplace_back();
 }
 
 void Engine::AddDerivedEvent(DerivedEventSpec spec) {
@@ -206,6 +227,7 @@ void Engine::AddDerivedEvent(DerivedEventSpec spec) {
   assert(spec.compute);
   definitions_.emplace_back(std::move(spec));
   def_caches_.emplace_back(DerivedDefCache{});
+  def_regen_stats_.emplace_back();
 }
 
 void Engine::AssertEvent(EventId e, Term subject, Timestamp t, Term object) {
@@ -322,6 +344,21 @@ std::optional<geo::GeoPoint> Engine::CoordOf(Term vessel, Timestamp t) const {
   return (pos - 1)->second;
 }
 
+void Engine::ForEachCoordCovering(
+    Term vessel, Timestamp from,
+    const std::function<void(Timestamp, const geo::GeoPoint&)>& fn) const {
+  const auto it = coords_.find(vessel);
+  if (it == coords_.end()) return;
+  const auto& vec = it->second;
+  // First entry with time > `from`, then step back once so the fix CoordAt
+  // would return throughout [from, next fix) is included. Requires `vec`
+  // sorted by time (Recognize sorts pending input before evaluation starts).
+  auto pos = std::partition_point(
+      vec.begin(), vec.end(), [from](const auto& p) { return p.first <= from; });
+  if (pos != vec.begin()) --pos;
+  for (; pos != vec.end(); ++pos) fn(pos->first, pos->second);
+}
+
 FluentTimeline& Engine::TimelineSlot(size_t fidx, Term key) {
   FluentKeyMap& map = timelines_[fidx];
   const auto it = map.find(key);
@@ -383,9 +420,68 @@ std::vector<Term> Engine::EvalKeys(
   return keys;
 }
 
+/// Builds the dependency-scoped dirty view of one cross-key definition
+/// (DESIGN.md §14): every dirty *input* key across the declared channels is
+/// projected to the output keys it can reach, each marked at that input's
+/// earliest dirty time. Runs serially on the Recognize caller before the key
+/// fan-out; the scratch it commits into is read-only during evaluation.
+/// Iteration is over flat key-sorted mark vectors, so the committed marks
+/// are deterministic regardless of projector hash orders.
+MARITIME_COMMIT_BOUNDARY const Engine::ScopedDirty* Engine::ComputeScopedDirty(
+    const DependencySpec& deps, bool cross_key, const EvalContext& ctx) {
+  const bool cross = cross_key || deps.cross_key;
+  if (!cross || !options_.scoped_dirty || !deps.project) return nullptr;
+  ScopedDirty& s = scoped_scratch_;
+  s.Reset();
+  s.active = true;
+  // The memo lives for this one definition: the same input key is often
+  // dirty on several channels (an event, an upstream fluent, its coords)
+  // and a projection from an earlier time subsumes later ones.
+  ++projection_gen_;
+  const auto add_mark = [&](Term in_key, Timestamp from) {
+    auto [it, inserted] = projection_memo_.try_emplace(in_key);
+    Projection& p = it->second;
+    if (inserted || p.gen != projection_gen_ || from < p.from) {
+      p.gen = projection_gen_;
+      p.from = from;
+      p.keys.clear();
+      p.ok = deps.project(ctx, in_key, from, &p.keys);
+    }
+    if (!p.ok) {
+      // Input key outside the projector's key space: sound fallback is to
+      // treat the mark as reaching every output key.
+      s.unscoped = std::min(s.unscoped, from);
+      return;
+    }
+    // p.keys may have been projected from an earlier time than `from` (memo
+    // reuse); that is a superset of the keys reachable from `from`, and each
+    // is marked at this channel's own time — conservative both ways.
+    for (const Term& out_key : p.keys) s.by_key.Mark(out_key, from);
+  };
+  for (const EventId e : deps.events) {
+    for (const auto& [k, range] : dirty_events_[static_cast<size_t>(e)].at) {
+      add_mark(k, range.min);
+    }
+    // Changes to a derived event carry no key: unscoped by construction.
+    s.unscoped = std::min(s.unscoped, changed_derived_[static_cast<size_t>(e)]);
+  }
+  for (const FluentId f : deps.fluents) {
+    for (const auto& [k, range] : changed_fluents_[static_cast<size_t>(f)].at) {
+      add_mark(k, range.min);
+    }
+  }
+  if (deps.coords) {
+    for (const auto& [k, range] : dirty_coords_.at) add_mark(k, range.min);
+  }
+  s.by_key.Flush();
+  return &s;
+}
+
 Engine::RegenRegion Engine::DirtyRegionFor(const DependencySpec& deps,
                                            Term key, bool cross_key,
-                                           Timestamp wstart) const {
+                                           Timestamp wstart,
+                                           const ScopedDirty* scoped,
+                                           RegionStats* stats) const {
   const bool cross = cross_key || deps.cross_key;
   Timestamp from = kTimestampNever;
   for (const EventId e : deps.events) {
@@ -399,6 +495,22 @@ Engine::RegenRegion Engine::DirtyRegionFor(const DependencySpec& deps,
   }
   if (deps.coords) {
     from = std::min(from, cross ? dirty_coords_.any : dirty_coords_.For(key));
+  }
+  if (cross && scoped != nullptr && scoped->active) {
+    // Dependency-scoped narrowing: this output key regenerates from the
+    // earliest change among *its* projected dependencies (plus anything that
+    // could not be attributed to an output key), instead of the fleet-wide
+    // floor `from` computed above. ScopedDirty folded every channel of the
+    // spec in, so the scoped time replaces — never merely caps — the floor.
+    // The keyless (derived-event) case narrows in time only: the min over
+    // all projected marks.
+    const Timestamp scoped_from = std::min(
+        key == Term::None() ? scoped->by_key.any : scoped->by_key.For(key),
+        scoped->unscoped);
+    if (stats != nullptr && scoped_from > from) stats->narrowed = true;
+    from = scoped_from;
+  } else if (cross && stats != nullptr && from != kTimestampNever) {
+    stats->fleet_floor = true;
   }
   if (from <= wstart) {
     return RegenRegion{wstart};  // Canonical full recomputation.
@@ -479,6 +591,13 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
   const std::vector<Term> keys =
       EvalKeys(spec.domain, ctx, spec.fluent, have_boundary);
 
+  // Dependency-scoped dirty view (cross-key definitions with a projector
+  // only): computed once per definition, serially, before the fan-out.
+  const ScopedDirty* scoped =
+      (!dirty_all_ && spec.deps.has_value())
+          ? ComputeScopedDirty(*spec.deps, /*cross_key=*/false, ctx)
+          : nullptr;
+
   // Evaluation phase: engine state is read-only, each index writes only its
   // own outcome slot, so keys can fan out over the pool. Every temporary
   // (evidence points, timelines, sweep scratch) bumps the evaluating slot's
@@ -495,10 +614,42 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
         entry_it == cache.evidence.end() ? nullptr : &entry_it->second;
     RegenRegion region{wstart};
     if (entry != nullptr && !dirty_all_ && spec.deps.has_value()) {
-      region = DirtyRegionFor(*spec.deps, key, /*cross_key=*/false, wstart);
+      RegionStats rstats;
+      region = DirtyRegionFor(*spec.deps, key, /*cross_key=*/false, wstart,
+                              scoped, &rstats);
+      out.narrowed = rstats.narrowed;
+      out.fleet_floor = rstats.fleet_floor;
     }
+    out.region_from = region.from;
     if (entry != nullptr && region.clean()) {
       out.hit = true;
+      // Clean fast-forward: when the carried value is unchanged, no cached
+      // point fell out at the left window edge, and no cached point sits
+      // exactly on the previous query time (the one case where sliding the
+      // right edge materializes a new interval), a rebuild would reproduce
+      // the committed evidence and timeline verbatim up to two window clamps.
+      // Skip the rebuild; the commit loop patches the clamps in place. This
+      // is what makes an idle key's steady-state slide cost O(1) instead of
+      // O(evidence + timeline).
+      if (have_boundary && prev_query_ != kInvalidTimestamp &&
+          prev_query_ <= q &&
+          entry->carried_value == boundary_.CarriedValue(fidx, key)) {
+        bool edge_stable = true;
+        // Cached points need not be time-sorted (cross-key rules emit per
+        // dependency, not per time), so scan; the list is short and empty
+        // for long-idle keys.
+        for (const ValuedPoint& p : entry->points) {
+          if (p.t <= wstart || p.t == prev_query_) {
+            edge_stable = false;
+            break;
+          }
+        }
+        if (edge_stable) {
+          out.fast = true;
+          out.evidence.carried_value = entry->carried_value;
+          return;
+        }
+      }
       CopyInWindowPoints(entry->initiations(), wstart,
                          &out.evidence.initiations);
       CopyInWindowPoints(entry->terminations(), wstart,
@@ -560,12 +711,55 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
   // destination keeps its allocator and reuses capacity, which is the
   // arena/heap boundary (DESIGN.md §10) — nothing arena-backed survives the
   // slide.
+  DefRegenStats& dstats = def_regen_stats_[cur_def_];
+  // Steady-state fast path: with the evaluated key set unchanged since the
+  // last slide, no key can have left (the eviction scan is vacuous) and the
+  // key memo only goes stale if a previously-empty key gained its first
+  // timeline slot (visible as map growth).
+  const bool same_keys = keys == cache.keys;
+  const size_t timelines_before = timelines_[fidx].size();
   for (size_t i = 0; i < keys.size(); ++i) {
     SimpleOutcome& out = *outcomes[i];
     if (out.hit) {
       ++cache_stats_.hits;
     } else {
       ++cache_stats_.misses;
+    }
+    ++dstats.evals;
+    if (out.region_from != kTimestampNever) {
+      dstats.regen_span_sum += static_cast<uint64_t>(q - out.region_from);
+    }
+    if (out.narrowed) {
+      ++dstats.spans_narrowed;
+      ++cache_stats_.spans_narrowed;
+    }
+    if (out.fleet_floor) {
+      ++dstats.fleet_floor_hits;
+      ++cache_stats_.fleet_floor_hits;
+    }
+    if (out.fast) {
+      // Clean fast-forward: the cached evidence is byte-identical to what a
+      // rebuild would produce, and the committed timeline differs only in
+      // the two window clamps — patch them in place, emit output rows from
+      // the patched slot, and leave the cache entry untouched. No change
+      // mark, no edge mark (the gates exclude evidence on the query edge).
+      auto& tl_map = timelines_[fidx];
+      const auto tl_it = tl_map.find(keys[i]);
+      if (tl_it != tl_map.end()) {
+        FluentTimeline& tl = tl_it->second;
+        tl.FastForwardWindow(out.evidence.carried_value, wstart, q);
+        if (spec.output) {
+          for (const auto& slice : tl.slices) {
+            const IntervalSpan span = tl.IntervalsAt(slice);
+            if (!span.empty()) {
+              result->fluents.push_back(RecognizedFluent{
+                  spec.fluent, keys[i], slice.value,
+                  IntervalList(span.begin(), span.end())});
+            }
+          }
+        }
+      }
+      continue;
     }
     if (out.change_at.has_value()) {
       changed_fluents_[fidx].Mark(keys[i], *out.change_at);
@@ -627,22 +821,28 @@ void Engine::EvaluateSimpleIncremental(const SimpleFluentSpec& spec,
   // Keys that left the evaluated set: under the dependency contract their
   // timelines were already empty, so dropping them cannot affect downstream
   // definitions — no dirty mark needed. Nodes go to the recycling pools.
-  for (const Term& old_key : cache.keys) {
-    if (!std::binary_search(keys.begin(), keys.end(), old_key)) {
-      const auto evict_it = cache.evidence.find(old_key);
-      if (evict_it != cache.evidence.end()) {
-        evidence_pool_.push_back(cache.evidence.extract(evict_it));
+  if (!same_keys) {
+    for (const Term& old_key : cache.keys) {
+      if (!std::binary_search(keys.begin(), keys.end(), old_key)) {
+        const auto evict_it = cache.evidence.find(old_key);
+        if (evict_it != cache.evidence.end()) {
+          evidence_pool_.push_back(cache.evidence.extract(evict_it));
+        }
+        auto& tl_map = timelines_[fidx];
+        const auto tl_it = tl_map.find(old_key);
+        if (tl_it != tl_map.end()) RecycleTimeline(tl_map, tl_it);
+        ++cache_stats_.evictions;
       }
-      auto& tl_map = timelines_[fidx];
-      const auto tl_it = tl_map.find(old_key);
-      if (tl_it != tl_map.end()) RecycleTimeline(tl_map, tl_it);
-      ++cache_stats_.evictions;
     }
+    cache.keys = keys;
   }
-  cache.keys = keys;
   MARITIME_DCHECK_MSG(cache.evidence.size() == keys.size(),
                       "simple-fluent cache out of sync with evaluated keys");
-  RebuildKeyMemo(fidx);
+  // Later definitions read this fluent's change marks by key.
+  changed_fluents_[fidx].Flush();
+  if (!same_keys || timelines_[fidx].size() != timelines_before) {
+    RebuildKeyMemo(fidx);
+  }
 }
 
 // --- statically determined fluents ------------------------------------------
@@ -697,6 +897,10 @@ void Engine::EvaluateStaticIncremental(const StaticFluentSpec& spec,
       EvalKeys(spec.domain, ctx, spec.fluent, /*have_boundary=*/false);
 
   const Timestamp prev_q = prev_query_;
+  const ScopedDirty* scoped =
+      (!dirty_all_ && spec.deps.has_value())
+          ? ComputeScopedDirty(*spec.deps, /*cross_key=*/false, ctx)
+          : nullptr;
   std::vector<StaticOutcome> outcomes(keys.size());
   // The static path is not allocation-hot (raw caches stay heap maps by
   // design); the slot arena is unused here.
@@ -708,7 +912,11 @@ void Engine::EvaluateStaticIncremental(const StaticFluentSpec& spec,
         entry_it == cache.raw.end() ? nullptr : &entry_it->second;
     RegenRegion region{wstart};
     if (entry != nullptr && !dirty_all_ && spec.deps.has_value()) {
-      region = DirtyRegionFor(*spec.deps, key, /*cross_key=*/false, wstart);
+      RegionStats rstats;
+      region = DirtyRegionFor(*spec.deps, key, /*cross_key=*/false, wstart,
+                              scoped, &rstats);
+      out.narrowed = rstats.narrowed;
+      out.fleet_floor = rstats.fleet_floor;
     }
     // Interval algebra is pointwise over its inputs, so with no in-window
     // input change the result is unchanged on the *overlap* with the
@@ -773,12 +981,23 @@ void Engine::EvaluateStaticIncremental(const StaticFluentSpec& spec,
     out.timeline = BuildStaticTimeline(out.raw, wstart, q);
   });
 
+  DefRegenStats& dstats = def_regen_stats_[cur_def_];
   for (size_t i = 0; i < keys.size(); ++i) {
     StaticOutcome& out = outcomes[i];
     if (out.hit) {
       ++cache_stats_.hits;
     } else {
       ++cache_stats_.misses;
+      dstats.regen_span_sum += static_cast<uint64_t>(q - wstart);
+    }
+    ++dstats.evals;
+    if (out.narrowed) {
+      ++dstats.spans_narrowed;
+      ++cache_stats_.spans_narrowed;
+    }
+    if (out.fleet_floor) {
+      ++dstats.fleet_floor_hits;
+      ++cache_stats_.fleet_floor_hits;
     }
     if (out.changed) {
       // Conservative: interval output has no cheap earliest-diff, so a
@@ -812,6 +1031,8 @@ void Engine::EvaluateStaticIncremental(const StaticFluentSpec& spec,
   cache.keys = keys;
   MARITIME_DCHECK_MSG(cache.raw.size() == keys.size(),
                       "static-fluent cache out of sync with evaluated keys");
+  // Later definitions read this fluent's change marks by key.
+  changed_fluents_[fidx].Flush();
   RebuildKeyMemo(fidx);
 }
 
@@ -860,11 +1081,29 @@ void Engine::EvaluateDerivedIncremental(const DerivedEventSpec& spec,
             old.end());
 
   RegenRegion region{wstart};
+  DefRegenStats& dstats = def_regen_stats_[cur_def_];
   if (cache.valid && !dirty_all_ && spec.deps.has_value()) {
     // Derived events carry no key: any change to a declared input re-derives
-    // (cross-key forced).
+    // (cross-key forced). A projector still narrows in *time* — the earliest
+    // projected mark — and, more importantly, an idle fleet projects to
+    // nothing, leaving the region clean.
+    const ScopedDirty* scoped =
+        ComputeScopedDirty(*spec.deps, /*cross_key=*/true, ctx);
+    RegionStats rstats;
     region = DirtyRegionFor(*spec.deps, Term::None(), /*cross_key=*/true,
-                            wstart);
+                            wstart, scoped, &rstats);
+    if (rstats.narrowed) {
+      ++dstats.spans_narrowed;
+      ++cache_stats_.spans_narrowed;
+    }
+    if (rstats.fleet_floor) {
+      ++dstats.fleet_floor_hits;
+      ++cache_stats_.fleet_floor_hits;
+    }
+  }
+  ++dstats.evals;
+  if (!region.clean()) {
+    dstats.regen_span_sum += static_cast<uint64_t>(q - region.from);
   }
   if (cache.valid && region.clean()) {
     ++cache_stats_.hits;
@@ -915,6 +1154,14 @@ MARITIME_COMMIT_BOUNDARY RecognitionResult Engine::Recognize(Timestamp q) {
   // vessel and needs time-sorted vectors to find it.
   SortPendingInput();
   PurgeBefore(wstart);
+  if (options_.incremental) {
+    // Merge the marks batched by AssertEvent/AssertCoord since the previous
+    // step: one sort + linear merge per map, instead of a shifting sorted
+    // insert per mark. (`any` is maintained eagerly, so the adaptive check
+    // below would be correct either way.)
+    for (auto& m : dirty_events_) m.Flush();
+    dirty_coords_.Flush();
+  }
   if (options_.incremental && options_.adaptive_full_regen && !dirty_all_) {
     // Adaptive escalation: when the earliest dirty mark reaches back over
     // most of the window, almost every key regenerates almost its whole
@@ -959,6 +1206,8 @@ MARITIME_COMMIT_BOUNDARY RecognitionResult Engine::Recognize(Timestamp q) {
     }
     for (auto& v : edge_fluents_) v.clear();
     std::fill(edge_derived_.begin(), edge_derived_.end(), 0);
+    // Edge marks batched above become readable before any definition runs.
+    for (auto& m : changed_fluents_) m.Flush();
   } else {
     for (auto& d : derived_events_) d.clear();
     // Timelines are NOT cleared wholesale: the naive evaluators overwrite
@@ -984,6 +1233,7 @@ MARITIME_COMMIT_BOUNDARY RecognitionResult Engine::Recognize(Timestamp q) {
                              boundary_.values.size() == fluent_names_.size();
 
   for (size_t di = 0; di < definitions_.size(); ++di) {
+    cur_def_ = di;
     const auto& def = definitions_[di];
     if (const auto* simple = std::get_if<SimpleFluentSpec>(&def)) {
       if (options_.incremental) {

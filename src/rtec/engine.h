@@ -2,6 +2,7 @@
 #define MARITIME_RTEC_ENGINE_H_
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
 #include <map>
 #include <memory>
@@ -63,6 +64,15 @@ class EvalContext {
   /// within the window (each critical ME carries the vessel coordinates,
   /// paper Section 4.1).
   std::optional<geo::GeoPoint> CoordAt(Term vessel, Timestamp t) const;
+
+  /// Calls `fn(t, pos)` for every coord fix of `vessel` in force at some
+  /// time >= `from`: the latest fix at or before `from` (the one CoordAt
+  /// would return throughout [from, next fix)) plus every later fix. This is
+  /// the position history a DependencySpec::KeyProjector must consider when
+  /// bounding which output keys a dirty suffix starting at `from` can reach.
+  void ForEachCoordCovering(
+      Term vessel, Timestamp from,
+      const std::function<void(Timestamp, const geo::GeoPoint&)>& fn) const;
 
   /// Window bounds: events in (window_start, query_time] are visible.
   Timestamp window_start() const { return window_start_; }
@@ -146,8 +156,29 @@ struct DependencySpec {
   /// False (default): the rules for key K touch only K's slice of the
   /// declared inputs (events with subject K, fluent timelines of key K, K's
   /// coords). True: the rules may read any key's slice (e.g. an area-keyed
-  /// CE scanning every vessel), so any change invalidates every key.
+  /// CE scanning every vessel). Without a `project` function below, any
+  /// change then invalidates every key from the fleet-wide earliest dirty
+  /// time; with one, only the output keys the changed input keys project to.
   bool cross_key = false;
+
+  /// Optional dependency projector for cross-key definitions: maps one dirty
+  /// *input* key (e.g. a vessel) and the earliest time `from` its inputs
+  /// changed to the *output* keys (e.g. areas) whose evidence could differ
+  /// anywhere in [from, q]. Appends those keys to `out` and returns true;
+  /// returns false when the input key is outside the key space the projector
+  /// understands (the engine then treats the mark as unscoped, dirtying every
+  /// output key from `from` — always sound).
+  ///
+  /// Contract: the appended set must be a conservative superset — every
+  /// output key whose rules could read the changed slice of this input key at
+  /// any time >= `from` must be included (an empty set asserts the change is
+  /// invisible to every output key). Projection runs serially at the
+  /// definition's evaluation time and must only read engine state (via the
+  /// EvalContext) and immutable application knowledge.
+  using KeyProjector = std::function<bool(
+      const EvalContext&, Term input_key, Timestamp from,
+      std::vector<Term>* out)>;
+  KeyProjector project;
 };
 
 /// Definition of a simple fluent: domain + initiatedAt/terminatedAt rules.
@@ -273,6 +304,13 @@ struct EngineOptions {
   /// mode only.
   bool adaptive_full_regen = false;
   double full_regen_dirty_fraction = 0.75;
+  /// Dependency-scoped dirty propagation (DESIGN.md §14): cross-key
+  /// definitions that declare a DependencySpec::project function get
+  /// per-(definition, output-key) regen regions computed from only that
+  /// key's dependency set, instead of the fleet-wide `DirtyMap::any` floor.
+  /// Output is bit-identical either way; disabling this restores the fleet
+  /// floor (the baseline the skewed-fleet bench compares against).
+  bool scoped_dirty = true;
 };
 
 /// Cumulative cache counters of the incremental engine (all zero under the
@@ -283,6 +321,14 @@ struct EngineCacheStats {
   size_t hits = 0;
   size_t misses = 0;
   size_t evictions = 0;  ///< Cache entries dropped with their key.
+  /// Cross-key region computations where the dependency-scoped start was
+  /// strictly later than the fleet-wide floor would have been (the scoped
+  /// machinery saved work on that key).
+  size_t spans_narrowed = 0;
+  /// Cross-key region computations that fell back to the fleet-wide
+  /// `DirtyMap::any` floor while it was dirty (no projector declared, or
+  /// scoped propagation disabled).
+  size_t fleet_floor_hits = 0;
 
   double HitRate() const {
     const size_t total = hits + misses;
@@ -303,6 +349,23 @@ struct EngineAllocStats {
   double BytesPerSlide() const {
     return slides == 0 ? 0.0 : static_cast<double>(arena_bytes) /
                                    static_cast<double>(slides);
+  }
+};
+
+/// Per-definition regeneration telemetry of the incremental engine (session
+/// counters, like adaptive_full_regens: never serialized, never read by
+/// evaluation). One record per registered definition, in registration order.
+struct DefRegenStats {
+  uint64_t evals = 0;            ///< Region computations (key evaluations).
+  uint64_t regen_span_sum = 0;   ///< Sum of regenerated span widths (q-from).
+  uint64_t spans_narrowed = 0;   ///< Scoped start beat the fleet floor.
+  uint64_t fleet_floor_hits = 0; ///< Fell back to the fleet-wide floor.
+
+  /// Average width of the regenerated window suffix per key evaluation
+  /// (clean keys count as width 0).
+  double AvgRegenSpan() const {
+    return evals == 0 ? 0.0 : static_cast<double>(regen_span_sum) /
+                                  static_cast<double>(evals);
   }
 };
 
@@ -340,6 +403,107 @@ struct CachedEvidence {
 ///   eng.AddSimpleFluent({...});        // definitions, in dependency order
 ///   eng.AssertEvent(turn, vessel, t);  // stream input (may be delayed)
 ///   RecognitionResult r = eng.Recognize(q);
+/// Dirty marks per key: the earliest marked time drives regeneration (a
+/// regen region starting there covers every later mark), the latest marked
+/// time decides what survives a window slide. `any` is the min over all
+/// keys (for cross-key definitions) and is maintained eagerly, so it is
+/// readable even with marks still pending. Storage is a flat vector sorted
+/// by key plus an unsorted pending batch: Mark() is a plain append and
+/// Flush() merges the batch with one sort + linear merge, instead of the
+/// O(n) element shift a sorted insert per new key costs. Clear() keeps
+/// both capacities, so steady-state marking allocates nothing per slide.
+/// Namespace-scoped (not nested in Engine) so micro_rtec can bench the
+/// batch path against a sorted-insert reference.
+struct DirtyMap {
+struct MarkRange {
+    Timestamp min;
+    Timestamp max;
+  };
+  std::vector<std::pair<Term, MarkRange>> at;  ///< Sorted by key.
+  std::vector<std::pair<Term, Timestamp>> pending;  ///< Unmerged marks.
+  Timestamp any = kTimestampNever;
+
+  void Mark(Term k, Timestamp t) {
+    pending.emplace_back(k, t);
+    if (t < any) any = t;
+  }
+  /// Merges the pending batch into `at`. Every keyed reader requires a
+  /// flushed map; `any` is exact at all times.
+  void Flush() {
+    if (pending.empty()) return;
+    std::sort(pending.begin(), pending.end(),
+              [](const auto& a, const auto& b) {
+                if (!(a.first == b.first)) return a.first < b.first;
+                return a.second < b.second;
+              });
+    const size_t old_size = at.size();
+    at.reserve(old_size + pending.size());
+    for (const auto& [k, t] : pending) {
+      if (at.size() > old_size && at.back().first == k) {
+        auto& range = at.back().second;
+        if (t < range.min) range.min = t;
+        if (t > range.max) range.max = t;
+      } else {
+        at.push_back({k, MarkRange{t, t}});
+      }
+    }
+    pending.clear();
+    std::inplace_merge(
+        at.begin(), at.begin() + static_cast<ptrdiff_t>(old_size), at.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    // The merge can leave one old and one new entry per key adjacent;
+    // coalesce them in place.
+    auto out = at.begin();
+    for (auto it = at.begin(); it != at.end(); ++it) {
+      if (out != at.begin() && std::prev(out)->first == it->first) {
+        auto& range = std::prev(out)->second;
+        range.min = std::min(range.min, it->second.min);
+        range.max = std::max(range.max, it->second.max);
+      } else {
+        if (out != it) *out = *it;
+        ++out;
+      }
+    }
+    at.erase(out, at.end());
+  }
+  Timestamp For(Term k) const {
+    assert(pending.empty() && "DirtyMap read before Flush()");
+    const auto it = std::lower_bound(
+        at.begin(), at.end(), k,
+        [](const auto& e, const Term& key) { return e.first < key; });
+    return it == at.end() || !(it->first == k) ? kTimestampNever
+                                               : it->second.min;
+  }
+  void Clear() {
+    at.clear();
+    pending.clear();
+    any = kTimestampNever;
+  }
+  /// Slides the map past a recognition at query time `q`. Marks wholly
+  /// before `q` took effect and are dropped. A key with a mark at or after
+  /// `q` stays dirty: later marks are input asserted ahead of the query
+  /// time (it enters the window only at a later slide), and a mark at
+  /// exactly `q` is input at the window's leading edge — right-limit
+  /// conditions (HoldsRightOf and friends) at t == q cannot see an
+  /// interval's continuation past the edge, so points generated at q must
+  /// be re-evaluated once more next slide, when q has become interior. The
+  /// retained earliest time is clamped up to `q` (everything below is
+  /// absorbed; the exact distribution of marks in [q, max] is not kept, so
+  /// q is the sound lower bound).
+  void RetainAfter(Timestamp q) {
+    assert(pending.empty() && "DirtyMap slid before Flush()");
+    auto out = at.begin();
+    any = kTimestampNever;
+    for (auto& e : at) {
+      if (e.second.max < q) continue;
+      if (e.second.min < q) e.second.min = q;
+      if (e.second.min < any) any = e.second.min;
+      *out++ = e;
+    }
+    at.erase(out, at.end());
+  }
+};
+
 class Engine {
  public:
   explicit Engine(stream::WindowSpec window, const void* user_data = nullptr,
@@ -393,6 +557,11 @@ class Engine {
   size_t adaptive_full_regens() const { return adaptive_full_regens_; }
   /// Cumulative cache counters (zeros under the naive engine).
   const EngineCacheStats& cache_stats() const { return cache_stats_; }
+  /// Per-definition regeneration telemetry, in registration order (session
+  /// counters; all zero under the naive engine).
+  const std::vector<DefRegenStats>& def_regen_stats() const {
+    return def_regen_stats_;
+  }
   /// Cumulative slide-arena allocation counters (naive and incremental).
   const EngineAllocStats& alloc_stats() const { return alloc_stats_; }
   /// Number of per-key cache entries currently held across all definitions.
@@ -424,66 +593,6 @@ class Engine {
   using FluentKeyMap =
       std::unordered_map<Term, FluentTimeline, TermHash>;
 
-  /// Dirty marks per key: the earliest marked time drives regeneration (a
-  /// regen region starting there covers every later mark), the latest marked
-  /// time decides what survives a window slide. `any` is the min over all
-  /// keys (for cross-key definitions). Storage is a flat vector sorted by
-  /// key: Clear() keeps the capacity, so steady-state marking allocates
-  /// nothing per slide (a node-based map would churn one heap node per mark).
-  struct DirtyMap {
-    struct MarkRange {
-      Timestamp min;
-      Timestamp max;
-    };
-    std::vector<std::pair<Term, MarkRange>> at;  ///< Sorted by key.
-    Timestamp any = kTimestampNever;
-
-    void Mark(Term k, Timestamp t) {
-      const auto it = std::lower_bound(
-          at.begin(), at.end(), k,
-          [](const auto& e, const Term& key) { return e.first < key; });
-      if (it != at.end() && it->first == k) {
-        if (t < it->second.min) it->second.min = t;
-        if (t > it->second.max) it->second.max = t;
-      } else {
-        at.insert(it, {k, MarkRange{t, t}});
-      }
-      if (t < any) any = t;
-    }
-    Timestamp For(Term k) const {
-      const auto it = std::lower_bound(
-          at.begin(), at.end(), k,
-          [](const auto& e, const Term& key) { return e.first < key; });
-      return it == at.end() || !(it->first == k) ? kTimestampNever
-                                                 : it->second.min;
-    }
-    void Clear() {
-      at.clear();
-      any = kTimestampNever;
-    }
-    /// Slides the map past a recognition at query time `q`. Marks wholly
-    /// before `q` took effect and are dropped. A key with a mark at or after
-    /// `q` stays dirty: later marks are input asserted ahead of the query
-    /// time (it enters the window only at a later slide), and a mark at
-    /// exactly `q` is input at the window's leading edge — right-limit
-    /// conditions (HoldsRightOf and friends) at t == q cannot see an
-    /// interval's continuation past the edge, so points generated at q must
-    /// be re-evaluated once more next slide, when q has become interior. The
-    /// retained earliest time is clamped up to `q` (everything below is
-    /// absorbed; the exact distribution of marks in [q, max] is not kept, so
-    /// q is the sound lower bound).
-    void RetainAfter(Timestamp q) {
-      auto out = at.begin();
-      any = kTimestampNever;
-      for (auto& e : at) {
-        if (e.second.max < q) continue;
-        if (e.second.min < q) e.second.min = q;
-        if (e.second.min < any) any = e.second.min;
-        *out++ = e;
-      }
-      at.erase(out, at.end());
-    }
-  };
 
   /// The region of the window a (definition, key) must regenerate:
   /// t >= from (suffix invalidated by new/delayed input). Canonical forms:
@@ -514,11 +623,52 @@ class Engine {
   using AnyCache =
       std::variant<SimpleDefCache, StaticDefCache, DerivedDefCache>;
 
+  /// Dependency-scoped dirty view of one cross-key definition, computed at
+  /// that definition's evaluation time by projecting each dirty *input* key
+  /// through the definition's KeyProjector (DESIGN.md §14). `by_key.For(A)`
+  /// is then the earliest time any dependency of output key A changed;
+  /// `unscoped` collects contributions that cannot be attributed to an
+  /// output key (keyless derived-event changes, unprojectable input keys)
+  /// and lower-bounds every output key. Computed serially on the caller
+  /// thread, read-only during the key fan-out.
+  struct ScopedDirty {
+    DirtyMap by_key;
+    Timestamp unscoped = kTimestampNever;
+    bool active = false;
+
+    void Reset() {
+      by_key.Clear();
+      unscoped = kTimestampNever;
+      active = false;
+    }
+  };
+
+  /// Region telemetry filled by DirtyRegionFor; outcomes carry it back to
+  /// the serial commit loop (region computation runs on pool workers, so
+  /// counters cannot be bumped in place).
+  struct RegionStats {
+    bool narrowed = false;     ///< Scoped start strictly beat the floor.
+    bool fleet_floor = false;  ///< Used a dirty fleet-wide floor.
+  };
+
   void PurgeBefore(Timestamp inclusive_cutoff);
   void SortPendingInput();
 
   RegenRegion DirtyRegionFor(const DependencySpec& deps, Term key,
-                             bool cross_key, Timestamp wstart) const;
+                             bool cross_key, Timestamp wstart,
+                             const ScopedDirty* scoped = nullptr,
+                             RegionStats* stats = nullptr) const;
+
+  /// Builds scoped_scratch_ for a cross-key definition with a projector;
+  /// returns nullptr (fleet-floor behaviour) when the definition is not
+  /// cross-key, declares no projector, or scoped propagation is disabled.
+  const ScopedDirty* ComputeScopedDirty(const DependencySpec& deps,
+                                        bool cross_key, const EvalContext& ctx);
+
+  /// Implementation of EvalContext::ForEachCoordCovering.
+  void ForEachCoordCovering(
+      Term vessel, Timestamp from,
+      const std::function<void(Timestamp, const geo::GeoPoint&)>& fn) const;
 
   std::vector<Term> EvalKeys(
       const std::function<std::vector<Term>(const EvalContext&)>& domain,
@@ -634,6 +784,31 @@ class Engine {
   /// Steps escalated to full regeneration by the adaptive mode. Telemetry
   /// only: never serialized, never read by evaluation.
   size_t adaptive_full_regens_ = 0;
+  /// Per-definition regen telemetry, parallel to definitions_. Session
+  /// counters only (never serialized).
+  std::vector<DefRegenStats> def_regen_stats_;
+  /// Index of the definition currently being evaluated (set by Recognize's
+  /// dispatch loop so the evaluators can attribute telemetry).
+  size_t cur_def_ = 0;
+
+  // Scoped-dirty scratch, rebuilt per (cross-key, projected) definition at
+  // its evaluation time; member lifetime keeps the capacities across slides.
+  ScopedDirty scoped_scratch_;
+  // Projection memo for the current definition: input key -> projected
+  // output keys from `from`. A projection from an earlier time is a superset
+  // of one from a later time, so an entry with from <= requested is
+  // reusable. Invalidated per definition (projectors may differ across defs)
+  // by bumping the generation stamp rather than clearing the map: stale
+  // entries are recomputed in place, so map nodes and per-entry key vectors
+  // keep their capacity and the steady state allocates nothing here.
+  struct Projection {
+    uint64_t gen = 0;
+    Timestamp from = kTimestampNever;
+    std::vector<Term> keys;
+    bool ok = false;
+  };
+  std::unordered_map<Term, Projection, TermHash> projection_memo_;
+  uint64_t projection_gen_ = 0;
 
   // Serial scratch for the derived-event evaluators (one definition at a
   // time): previous-slide store contents and fresh rule output. Member

@@ -22,8 +22,12 @@ namespace {
 // v2: timelines are stored from the flat slice-table representation (same
 // sectioned value->rows shape as v1, but written in slice order); evidence
 // points use the arena-aware PointVec. v1 bytes would misparse, so the
-// reader requires an exact version match.
-constexpr uint8_t kEngineFormatVersion = 2;
+// reader requires version >= 2.
+// v3: appends the spans_narrowed / fleet_floor_hits cache counters after the
+// hits/misses/evictions trailer. Everything before the trailer is unchanged
+// (scoped dirty propagation is per-slide scratch derived from state already
+// serialized), so the reader accepts v2 bytes and zeroes the new counters.
+constexpr uint8_t kEngineFormatVersion = 3;
 constexpr const char* kWhat = "rtec engine";
 
 // Definition kind tags in the schema fingerprint.
@@ -308,9 +312,13 @@ MARITIME_OUTPUT_PATH void Engine::SaveTo(snapshot::Writer& w) const {
   }
 
   // --- incremental dirty + edge state --------------------------------------
-  const auto save_dirty = [&w](const DirtyMap& dm) {
+  const auto save_dirty = [&w](const DirtyMap& dm_in) {
+    // Marks batched since the last Recognize may still be pending (SaveTo is
+    // const and runs between slides); flush a copy so the bytes are the
+    // canonical key-sorted coalesced form.
+    DirtyMap dm = dm_in;
+    dm.Flush();
     w.U64(dm.at.size());
-    // The flat mark vector is maintained in key order already.
     for (const auto& [key, range] : dm.at) {
       SaveTerm(key, w);
       w.I64(range.min);
@@ -369,12 +377,17 @@ MARITIME_OUTPUT_PATH void Engine::SaveTo(snapshot::Writer& w) const {
   w.U64(cache_stats_.hits);
   w.U64(cache_stats_.misses);
   w.U64(cache_stats_.evictions);
+  // v3 trailer.
+  w.U64(cache_stats_.spans_narrowed);
+  w.U64(cache_stats_.fleet_floor_hits);
 }
 
 Status Engine::RestoreFrom(snapshot::Reader& r) {
   uint8_t version = 0;
   if (!r.U8(&version)) return snapshot::CorruptionIn(kWhat);
-  if (version != kEngineFormatVersion) return snapshot::VersionError(kWhat);
+  if (version != 2 && version != kEngineFormatVersion) {
+    return snapshot::VersionError(kWhat);
+  }
 
   // --- schema fingerprint: declarations are code, so they must match -------
   stream::WindowSpec window;
@@ -533,11 +546,12 @@ Status Engine::RestoreFrom(snapshot::Reader& r) {
           range.min > range.max) {
         return false;
       }
-      // Saved in key order; Mark keeps the flat vector sorted and coalesces
-      // duplicates, so malformed input cannot break the invariant.
+      // Replayed as batched marks; Flush sorts and coalesces below, so even
+      // malformed (out-of-order) input cannot break the sorted invariant.
       dm->Mark(key, range.min);
       dm->Mark(key, range.max);
     }
+    dm->Flush();
     return true;
   };
   for (auto& dm : dirty_events_) {
@@ -636,6 +650,13 @@ Status Engine::RestoreFrom(snapshot::Reader& r) {
   cache_stats_.hits = static_cast<size_t>(hits);
   cache_stats_.misses = static_cast<size_t>(misses);
   cache_stats_.evictions = static_cast<size_t>(evictions);
+  uint64_t spans_narrowed = 0, fleet_floor_hits = 0;
+  if (version >= 3 &&
+      (!r.U64(&spans_narrowed) || !r.U64(&fleet_floor_hits))) {
+    return snapshot::CorruptionIn(kWhat);
+  }
+  cache_stats_.spans_narrowed = static_cast<size_t>(spans_narrowed);
+  cache_stats_.fleet_floor_hits = static_cast<size_t>(fleet_floor_hits);
 
   // Per-slide scratch state is reset, exactly as a finished Recognize leaves
   // it (changed_* are recomputed from the edge records at the next step).

@@ -62,6 +62,37 @@ void FluentTimeline::CopyFrom(const FluentTimeline& src) {
   open_value = src.open_value;
 }
 
+MARITIME_COMMIT_BOUNDARY void FluentTimeline::FastForwardWindow(
+    std::optional<Value> carried_value, Timestamp window_start,
+    Timestamp query_time) {
+  if (carried_value.has_value()) {
+    for (ValueSlice& s : slices) {
+      if (s.value != *carried_value) continue;
+      if (s.ival_begin < s.ival_end) {
+        // The carried episode is the chronologically first interval of its
+        // value (it opens at the previous window start; every other interval
+        // opens at an in-window initiation point).
+        Interval& iv = interval_store[s.ival_begin];
+        if (iv.since < window_start) iv.since = window_start;
+      }
+      break;
+    }
+  }
+  if (open_value.has_value()) {
+    for (ValueSlice& s : slices) {
+      if (s.value != *open_value) continue;
+      if (s.ival_begin < s.ival_end) {
+        // The open episode is the chronologically last interval of its value
+        // (it was clipped at the previous query time; with no evidence point
+        // on that edge, nothing can end later).
+        Interval& iv = interval_store[s.ival_end - 1];
+        if (iv.till < query_time) iv.till = query_time;
+      }
+      break;
+    }
+  }
+}
+
 const FluentTimeline::ValueSlice* FluentTimeline::FindSlice(Value v) const {
   // The per-key value set is tiny (usually 1); a linear scan beats a binary
   // search on spans this short.

@@ -72,6 +72,18 @@ struct MARITIME_ARENA_SCOPED FluentTimeline {
   /// copy-out at commit: arena-built source, heap-backed destination).
   void CopyFrom(const FluentTimeline& src);
 
+  /// In-place window advance for a timeline whose evidence is unchanged
+  /// between two consecutive windows: no point fell out at the left edge, no
+  /// point sits exactly on the previous query time, and the carried value is
+  /// identical (the incremental engine's clean fast-forward gates). Under
+  /// those conditions a full rebuild differs from the committed content in at
+  /// most two clamps — the inertia-carried interval starts at the window
+  /// start and the still-open interval is clipped at the query time — and
+  /// the start/end event points are unaffected (a carried start and an open
+  /// end are never materialized as events).
+  void FastForwardWindow(std::optional<Value> carried_value,
+                         Timestamp window_start, Timestamp query_time);
+
   IntervalSpan IntervalsFor(Value v) const;
   std::span<const Timestamp> StartsFor(Value v) const;
   std::span<const Timestamp> EndsFor(Value v) const;

@@ -60,7 +60,7 @@ Schema Register(Engine* eng) {
     SimpleFluentSpec spec;
     spec.fluent = s.moving;
     spec.output = true;
-    spec.deps = DependencySpec{{s.move, s.stop}, {}, false, false};
+    spec.deps = DependencySpec{{s.move, s.stop}, {}, false, false, {}};
     const Schema sc = s;
     spec.domain = [sc](const EvalContext& ctx) {
       std::vector<Term> keys;
@@ -88,7 +88,7 @@ Schema Register(Engine* eng) {
     StaticFluentSpec spec;
     spec.fluent = s.busy;
     spec.output = true;
-    spec.deps = DependencySpec{{}, {s.moving}, false, false};
+    spec.deps = DependencySpec{{}, {s.moving}, false, false, {}};
     const Schema sc = s;
     spec.domain = [sc](const EvalContext& ctx) {
       return ctx.FluentKeys(sc.moving);
@@ -111,7 +111,7 @@ Schema Register(Engine* eng) {
     SimpleFluentSpec spec;
     spec.fluent = s.alert;
     spec.output = true;
-    spec.deps = DependencySpec{{s.ping, s.stop}, {s.moving}, true, false};
+    spec.deps = DependencySpec{{s.ping, s.stop}, {s.moving}, true, false, {}};
     const Schema sc = s;
     spec.domain = [sc](const EvalContext& ctx) {
       std::vector<Term> keys;
@@ -147,7 +147,7 @@ Schema Register(Engine* eng) {
     SimpleFluentSpec spec;
     spec.fluent = s.crowded;
     spec.output = true;
-    spec.deps = DependencySpec{{s.ping}, {s.moving}, false, true};
+    spec.deps = DependencySpec{{s.ping}, {s.moving}, false, true, {}};
     const Schema sc = s;
     spec.domain = [](const EvalContext&) {
       return std::vector<Term>{kArea};
@@ -182,7 +182,7 @@ Schema Register(Engine* eng) {
     DerivedEventSpec spec;
     spec.event = s.alarm;
     spec.output = true;
-    spec.deps = DependencySpec{{s.ping}, {s.alert}, false, true};
+    spec.deps = DependencySpec{{s.ping}, {s.alert}, false, true, {}};
     const Schema sc = s;
     spec.compute = [sc](const EvalContext& ctx,
                         std::vector<EventInstance>* out) {

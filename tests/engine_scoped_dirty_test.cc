@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "maritime/knowledge.h"
+#include "maritime/recognizer.h"
+#include "rtec/engine.h"
+#include "sim/world.h"
+#include "snapshot/codec.h"
+#include "stream/sliding_window.h"
+#include "tracker/critical_point.h"
+
+namespace maritime::rtec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dependency-scoped dirty propagation (DESIGN.md §14), differential-tested on
+// a skewed fleet: one vessel keeps updating while hundreds sit idle. With a
+// KeyProjector on the cross-key definition the incremental engine must
+// regenerate only the output keys the active vessel projects to — and remain
+// bit-identical to both the naive engine and the incremental engine with
+// scoping disabled (the fleet-wide regen floor).
+// ---------------------------------------------------------------------------
+
+// Output keys: latitude buckets 0..9 over lat in [0, 1).
+constexpr int32_t kBucketKind = 1;
+
+int32_t BucketOf(const geo::GeoPoint& p) {
+  return std::clamp(static_cast<int32_t>(p.lat * 10.0), 0, 9);
+}
+
+struct Schema {
+  EventId ping = -1;
+  EventId stop = -1;
+  FluentId occupied = -1;  // cross-key: some vessel pinged in the bucket
+  EventId echo = -1;       // derived: ping in a bucket while occupied holds
+};
+
+Schema Register(Engine* eng) {
+  Schema s;
+  s.ping = eng->DeclareEvent("ping");
+  s.stop = eng->DeclareEvent("stop");
+  s.occupied = eng->DeclareFluent("occupied");
+  s.echo = eng->DeclareEvent("echo");
+
+  // Vessel→bucket projector: the buckets a dirty vessel's coord fixes in
+  // force at some time >= `from` fall into. Conservative both ways — the
+  // boundary fix covers the bucket the vessel is leaving, later fixes the
+  // ones it enters. Bucket-keyed input marks project to themselves.
+  DependencySpec::KeyProjector project =
+      [](const EvalContext& ctx, Term in_key, Timestamp from,
+         std::vector<Term>* out) {
+        if (in_key.kind == kBucketKind) {
+          out->push_back(in_key);
+          return true;
+        }
+        if (in_key.kind != 0) return false;
+        ctx.ForEachCoordCovering(
+            in_key, from, [&](Timestamp, const geo::GeoPoint& pos) {
+              out->push_back(Term{kBucketKind, BucketOf(pos)});
+            });
+        return true;
+      };
+
+  // occupied(bucket): initiated at any vessel's ping from inside the bucket,
+  // terminated at any vessel's stop from inside it. Cross-key with a
+  // projector; constant domain (all ten buckets).
+  {
+    SimpleFluentSpec spec;
+    spec.fluent = s.occupied;
+    spec.output = true;
+    spec.deps = DependencySpec{{s.ping, s.stop}, {}, true, true, project};
+    const Schema sc = s;
+    spec.domain = [](const EvalContext&) {
+      std::vector<Term> keys;
+      for (int32_t b = 0; b < 10; ++b) keys.push_back(Term{kBucketKind, b});
+      return keys;
+    };
+    spec.rules = [sc](const EvalContext& ctx, Term key,
+                      PointVec* initiated,
+                      PointVec* terminated) {
+      for (const auto& e : ctx.Events(sc.ping)) {
+        if (!ctx.NeedsEval(e.t)) continue;
+        const auto pos = ctx.CoordAt(e.subject, e.t);
+        if (pos.has_value() && BucketOf(*pos) == key.id) {
+          initiated->push_back({kTrue, e.t});
+        }
+      }
+      for (const auto& e : ctx.Events(sc.stop)) {
+        if (!ctx.NeedsEval(e.t)) continue;
+        const auto pos = ctx.CoordAt(e.subject, e.t);
+        if (pos.has_value() && BucketOf(*pos) == key.id) {
+          terminated->push_back({kTrue, e.t});
+        }
+      }
+    };
+    eng->AddSimpleFluent(std::move(spec));
+  }
+
+  // echo(bucket): derived at pings landing in a bucket while occupied(bucket)
+  // already holds at the right limit. The occupied dependency is bucket-keyed,
+  // exercising the projector's identity branch.
+  {
+    DerivedEventSpec spec;
+    spec.event = s.echo;
+    spec.output = true;
+    spec.deps = DependencySpec{{s.ping}, {s.occupied}, true, true, project};
+    const Schema sc = s;
+    spec.compute = [sc](const EvalContext& ctx,
+                        std::vector<EventInstance>* out) {
+      for (const auto& e : ctx.Events(sc.ping)) {
+        if (!ctx.NeedsEval(e.t)) continue;
+        const auto pos = ctx.CoordAt(e.subject, e.t);
+        if (!pos.has_value()) continue;
+        const Term bucket{kBucketKind, BucketOf(*pos)};
+        if (ctx.HoldsRightOf(sc.occupied, bucket, kTrue, e.t)) {
+          out->push_back({bucket, Term::None(), e.t});
+        }
+      }
+    };
+    eng->AddDerivedEvent(std::move(spec));
+  }
+  return s;
+}
+
+std::string Dump(const RecognitionResult& r) {
+  std::ostringstream os;
+  for (const auto& f : r.fluents) {
+    os << "  fluent " << f.fluent << " key " << f.key << " = " << f.value
+       << " over";
+    for (const auto& iv : f.intervals) {
+      os << " (" << iv.since << "," << iv.till << "]";
+    }
+    os << "\n";
+  }
+  for (const auto& e : r.events) {
+    os << "  event " << e.event << " key " << e.instance.subject << " @ "
+       << e.instance.t << "\n";
+  }
+  return os.str();
+}
+
+uint64_t TotalRegenSpan(const Engine& eng) {
+  uint64_t sum = 0;
+  for (const DefRegenStats& d : eng.def_regen_stats()) sum += d.regen_span_sum;
+  return sum;
+}
+
+TEST(ScopedDirtyDifferentialTest, SkewedFleetBitIdenticalAndNarrowed) {
+  const stream::WindowSpec window{60, 10};
+  Engine naive(window);
+  EngineOptions scoped_opts;
+  scoped_opts.incremental = true;  // scoped_dirty defaults to true
+  Engine scoped(window, nullptr, scoped_opts);
+  EngineOptions floor_opts;
+  floor_opts.incremental = true;
+  floor_opts.scoped_dirty = false;  // the fleet-wide regen floor baseline
+  Engine floor(window, nullptr, floor_opts);
+
+  const Schema sn = Register(&naive);
+  const Schema ss = Register(&scoped);
+  const Schema sf = Register(&floor);
+  ASSERT_EQ(sn.echo, ss.echo);
+  ASSERT_EQ(sn.echo, sf.echo);
+
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> kind_dist(0, 99);
+  Engine* const engines[] = {&naive, &scoped, &floor};
+
+  // Idle fleet: 300 vessels, each with one coord fix and one ping at the
+  // start, spread over every bucket — then silence forever.
+  constexpr int kIdle = 300;
+  for (int i = 0; i < kIdle; ++i) {
+    const Term vessel{0, 100 + i};
+    const geo::GeoPoint pos{0.0, (i % 10) * 0.1 + 0.05};
+    const Timestamp t = 1 + i % static_cast<int>(window.slide - 1);
+    for (Engine* eng : engines) {
+      eng->AssertCoord(vessel, t, pos);
+      eng->AssertEvent(sn.ping, vessel, t);
+    }
+  }
+
+  // Active vessel: lives in bucket 3, keeps pinging/stopping every slide with
+  // the adversarial timing mix (fresh / delayed / future-dated).
+  const Term active{0, 1};
+  constexpr int kSlides = 1200;
+  for (int slide = 1; slide <= kSlides; ++slide) {
+    const Timestamp q = static_cast<Timestamp>(slide) * window.slide;
+    const int n = std::uniform_int_distribution<int>(1, 3)(rng);
+    for (int i = 0; i < n; ++i) {
+      Timestamp t;
+      const int when = kind_dist(rng);
+      if (when < 80) {
+        t = q - window.slide + 1 +
+            std::uniform_int_distribution<Timestamp>(0, window.slide - 1)(rng);
+      } else if (when < 95) {
+        const Timestamp wstart = q > window.range ? q - window.range : 0;
+        t = wstart + 1 +
+            std::uniform_int_distribution<Timestamp>(
+                0, std::max<Timestamp>(0, q - wstart - 1))(rng);
+      } else {
+        t = q + 1 +
+            std::uniform_int_distribution<Timestamp>(0, window.slide)(rng);
+      }
+      const int what = kind_dist(rng);
+      for (Engine* eng : engines) {
+        if (what < 25) {
+          eng->AssertCoord(active, t,
+                           geo::GeoPoint{0.0, 0.3 + (what % 10) * 0.009});
+        } else if (what < 85) {
+          eng->AssertEvent(sn.ping, active, t);
+        } else {
+          eng->AssertEvent(sn.stop, active, t);
+        }
+      }
+    }
+    const RecognitionResult rn = naive.Recognize(q);
+    const RecognitionResult rs = scoped.Recognize(q);
+    const RecognitionResult rf = floor.Recognize(q);
+    ASSERT_TRUE(rn == rs) << "scoped diverged at q=" << q << "\nnaive:\n"
+                          << Dump(rn) << "scoped:\n" << Dump(rs);
+    ASSERT_TRUE(rn == rf) << "unscoped diverged at q=" << q << "\nnaive:\n"
+                          << Dump(rn) << "unscoped:\n" << Dump(rf);
+  }
+
+  // The point of the PR: with one active vessel confined to one bucket, the
+  // scoped engine narrows (most) cross-key regen spans below the fleet floor
+  // and regenerates far less of the window than the floor baseline, which in
+  // turn reports the floor fallback on every dirty cross-key evaluation.
+  EXPECT_GT(scoped.cache_stats().spans_narrowed, 0u);
+  EXPECT_EQ(scoped.cache_stats().fleet_floor_hits, 0u);
+  EXPECT_EQ(floor.cache_stats().spans_narrowed, 0u);
+  EXPECT_GT(floor.cache_stats().fleet_floor_hits, 0u);
+  EXPECT_LT(TotalRegenSpan(scoped), TotalRegenSpan(floor));
+  EXPECT_GT(scoped.cache_stats().hits, floor.cache_stats().hits);
+  // The naive engine records neither.
+  EXPECT_EQ(naive.cache_stats().spans_narrowed, 0u);
+  EXPECT_EQ(naive.cache_stats().fleet_floor_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Maritime differential: the full CE definition set (whose four area-keyed
+// definitions carry the vessel→area projector) over a synthetic skewed
+// fleet — one vessel cycling stop/slow-motion/gap episodes inside one area,
+// hundreds parked elsewhere — recognized side by side on the naive engine,
+// the scoped incremental engine, the incremental engine with scoping off,
+// and the auto engine. Facts mode on and off; delayed MEs; a mid-stream
+// snapshot round trip with marks pending must also stay bit-identical.
+// ---------------------------------------------------------------------------
+
+std::vector<tracker::CriticalPoint> MakeSkewedCriticals(
+    const sim::World& world, int idle_vessels, Duration horizon) {
+  std::vector<geo::GeoPoint> centers;
+  for (const surveillance::AreaInfo& a : world.knowledge.areas()) {
+    if (a.kind != surveillance::AreaKind::kPort) {
+      centers.push_back(a.polygon.VertexCentroid());
+    }
+  }
+  std::vector<tracker::CriticalPoint> out;
+  // Idle fleet: one stop-start apiece, parked at area centroids round-robin,
+  // within the first few minutes — then silence.
+  for (int i = 0; i < idle_vessels; ++i) {
+    tracker::CriticalPoint cp;
+    cp.mmsi = static_cast<stream::Mmsi>(1000 + i);
+    cp.pos = centers[static_cast<size_t>(i) % centers.size()];
+    cp.tau = 1 + i;
+    cp.flags = tracker::kFirst | tracker::kStopStart;
+    out.push_back(cp);
+  }
+  // Active vessel: cycles inside one area — stop episodes with slow-motion
+  // and communication-gap episodes interleaved, one critical point a minute.
+  const geo::GeoPoint home = centers[0];
+  const stream::Mmsi active = 7;
+  int phase = 0;
+  for (Timestamp t = 5 * kMinute; t <= horizon; t += kMinute, ++phase) {
+    tracker::CriticalPoint cp;
+    cp.mmsi = active;
+    cp.pos = geo::GeoPoint{home.lon + (phase % 3) * 1e-4,
+                           home.lat + (phase % 5) * 1e-4};
+    cp.tau = t;
+    switch (phase % 6) {
+      case 0: cp.flags = tracker::kStopStart; break;
+      case 1: cp.flags = tracker::kStopEnd; cp.duration = kMinute; break;
+      case 2: cp.flags = tracker::kSlowMotionStart; break;
+      case 3: cp.flags = tracker::kSlowMotionEnd; cp.duration = kMinute; break;
+      case 4: cp.flags = tracker::kGapStart; break;
+      default:
+        cp.flags = tracker::kGapEnd | tracker::kTurn;
+        cp.duration = kMinute;
+        break;
+    }
+    out.push_back(cp);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const tracker::CriticalPoint& a,
+               const tracker::CriticalPoint& b) { return a.tau < b.tau; });
+  return out;
+}
+
+void RunSkewedMaritimeDifferential(bool spatial_facts, bool snapshot_midway) {
+  const sim::World world = sim::BuildWorld(11);
+  const Duration horizon = 12 * kHour;
+  const std::vector<tracker::CriticalPoint> criticals =
+      MakeSkewedCriticals(world, /*idle_vessels=*/250, horizon);
+  const stream::WindowSpec window{30 * kMinute, 5 * kMinute};
+
+  surveillance::RecognizerConfig cn;
+  cn.window = window;
+  cn.ce.use_spatial_facts = spatial_facts;
+  surveillance::RecognizerConfig cs = cn;
+  cs.incremental = true;  // scoped_dirty defaults to true
+  surveillance::RecognizerConfig cf = cs;
+  cf.scoped_dirty = false;
+  surveillance::RecognizerConfig ca = cn;
+  ca.engine = surveillance::EngineMode::kAuto;  // ω = 6β → incremental
+
+  surveillance::CERecognizer naive(&world.knowledge, cn);
+  surveillance::CERecognizer scoped(&world.knowledge, cs);
+  surveillance::CERecognizer floor(&world.knowledge, cf);
+  surveillance::CERecognizer aut(&world.knowledge, ca);
+  std::unique_ptr<surveillance::CERecognizer> restored;
+
+  const Timestamp snapshot_q = snapshot_midway ? 6 * kHour : -1;
+  size_t cursor = 0;
+  std::vector<tracker::CriticalPoint> held;
+  size_t slides = 0;
+  for (Timestamp q = window.slide; q <= horizon; q += window.slide) {
+    // Delayed MEs: every 7th point of the previous slide arrives only now,
+    // out of order relative to the fresh batch.
+    std::vector<tracker::CriticalPoint> batch = std::move(held);
+    held.clear();
+    while (cursor < criticals.size() && criticals[cursor].tau <= q) {
+      if (cursor % 7 == 6) {
+        held.push_back(criticals[cursor]);
+      } else {
+        batch.push_back(criticals[cursor]);
+      }
+      ++cursor;
+    }
+    for (const auto& cp : batch) {
+      naive.Feed(cp);
+      scoped.Feed(cp);
+      floor.Feed(cp);
+      aut.Feed(cp);
+      if (restored != nullptr) restored->Feed(cp);
+    }
+    if (q == snapshot_q) {
+      // Snapshot with this slide's batch already fed: the engine's dirty
+      // marks (including the unsorted pending appends of the batch-mark
+      // path) are serialized and must replay bit-identically.
+      snapshot::Writer w;
+      scoped.SaveTo(w);
+      restored =
+          std::make_unique<surveillance::CERecognizer>(&world.knowledge, cs);
+      snapshot::Reader r(w.bytes());
+      ASSERT_TRUE(restored->RestoreFrom(r).ok());
+    }
+    const rtec::RecognitionResult rn = naive.Recognize(q);
+    const rtec::RecognitionResult rs = scoped.Recognize(q);
+    const rtec::RecognitionResult rf = floor.Recognize(q);
+    const rtec::RecognitionResult ra = aut.Recognize(q);
+    ASSERT_TRUE(rn == rs) << "scoped diverged at q=" << q
+                          << " (spatial_facts=" << spatial_facts << ")";
+    ASSERT_TRUE(rn == rf) << "unscoped diverged at q=" << q;
+    ASSERT_TRUE(rn == ra) << "auto diverged at q=" << q;
+    if (restored != nullptr) {
+      const rtec::RecognitionResult rr = restored->Recognize(q);
+      ASSERT_TRUE(rn == rr) << "restored scoped diverged at q=" << q;
+    }
+    ++slides;
+  }
+  EXPECT_GT(slides, 140u);
+
+  // Counter cross-check: the scoped engine narrowed cross-key regen spans
+  // below the fleet floor; with scoping off every dirty cross-key evaluation
+  // fell back to the floor and none narrowed.
+  EXPECT_GT(scoped.engine().cache_stats().spans_narrowed, 0u);
+  EXPECT_EQ(floor.engine().cache_stats().spans_narrowed, 0u);
+  EXPECT_GT(floor.engine().cache_stats().fleet_floor_hits, 0u);
+  EXPECT_EQ(naive.engine().cache_stats().spans_narrowed, 0u);
+  if (snapshot_midway) {
+    ASSERT_NE(restored, nullptr);
+    EXPECT_GT(restored->engine().cache_stats().spans_narrowed, 0u);
+  }
+}
+
+TEST(MaritimeScopedDirtyTest, SkewedFleetOnDemandBitIdentical) {
+  RunSkewedMaritimeDifferential(/*spatial_facts=*/false,
+                                /*snapshot_midway=*/false);
+}
+
+TEST(MaritimeScopedDirtyTest, SkewedFleetSpatialFactsSnapshotBitIdentical) {
+  RunSkewedMaritimeDifferential(/*spatial_facts=*/true,
+                                /*snapshot_midway=*/true);
+}
+
+}  // namespace
+}  // namespace maritime::rtec

@@ -4,10 +4,11 @@
 Reads a google-benchmark JSON report containing the BM_CERecognitionWindow
 benchmarks (arg 0 = naive engine, arg 1 = incremental, arg 2 = auto) and
 fails when the `allocs_per_slide` counter exceeds the committed budget. The budgets hold
-generous headroom over the measured values (~61 naive / ~86 incremental on
-an idle machine) but sit an order of magnitude below the pre-arena baseline
-(884.8 / 897.7), so a regression that reintroduces per-slide heap churn
-trips the gate while scheduler noise does not. Allocation counting is a
+generous headroom over the measured values (~61 naive / ~107 incremental —
+the ~20 allocs over the pre-scoped ~86 are the dependency projector's
+steady-state footprint) but sit an order of magnitude below the pre-arena
+baseline (884.8 / 897.7), so a regression that reintroduces per-slide heap
+churn trips the gate while scheduler noise does not. Allocation counting is a
 deterministic operator-new interposition, not a timing, so the check is
 stable on shared CI runners.
 
@@ -26,6 +27,14 @@ BUDGETS = {
     # auto resolves to incremental at this window shape (omega = 6 beta);
     # adaptive full-regen slides stay on the same arena, so same budget.
     "BM_CERecognitionWindow/2": 200.0,
+    # Skewed fleet (601 vessels, steady-state slides only): ~56 allocs/slide
+    # measured on both axes. Keeping steady slides O(changes) rather than
+    # O(fleet) is the point of the scoped-dirty work, so the budget is
+    # deliberately far below fleet size: one stray per-vessel allocation
+    # (a capturing callback, a cleared-not-reused scratch map) costs ~600
+    # allocs/slide here and trips the gate at once.
+    "BM_SkewedFleetRecognition/0": 300.0,  # fleet-wide regen floor
+    "BM_SkewedFleetRecognition/1": 300.0,  # dependency-scoped propagation
 }
 
 

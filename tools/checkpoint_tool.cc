@@ -119,6 +119,10 @@ int CmdInspect(const std::string& path) {
               static_cast<unsigned long long>(m.value().window_critical_points));
   std::printf("  archived trips:  %llu\n",
               static_cast<unsigned long long>(m.value().archived_trips));
+  std::printf("  spans narrowed:  %llu\n",
+              static_cast<unsigned long long>(m.value().spans_narrowed));
+  std::printf("  fleet floor hits:%llu\n",
+              static_cast<unsigned long long>(m.value().fleet_floor_hits));
   return 0;
 }
 
